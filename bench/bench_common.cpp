@@ -1,0 +1,116 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/simulation.h"
+
+namespace leime::bench {
+
+std::vector<Scheme> paper_schemes() {
+  std::vector<Scheme> schemes;
+  schemes.push_back({.name = "LEIME", .leime_exits = true, .policy = "LEIME"});
+  schemes.push_back({.name = "Neurosurgeon",
+                     .leime_exits = true,
+                     .no_exit = true,
+                     .fixed_ratio = 0.0});
+  schemes.push_back({.name = "Edgent",
+                     .heuristic = baselines::ExitStrategy::kEdgent,
+                     .fixed_ratio = 0.0});
+  schemes.push_back({.name = "DDNN",
+                     .heuristic = baselines::ExitStrategy::kDdnn,
+                     .fixed_ratio = 0.0});
+  return schemes;
+}
+
+core::MeDnnPartition partition_for(const Scheme& scheme,
+                                   const models::ModelProfile& profile,
+                                   const core::Environment& env) {
+  core::CostModel cost(profile, env);
+  core::ExitCombo combo;
+  if (scheme.leime_exits || scheme.no_exit)
+    combo = core::branch_and_bound_exit_setting(cost).combo;
+  else
+    combo = baselines::select_exits(scheme.heuristic, cost);
+  if (scheme.no_exit)
+    return core::make_no_exit_partition(profile, combo.e1, combo.e2);
+  return core::make_partition(profile, combo);
+}
+
+sim::ScenarioConfig single_device_scenario(
+    const core::MeDnnPartition& partition, const core::Environment& env,
+    double device_flops, double arrival_rate, double duration) {
+  sim::ScenarioConfig cfg;
+  cfg.partition = partition;
+  cfg.edge_flops = env.caps.edge_flops;
+  cfg.cloud_flops = env.caps.cloud_flops;
+  cfg.edge_cloud_bw = env.net.edge_cloud_bw;
+  cfg.edge_cloud_lat = env.net.edge_cloud_lat;
+  sim::DeviceSpec dev;
+  dev.flops = device_flops;
+  dev.uplink_bw = env.net.dev_edge_bw;
+  dev.uplink_lat = env.net.dev_edge_lat;
+  dev.mean_rate = arrival_rate;
+  cfg.devices.push_back(dev);
+  cfg.duration = duration;
+  cfg.warmup = std::min(5.0, 0.1 * duration);
+  return cfg;
+}
+
+double scheme_mean_tct(const Scheme& scheme,
+                       const models::ModelProfile& profile,
+                       const core::Environment& env, double device_flops,
+                       double arrival_rate, double duration) {
+  core::Environment design_env = env;
+  design_env.caps.device_flops = device_flops;
+  const auto partition = partition_for(scheme, profile, design_env);
+  auto cfg = single_device_scenario(partition, design_env, device_flops,
+                                    arrival_rate, duration);
+  cfg.policy = scheme.policy;
+  cfg.fixed_ratio = scheme.fixed_ratio;
+  return sim::run_scenario(cfg).tct.mean;
+}
+
+double scheme_sequential_latency(const Scheme& scheme,
+                                 const models::ModelProfile& profile,
+                                 const core::Environment& env,
+                                 double device_flops, int num_tasks,
+                                 double spacing) {
+  core::Environment design_env = env;
+  design_env.caps.device_flops = device_flops;
+  const auto partition = partition_for(scheme, profile, design_env);
+  auto cfg = single_device_scenario(partition, design_env, device_flops,
+                                    /*arrival_rate=*/1.0 / spacing,
+                                    /*duration=*/spacing * num_tasks);
+  cfg.devices[0].arrival = sim::ArrivalKind::kPeriodic;
+  cfg.policy = scheme.policy;
+  cfg.fixed_ratio = scheme.fixed_ratio;
+  cfg.warmup = 0.0;
+  return sim::run_scenario(cfg).tct.mean;
+}
+
+void print_banner(const std::string& figure, const std::string& paper_claim,
+                  const std::string& setup) {
+  std::cout << "================================================================\n"
+            << figure << "\n"
+            << "paper: " << paper_claim << "\n"
+            << "setup: " << setup << "\n"
+            << "================================================================\n";
+}
+
+std::optional<std::string> csv_dir() {
+  const char* dir = std::getenv("LEIME_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+void maybe_export_csv(const leime::util::TablePrinter& table,
+                      const std::string& name) {
+  const auto dir = csv_dir();
+  if (!dir) return;
+  const std::string path = *dir + "/" + name + ".csv";
+  table.write_csv(path);
+  std::cout << "(csv exported: " << path << ")\n";
+}
+
+}  // namespace leime::bench

@@ -1,0 +1,77 @@
+// Shared scaffolding for the figure-reproduction bench harnesses.
+//
+// Each bench binary regenerates one figure/table of the paper as a text
+// table (and optionally CSV via LEIME_BENCH_CSV_DIR). The schemes here are
+// the paper's §IV-A comparison set:
+//   LEIME        — branch-and-bound exits + online Lyapunov offloading
+//   Neurosurgeon — no early exits, partition points copied from LEIME,
+//                  offloading ratio fixed to 0
+//   Edgent       — exits at smallest intermediate tensors, ratio 0
+//   DDNN         — exits maximising σ/d, ratio 0
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/exit_baselines.h"
+#include "core/environment.h"
+#include "core/exit_setting.h"
+#include "core/partition.h"
+#include "models/zoo.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+namespace leime::bench {
+
+struct Scheme {
+  std::string name;
+  bool leime_exits = false;    ///< run B&B for exits (else heuristic)
+  bool no_exit = false;        ///< Neurosurgeon: strip the early exits
+  baselines::ExitStrategy heuristic = baselines::ExitStrategy::kLeime;
+  std::string policy = "LEIME";
+  double fixed_ratio = -1.0;   ///< >= 0 overrides the policy
+};
+
+/// The paper's four-way comparison (Figs. 7-9).
+std::vector<Scheme> paper_schemes();
+
+/// Builds the ME-DNN partition a scheme deploys for (profile, env).
+core::MeDnnPartition partition_for(const Scheme& scheme,
+                                   const models::ModelProfile& profile,
+                                   const core::Environment& env);
+
+/// Single-device scenario skeleton: the testbed's measurement setup.
+sim::ScenarioConfig single_device_scenario(
+    const core::MeDnnPartition& partition, const core::Environment& env,
+    double device_flops, double arrival_rate, double duration = 120.0);
+
+/// Runs a scheme end to end on a single-device scenario and returns the
+/// mean TCT (seconds).
+double scheme_mean_tct(const Scheme& scheme,
+                       const models::ModelProfile& profile,
+                       const core::Environment& env, double device_flops,
+                       double arrival_rate, double duration = 120.0);
+
+/// Per-task latency measurement, the paper's Fig. 7/8 methodology: tasks
+/// arrive one at a time (periodic, spaced beyond the slowest scheme's
+/// latency) so queueing does not pollute the comparison.
+double scheme_sequential_latency(const Scheme& scheme,
+                                 const models::ModelProfile& profile,
+                                 const core::Environment& env,
+                                 double device_flops, int num_tasks = 40,
+                                 double spacing = 80.0);
+
+/// Prints the standard bench banner: figure id, paper finding, our setup.
+void print_banner(const std::string& figure, const std::string& paper_claim,
+                  const std::string& setup);
+
+/// Directory for optional CSV export (env LEIME_BENCH_CSV_DIR), if set.
+std::optional<std::string> csv_dir();
+
+/// Writes `table` to $LEIME_BENCH_CSV_DIR/<name>.csv when the env var is
+/// set; no-op otherwise. Announces the export path on stdout.
+void maybe_export_csv(const leime::util::TablePrinter& table,
+                      const std::string& name);
+
+}  // namespace leime::bench

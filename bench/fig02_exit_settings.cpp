@@ -1,0 +1,133 @@
+// Figure 2 — the effect of device capability, edge load, and DNN type on the
+// optimal exit settings (paper §II-B1).
+//
+// (a) Optimal First-exit under different device capabilities: for each
+//     candidate First-exit the cost is minimised over the Second-exit;
+//     the paper finds exit-1 optimal on a Raspberry Pi and a much deeper
+//     exit on a Jetson Nano.
+// (b) Optimal Second-exit under light vs heavy edge load: heavy load pulls
+//     the Second-exit shallower.
+// (c)+(d) Optimal exits across the four DNNs differ because their per-layer
+//     FLOPs/data distributions differ.
+#include <iostream>
+#include <limits>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+/// min over e2 of T({e1, e2, m}).
+double best_cost_for_first_exit(const core::CostModel& cm, int e1) {
+  const int m = cm.num_exits();
+  double best = std::numeric_limits<double>::infinity();
+  for (int e2 = e1 + 1; e2 <= m - 1; ++e2)
+    best = std::min(best, cm.expected_tct({e1, e2, m}));
+  return best;
+}
+
+/// min over e1 of T({e1, e2, m}).
+double best_cost_for_second_exit(const core::CostModel& cm, int e2) {
+  const int m = cm.num_exits();
+  double best = std::numeric_limits<double>::infinity();
+  for (int e1 = 1; e1 < e2; ++e1)
+    best = std::min(best, cm.expected_tct({e1, e2, m}));
+  return best;
+}
+
+void part_a() {
+  bench::print_banner(
+      "Fig. 2(a) — optimal First-exit vs device capability",
+      "RPi optimum at exit-1 (min compute); Nano optimum much deeper "
+      "(cuts transmission)",
+      "Inception-v3 profile, testbed network, cost minimised over e2");
+  const auto profile = models::make_inception_v3();
+  core::CostModel rpi(profile, core::testbed_environment(core::kRaspberryPiFlops));
+  core::CostModel nano(profile, core::testbed_environment(core::kJetsonNanoFlops));
+
+  // Normalise each device's curve to its own minimum (paper plots
+  // normalised latency).
+  const int m = profile.num_units();
+  std::vector<double> c_rpi, c_nano;
+  double min_rpi = 1e18, min_nano = 1e18;
+  int arg_rpi = 1, arg_nano = 1;
+  for (int e1 = 1; e1 <= m - 2; ++e1) {
+    c_rpi.push_back(best_cost_for_first_exit(rpi, e1));
+    c_nano.push_back(best_cost_for_first_exit(nano, e1));
+    if (c_rpi.back() < min_rpi) { min_rpi = c_rpi.back(); arg_rpi = e1; }
+    if (c_nano.back() < min_nano) { min_nano = c_nano.back(); arg_nano = e1; }
+  }
+  util::TablePrinter t({"First-exit", "RPi norm. latency", "Nano norm. latency"});
+  for (int e1 = 1; e1 <= m - 2; ++e1)
+    t.add_row({"exit-" + std::to_string(e1),
+               util::fmt(c_rpi[static_cast<std::size_t>(e1 - 1)] / min_rpi, 3),
+               util::fmt(c_nano[static_cast<std::size_t>(e1 - 1)] / min_nano, 3)});
+  t.print(std::cout);
+  std::cout << "optimal First-exit: RPi -> exit-" << arg_rpi
+            << ", Nano -> exit-" << arg_nano << "\n\n";
+}
+
+void part_b() {
+  bench::print_banner(
+      "Fig. 2(b) — optimal Second-exit vs edge system load",
+      "light edge load -> deeper Second-exit (saturate the server); heavy "
+      "load -> shallower",
+      "Inception-v3, RPi device; heavy load = 10% of edge FLOPS available");
+  const auto profile = models::make_inception_v3();
+  auto light_env = core::testbed_environment();
+  auto heavy_env = light_env;
+  heavy_env.caps.edge_flops *= 0.1;
+  core::CostModel light(profile, light_env);
+  core::CostModel heavy(profile, heavy_env);
+
+  const int m = profile.num_units();
+  double min_l = 1e18, min_h = 1e18;
+  int arg_l = 2, arg_h = 2;
+  std::vector<double> c_l, c_h;
+  for (int e2 = 2; e2 <= m - 1; ++e2) {
+    c_l.push_back(best_cost_for_second_exit(light, e2));
+    c_h.push_back(best_cost_for_second_exit(heavy, e2));
+    if (c_l.back() < min_l) { min_l = c_l.back(); arg_l = e2; }
+    if (c_h.back() < min_h) { min_h = c_h.back(); arg_h = e2; }
+  }
+  util::TablePrinter t({"Second-exit", "light-load norm.", "heavy-load norm."});
+  for (int e2 = 2; e2 <= m - 1; ++e2)
+    t.add_row({"exit-" + std::to_string(e2),
+               util::fmt(c_l[static_cast<std::size_t>(e2 - 2)] / min_l, 3),
+               util::fmt(c_h[static_cast<std::size_t>(e2 - 2)] / min_h, 3)});
+  t.print(std::cout);
+  std::cout << "optimal Second-exit: light -> exit-" << arg_l
+            << ", heavy -> exit-" << arg_h << "\n\n";
+}
+
+void part_cd() {
+  bench::print_banner(
+      "Fig. 2(c,d) — optimal exits vs DNN type",
+      "optimal First/Second exits differ across VGG-16 / ResNet-34 / "
+      "Inception-v3 / SqueezeNet-1.0",
+      "testbed environment, RPi device, branch-and-bound search");
+  util::TablePrinter t(
+      {"model", "m", "First-exit", "Second-exit", "expected TCT (s)"});
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    core::CostModel cm(profile, core::testbed_environment());
+    const auto best = core::branch_and_bound_exit_setting(cm);
+    t.add_row({models::to_string(kind), std::to_string(profile.num_units()),
+               "exit-" + std::to_string(best.combo.e1),
+               "exit-" + std::to_string(best.combo.e2),
+               util::fmt(best.cost, 3)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  part_a();
+  part_b();
+  part_cd();
+  return 0;
+}

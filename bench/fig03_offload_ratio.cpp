@@ -1,0 +1,151 @@
+// Figure 3 — TCT vs task offloading ratio under varying dynamic factors
+// (paper §II-B2). ME-Inception v3 with exits fixed at (1, 14, 16), exactly
+// the paper's setup; single Raspberry Pi device against the edge.
+//
+// Each sub-experiment sweeps the fixed offloading ratio 0..1 and reports the
+// slotted-model mean TCT plus the optimal ratio per setting:
+//   (a) task arrival rate       — higher load moves the optimum;
+//   (b) First-exit exit rate    — easier data favours local execution;
+//   (c) uplink bandwidth        — paper: optimum 1.0 at 8 Mbps, 0.4 at 128;
+//   (d) propagation delay       — higher delay favours local execution.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "models/exit_curve.h"
+#include "sim/slotted.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+constexpr int kNumSlots = 400;
+
+core::MeDnnPartition paper_partition(double first_exit_rate = -1.0) {
+  auto profile = models::make_inception_v3();
+  if (first_exit_rate > 0.0) {
+    auto rates = models::power_law_exit_rates(profile, 0.8);
+    profile.set_exit_rates(
+        models::rescale_to_first_exit_rate(rates, 1, first_exit_rate));
+  }
+  return core::make_partition(profile, {1, 14, profile.num_units()});
+}
+
+sim::SlottedConfig base_config(const core::MeDnnPartition& part) {
+  sim::SlottedConfig cfg;
+  cfg.partition = part;
+  cfg.device_flops = core::kRaspberryPiFlops;
+  cfg.edge_share_flops = core::kEdgeDesktopFlops;  // single device owns it
+  cfg.bandwidth = util::mbps(10.0);
+  cfg.latency = util::ms(20.0);
+  cfg.num_slots = kNumSlots;
+  return cfg;
+}
+
+/// Runs the ratio sweep; returns (per-ratio TCT, best ratio).
+struct Sweep {
+  std::vector<double> tct;
+  double best_ratio = 0.0;
+};
+
+Sweep sweep_ratios(const sim::SlottedConfig& cfg, double mean_tasks) {
+  Sweep out;
+  double best = 1e18;
+  for (int r = 0; r <= 10; ++r) {
+    const double ratio = r / 10.0;
+    workload::PoissonSlotArrivals arrivals(mean_tasks);
+    const auto res = sim::run_slotted_fixed(cfg, arrivals, ratio);
+    out.tct.push_back(res.mean_tct);
+    if (res.mean_tct < best) {
+      best = res.mean_tct;
+      out.best_ratio = ratio;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> header() {
+  std::vector<std::string> h{"setting"};
+  for (int r = 0; r <= 10; ++r) h.push_back("x=" + util::fmt(r / 10.0, 1));
+  h.push_back("optimal x");
+  return h;
+}
+
+void add_sweep_row(util::TablePrinter& t, const std::string& label,
+                   const Sweep& s) {
+  std::vector<std::string> row{label};
+  for (double v : s.tct) row.push_back(util::fmt(v, 2));
+  row.push_back(util::fmt(s.best_ratio, 1));
+  t.add_row(row);
+}
+
+void part_a() {
+  bench::print_banner("Fig. 3(a) — effect of task arrival interval",
+                      "the optimal offloading ratio shifts with load",
+                      "ME-Inception-v3 exits (1,14,16), slotted model, "
+                      "Poisson tasks/slot");
+  const auto part = paper_partition();
+  util::TablePrinter t(header());
+  for (double rate : {1.0, 2.0, 4.0, 8.0})
+    add_sweep_row(t, "rate=" + util::fmt(rate, 0) + "/slot",
+                  sweep_ratios(base_config(part), rate));
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void part_b() {
+  bench::print_banner("Fig. 3(b) — effect of First-exit exit rate",
+                      "optimal offloading varies with data complexity",
+                      "First-exit rate rescaled to 0.2 / 0.4 / 0.6 / 0.8");
+  util::TablePrinter t(header());
+  for (double sigma1 : {0.2, 0.4, 0.6, 0.8}) {
+    const auto part = paper_partition(sigma1);
+    add_sweep_row(t, "sigma1=" + util::fmt(sigma1, 1),
+                  sweep_ratios(base_config(part), 4.0));
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void part_c() {
+  bench::print_banner("Fig. 3(c) — effect of bandwidth",
+                      "8 Mbps -> optimal ratio 1.0; 128 Mbps -> 0.4 "
+                      "(shape: optimum falls with bandwidth headroom)",
+                      "bandwidth swept 2..128 Mbps at 20 ms");
+  const auto part = paper_partition();
+  util::TablePrinter t(header());
+  for (double mbps : {2.0, 8.0, 32.0, 128.0}) {
+    auto cfg = base_config(part);
+    cfg.bandwidth = util::mbps(mbps);
+    add_sweep_row(t, util::fmt(mbps, 0) + " Mbps", sweep_ratios(cfg, 4.0));
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void part_d() {
+  bench::print_banner("Fig. 3(d) — effect of propagation delay",
+                      "higher delay pushes the optimum towards local "
+                      "execution",
+                      "latency swept 10..200 ms at 10 Mbps");
+  const auto part = paper_partition();
+  util::TablePrinter t(header());
+  for (double lat_ms : {10.0, 50.0, 100.0, 200.0}) {
+    auto cfg = base_config(part);
+    cfg.latency = util::ms(lat_ms);
+    add_sweep_row(t, util::fmt(lat_ms, 0) + " ms", sweep_ratios(cfg, 4.0));
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  part_a();
+  part_b();
+  part_c();
+  part_d();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 7 / Test Case 2 — the effect of network conditions on average TCT.
+//
+// Multi-exit Inception v3 on a Raspberry Pi; bandwidth and propagation
+// latency swept over the paper's wild-edge ranges. The paper reports average
+// speedups of 4.4x / 6.5x / 18.7x over Neurosurgeon / Edgent / DDNN across
+// bandwidths and 4.2x / 5.7x / 14.5x across latencies, with the gap widest
+// in poor networks (bw < 10 Mbps, latency > 100 ms).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+// Per-task latency methodology (sequential tasks), see bench_common.h.
+
+void sweep(const std::string& title, const std::string& axis,
+           const std::vector<double>& values,
+           core::Environment (*env_of)(double)) {
+  const auto profile = models::make_inception_v3();
+  const auto schemes = bench::paper_schemes();
+
+  util::TablePrinter t([&] {
+    std::vector<std::string> h{axis};
+    for (const auto& s : schemes) h.push_back(s.name + " (s)");
+    for (std::size_t i = 1; i < schemes.size(); ++i)
+      h.push_back("speedup vs " + schemes[i].name);
+    return h;
+  }());
+
+  std::map<std::string, double> speedup_sum;
+  for (double v : values) {
+    const auto env = env_of(v);
+    std::vector<double> tct;
+    for (const auto& s : schemes)
+      tct.push_back(bench::scheme_sequential_latency(
+          s, profile, env, core::kRaspberryPiFlops));
+    std::vector<std::string> row{util::fmt(v, 0)};
+    for (double x : tct) row.push_back(util::fmt(x, 3));
+    for (std::size_t i = 1; i < schemes.size(); ++i) {
+      const double sp = tct[i] / tct[0];
+      speedup_sum[schemes[i].name] += sp;
+      row.push_back(util::fmt(sp, 2) + "x");
+    }
+    t.add_row(row);
+  }
+  std::cout << title << "\n";
+  t.print(std::cout);
+  bench::maybe_export_csv(t, axis == "bw (Mbps)" ? "fig07_bandwidth"
+                                                 : "fig07_latency");
+  std::cout << "average speedup:";
+  for (std::size_t i = 1; i < schemes.size(); ++i)
+    std::cout << "  vs " << schemes[i].name << " "
+              << util::fmt(speedup_sum[schemes[i].name] /
+                               static_cast<double>(values.size()),
+                           2)
+              << "x";
+  std::cout << "\n\n";
+}
+
+core::Environment env_for_bandwidth(double mbps) {
+  auto env = core::testbed_environment();
+  env.net.dev_edge_bw = util::mbps(mbps);
+  return env;
+}
+
+core::Environment env_for_latency(double lat_ms) {
+  auto env = core::testbed_environment();
+  env.net.dev_edge_lat = util::ms(lat_ms);
+  return env;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Fig. 7 / Test Case 2 — overall performance vs network conditions",
+      "LEIME 4.4x/6.5x/18.7x faster than Neurosurgeon/Edgent/DDNN across "
+      "bandwidths; 4.2x/5.7x/14.5x across latencies; widest gap in poor "
+      "networks",
+      "ME-Inception-v3 on Raspberry Pi, DES, sequential tasks");
+  sweep("-- bandwidth sweep (latency 20 ms) --", "bw (Mbps)",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 30.0}, env_for_bandwidth);
+  sweep("-- propagation latency sweep (bandwidth 10 Mbps) --", "lat (ms)",
+        {10.0, 25.0, 50.0, 100.0, 200.0}, env_for_latency);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 8 / Test Case 2 — average TCT across DNN models and devices.
+//
+// All four zoo models on Raspberry Pi and Jetson Nano under the testbed
+// network. The paper reports LEIME 1.6-13.2x faster than the baselines on
+// the Pi and 1.1-10.3x on the Nano, with Neurosurgeon tracking LEIME's
+// shape (same cut points, no early exits) and Edgent/DDNN fluctuating
+// across models because their heuristics ignore model structure.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+// Sequential per-task latency, as in Fig. 7.
+
+void device_table(const std::string& device_name, double device_flops) {
+  const auto schemes = bench::paper_schemes();
+  util::TablePrinter t([&] {
+    std::vector<std::string> h{"model"};
+    for (const auto& s : schemes) h.push_back(s.name + " (s)");
+    h.push_back("speedup range");
+    return h;
+  }());
+  double min_speedup = 1e18, max_speedup = 0.0;
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    std::vector<double> tct;
+    for (const auto& s : schemes)
+      tct.push_back(bench::scheme_sequential_latency(
+          s, profile, core::testbed_environment(device_flops),
+          device_flops));
+    double lo = 1e18, hi = 0.0;
+    for (std::size_t i = 1; i < schemes.size(); ++i) {
+      const double sp = tct[i] / tct[0];
+      lo = std::min(lo, sp);
+      hi = std::max(hi, sp);
+    }
+    min_speedup = std::min(min_speedup, lo);
+    max_speedup = std::max(max_speedup, hi);
+    std::vector<std::string> row{models::to_string(kind)};
+    for (double x : tct) row.push_back(util::fmt(x, 3));
+    row.push_back(util::fmt(lo, 1) + "x - " + util::fmt(hi, 1) + "x");
+    t.add_row(row);
+  }
+  std::cout << "-- " << device_name << " --\n";
+  t.print(std::cout);
+  bench::maybe_export_csv(
+      t, device_name.find("Nano") != std::string::npos ? "fig08_nano"
+                                                       : "fig08_rpi");
+  std::cout << "speedup across models: " << util::fmt(min_speedup, 1)
+            << "x - " << util::fmt(max_speedup, 1) << "x\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Fig. 8 / Test Case 2 — performance across DNN models",
+      "LEIME 1.6-13.2x faster on Raspberry Pi, 1.1-10.3x on Jetson Nano; "
+      "Neurosurgeon tracks LEIME's shape, Edgent/DDNN fluctuate",
+      "4 models x {RPi, Nano} x 4 schemes, DES, sequential tasks");
+  device_table("Raspberry Pi 3B+", core::kRaspberryPiFlops);
+  device_table("Jetson Nano", core::kJetsonNanoFlops);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10(a) / Test Case 4 — exit-setting algorithm evaluation.
+//
+// Offloading is fixed to LEIME's algorithm for every scheme; only the exit
+// setting differs: LEIME's branch-and-bound vs min_comp (earliest exits),
+// min_tran (minimise expected transmitted bytes) and mean (even spacing).
+// The paper finds LEIME best everywhere, with larger gains on the big
+// models (Inception v3, ResNet-34) than the small ones (SqueezeNet,
+// VGG-16-on-CIFAR), and min_tran generally worst.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+std::vector<bench::Scheme> exit_schemes() {
+  using baselines::ExitStrategy;
+  std::vector<bench::Scheme> out;
+  out.push_back({.name = "LEIME", .leime_exits = true, .policy = "LEIME"});
+  out.push_back({.name = "min_comp",
+                 .heuristic = ExitStrategy::kMinComp,
+                 .policy = "LEIME"});
+  out.push_back({.name = "min_tran",
+                 .heuristic = ExitStrategy::kMinTran,
+                 .policy = "LEIME"});
+  out.push_back(
+      {.name = "mean", .heuristic = ExitStrategy::kMean, .policy = "LEIME"});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Fig. 10(a) / Test Case 4 — exit setting algorithms",
+      "LEIME's exit setting beats min_comp/min_tran/mean; gains larger for "
+      "big models; min_tran generally worst",
+      "LEIME offloading fixed for all schemes, RPi, DES, sequential tasks");
+  const auto schemes = exit_schemes();
+  const auto env = core::testbed_environment();
+  for (const bool loaded : {false, true}) {
+    std::cout << (loaded ? "-- loaded (Poisson 1 task/s, queueing) --\n"
+                         : "-- sequential per-task latency --\n");
+    util::TablePrinter t([&] {
+      std::vector<std::string> h{"model"};
+      for (const auto& s : schemes) h.push_back(s.name + " (s)");
+      h.push_back("best baseline gap");
+      return h;
+    }());
+    for (const auto kind : models::all_model_kinds()) {
+      const auto profile = models::make_profile(kind);
+      std::vector<double> tct;
+      for (const auto& s : schemes) {
+        if (loaded)
+          tct.push_back(bench::scheme_mean_tct(s, profile, env,
+                                               core::kRaspberryPiFlops,
+                                               /*arrival_rate=*/1.0,
+                                               /*duration=*/240.0));
+        else
+          tct.push_back(bench::scheme_sequential_latency(
+              s, profile, env, core::kRaspberryPiFlops));
+      }
+      std::vector<std::string> row{models::to_string(kind)};
+      for (double x : tct) row.push_back(util::fmt(x, 3));
+      double best_baseline = 1e18;
+      for (std::size_t i = 1; i < tct.size(); ++i)
+        best_baseline = std::min(best_baseline, tct[i]);
+      row.push_back(util::fmt(best_baseline / tct[0], 2) + "x");
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

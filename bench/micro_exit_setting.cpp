@@ -1,0 +1,74 @@
+// Microbenchmark (Theorem 2) — exit-setting search cost: exhaustive O(m^2)
+// vs branch-and-bound O(m ln m) average, on random monotone-σ profiles.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/exit_setting.h"
+#include "models/profile.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace leime;
+
+models::ModelProfile random_profile(int m, util::Rng& rng) {
+  std::vector<models::UnitSpec> units;
+  std::vector<models::ExitSpec> exits;
+  std::vector<double> rates;
+  for (int i = 0; i < m; ++i) {
+    units.push_back({"u" + std::to_string(i), rng.uniform(1e6, 5e8),
+                     rng.uniform(1e3, 5e6)});
+    exits.push_back({rng.uniform(1e4, 1e6), 0.0});
+    rates.push_back(i + 1 == m ? 1.0 : rng.uniform());
+  }
+  std::sort(rates.begin(), rates.end());
+  rates.back() = 1.0;
+  for (int i = 0; i < m; ++i)
+    exits[static_cast<std::size_t>(i)].exit_rate =
+        rates[static_cast<std::size_t>(i)];
+  return models::ModelProfile("rand", 1e5, std::move(units), std::move(exits));
+}
+
+core::Environment random_env(util::Rng& rng) {
+  core::Environment env;
+  env.caps = {rng.uniform(1e9, 4e10), rng.uniform(5e10, 4e11),
+              rng.uniform(1e12, 1e13)};
+  env.net = {rng.uniform(1e5, 2e7), rng.uniform(0.005, 0.2),
+             rng.uniform(1e6, 5e7), rng.uniform(0.01, 0.1)};
+  return env;
+}
+
+void BM_ExhaustiveExitSetting(benchmark::State& state) {
+  util::Rng rng(42);
+  const int m = static_cast<int>(state.range(0));
+  const auto profile = random_profile(m, rng);
+  core::CostModel cm(profile, random_env(rng));
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    auto r = core::exhaustive_exit_setting(cm);
+    evals = r.evaluations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["evaluations"] = static_cast<double>(evals);
+}
+
+void BM_BranchAndBoundExitSetting(benchmark::State& state) {
+  util::Rng rng(42);
+  const int m = static_cast<int>(state.range(0));
+  const auto profile = random_profile(m, rng);
+  core::CostModel cm(profile, random_env(rng));
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    auto r = core::branch_and_bound_exit_setting(cm);
+    evals = r.evaluations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["evaluations"] = static_cast<double>(evals);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExhaustiveExitSetting)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BranchAndBoundExitSetting)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);

@@ -1,0 +1,67 @@
+// Microbenchmark — simulator throughput: DES tasks/second of wall time and
+// slotted-model slots/second, to document the cost of large-scale sweeps.
+#include <benchmark/benchmark.h>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+#include "sim/simulation.h"
+#include "sim/slotted.h"
+
+namespace {
+
+using namespace leime;
+
+core::MeDnnPartition bench_partition() {
+  const auto profile = models::make_inception_v3();
+  core::CostModel cm(profile, core::testbed_environment());
+  return core::make_partition(profile,
+                              core::branch_and_bound_exit_setting(cm).combo);
+}
+
+void BM_DiscreteEventScenario(benchmark::State& state) {
+  const auto partition = bench_partition();
+  const int n_devices = static_cast<int>(state.range(0));
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    sim::ScenarioConfig cfg;
+    cfg.partition = partition;
+    for (int i = 0; i < n_devices; ++i) {
+      sim::DeviceSpec dev;
+      dev.mean_rate = 2.0;
+      cfg.devices.push_back(dev);
+    }
+    cfg.duration = 30.0;
+    cfg.warmup = 2.0;
+    const auto result = sim::run_scenario(cfg);
+    tasks += result.generated;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+
+void BM_SlottedModel(benchmark::State& state) {
+  const auto partition = bench_partition();
+  sim::SlottedConfig cfg;
+  cfg.partition = partition;
+  cfg.device_flops = core::kRaspberryPiFlops;
+  cfg.edge_share_flops = core::kEdgeDesktopFlops;
+  cfg.bandwidth = util::mbps(10.0);
+  cfg.latency = util::ms(20.0);
+  cfg.num_slots = static_cast<int>(state.range(0));
+  const core::LeimePolicy policy;
+  std::size_t slots = 0;
+  for (auto _ : state) {
+    workload::PoissonSlotArrivals arrivals(4.0);
+    const auto result = sim::run_slotted_policy(cfg, arrivals, policy);
+    slots += result.per_slot_cost.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["slots/s"] = benchmark::Counter(
+      static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DiscreteEventScenario)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_SlottedModel)->Arg(100)->Arg(1000);

@@ -1,0 +1,50 @@
+// Deadline-aware exit setting (extension; see core/deadline_setting.h).
+//
+// §II-A lists deadline requirements among the wild-edge characteristics;
+// this table shows the latency/accuracy frontier the extension exposes:
+// for each deadline, the most accurate ME-DNN whose expected TCT fits.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/deadline_setting.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+void frontier(models::ModelKind kind) {
+  const auto profile = models::make_profile(kind);
+  core::CostModel cm(profile, core::testbed_environment());
+  const auto latency_opt = core::branch_and_bound_exit_setting(cm);
+
+  std::cout << "-- " << models::to_string(kind) << " (latency optimum "
+            << util::fmt(latency_opt.cost, 3) << " s at ("
+            << latency_opt.combo.e1 << "," << latency_opt.combo.e2 << ")) --\n";
+  util::TablePrinter t({"deadline (s)", "feasible", "exits", "expected TCT (s)",
+                        "expected accuracy"});
+  for (double slack : {0.8, 1.0, 1.2, 1.5, 2.0, 4.0}) {
+    const double deadline = slack * latency_opt.cost;
+    const auto r = core::deadline_aware_exit_setting(cm, deadline);
+    t.add_row({util::fmt(deadline, 3), r.feasible ? "yes" : "NO (fallback)",
+               "(" + std::to_string(r.combo.e1) + "," +
+                   std::to_string(r.combo.e2) + ")",
+               util::fmt(r.expected_tct, 3),
+               util::fmt(100.0 * r.expected_accuracy, 2) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Deadline-aware exit setting (extension)",
+      "per-deadline accuracy/latency frontier: looser deadlines admit "
+      "deeper, more accurate exit combinations",
+      "testbed environment, RPi device, saturating accuracy curves");
+  frontier(models::ModelKind::kInceptionV3);
+  frontier(models::ModelKind::kResNet34);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Device-energy ablation (extension; see core/energy_model.h).
+//
+// For every zoo model on a battery-powered Raspberry Pi: the latency-optimal
+// exits vs the energy-optimal exits vs the latency-bounded energy optimum
+// (energy-min subject to <= 1.25x the best latency) — the Pareto points a
+// deployment actually chooses between.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/energy_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Device-energy ablation (extension)",
+      "latency-optimal and energy-optimal exits differ; a 25% latency "
+      "budget buys most of the energy savings",
+      "RPi device energy: 1 nJ/FLOP compute, 100 nJ/byte WiFi tx, "
+      "1.5 W idle wait");
+  util::TablePrinter t({"model", "objective", "exits", "TCT (s)",
+                        "device energy (J)"});
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    const auto env = core::testbed_environment();
+    core::EnergyModel model(profile, env);
+
+    const auto latency_best =
+        core::branch_and_bound_exit_setting(model.cost_model());
+    const auto energy_best = core::energy_optimal_exit_setting(model);
+    const auto bounded = core::energy_optimal_exit_setting(
+        model, 1.25 * latency_best.cost);
+
+    auto row = [&](const std::string& objective, const core::ExitCombo& c,
+                   double tct, double energy) {
+      t.add_row({models::to_string(kind), objective,
+                 "(" + std::to_string(c.e1) + "," + std::to_string(c.e2) +
+                     ")",
+                 util::fmt(tct, 3), util::fmt(energy, 3)});
+    };
+    row("min latency", latency_best.combo, latency_best.cost,
+        model.expected_energy(latency_best.combo));
+    row("min energy", energy_best.combo, energy_best.expected_tct,
+        energy_best.energy_j);
+    row("energy @ 1.25x latency", bounded.combo, bounded.expected_tct,
+        bounded.energy_j);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Simulator-fidelity ablation: how much do the modeling options the paper
+// (and our default) abstracts away actually change the numbers?
+//   * result downlink (paper ignores it: results are tiny)
+//   * cloud contention (paper's cloud is effectively infinite)
+//   * shared WiFi medium (paper reports per-device B_i^e)
+// Each row perturbs exactly one option on the reference scenario, so the
+// table doubles as a sensitivity analysis for EXPERIMENTS.md's "known
+// deviations".
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+sim::ScenarioConfig reference() {
+  const auto profile = models::make_inception_v3();
+  core::CostModel cm(profile, core::testbed_environment());
+  sim::ScenarioConfig cfg;
+  cfg.partition = core::make_partition(
+      profile, core::branch_and_bound_exit_setting(cm).combo);
+  for (int i = 0; i < 4; ++i) {
+    sim::DeviceSpec dev;
+    dev.mean_rate = 0.4;
+    cfg.devices.push_back(dev);
+  }
+  cfg.duration = 120.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Simulator fidelity ablation",
+      "sensitivity of the reference scenario to the effects the paper "
+      "abstracts away (downlink, cloud contention, shared medium)",
+      "4x RPi, ME-Inception-v3, LEIME policy, 0.4 tasks/s each");
+  const auto base = reference();
+  util::TablePrinter t({"variant", "mean TCT (s)", "p95 (s)",
+                        "delta vs baseline"});
+  const auto baseline = sim::run_scenario(base);
+  auto add = [&](const std::string& name, const sim::SimResult& r) {
+    t.add_row({name, util::fmt(r.tct.mean, 3), util::fmt(r.tct.p95, 3),
+               util::fmt(100.0 * (r.tct.mean / baseline.tct.mean - 1.0), 1) +
+                   "%"});
+  };
+  add("baseline (paper's abstractions)", baseline);
+
+  {
+    auto cfg = base;
+    cfg.result_bytes = 10e3;  // 10 KB classification result
+    add("+ 10 KB result downlink", sim::run_scenario(cfg));
+  }
+  {
+    // The paper's memoryless eq. 8 budget (our backlog feedback disabled):
+    // consecutive slots can oversubscribe a loaded uplink. This bites in
+    // the Fig. 10(b) regime — a Jetson Nano pushing 2 tasks/s.
+    const auto profile = models::make_inception_v3();
+    const auto env = core::testbed_environment(core::kJetsonNanoFlops);
+    core::CostModel cm(profile, env);
+    auto cfg = bench::single_device_scenario(
+        core::make_partition(profile,
+                             core::branch_and_bound_exit_setting(cm).combo),
+        env, core::kJetsonNanoFlops, /*arrival_rate=*/2.0,
+        /*duration=*/240.0);
+    auto on = cfg;
+    cfg.uplink_backlog_feedback = false;
+    const auto with_fb = sim::run_scenario(on);
+    const auto without_fb = sim::run_scenario(cfg);
+    t.add_row({"eq. 8 memoryless (paper), Nano @ 2 tasks/s",
+               util::fmt(without_fb.tct.mean, 3),
+               util::fmt(without_fb.tct.p95, 3),
+               util::fmt(100.0 * (without_fb.tct.mean / with_fb.tct.mean - 1.0),
+                         1) +
+                   "% vs backlog-aware"});
+  }
+  {
+    auto cfg = base;
+    cfg.cloud_fifo = true;
+    add("+ cloud as FIFO server", sim::run_scenario(cfg));
+  }
+  {
+    // Aggregate-equal shared AP (4x10 -> one 40 Mbps): statistical
+    // multiplexing HELPS at this utilisation — each burst runs at the full
+    // AP rate.
+    auto cfg = base;
+    cfg.shared_uplink_bw = util::mbps(40.0);
+    add("+ shared 40 Mbps AP (aggregate-equal)", sim::run_scenario(cfg));
+  }
+  {
+    // Capacity-crunched shared AP: the whole fleet contends for what one
+    // device used to have.
+    auto cfg = base;
+    cfg.shared_uplink_bw = util::mbps(10.0);
+    add("+ shared 10 Mbps AP (contended)", sim::run_scenario(cfg));
+  }
+  {
+    auto cfg = base;
+    cfg.result_bytes = 10e3;
+    cfg.cloud_fifo = true;
+    cfg.shared_uplink_bw = util::mbps(10.0);
+    add("+ downlink + cloud FIFO + contended AP", sim::run_scenario(cfg));
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Motivation numbers (paper §I and §II-B):
+//   * "an improper exit setting leads to 4.47x on-average performance
+//     degradation" — measured here as the mean, over all exit combinations
+//     and several wild-edge environments, of T(E)/T(E_best);
+//   * "an improper task offloading strategy causes 2.85x on-average
+//     performance degradation" — measured as the mean, over the Fig. 3
+//     settings, of the worst fixed ratio's TCT over the best fixed ratio's.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "models/exit_curve.h"
+#include "sim/slotted.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+void exit_setting_degradation() {
+  std::cout << "-- model-level: improper exit setting --\n";
+  util::TablePrinter t({"model", "device", "mean T(E)/T(best)",
+                        "worst T(E)/T(best)"});
+  double overall = 0.0;
+  int count = 0;
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    for (double flops : {core::kRaspberryPiFlops, core::kJetsonNanoFlops}) {
+      core::CostModel cm(profile, core::testbed_environment(flops));
+      const auto best = core::exhaustive_exit_setting(cm);
+      double sum = 0.0, worst = 0.0;
+      int n = 0;
+      const int m = profile.num_units();
+      for (int e1 = 1; e1 <= m - 2; ++e1) {
+        for (int e2 = e1 + 1; e2 <= m - 1; ++e2) {
+          const double ratio = cm.expected_tct({e1, e2, m}) / best.cost;
+          sum += ratio;
+          worst = std::max(worst, ratio);
+          ++n;
+        }
+      }
+      const double mean = sum / n;
+      overall += mean;
+      ++count;
+      t.add_row({models::to_string(kind),
+                 flops == core::kRaspberryPiFlops ? "RPi" : "Nano",
+                 util::fmt(mean, 2) + "x", util::fmt(worst, 2) + "x"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "overall average degradation: " << util::fmt(overall / count, 2)
+            << "x   (paper: 4.47x)\n\n";
+}
+
+void offloading_degradation() {
+  std::cout << "-- computation-level: improper offloading ratio --\n";
+  auto profile = models::make_inception_v3();
+  const auto part = core::make_partition(profile, {1, 14, profile.num_units()});
+
+  struct Setting {
+    std::string label;
+    double bandwidth;
+    double latency;
+    double rate;
+  };
+  const std::vector<Setting> settings{
+      {"bw 2 Mbps", util::mbps(2), util::ms(20), 4.0},
+      {"bw 8 Mbps", util::mbps(8), util::ms(20), 4.0},
+      {"bw 32 Mbps", util::mbps(32), util::ms(20), 4.0},
+      {"lat 100 ms", util::mbps(10), util::ms(100), 4.0},
+      {"lat 200 ms", util::mbps(10), util::ms(200), 4.0},
+      {"rate 1/slot", util::mbps(10), util::ms(20), 1.0},
+      {"rate 8/slot", util::mbps(10), util::ms(20), 8.0},
+  };
+
+  util::TablePrinter t({"setting", "best-x TCT", "worst-x TCT", "degradation"});
+  double overall = 0.0;
+  for (const auto& s : settings) {
+    sim::SlottedConfig cfg;
+    cfg.partition = part;
+    cfg.device_flops = core::kRaspberryPiFlops;
+    cfg.edge_share_flops = core::kEdgeDesktopFlops;
+    cfg.bandwidth = s.bandwidth;
+    cfg.latency = s.latency;
+    cfg.num_slots = 300;
+    double best = 1e18, worst = 0.0;
+    for (int r = 0; r <= 10; ++r) {
+      workload::PoissonSlotArrivals arrivals(s.rate);
+      const double tct =
+          sim::run_slotted_fixed(cfg, arrivals, r / 10.0).mean_tct;
+      best = std::min(best, tct);
+      worst = std::max(worst, tct);
+    }
+    overall += worst / best;
+    t.add_row({s.label, util::fmt(best, 2), util::fmt(worst, 2),
+               util::fmt(worst / best, 2) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "overall average degradation: "
+            << util::fmt(overall / static_cast<double>(settings.size()), 2)
+            << "x   (paper: 2.85x)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Motivation (§I, §II-B) — cost of improper exit setting / offloading",
+      "improper exits: 4.47x average degradation; improper offloading: "
+      "2.85x average degradation",
+      "exit-combination sweeps over the cost model; fixed-ratio sweeps over "
+      "the slotted simulator");
+  exit_setting_degradation();
+  offloading_degradation();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Headline summary — "LEIME achieves 1.1-18.7x speedup in different
+// situations" (paper §I / abstract).
+//
+// Aggregates LEIME-vs-baseline speedups across the evaluation grid:
+// {4 models} x {RPi, Nano} x {good / moderate / poor network} x
+// {3 baselines}, reporting the full range and per-baseline averages.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+struct NetworkSetting {
+  std::string name;
+  double bw_mbps;
+  double lat_ms;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Speedup summary — headline claim",
+      "LEIME achieves 1.1-18.7x speedup in different situations",
+      "{4 models} x {RPi, Nano} x {good/moderate/poor network} vs "
+      "Neurosurgeon/Edgent/DDNN, DES, sequential tasks");
+  const std::vector<NetworkSetting> networks{
+      {"good (30 Mbps, 10 ms)", 30.0, 10.0},
+      {"moderate (10 Mbps, 50 ms)", 10.0, 50.0},
+      {"poor (2 Mbps, 150 ms)", 2.0, 150.0},
+  };
+  const auto schemes = bench::paper_schemes();
+
+  util::TablePrinter t(
+      {"model", "device", "network", "vs Neurosurgeon", "vs Edgent",
+       "vs DDNN"});
+  double min_sp = 1e18, max_sp = 0.0;
+  std::map<std::string, util::RunningStats> per_baseline;
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    for (double flops : {core::kRaspberryPiFlops, core::kJetsonNanoFlops}) {
+      for (const auto& net : networks) {
+        auto env = core::testbed_environment(flops);
+        env.net.dev_edge_bw = util::mbps(net.bw_mbps);
+        env.net.dev_edge_lat = util::ms(net.lat_ms);
+        std::vector<double> tct;
+        for (const auto& s : schemes)
+          tct.push_back(bench::scheme_sequential_latency(
+              s, profile, env, flops, /*num_tasks=*/25));
+        std::vector<std::string> row{
+            models::to_string(kind),
+            flops == core::kRaspberryPiFlops ? "RPi" : "Nano", net.name};
+        for (std::size_t i = 1; i < schemes.size(); ++i) {
+          const double sp = tct[i] / tct[0];
+          min_sp = std::min(min_sp, sp);
+          max_sp = std::max(max_sp, sp);
+          per_baseline[schemes[i].name].add(sp);
+          row.push_back(util::fmt(sp, 2) + "x");
+        }
+        t.add_row(row);
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nspeedup range: " << util::fmt(min_sp, 1) << "x - "
+            << util::fmt(max_sp, 1) << "x   (paper: 1.1x - 18.7x)\n";
+  for (auto& [name, stats] : per_baseline)
+    std::cout << "average vs " << name << ": " << util::fmt(stats.mean(), 2)
+              << "x\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Custom model — bring your own profile.
+//
+// Demonstrates the profile text format (models/profile_io.h): the program
+// writes a template profile for a fictional 8-layer "EdgeNet", reloads it,
+// runs the exit setting, and prints the deadline/accuracy frontier — the
+// complete workflow for profiles measured on real hardware.
+//
+// Usage:
+//   custom_model                # use the built-in EdgeNet template
+//   custom_model my_model.txt   # load your own profile
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/deadline_setting.h"
+#include "core/exit_setting.h"
+#include "models/profile_io.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+/// A small fictional edge CNN, in the exact format load_profile expects.
+constexpr const char* kEdgeNetProfile = R"(leime-profile v1
+# EdgeNet: a fictional 8-block edge CNN (FLOPs, bytes measured offline).
+name EdgeNet-8
+input_bytes 602112
+units 8
+conv1   180e6  1204224
+conv2   240e6  602112
+block3  310e6  602112
+block4  310e6  301056
+block5  420e6  301056
+block6  420e6  150528
+block7  520e6  150528
+block8  520e6  75264
+exits 8
+2.0e6 0.18 0.74
+2.0e6 0.31 0.79
+2.5e6 0.45 0.83
+2.5e6 0.58 0.86
+3.0e6 0.70 0.88
+3.0e6 0.81 0.89
+3.5e6 0.92 0.90
+4.0e6 1.00 0.90
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    models::ModelProfile profile = [&] {
+      if (argc > 1) {
+        std::cout << "Loading profile from " << argv[1] << "\n";
+        return models::load_profile_file(argv[1]);
+      }
+      std::cout << "Using the built-in EdgeNet-8 template profile.\n"
+                << "(Save your own with models::save_profile_file, or edit "
+                   "the text directly.)\n";
+      std::istringstream in(kEdgeNetProfile);
+      return models::load_profile(in);
+    }();
+
+    std::cout << "\n" << profile.name() << ": " << profile.num_units()
+              << " units, " << util::fmt(profile.total_flops() / 1e9, 2)
+              << " GFLOPs total, input "
+              << util::fmt(profile.input_bytes() / 1024.0, 0) << " KB\n\n";
+
+    const auto env = core::testbed_environment();
+    core::CostModel cm(profile, env);
+    const auto best = core::branch_and_bound_exit_setting(cm);
+    std::cout << "Latency-optimal exits: (" << best.combo.e1 << ", "
+              << best.combo.e2 << ", " << best.combo.e3 << ") with expected "
+              << "TCT " << util::fmt(best.cost, 3) << " s\n\n";
+
+    std::cout << "Deadline/accuracy frontier:\n";
+    util::TablePrinter t(
+        {"deadline (s)", "exits", "expected TCT (s)", "expected accuracy"});
+    for (double slack : {1.0, 1.25, 1.5, 2.0, 3.0}) {
+      const auto r =
+          core::deadline_aware_exit_setting(cm, slack * best.cost);
+      t.add_row({util::fmt(slack * best.cost, 3),
+                 "(" + std::to_string(r.combo.e1) + "," +
+                     std::to_string(r.combo.e2) + ")",
+                 util::fmt(r.expected_tct, 3),
+                 util::fmt(100.0 * r.expected_accuracy, 1) + "%"});
+    }
+    t.print(std::cout);
+
+    // Round-trip demonstration: persist the profile next to the binary.
+    const std::string out_path = "edgenet8_profile.txt";
+    models::save_profile_file(profile, out_path);
+    std::cout << "\nProfile written back to ./" << out_path
+              << " (edit and re-run with it as an argument).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

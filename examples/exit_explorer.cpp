@@ -1,0 +1,96 @@
+// Exit explorer — interactive-ish CLI over the exit-setting cost model.
+//
+// Usage:
+//   exit_explorer [model] [device_gflops] [bw_mbps] [latency_ms]
+// Defaults: inception 3.6 10 20. Models: vgg16 resnet34 inception squeezenet.
+//
+// Prints the per-exit profile (FLOPs, tensor sizes, exit rates), the full
+// (e1, e2) cost matrix, and the branch-and-bound optimum, so you can see
+// *why* a particular combination wins in a given environment.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+models::ModelKind parse_model(const std::string& name) {
+  if (name == "vgg16") return models::ModelKind::kVgg16;
+  if (name == "resnet34") return models::ModelKind::kResNet34;
+  if (name == "inception") return models::ModelKind::kInceptionV3;
+  if (name == "squeezenet") return models::ModelKind::kSqueezeNet;
+  throw std::invalid_argument(
+      "unknown model '" + name +
+      "' (expected vgg16|resnet34|inception|squeezenet)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto kind =
+        parse_model(argc > 1 ? argv[1] : std::string("inception"));
+    const double dev_gflops = argc > 2 ? std::atof(argv[2]) : 3.6;
+    const double bw_mbps = argc > 3 ? std::atof(argv[3]) : 10.0;
+    const double lat_ms = argc > 4 ? std::atof(argv[4]) : 20.0;
+    if (dev_gflops <= 0 || bw_mbps <= 0 || lat_ms < 0)
+      throw std::invalid_argument("numeric arguments must be positive");
+
+    const auto profile = models::make_profile(kind);
+    auto env = core::testbed_environment(util::gflops(dev_gflops));
+    env.net.dev_edge_bw = util::mbps(bw_mbps);
+    env.net.dev_edge_lat = util::ms(lat_ms);
+    core::CostModel cm(profile, env);
+
+    std::cout << profile.name() << " — device " << dev_gflops
+              << " GFLOPS, uplink " << bw_mbps << " Mbps / " << lat_ms
+              << " ms\n\n";
+
+    util::TablePrinter layers({"exit", "unit", "cum. GFLOPs", "tensor (KB)",
+                               "exit rate", "T({i, m}) 2-exit (s)"});
+    for (int i = 1; i <= profile.num_units(); ++i) {
+      layers.add_row(
+          {std::to_string(i), profile.unit(i).name,
+           util::fmt(profile.prefix_flops(i) / 1e9, 2),
+           util::fmt(profile.out_bytes_after(i) / 1024.0, 0),
+           util::fmt(profile.exit(i).exit_rate, 2),
+           i < profile.num_units() ? util::fmt(cm.two_exit_cost(i), 3)
+                                   : std::string("-")});
+    }
+    layers.print(std::cout);
+
+    const int m = profile.num_units();
+    std::cout << "\nT(E) matrix (rows: First-exit, cols: Second-exit):\n";
+    util::TablePrinter matrix([&] {
+      std::vector<std::string> h{"e1\\e2"};
+      for (int e2 = 2; e2 <= m - 1; ++e2) h.push_back(std::to_string(e2));
+      return h;
+    }());
+    for (int e1 = 1; e1 <= m - 2; ++e1) {
+      std::vector<std::string> row{std::to_string(e1)};
+      for (int e2 = 2; e2 <= m - 1; ++e2)
+        row.push_back(e2 > e1 ? util::fmt(cm.expected_tct({e1, e2, m}), 2)
+                              : std::string("."));
+      matrix.add_row(row);
+    }
+    matrix.print(std::cout);
+
+    const auto best = core::branch_and_bound_exit_setting(cm);
+    const auto exhaustive = core::exhaustive_exit_setting(cm);
+    std::cout << "\noptimal exits: (" << best.combo.e1 << ", "
+              << best.combo.e2 << ", " << best.combo.e3 << ")  T(E) = "
+              << util::fmt(best.cost, 3) << " s\n"
+              << "branch-and-bound used " << best.evaluations
+              << " evaluations vs " << exhaustive.evaluations
+              << " exhaustive\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

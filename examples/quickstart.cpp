@@ -1,0 +1,67 @@
+// Quickstart — the LEIME public API in ~60 lines.
+//
+// 1. Pick a DNN profile from the zoo.
+// 2. Describe the wild-edge environment.
+// 3. LeimeSystem::design runs the branch-and-bound exit setting and builds
+//    the ME-DNN partition + online offloading policy.
+// 4. Run the discrete-event simulator and inspect the results.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/leime.h"
+#include "models/zoo.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+int main() {
+  using namespace leime;
+
+  // 1. The DNN to serve: Multi-exit Inception v3 (16 candidate exits).
+  const auto profile = models::make_profile(models::ModelKind::kInceptionV3);
+
+  // 2. The environment: Raspberry Pi device, desktop-class edge, V100
+  //    cloud, 10 Mbps / 20 ms WiFi uplink (the paper's testbed defaults).
+  const auto env = core::testbed_environment(core::kRaspberryPiFlops);
+
+  // 3. Design the ME-DNN.
+  const auto system = core::LeimeSystem::design(profile, env);
+  const auto& setting = system.exit_setting();
+  const auto& part = system.partition();
+  std::cout << "Exit setting for " << profile.name() << ":\n"
+            << "  First-exit  = exit-" << setting.combo.e1 << "\n"
+            << "  Second-exit = exit-" << setting.combo.e2 << "\n"
+            << "  Third-exit  = exit-" << setting.combo.e3 << " (original)\n"
+            << "  expected per-task TCT " << util::fmt(setting.cost, 3)
+            << " s, found with " << setting.evaluations
+            << " cost evaluations in " << setting.rounds << " B&B rounds\n"
+            << "  blocks (GFLOPs): device " << util::fmt(part.mu1 / 1e9, 2)
+            << ", edge " << util::fmt(part.mu2 / 1e9, 2) << ", cloud "
+            << util::fmt(part.mu3 / 1e9, 2) << "\n"
+            << "  cut tensors (KB): d1 " << util::fmt(part.d1 / 1024.0, 0)
+            << ", d2 " << util::fmt(part.d2 / 1024.0, 0) << "\n"
+            << "  exit rates: sigma1 " << util::fmt(part.sigma1, 2)
+            << ", sigma2 " << util::fmt(part.sigma2, 2) << "\n\n";
+
+  // 4. Simulate one device for two minutes at 0.8 tasks/s.
+  sim::ScenarioConfig cfg;
+  cfg.partition = part;
+  sim::DeviceSpec device;
+  device.flops = core::kRaspberryPiFlops;
+  device.mean_rate = 0.8;
+  cfg.devices.push_back(device);
+  cfg.duration = 120.0;
+  const auto result = sim::run_scenario(cfg);
+
+  std::cout << "Simulated " << result.generated << " tasks:\n"
+            << "  mean TCT " << util::fmt(result.tct.mean, 3) << " s (p50 "
+            << util::fmt(result.tct.p50, 3) << ", p95 "
+            << util::fmt(result.tct.p95, 3) << ")\n"
+            << "  exits: " << util::fmt(100 * result.exit1_fraction, 0)
+            << "% device, " << util::fmt(100 * result.exit2_fraction, 0)
+            << "% edge, " << util::fmt(100 * result.exit3_fraction, 0)
+            << "% cloud\n"
+            << "  mean offloading ratio "
+            << util::fmt(result.mean_offload_ratio, 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Scenario runner — drive the simulator from an INI file, no C++ required.
+//
+// Usage:
+//   scenario_runner <scenario.ini>
+//   scenario_runner --template        # print an annotated template
+//
+// The file describes the model, environment, fleet and policy (format in
+// sim/scenario_ini.h); the runner designs the ME-DNN, simulates, and prints
+// the fleet summary. See configs/campus.ini for a complete example.
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/scenario_ini.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+constexpr const char* kTemplate = R"([scenario]
+model = inception        # vgg16 | resnet34 | inception | squeezenet,
+                         # or a path to a leime-profile text file
+policy = LEIME           # LEIME | LEIME-balance | D-only | E-only | cap_based
+duration = 120           # seconds of task generation
+warmup = 5
+seed = 42
+replications = 1         # >1 reports mean +/- stddev across seeds
+reallocation_period = 0  # >0 re-runs the edge KKT allocation every N seconds
+shared_uplink_mbps = 0   # >0 puts all devices on one shared WiFi AP
+result_bytes = 0         # >0 models result return over the downlink
+
+[edge]
+gflops = 50
+cloud_tflops = 4
+cloud_mbps = 100
+cloud_latency_ms = 30
+
+# One [device] section per device.
+[device]
+gflops = 0.6             # Raspberry Pi class
+rate = 1.0               # mean tasks/s (Poisson)
+uplink_mbps = 10
+uplink_latency_ms = 20
+difficulty = 1.0         # >1 harder data (fewer early exits)
+
+[device]
+gflops = 6               # Jetson Nano class
+rate = 2.0
+uplink_mbps = 20
+uplink_latency_ms = 15
+)";
+
+int run(const std::string& path) {
+  const auto scenario = sim::load_scenario_file(path);
+  std::cout << "designed exits for " << scenario.profile.name() << ": ("
+            << scenario.designed_exits.e1 << ", " << scenario.designed_exits.e2
+            << ", " << scenario.designed_exits.e3
+            << "), expected per-task TCT "
+            << util::fmt(scenario.expected_tct, 3) << " s\n\n";
+
+  if (scenario.replications > 1) {
+    const auto r = sim::run_replicated(scenario.config, scenario.replications,
+                                       scenario.config.seed);
+    std::cout << "over " << r.runs << " replications: mean TCT "
+              << util::fmt(r.mean_tct, 3) << " s (stddev "
+              << util::fmt(r.stddev_tct, 3) << "), mean p95 "
+              << util::fmt(r.mean_p95, 3) << " s\n";
+    return 0;
+  }
+
+  const auto result = sim::run_scenario(scenario.config);
+  std::cout << "fleet: " << result.generated << " tasks, mean TCT "
+            << util::fmt(result.tct.mean, 3) << " s (p50 "
+            << util::fmt(result.tct.p50, 3) << ", p95 "
+            << util::fmt(result.tct.p95, 3) << ")\n"
+            << "exits: " << util::fmt(100 * result.exit1_fraction, 0)
+            << "% device / " << util::fmt(100 * result.exit2_fraction, 0)
+            << "% edge / " << util::fmt(100 * result.exit3_fraction, 0)
+            << "% cloud; mean offload ratio "
+            << util::fmt(result.mean_offload_ratio, 2) << "\n\n";
+
+  util::TablePrinter t({"device", "completed", "mean TCT (s)", "p95 (s)",
+                        "mean x"});
+  for (std::size_t i = 0; i < result.per_device.size(); ++i) {
+    const auto& d = result.per_device[i];
+    t.add_row({std::to_string(i), std::to_string(d.completed),
+               util::fmt(d.tct.mean, 3), util::fmt(d.tct.p95, 3),
+               util::fmt(d.mean_offload_ratio, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 2 && std::string(argv[1]) == "--template") {
+      std::cout << kTemplate;
+      return 0;
+    }
+    if (argc != 2) {
+      std::cerr << "usage: scenario_runner <scenario.ini> | --template\n";
+      return 2;
+    }
+    return run(argv[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,112 @@
+// Smart campus — the paper's testbed fleet (Fig. 5) as a scenario: four
+// Raspberry Pis and two Jetson Nanos share one edge desktop and a remote
+// cloud, running ME-Inception-v3 image recognition with heterogeneous
+// uplinks and workloads. Compares LEIME against the three baseline schemes
+// end to end and prints the per-scheme fleet summary.
+//
+// Build & run:  ./build/examples/smart_campus
+#include <iostream>
+#include <vector>
+
+#include "baselines/exit_baselines.h"
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+sim::ScenarioConfig campus_fleet(const core::MeDnnPartition& partition) {
+  sim::ScenarioConfig cfg;
+  cfg.partition = partition;
+  // Four Raspberry Pis: camera nodes with modest WiFi and varied load.
+  const double rpi_rates[] = {0.5, 0.8, 0.6, 0.3};
+  for (double rate : rpi_rates) {
+    sim::DeviceSpec dev;
+    dev.flops = core::kRaspberryPiFlops;
+    dev.uplink_bw = util::mbps(8.0);
+    dev.uplink_lat = util::ms(30.0);
+    dev.mean_rate = rate;
+    cfg.devices.push_back(dev);
+  }
+  // Two Jetson Nanos: gate cameras with better links and harder scenes.
+  for (double rate : {1.5, 1.0}) {
+    sim::DeviceSpec dev;
+    dev.flops = core::kJetsonNanoFlops;
+    dev.uplink_bw = util::mbps(20.0);
+    dev.uplink_lat = util::ms(15.0);
+    dev.mean_rate = rate;
+    dev.difficulty = 1.5;
+    cfg.devices.push_back(dev);
+  }
+  cfg.duration = 120.0;
+  cfg.warmup = 10.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using baselines::ExitStrategy;
+  const auto profile = models::make_profile(models::ModelKind::kInceptionV3);
+
+  // Fleet-average environment for exit setting (the paper's F_av / B_av).
+  auto env = core::testbed_environment();
+  env.caps.device_flops =
+      (4 * core::kRaspberryPiFlops + 2 * core::kJetsonNanoFlops) / 6.0;
+  env.net.dev_edge_bw = util::mbps(12.0);
+  env.net.dev_edge_lat = util::ms(25.0);
+  core::CostModel cost(profile, env);
+
+  struct Entry {
+    std::string name;
+    core::MeDnnPartition partition;
+    std::string policy;
+    double fixed_ratio;
+  };
+  std::vector<Entry> entries;
+  const auto leime_combo = core::branch_and_bound_exit_setting(cost).combo;
+  entries.push_back({"LEIME", core::make_partition(profile, leime_combo),
+                     "LEIME", -1.0});
+  entries.push_back({"Neurosurgeon",
+                     core::make_no_exit_partition(profile, leime_combo.e1,
+                                                  leime_combo.e2),
+                     "LEIME", 0.0});
+  entries.push_back(
+      {"Edgent",
+       core::make_partition(
+           profile, baselines::select_exits(ExitStrategy::kEdgent, cost)),
+       "LEIME", 0.0});
+  entries.push_back(
+      {"DDNN",
+       core::make_partition(
+           profile, baselines::select_exits(ExitStrategy::kDdnn, cost)),
+       "LEIME", 0.0});
+
+  std::cout << "Smart campus: 4x Raspberry Pi + 2x Jetson Nano, one edge "
+               "desktop, remote cloud, ME-Inception-v3\n\n";
+  util::TablePrinter t({"scheme", "exits (e1,e2)", "mean TCT (s)", "p95 (s)",
+                        "device/edge/cloud exit %", "mean offload x"});
+  double leime_tct = 0.0;
+  for (const auto& e : entries) {
+    auto cfg = campus_fleet(e.partition);
+    cfg.policy = e.policy;
+    cfg.fixed_ratio = e.fixed_ratio;
+    const auto r = sim::run_scenario(cfg);
+    if (e.name == "LEIME") leime_tct = r.tct.mean;
+    t.add_row({e.name,
+               "(" + std::to_string(e.partition.combo.e1) + "," +
+                   std::to_string(e.partition.combo.e2) + ")",
+               util::fmt(r.tct.mean, 3), util::fmt(r.tct.p95, 3),
+               util::fmt(100 * r.exit1_fraction, 0) + "/" +
+                   util::fmt(100 * r.exit2_fraction, 0) + "/" +
+                   util::fmt(100 * r.exit3_fraction, 0),
+               util::fmt(r.mean_offload_ratio, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(LEIME mean TCT " << util::fmt(leime_tct, 3)
+            << " s — compare the baselines' columns above.)\n";
+  return 0;
+}

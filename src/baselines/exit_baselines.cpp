@@ -1,0 +1,134 @@
+#include "baselines/exit_baselines.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/exit_setting.h"
+
+namespace leime::baselines {
+
+namespace {
+
+void require_min_units(const models::ModelProfile& profile) {
+  if (profile.num_units() < 3)
+    throw std::invalid_argument("exit baseline: need at least 3 units");
+}
+
+/// Picks argmax of `score` over [lo, hi] (1-indexed, inclusive).
+template <typename ScoreFn>
+int argmax_exit(const models::ModelProfile& profile, int lo, int hi,
+                ScoreFn score) {
+  int best = lo;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int i = lo; i <= hi; ++i) {
+    const double s = score(profile, i);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+core::ExitCombo ddnn_exit_setting(const models::ModelProfile& profile) {
+  require_min_units(profile);
+  const int m = profile.num_units();
+  auto score = [](const models::ModelProfile& p, int i) {
+    return p.exit(i).exit_rate / p.out_bytes_after(i);
+  };
+  const int e1 = argmax_exit(profile, 1, m - 2, score);
+  const int e2 = argmax_exit(profile, e1 + 1, m - 1, score);
+  return {e1, e2, m};
+}
+
+core::ExitCombo edgent_exit_setting(const models::ModelProfile& profile) {
+  require_min_units(profile);
+  const int m = profile.num_units();
+  auto score = [](const models::ModelProfile& p, int i) {
+    return -p.out_bytes_after(i);
+  };
+  const int e1 = argmax_exit(profile, 1, m - 2, score);
+  const int e2 = argmax_exit(profile, e1 + 1, m - 1, score);
+  return {e1, e2, m};
+}
+
+core::ExitCombo min_comp_exit_setting(const models::ModelProfile& profile) {
+  require_min_units(profile);
+  return {1, 2, profile.num_units()};
+}
+
+core::ExitCombo min_tran_exit_setting(const models::ModelProfile& profile) {
+  require_min_units(profile);
+  const int m = profile.num_units();
+  core::ExitCombo best{1, 2, m};
+  double best_bytes = std::numeric_limits<double>::infinity();
+  for (int e1 = 1; e1 <= m - 2; ++e1) {
+    for (int e2 = e1 + 1; e2 <= m - 1; ++e2) {
+      const double bytes =
+          (1.0 - profile.exit(e1).exit_rate) * profile.out_bytes_after(e1) +
+          (1.0 - profile.exit(e2).exit_rate) * profile.out_bytes_after(e2);
+      if (bytes < best_bytes) {
+        best_bytes = bytes;
+        best = {e1, e2, m};
+      }
+    }
+  }
+  return best;
+}
+
+core::ExitCombo mean_exit_setting(const models::ModelProfile& profile) {
+  require_min_units(profile);
+  const int m = profile.num_units();
+  int e1 = m / 3;
+  int e2 = (2 * m) / 3;
+  e1 = std::max(1, std::min(e1, m - 2));
+  e2 = std::max(e1 + 1, std::min(e2, m - 1));
+  return {e1, e2, m};
+}
+
+NeurosurgeonPartition neurosurgeon_native_partition(
+    const core::CostModel& cost_model) {
+  const int m = cost_model.num_exits();
+  NeurosurgeonPartition best;
+  best.latency = std::numeric_limits<double>::infinity();
+  for (int r1 = 0; r1 <= m; ++r1) {
+    for (int r2 = r1; r2 <= m; ++r2) {
+      const double t = cost_model.no_exit_tct(r1, r2);
+      if (t < best.latency) {
+        best = {r1, r2, t};
+      }
+    }
+  }
+  return best;
+}
+
+std::string to_string(ExitStrategy strategy) {
+  switch (strategy) {
+    case ExitStrategy::kLeime: return "LEIME";
+    case ExitStrategy::kDdnn: return "DDNN";
+    case ExitStrategy::kEdgent: return "Edgent";
+    case ExitStrategy::kMinComp: return "min_comp";
+    case ExitStrategy::kMinTran: return "min_tran";
+    case ExitStrategy::kMean: return "mean";
+  }
+  throw std::invalid_argument("to_string: unknown ExitStrategy");
+}
+
+core::ExitCombo select_exits(ExitStrategy strategy,
+                             const core::CostModel& cost_model) {
+  const auto& profile = cost_model.profile();
+  switch (strategy) {
+    case ExitStrategy::kLeime:
+      return core::branch_and_bound_exit_setting(cost_model).combo;
+    case ExitStrategy::kDdnn: return ddnn_exit_setting(profile);
+    case ExitStrategy::kEdgent: return edgent_exit_setting(profile);
+    case ExitStrategy::kMinComp: return min_comp_exit_setting(profile);
+    case ExitStrategy::kMinTran: return min_tran_exit_setting(profile);
+    case ExitStrategy::kMean: return mean_exit_setting(profile);
+  }
+  throw std::invalid_argument("select_exits: unknown ExitStrategy");
+}
+
+}  // namespace leime::baselines

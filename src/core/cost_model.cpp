@@ -1,0 +1,121 @@
+#include "core/cost_model.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace leime::core {
+
+CostModel::CostModel(models::ModelProfile profile, const Environment& env)
+    : profile_(std::move(profile)), env_(env) {
+  if (!env_.valid())
+    throw std::invalid_argument("CostModel: invalid environment");
+  if (profile_.num_units() < 3)
+    throw std::invalid_argument(
+        "CostModel: profile needs at least 3 units for a 3-exit ME-DNN");
+}
+
+double CostModel::device_time(int e1) const {
+  if (e1 < 1 || e1 > num_exits())
+    throw std::invalid_argument("device_time: e1 out of range");
+  return (profile_.prefix_flops(e1) + profile_.exit(e1).classifier_flops) /
+         env_.caps.device_flops;
+}
+
+double CostModel::edge_time(int e1, int e2) const {
+  if (e1 < 1 || e2 <= e1 || e2 > num_exits())
+    throw std::invalid_argument("edge_time: need 1 <= e1 < e2 <= m");
+  const double compute =
+      (profile_.prefix_flops(e2) - profile_.prefix_flops(e1) +
+       profile_.exit(e2).classifier_flops) /
+      env_.caps.edge_flops;
+  const double transfer =
+      profile_.out_bytes_after(e1) / env_.net.dev_edge_bw +
+      env_.net.dev_edge_lat;
+  return compute + transfer;
+}
+
+double CostModel::cloud_time(int e2) const {
+  const int m = num_exits();
+  if (e2 < 1 || e2 >= m)
+    throw std::invalid_argument("cloud_time: need 1 <= e2 < m");
+  const double compute =
+      (profile_.prefix_flops(m) - profile_.prefix_flops(e2) +
+       profile_.exit(m).classifier_flops) /
+      env_.caps.cloud_flops;
+  const double transfer =
+      profile_.out_bytes_after(e2) / env_.net.edge_cloud_bw +
+      env_.net.edge_cloud_lat;
+  return compute + transfer;
+}
+
+void CostModel::validate_combo(const ExitCombo& combo) const {
+  const int m = num_exits();
+  if (combo.e3 != m)
+    throw std::invalid_argument("ExitCombo: e3 must be the final exit (m=" +
+                                std::to_string(m) + ")");
+  if (!(1 <= combo.e1 && combo.e1 < combo.e2 && combo.e2 < combo.e3))
+    throw std::invalid_argument("ExitCombo: need 1 <= e1 < e2 < e3");
+}
+
+double CostModel::expected_tct(const ExitCombo& combo) const {
+  validate_combo(combo);
+  const double td = device_time(combo.e1);
+  const double te = edge_time(combo.e1, combo.e2);
+  const double tc = cloud_time(combo.e2);
+  const double s1 = profile_.exit(combo.e1).exit_rate;
+  const double s2 = profile_.exit(combo.e2).exit_rate;
+  // Eq. 4 with σ_e3 = 1: every task pays t_d; tasks surviving e1 pay t_e;
+  // tasks surviving e2 pay t_c.
+  return td + (1.0 - s1) * te + (1.0 - s2) * tc;
+}
+
+double CostModel::two_exit_cost(int i) const {
+  const int m = num_exits();
+  if (i < 1 || i >= m)
+    throw std::invalid_argument("two_exit_cost: need 1 <= i < m");
+  const double td = device_time(i);
+  // Edge runs units i+1..m with the final head (eq. 5).
+  const double te =
+      (profile_.prefix_flops(m) - profile_.prefix_flops(i) +
+       profile_.exit(m).classifier_flops) /
+          env_.caps.edge_flops +
+      profile_.out_bytes_after(i) / env_.net.dev_edge_bw +
+      env_.net.dev_edge_lat;
+  const double s_i = profile_.exit(i).exit_rate;
+  return td + (1.0 - s_i) * te;
+}
+
+double CostModel::no_exit_tct(int r1, int r2) const {
+  const int m = num_exits();
+  if (!(0 <= r1 && r1 <= r2 && r2 <= m))
+    throw std::invalid_argument("no_exit_tct: need 0 <= r1 <= r2 <= m");
+  double t = 0.0;
+  // Device tier: units 1..r1.
+  t += profile_.prefix_flops(r1) / env_.caps.device_flops;
+  // Edge tier: units r1+1..r2 (transfer only if the edge does work or must
+  // relay to the cloud).
+  const bool uses_edge = r2 > r1;
+  const bool uses_cloud = r2 < m;
+  if (uses_edge || uses_cloud) {
+    t += profile_.out_bytes_after(r1) / env_.net.dev_edge_bw +
+         env_.net.dev_edge_lat;
+    t += (profile_.prefix_flops(r2) - profile_.prefix_flops(r1)) /
+         env_.caps.edge_flops;
+  }
+  if (uses_cloud) {
+    t += profile_.out_bytes_after(r2) / env_.net.edge_cloud_bw +
+         env_.net.edge_cloud_lat;
+    t += (profile_.prefix_flops(m) - profile_.prefix_flops(r2)) /
+         env_.caps.cloud_flops;
+    t += profile_.exit(m).classifier_flops / env_.caps.cloud_flops;
+  } else {
+    // Final head runs wherever the chain ends.
+    const double f =
+        uses_edge ? env_.caps.edge_flops : env_.caps.device_flops;
+    t += profile_.exit(m).classifier_flops / f;
+  }
+  return t;
+}
+
+}  // namespace leime::core

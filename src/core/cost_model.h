@@ -1,0 +1,67 @@
+// Exit-setting cost model: paper §III-C, equations (1)-(5).
+//
+// Given a chain profile and an environment, computes the per-tier time costs
+// of any First/Second/Third-exit combination and the expected task completion
+// time T(E) = t_d + (1-σ_e1)·t_e + (1-σ_e2)·t_c (eq. 4 with σ_e3 = 1).
+#pragma once
+
+#include "core/environment.h"
+#include "models/profile.h"
+
+namespace leime::core {
+
+/// A First/Second/Third-exit combination, 1-indexed into the profile's
+/// candidate exits. The paper fixes e3 = exit_m.
+struct ExitCombo {
+  int e1 = 0;
+  int e2 = 0;
+  int e3 = 0;
+
+  bool operator==(const ExitCombo&) const = default;
+};
+
+class CostModel {
+ public:
+  /// Copies the profile (profiles are a few KB), so the cost model has no
+  /// lifetime coupling to its inputs. Throws std::invalid_argument on an
+  /// invalid environment or a profile with fewer than 3 units.
+  CostModel(models::ModelProfile profile, const Environment& env);
+
+  const models::ModelProfile& profile() const { return profile_; }
+  const Environment& environment() const { return env_; }
+
+  /// t_d (eq. 1): device computes units 1..e1 plus the e1 exit head.
+  double device_time(int e1) const;
+
+  /// t_e (eq. 2): edge computes units e1+1..e2 plus the e2 exit head, after
+  /// receiving the e1 intermediate tensor over the device-edge link.
+  double edge_time(int e1, int e2) const;
+
+  /// t_c (eq. 3): cloud computes units e2+1..m plus the final head, after
+  /// receiving the e2 intermediate tensor over the edge-cloud link.
+  double cloud_time(int e2) const;
+
+  /// T(E) (eq. 4). Requires 1 <= e1 < e2 < e3 == m.
+  double expected_tct(const ExitCombo& combo) const;
+
+  /// Cost of the two-exit configuration {exit_i, exit_m, -} (eq. 5): device
+  /// runs 1..i, edge runs the rest; used by the branch-and-bound search.
+  double two_exit_cost(int i) const;
+
+  /// Latency of a no-early-exit chain partitioned after units r1 (device)
+  /// and r2 (edge) with only the original head at the end — the
+  /// Neurosurgeon baseline. Requires 0 <= r1 <= r2 <= m (r = 0 or m drops
+  /// the corresponding tier; skipped tiers incur no transfer to themselves).
+  double no_exit_tct(int r1, int r2) const;
+
+  /// Number of candidate exits m.
+  int num_exits() const { return profile_.num_units(); }
+
+ private:
+  void validate_combo(const ExitCombo& combo) const;
+
+  models::ModelProfile profile_;
+  Environment env_;
+};
+
+}  // namespace leime::core

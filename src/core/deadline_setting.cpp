@@ -1,0 +1,49 @@
+#include "core/deadline_setting.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/exit_setting.h"
+
+namespace leime::core {
+
+DeadlineSettingResult deadline_aware_exit_setting(const CostModel& model,
+                                                  double deadline) {
+  if (deadline <= 0.0)
+    throw std::invalid_argument(
+        "deadline_aware_exit_setting: deadline must be > 0");
+  const auto& profile = model.profile();
+  const int m = model.num_exits();
+
+  DeadlineSettingResult best;
+  best.expected_accuracy = -1.0;
+  for (int e1 = 1; e1 <= m - 2; ++e1) {
+    for (int e2 = e1 + 1; e2 <= m - 1; ++e2) {
+      const ExitCombo combo{e1, e2, m};
+      const double tct = model.expected_tct(combo);
+      if (tct > deadline) continue;
+      const double acc = profile.expected_accuracy(e1, e2);
+      const bool better =
+          acc > best.expected_accuracy ||
+          (acc == best.expected_accuracy && tct < best.expected_tct);
+      if (better) {
+        best.combo = combo;
+        best.expected_tct = tct;
+        best.expected_accuracy = acc;
+        best.feasible = true;
+      }
+    }
+  }
+  if (best.feasible) return best;
+
+  // Infeasible deadline: fall back to the latency optimum.
+  const auto fallback = branch_and_bound_exit_setting(model);
+  best.combo = fallback.combo;
+  best.expected_tct = fallback.cost;
+  best.expected_accuracy =
+      profile.expected_accuracy(fallback.combo.e1, fallback.combo.e2);
+  best.feasible = false;
+  return best;
+}
+
+}  // namespace leime::core

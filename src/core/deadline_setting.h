@@ -1,0 +1,30 @@
+// Deadline-aware exit setting — an extension beyond the paper.
+//
+// §II-A lists "deadline requirements" among the wild-edge application
+// characteristics, but the paper's P0 only minimises latency. This module
+// solves the dual problem: among exit combinations whose expected TCT meets
+// a deadline, pick the one with the highest expected end-to-end accuracy
+// (exit-fraction-weighted accuracy of the selected exits, see
+// ModelProfile::expected_accuracy). Falls back to the latency-optimal
+// combination when no combination meets the deadline.
+#pragma once
+
+#include "core/cost_model.h"
+
+namespace leime::core {
+
+struct DeadlineSettingResult {
+  ExitCombo combo;
+  double expected_tct = 0.0;
+  double expected_accuracy = 0.0;
+  bool feasible = false;  ///< true iff expected_tct <= deadline
+};
+
+/// Maximises expected accuracy subject to expected TCT <= deadline
+/// (exhaustive over the O(m^2) combinations — deadline feasibility breaks
+/// Theorem 1's dominance, so branch-and-bound pruning does not apply).
+/// Ties on accuracy break towards lower TCT. deadline must be > 0.
+DeadlineSettingResult deadline_aware_exit_setting(const CostModel& model,
+                                                  double deadline);
+
+}  // namespace leime::core

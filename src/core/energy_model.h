@@ -1,0 +1,69 @@
+// Device-energy extension of the exit-setting cost model.
+//
+// The paper optimises latency only, but its closest baseline (Neurosurgeon,
+// Kang et al. ASPLOS'17) treats device *energy* as a co-equal objective:
+// battery-powered end devices pay for the FLOPs they compute and the bytes
+// they radio out, while edge/cloud energy is not the device's concern.
+// This module prices an exit combination in joules on the device —
+//   E(combo) = (compute J/FLOP)·(device FLOPs)
+//            + (tx J/byte)·(expected uplink bytes)
+//            + (idle W)·(expected time waiting for remote results)
+// — and provides energy-optimal and energy-bounded exit settings.
+#pragma once
+
+#include "core/cost_model.h"
+
+namespace leime::core {
+
+/// Device energy coefficients. Defaults are Raspberry-Pi-class numbers:
+/// ~1 nJ/FLOP effective compute energy, ~100 nJ/byte WiFi transmit energy,
+/// ~1.5 W idle draw while waiting.
+struct EnergyParams {
+  double compute_j_per_flop = 1e-9;
+  double tx_j_per_byte = 1e-7;
+  double idle_watts = 1.5;
+
+  bool valid() const {
+    return compute_j_per_flop >= 0.0 && tx_j_per_byte >= 0.0 &&
+           idle_watts >= 0.0;
+  }
+};
+
+class EnergyModel {
+ public:
+  /// Shares the profile/environment semantics of CostModel (and copies the
+  /// profile, so no lifetime coupling). Throws std::invalid_argument on
+  /// invalid params.
+  EnergyModel(models::ModelProfile profile, const Environment& env,
+              const EnergyParams& params = {});
+
+  /// Expected device energy (joules) per task for the exit combination:
+  /// compute of block 1 + head, transmit of d1 for the (1-σ1) survivors,
+  /// and idle draw while the remote tiers work.
+  double expected_energy(const ExitCombo& combo) const;
+
+  const CostModel& cost_model() const { return cost_; }
+  const EnergyParams& params() const { return params_; }
+
+ private:
+  CostModel cost_;
+  EnergyParams params_;
+};
+
+struct EnergySettingResult {
+  ExitCombo combo;
+  double energy_j = 0.0;
+  double expected_tct = 0.0;
+  bool feasible = true;  ///< false when the latency bound had to be dropped
+};
+
+/// Minimises expected device energy over all exit combinations.
+EnergySettingResult energy_optimal_exit_setting(const EnergyModel& model);
+
+/// Minimises energy subject to expected TCT <= latency_bound; falls back to
+/// the unconstrained energy optimum (feasible = false) when no combination
+/// meets the bound. latency_bound must be > 0.
+EnergySettingResult energy_optimal_exit_setting(const EnergyModel& model,
+                                                double latency_bound);
+
+}  // namespace leime::core

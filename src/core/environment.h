@@ -1,0 +1,65 @@
+// Wild-edge environment description: node capabilities and network
+// conditions, the inputs of the exit-setting cost model (paper Table I).
+//
+// Units: FLOPS, bytes/second, seconds.
+#pragma once
+
+#include "util/units.h"
+
+namespace leime::core {
+
+/// Compute capabilities of the three tiers. For exit setting these are the
+/// *average available* FLOPS (F_av^d, F_av^e, F^c); per-device actual values
+/// live in the simulator's fleet description.
+struct NodeCapabilities {
+  double device_flops = 0.0;
+  double edge_flops = 0.0;
+  double cloud_flops = 0.0;
+};
+
+/// Link conditions: device<->edge (averaged over the fleet for exit setting)
+/// and edge<->cloud. Bandwidth in bytes/s, latency in seconds.
+struct NetworkConditions {
+  double dev_edge_bw = 0.0;
+  double dev_edge_lat = 0.0;
+  double edge_cloud_bw = 0.0;
+  double edge_cloud_lat = 0.0;
+};
+
+struct Environment {
+  NodeCapabilities caps;
+  NetworkConditions net;
+
+  /// True iff all capabilities and bandwidths are positive and latencies
+  /// non-negative.
+  bool valid() const {
+    return caps.device_flops > 0.0 && caps.edge_flops > 0.0 &&
+           caps.cloud_flops > 0.0 && net.dev_edge_bw > 0.0 &&
+           net.edge_cloud_bw > 0.0 && net.dev_edge_lat >= 0.0 &&
+           net.edge_cloud_lat >= 0.0;
+  }
+};
+
+// Calibrated capabilities of the paper's testbed hardware (§IV-A, §II-A).
+// These are *measured effective* DNN-inference FLOPS (what a PyTorch conv
+// net actually sustains), not datasheet peaks: a Raspberry Pi 3B+ runs full
+// Inception v3 in O(10 s), i.e. well under 1 GFLOPS effective; the Jetson
+// Nano is ~10x faster (§II-B1); the edge desktop another ~8x; the V100
+// cloud is effectively uncontended.
+inline constexpr double kRaspberryPiFlops = leime::util::gflops(0.6);
+inline constexpr double kJetsonNanoFlops = leime::util::gflops(6.0);
+inline constexpr double kEdgeDesktopFlops = leime::util::gflops(50.0);
+inline constexpr double kCloudV100Flops = leime::util::tflops(4.0);
+
+/// The paper's default testbed environment with a Raspberry Pi device:
+/// WiFi device-edge link (10 Mbps, 20 ms), Internet edge-cloud link
+/// (100 Mbps, 30 ms).
+inline Environment testbed_environment(double device_flops = kRaspberryPiFlops) {
+  using namespace leime::util;
+  Environment env;
+  env.caps = {device_flops, kEdgeDesktopFlops, kCloudV100Flops};
+  env.net = {mbps(10.0), ms(20.0), mbps(100.0), ms(30.0)};
+  return env;
+}
+
+}  // namespace leime::core

@@ -1,0 +1,80 @@
+#include "core/exit_setting.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leime::core {
+
+namespace {
+
+void require_searchable(const CostModel& model) {
+  if (model.num_exits() < 3)
+    throw std::invalid_argument(
+        "exit setting: need at least 3 candidate exits");
+}
+
+}  // namespace
+
+ExitSettingResult exhaustive_exit_setting(const CostModel& model) {
+  require_searchable(model);
+  const int m = model.num_exits();
+  ExitSettingResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  best.rounds = 1;
+  for (int e1 = 1; e1 <= m - 2; ++e1) {
+    for (int e2 = e1 + 1; e2 <= m - 1; ++e2) {
+      const ExitCombo combo{e1, e2, m};
+      const double cost = model.expected_tct(combo);
+      ++best.evaluations;
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.combo = combo;
+      }
+    }
+  }
+  LEIME_CHECK(best.cost < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+ExitSettingResult branch_and_bound_exit_setting(const CostModel& model) {
+  require_searchable(model);
+  const int m = model.num_exits();
+  ExitSettingResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  int upbound = m - 2;  // deepest First-exit still admissible
+  while (upbound >= 1) {
+    // Round k: the best First-exit candidate within [1, upbound] by the
+    // two-exit cost (Theorem 1 dominance key).
+    int i_k = 1;
+    double best_two = std::numeric_limits<double>::infinity();
+    for (int i = 1; i <= upbound; ++i) {
+      const double c = model.two_exit_cost(i);
+      ++best.evaluations;
+      if (c < best_two) {
+        best_two = c;
+        i_k = i;
+      }
+    }
+    // Scan the candidate's Second-exit range R_{i_k}.
+    for (int j = i_k + 1; j <= m - 1; ++j) {
+      const ExitCombo combo{i_k, j, m};
+      const double cost = model.expected_tct(combo);
+      ++best.evaluations;
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.combo = combo;
+      }
+    }
+    ++best.rounds;
+    // Theorem 1: any deeper First-exit with a worse two-exit cost is
+    // dominated, so only shallower candidates remain.
+    upbound = i_k - 1;
+  }
+  LEIME_CHECK(best.cost < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+}  // namespace leime::core

@@ -1,0 +1,38 @@
+// Exit-setting search: exhaustive baseline (problem P0, eq. 4) and the
+// paper's branch-and-bound algorithm (§III-C, Theorems 1-2).
+//
+// The branch-and-bound search exploits Theorem 1: with monotone cumulative
+// exit rates, a First-exit candidate i1 that is both shallower and no worse
+// on the two-exit cost T({exit_i, exit_m, -}) dominates i2 for every choice
+// of Second-exit. Hence only the strictly-improving prefix minima of the
+// two-exit cost (found right-to-left through a shrinking upper bound) need
+// their Second-exit scanned, giving O(m ln m) comparisons on average
+// (Theorem 2) versus O(m^2) for the exhaustive scan.
+#pragma once
+
+#include <cstddef>
+
+#include "core/cost_model.h"
+
+namespace leime::core {
+
+/// Result of an exit-setting search. `evaluations` counts cost-function
+/// evaluations (the unit of Theorem 2's complexity claim); `rounds` is the
+/// number of branch-and-bound iterations (1 for the exhaustive search).
+struct ExitSettingResult {
+  ExitCombo combo;
+  double cost = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t rounds = 0;
+};
+
+/// Scans all (e1, e2) pairs; O(m^2). Ground truth for tests and the
+/// comparison baseline in the complexity bench.
+ExitSettingResult exhaustive_exit_setting(const CostModel& model);
+
+/// The paper's branch-and-bound search. Optimal whenever the profile's
+/// cumulative exit rates are monotone non-decreasing in depth (enforced by
+/// ModelProfile), per Theorem 1.
+ExitSettingResult branch_and_bound_exit_setting(const CostModel& model);
+
+}  // namespace leime::core

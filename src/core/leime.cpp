@@ -1,0 +1,22 @@
+#include "core/leime.h"
+
+namespace leime::core {
+
+LeimeSystem::LeimeSystem(ExitSettingResult setting, MeDnnPartition partition,
+                         Environment env, LyapunovConfig config)
+    : exit_setting_(setting),
+      partition_(partition),
+      env_(env),
+      config_(config),
+      policy_(std::make_unique<LeimePolicy>()) {}
+
+LeimeSystem LeimeSystem::design(const models::ModelProfile& profile,
+                                const Environment& env,
+                                const LyapunovConfig& config) {
+  CostModel cost(profile, env);
+  ExitSettingResult setting = branch_and_bound_exit_setting(cost);
+  MeDnnPartition partition = make_partition(profile, setting.combo);
+  return LeimeSystem(setting, partition, env, config);
+}
+
+}  // namespace leime::core

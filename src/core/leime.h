@@ -1,0 +1,46 @@
+// LeimeSystem: the top-level facade tying exit setting, partitioning,
+// resource allocation and the online offloading policy together.
+//
+// Typical use (see examples/quickstart.cpp):
+//   auto profile = models::make_profile(models::ModelKind::kInceptionV3);
+//   auto system  = core::LeimeSystem::design(profile, env);
+//   // deploy system.partition() blocks; each slot, feed queue state into
+//   // system.policy().decide(...)
+#pragma once
+
+#include <memory>
+
+#include "core/environment.h"
+#include "core/exit_setting.h"
+#include "core/offload_policy.h"
+#include "core/partition.h"
+
+namespace leime::core {
+
+class LeimeSystem {
+ public:
+  /// Runs the branch-and-bound exit setting for (profile, env), builds the
+  /// ME-DNN partition, and instantiates the LEIME offloading policy.
+  /// The profile must outlive the returned system.
+  static LeimeSystem design(const models::ModelProfile& profile,
+                            const Environment& env,
+                            const LyapunovConfig& config = {});
+
+  const ExitSettingResult& exit_setting() const { return exit_setting_; }
+  const MeDnnPartition& partition() const { return partition_; }
+  const OffloadPolicy& policy() const { return *policy_; }
+  const LyapunovConfig& config() const { return config_; }
+  const Environment& environment() const { return env_; }
+
+ private:
+  LeimeSystem(ExitSettingResult setting, MeDnnPartition partition,
+              Environment env, LyapunovConfig config);
+
+  ExitSettingResult exit_setting_;
+  MeDnnPartition partition_;
+  Environment env_;
+  LyapunovConfig config_;
+  std::unique_ptr<OffloadPolicy> policy_;
+};
+
+}  // namespace leime::core

@@ -1,0 +1,169 @@
+#include "core/lyapunov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leime::core {
+
+void DeviceSlotState::validate() const {
+  if (partition == nullptr)
+    throw std::invalid_argument("DeviceSlotState: null partition");
+  if (device_flops <= 0.0 || edge_share_flops <= 0.0)
+    throw std::invalid_argument("DeviceSlotState: non-positive FLOPS");
+  if (bandwidth <= 0.0 || latency < 0.0)
+    throw std::invalid_argument("DeviceSlotState: bad link parameters");
+  if (queue_device < 0.0 || queue_edge < 0.0 || arrivals < 0.0)
+    throw std::invalid_argument("DeviceSlotState: negative queue/arrivals");
+  if (config.V < 0.0 || config.tau <= 0.0)
+    throw std::invalid_argument("DeviceSlotState: bad Lyapunov config");
+  if (config.tau <= latency)
+    throw std::invalid_argument(
+        "DeviceSlotState: slot shorter than link latency");
+}
+
+double edge_first_block_flops(const DeviceSlotState& s, double x) {
+  const auto& p = *s.partition;
+  const double denom = x * p.mu1 + (1.0 - p.sigma1) * p.mu2;
+  if (denom <= 0.0) return 0.0;  // x == 0 and nothing survives to block 2
+  return x * p.mu1 * s.edge_share_flops / denom;
+}
+
+double device_service_tasks(const DeviceSlotState& s) {
+  return s.device_flops * s.config.tau / s.partition->mu1;
+}
+
+double edge_service_tasks(const DeviceSlotState& s, double x) {
+  return edge_first_block_flops(s, x) * s.config.tau / s.partition->mu1;
+}
+
+double device_slot_cost(const DeviceSlotState& s, double x) {
+  const auto& p = *s.partition;
+  const double a = (1.0 - x) * s.arrivals;  // A_i(t)
+  if (a <= 0.0) return 0.0;
+  const double per_task = p.mu1 / s.device_flops;
+  // C_{i,1}^d: drain the backlog first.
+  const double wait_backlog = a * s.queue_device * per_task;
+  // C_{i,2}^d: own processing + intra-slot queueing of this slot's batch.
+  const double process = a * per_task + 0.5 * a * (a - 1.0) * per_task;
+  // C_{i,3}^d: survivors of the First-exit upload their intermediate tensor.
+  const double forward =
+      (1.0 - p.sigma1) * a * (p.d1 / s.bandwidth + s.latency);
+  return wait_backlog + std::max(process, a * per_task) + forward;
+}
+
+double edge_slot_cost(const DeviceSlotState& s, double x) {
+  const auto& p = *s.partition;
+  const double d = x * s.arrivals;  // D_i(t)
+  if (d <= 0.0) return 0.0;
+  const double f_e1 = edge_first_block_flops(s, x);
+  LEIME_CHECK(f_e1 > 0.0);
+  const double per_task = p.mu1 / f_e1;
+  // C_{i,1}^e: raw inputs cross the uplink.
+  const double upload = d * (p.d0 / s.bandwidth + s.latency);
+  // C_{i,2}^e: drain this device's edge backlog.
+  const double wait_backlog = d * s.queue_edge * per_task;
+  // C_{i,3}^e: processing + intra-slot queueing.
+  const double process = d * per_task + 0.5 * d * (d - 1.0) * per_task;
+  return upload + wait_backlog + std::max(process, d * per_task);
+}
+
+double slot_cost(const DeviceSlotState& s, double x) {
+  return device_slot_cost(s, x) + edge_slot_cost(s, x);
+}
+
+double drift_plus_penalty(const DeviceSlotState& s, double x) {
+  const double a = (1.0 - x) * s.arrivals;
+  const double d = x * s.arrivals;
+  return s.config.V * slot_cost(s, x) +
+         s.queue_device * (a - device_service_tasks(s)) +
+         s.queue_edge * (d - edge_service_tasks(s, x));
+}
+
+Interval feasible_offload_interval(const DeviceSlotState& s) {
+  const auto& p = *s.partition;
+  if (s.arrivals <= 0.0) return {0.0, 1.0};
+  // Eq. 8: x·M·d0 + (1−x)·M·(1−σ1)·d1 <= B(τ − L), with the budget reduced
+  // by bytes the uplink still owes from previous slots.
+  const double budget = std::max(
+      0.0, s.bandwidth * (s.config.tau - s.latency) - s.uplink_backlog_bytes);
+  const double base = s.arrivals * (1.0 - p.sigma1) * p.d1;   // x = 0 usage
+  const double slope = s.arrivals * (p.d0 - (1.0 - p.sigma1) * p.d1);
+  if (slope > 0.0) {
+    // Offloading raw inputs costs more than forwarding survivors: cap x.
+    const double hi = (budget - base) / slope;
+    if (hi <= 0.0) return {0.0, 0.0};  // least-violating endpoint
+    return {0.0, std::min(1.0, hi)};
+  }
+  if (slope < 0.0) {
+    // Raw inputs are cheaper than intermediate tensors: floor x.
+    const double lo = (budget - base) / slope;  // slope < 0 flips direction
+    if (lo >= 1.0) return {1.0, 1.0};
+    return {std::max(0.0, lo), 1.0};
+  }
+  return {0.0, 1.0};
+}
+
+double minimize_drift_plus_penalty(const DeviceSlotState& s) {
+  s.validate();
+  const Interval iv = feasible_offload_interval(s);
+  if (iv.hi <= iv.lo) return iv.lo;
+
+  // Coarse grid to bracket the global minimum of the piecewise objective.
+  constexpr int kGrid = 64;
+  double best_x = iv.lo;
+  double best_v = std::numeric_limits<double>::infinity();
+  for (int g = 0; g <= kGrid; ++g) {
+    const double x = iv.lo + (iv.hi - iv.lo) * g / kGrid;
+    const double v = drift_plus_penalty(s, x);
+    if (v < best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  // Golden-section refinement around the bracketing neighbours.
+  const double step = (iv.hi - iv.lo) / kGrid;
+  double lo = std::max(iv.lo, best_x - step);
+  double hi = std::min(iv.hi, best_x + step);
+  constexpr double kPhi = 0.6180339887498949;
+  for (int it = 0; it < 48 && hi - lo > 1e-9; ++it) {
+    const double x1 = hi - kPhi * (hi - lo);
+    const double x2 = lo + kPhi * (hi - lo);
+    if (drift_plus_penalty(s, x1) <= drift_plus_penalty(s, x2))
+      hi = x2;
+    else
+      lo = x1;
+  }
+  const double refined = 0.5 * (lo + hi);
+  return drift_plus_penalty(s, refined) < best_v ? refined : best_x;
+}
+
+double balance_offload_ratio(const DeviceSlotState& s) {
+  s.validate();
+  const Interval iv = feasible_offload_interval(s);
+  if (iv.hi <= iv.lo) return iv.lo;
+  auto gap = [&](double x) {
+    return device_slot_cost(s, x) - edge_slot_cost(s, x);
+  };
+  // T_d decreases and T_e increases with x, so the gap is decreasing; find
+  // its zero by bisection.
+  double lo = iv.lo;
+  double hi = iv.hi;
+  const double g_lo = gap(lo);
+  const double g_hi = gap(hi);
+  if (g_lo <= 0.0) return lo;  // device side already cheaper everywhere
+  if (g_hi >= 0.0) return hi;  // edge side cheaper even at full offload
+  for (int it = 0; it < 60 && hi - lo > 1e-9; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (gap(mid) > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace leime::core

@@ -1,0 +1,49 @@
+#include "core/offload_policy.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace leime::core {
+
+double LeimePolicy::decide(const DeviceSlotState& state) const {
+  return minimize_drift_plus_penalty(state);
+}
+
+double BalancePolicy::decide(const DeviceSlotState& state) const {
+  return balance_offload_ratio(state);
+}
+
+double DeviceOnlyPolicy::decide(const DeviceSlotState&) const { return 0.0; }
+
+double EdgeOnlyPolicy::decide(const DeviceSlotState&) const { return 1.0; }
+
+double CapabilityPolicy::decide(const DeviceSlotState& state) const {
+  const double total = state.device_flops + state.edge_share_flops;
+  return total > 0.0 ? state.edge_share_flops / total : 0.0;
+}
+
+FixedRatioPolicy::FixedRatioPolicy(double ratio) : ratio_(ratio) {
+  if (ratio < 0.0 || ratio > 1.0)
+    throw std::invalid_argument("FixedRatioPolicy: ratio outside [0,1]");
+}
+
+double FixedRatioPolicy::decide(const DeviceSlotState&) const {
+  return ratio_;
+}
+
+std::string FixedRatioPolicy::name() const {
+  std::ostringstream os;
+  os << "fixed(" << ratio_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<OffloadPolicy> make_policy(const std::string& name) {
+  if (name == "LEIME") return std::make_unique<LeimePolicy>();
+  if (name == "LEIME-balance") return std::make_unique<BalancePolicy>();
+  if (name == "D-only") return std::make_unique<DeviceOnlyPolicy>();
+  if (name == "E-only") return std::make_unique<EdgeOnlyPolicy>();
+  if (name == "cap_based") return std::make_unique<CapabilityPolicy>();
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace leime::core

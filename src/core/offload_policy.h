@@ -1,0 +1,75 @@
+// Offloading policies: the LEIME online policy and the classical baselines
+// evaluated in Fig. 10(b) (device-only, edge-only, capability-based) plus a
+// fixed-ratio policy for the Fig. 3 sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/lyapunov.h"
+
+namespace leime::core {
+
+/// Per-slot offloading decision maker. Stateless; all dynamics arrive via
+/// DeviceSlotState, so one instance can serve many devices.
+class OffloadPolicy {
+ public:
+  virtual ~OffloadPolicy() = default;
+
+  /// Returns the offloading ratio x ∈ [0,1] for this device and slot.
+  virtual double decide(const DeviceSlotState& state) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// LEIME: exact minimisation of the drift-plus-penalty objective (P1').
+class LeimePolicy final : public OffloadPolicy {
+ public:
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override { return "LEIME"; }
+};
+
+/// LEIME's decentralized closed rule: balance T_i^d = T_i^e (eq. 20).
+class BalancePolicy final : public OffloadPolicy {
+ public:
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override { return "LEIME-balance"; }
+};
+
+/// Everything runs on the device (x = 0).
+class DeviceOnlyPolicy final : public OffloadPolicy {
+ public:
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override { return "D-only"; }
+};
+
+/// Everything is offloaded (x = 1).
+class EdgeOnlyPolicy final : public OffloadPolicy {
+ public:
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override { return "E-only"; }
+};
+
+/// Static split proportional to compute capability:
+/// x = p_i·F^e / (F_i^d + p_i·F^e).
+class CapabilityPolicy final : public OffloadPolicy {
+ public:
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override { return "cap_based"; }
+};
+
+/// Constant ratio (used by the Fig. 3 offload-ratio sweeps).
+class FixedRatioPolicy final : public OffloadPolicy {
+ public:
+  explicit FixedRatioPolicy(double ratio);
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override;
+
+ private:
+  double ratio_;
+};
+
+/// Convenience factory for the Fig. 10(b) comparison set.
+std::unique_ptr<OffloadPolicy> make_policy(const std::string& name);
+
+}  // namespace leime::core

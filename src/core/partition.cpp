@@ -1,0 +1,59 @@
+#include "core/partition.h"
+
+#include <stdexcept>
+
+namespace leime::core {
+
+namespace {
+
+void validate_cuts(const models::ModelProfile& profile, int e1, int e2) {
+  const int m = profile.num_units();
+  if (!(1 <= e1 && e1 < e2 && e2 < m))
+    throw std::invalid_argument("partition: need 1 <= e1 < e2 < m");
+}
+
+}  // namespace
+
+MeDnnPartition make_partition(const models::ModelProfile& profile,
+                              const ExitCombo& combo) {
+  validate_cuts(profile, combo.e1, combo.e2);
+  if (combo.e3 != profile.num_units())
+    throw std::invalid_argument("make_partition: e3 must be the final exit");
+  const int m = profile.num_units();
+  MeDnnPartition p;
+  p.combo = combo;
+  p.mu1 = profile.prefix_flops(combo.e1) +
+          profile.exit(combo.e1).classifier_flops;
+  p.mu2 = profile.prefix_flops(combo.e2) - profile.prefix_flops(combo.e1) +
+          profile.exit(combo.e2).classifier_flops;
+  p.mu3 = profile.prefix_flops(m) - profile.prefix_flops(combo.e2) +
+          profile.exit(m).classifier_flops;
+  p.d0 = profile.input_bytes();
+  p.d1 = profile.out_bytes_after(combo.e1);
+  p.d2 = profile.out_bytes_after(combo.e2);
+  p.sigma1 = profile.exit(combo.e1).exit_rate;
+  p.sigma2 = profile.exit(combo.e2).exit_rate;
+  p.sigma3 = 1.0;
+  return p;
+}
+
+MeDnnPartition make_no_exit_partition(const models::ModelProfile& profile,
+                                      int r1, int r2) {
+  validate_cuts(profile, r1, r2);
+  const int m = profile.num_units();
+  MeDnnPartition p;
+  p.combo = {r1, r2, m};
+  p.mu1 = profile.prefix_flops(r1);
+  p.mu2 = profile.prefix_flops(r2) - profile.prefix_flops(r1);
+  p.mu3 = profile.prefix_flops(m) - profile.prefix_flops(r2) +
+          profile.exit(m).classifier_flops;
+  p.d0 = profile.input_bytes();
+  p.d1 = profile.out_bytes_after(r1);
+  p.d2 = profile.out_bytes_after(r2);
+  p.sigma1 = 0.0;
+  p.sigma2 = 0.0;
+  p.sigma3 = 1.0;
+  return p;
+}
+
+}  // namespace leime::core

@@ -1,0 +1,31 @@
+// ME-DNN partitions: the (μ1..3, d0..2, σ1..3) tuple the offloading layer
+// consumes (paper Table I and end of §III-C).
+//
+// Block 1 = units 1..e1 + e1's exit head (deployed on devices);
+// block 2 = units e1+1..e2 + e2's head (edge); block 3 = the rest + the
+// final head (cloud).
+#pragma once
+
+#include "core/cost_model.h"
+#include "models/profile.h"
+
+namespace leime::core {
+
+struct MeDnnPartition {
+  ExitCombo combo;
+  double mu1 = 0.0, mu2 = 0.0, mu3 = 0.0;        ///< block FLOPs (incl. heads)
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0;           ///< input / cut tensors, bytes
+  double sigma1 = 0.0, sigma2 = 0.0, sigma3 = 1; ///< cumulative exit rates
+};
+
+/// Builds the partition for a validated exit combination (e1 < e2 < e3 = m).
+MeDnnPartition make_partition(const models::ModelProfile& profile,
+                              const ExitCombo& combo);
+
+/// Neurosurgeon-style partition: same cut points, but no early exits —
+/// σ1 = σ2 = 0, no intermediate heads, only the original final head in
+/// block 3. Requires 1 <= r1 < r2 < m.
+MeDnnPartition make_no_exit_partition(const models::ModelProfile& profile,
+                                      int r1, int r2);
+
+}  // namespace leime::core

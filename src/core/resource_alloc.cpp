@@ -1,0 +1,108 @@
+#include "core/resource_alloc.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leime::core {
+
+namespace {
+
+void validate_inputs(const std::vector<double>& k,
+                     const std::vector<double>& f, double edge_flops) {
+  if (k.empty() || k.size() != f.size())
+    throw std::invalid_argument("kkt allocation: size mismatch or empty");
+  if (edge_flops <= 0.0)
+    throw std::invalid_argument("kkt allocation: edge_flops must be > 0");
+  bool any_positive = false;
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    if (k[i] < 0.0)
+      throw std::invalid_argument("kkt allocation: negative expected tasks");
+    if (f[i] <= 0.0)
+      throw std::invalid_argument("kkt allocation: device flops must be > 0");
+    if (k[i] > 0.0) any_positive = true;
+  }
+  if (!any_positive)
+    throw std::invalid_argument("kkt allocation: all expected tasks are 0");
+}
+
+}  // namespace
+
+std::vector<double> kkt_interior_solution(
+    const std::vector<double>& expected_tasks,
+    const std::vector<double>& device_flops, double edge_flops) {
+  validate_inputs(expected_tasks, device_flops, edge_flops);
+  const double sum_fd =
+      std::accumulate(device_flops.begin(), device_flops.end(), 0.0);
+  double sum_sqrt_k = 0.0;
+  for (double k : expected_tasks) sum_sqrt_k += std::sqrt(k);
+  LEIME_CHECK(sum_sqrt_k > 0.0);
+  const double c = (sum_fd + edge_flops) / (edge_flops * sum_sqrt_k);
+  std::vector<double> p(expected_tasks.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = std::sqrt(expected_tasks[i]) * c - device_flops[i] / edge_flops;
+  return p;
+}
+
+std::vector<double> kkt_edge_allocation(
+    const std::vector<double>& expected_tasks,
+    const std::vector<double>& device_flops, double edge_flops,
+    double p_min) {
+  validate_inputs(expected_tasks, device_flops, edge_flops);
+  const std::size_t n = expected_tasks.size();
+  if (p_min <= 0.0 || p_min * static_cast<double>(n) >= 1.0)
+    throw std::invalid_argument("kkt allocation: need 0 < p_min*n < 1");
+
+  // Water-filling over the active set: devices whose interior share would be
+  // <= p_min get pinned at p_min; the rest share the remaining budget with
+  // the eq. (27) form restricted to the active set.
+  std::vector<bool> active(n, true);
+  std::vector<double> p(n, p_min);
+  for (std::size_t pass = 0; pass <= n; ++pass) {
+    double budget = 1.0;
+    double sum_fd = 0.0;
+    double sum_sqrt_k = 0.0;
+    std::size_t num_active = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) {
+        sum_fd += device_flops[i];
+        sum_sqrt_k += std::sqrt(expected_tasks[i]);
+        ++num_active;
+      } else {
+        budget -= p_min;
+      }
+    }
+    if (num_active == 0 || sum_sqrt_k <= 0.0) {
+      // Degenerate: everyone pinned; spread the remaining budget evenly.
+      const double extra = budget > 0.0 ? budget / static_cast<double>(n) : 0.0;
+      for (auto& v : p) v = p_min + extra;
+      break;
+    }
+    // Active-set interior solution: p_i = √k_i·c − F_i/F^e with Σ_active = budget.
+    const double c = (budget * edge_flops + sum_fd) / (edge_flops * sum_sqrt_k);
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      const double v =
+          std::sqrt(expected_tasks[i]) * c - device_flops[i] / edge_flops;
+      if (v <= p_min) {
+        active[i] = false;
+        p[i] = p_min;
+        changed = true;
+      } else {
+        p[i] = v;
+      }
+    }
+    if (!changed) break;
+  }
+
+  double total = std::accumulate(p.begin(), p.end(), 0.0);
+  LEIME_CHECK_MSG(std::abs(total - 1.0) < 1e-6, "sum(p)=" << total);
+  // Remove residual rounding drift so downstream code can rely on Σp = 1.
+  for (auto& v : p) v /= total;
+  return p;
+}
+
+}  // namespace leime::core

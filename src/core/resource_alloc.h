@@ -1,0 +1,34 @@
+// Edge-server resource allocation across connected devices.
+//
+// Implements the paper's Appendix B: minimise the fleet-average processing
+// time f(P) = (1/Σk) Σ_i k_i(μ1 + (1-σ1)μ2)/(F_i^d + p_i F^e) subject to
+// Σ p_i = 1, p_i > 0. The interior KKT solution is eq. (27):
+//   p_i = √k_i (ΣF^d + F^e)/(F^e Σ√k) − F_i^d/F^e.
+// When that turns negative for strong devices the constrained optimum is the
+// water-filling solution p_i = max(p_min, √k_i·c − F_i^d/F^e) with c chosen
+// over the active set; this module implements the water-filling form, which
+// coincides with eq. (27) whenever the interior solution is feasible.
+#pragma once
+
+#include <vector>
+
+namespace leime::core {
+
+/// Returns the per-device edge shares p (Σp = 1, p_i >= p_min).
+///
+/// `expected_tasks` holds the k_i (all >= 0, at least one > 0);
+/// `device_flops` the F_i^d (> 0); `edge_flops` is F^e (> 0). p_min keeps
+/// every device a sliver of edge capacity (the paper requires p_i > 0);
+/// requires p_min * n < 1.
+std::vector<double> kkt_edge_allocation(
+    const std::vector<double>& expected_tasks,
+    const std::vector<double>& device_flops, double edge_flops,
+    double p_min = 1e-4);
+
+/// The unclamped interior closed form of eq. (27) (may return negative
+/// entries). Exposed for tests and documentation.
+std::vector<double> kkt_interior_solution(
+    const std::vector<double>& expected_tasks,
+    const std::vector<double>& device_flops, double edge_flops);
+
+}  // namespace leime::core

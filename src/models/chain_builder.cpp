@@ -1,0 +1,51 @@
+#include "models/chain_builder.h"
+
+#include <stdexcept>
+
+#include "models/exit_curve.h"
+
+namespace leime::models {
+
+ChainBuilder::ChainBuilder(TensorDims input, const ZooOptions& opts)
+    : cur_(input), opts_(opts), input_bytes_(input.bytes()) {
+  if (input.elements() <= 0)
+    throw std::invalid_argument("ChainBuilder: non-positive input dims");
+}
+
+void ChainBuilder::conv_unit(const std::string& name, const ConvSpec& spec,
+                             int pool_k, int pool_s) {
+  const double flops = conv_flops(cur_, spec);
+  TensorDims out = conv_output_dims(cur_, spec);
+  block_unit(name, flops, out, pool_k, pool_s);
+}
+
+void ChainBuilder::block_unit(const std::string& name, double flops,
+                              TensorDims out, int pool_k, int pool_s) {
+  if (pool_k > 0) out = pool_output_dims(out, pool_k, pool_s);
+  units_.push_back({name, flops, out.bytes()});
+  exits_.push_back(
+      {exit_head_flops(out, opts_.exit_hidden, opts_.num_classes),
+       /*exit_rate=*/0.0});
+  cur_ = out;
+}
+
+ModelProfile ChainBuilder::build(const std::string& model_name,
+                                 double final_head_flops) && {
+  if (units_.empty())
+    throw std::invalid_argument("ChainBuilder::build: no units added");
+  exits_.back().classifier_flops = final_head_flops;
+  // Placeholder monotone ramp so the profile validates; real rates follow.
+  const auto m = exits_.size();
+  for (std::size_t i = 0; i < m; ++i)
+    exits_[i].exit_rate = static_cast<double>(i + 1) / static_cast<double>(m);
+  ModelProfile profile(model_name, input_bytes_, std::move(units_),
+                       std::move(exits_));
+  profile.set_exit_rates(
+      power_law_exit_rates(profile, opts_.exit_rate_gamma));
+  profile.set_exit_accuracies(saturating_exit_accuracies(
+      profile, opts_.first_exit_accuracy, opts_.final_accuracy,
+      opts_.accuracy_knee));
+  return profile;
+}
+
+}  // namespace leime::models

@@ -1,0 +1,68 @@
+// Internal helper for assembling chain profiles from architecture specs.
+//
+// Tracks the current feature-map geometry, appends units (single convs or
+// composite blocks), folds trailing pools into the emitting unit's output
+// (a partition cut transmits the post-pool tensor), and attaches the
+// standardized exit head after every unit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/conv_math.h"
+#include "models/profile.h"
+
+namespace leime::models {
+
+/// Options shared by all zoo models.
+struct ZooOptions {
+  int num_classes = 10;   ///< CIFAR-10-style heads, as in the paper
+  int exit_hidden = 128;  ///< hidden width of the 2-FC exit classifier
+  /// Default power-law exit-rate shape. 0.8 reflects the paper's CIFAR-10
+  /// testbed where roughly half the images exit within the first third of
+  /// the network; raise above 1 for harder datasets.
+  double exit_rate_gamma = 0.8;
+
+  /// Default saturating per-exit accuracy curve (see
+  /// models::saturating_exit_accuracies); used by the deadline-aware
+  /// extension, ignored by latency-only workflows.
+  double first_exit_accuracy = 0.72;
+  double final_accuracy = 0.91;
+  double accuracy_knee = 2.5;
+};
+
+/// Builds a ModelProfile unit by unit. Not part of the public model API;
+/// used by the per-architecture factory functions.
+class ChainBuilder {
+ public:
+  ChainBuilder(TensorDims input, const ZooOptions& opts);
+
+  /// Appends a single-conv unit; optional trailing max pool (kernel k,
+  /// stride s) folded into the unit's output dims.
+  void conv_unit(const std::string& name, const ConvSpec& spec,
+                 int pool_k = 0, int pool_s = 0);
+
+  /// Appends a composite unit (e.g. residual / fire / inception block) whose
+  /// FLOPs the caller computed from the current dims. `out` becomes the new
+  /// geometry; optional trailing pool folded as above.
+  void block_unit(const std::string& name, double flops, TensorDims out,
+                  int pool_k = 0, int pool_s = 0);
+
+  /// Current feature-map geometry (input of the next unit).
+  const TensorDims& dims() const { return cur_; }
+
+  /// Finalizes the profile. `final_head_flops` is the FLOPs of the model's
+  /// original classifier, which replaces the standardized head at exit_m.
+  /// Exit rates are initialized to the power law from `opts`.
+  ModelProfile build(const std::string& model_name,
+                     double final_head_flops) &&;
+
+ private:
+  TensorDims cur_;
+  ZooOptions opts_;
+  double input_bytes_;
+  std::vector<UnitSpec> units_;
+  std::vector<ExitSpec> exits_;
+};
+
+}  // namespace leime::models

@@ -1,0 +1,52 @@
+#include "models/conv_math.h"
+
+#include <stdexcept>
+
+namespace leime::models {
+
+TensorDims conv_output_dims(const TensorDims& in, const ConvSpec& conv) {
+  if (in.channels <= 0 || in.height <= 0 || in.width <= 0)
+    throw std::invalid_argument("conv_output_dims: non-positive input dims");
+  if (conv.out_channels <= 0 || conv.kernel <= 0 || conv.stride <= 0 ||
+      conv.padding < 0)
+    throw std::invalid_argument("conv_output_dims: bad conv spec");
+  const int h = (in.height + 2 * conv.padding - conv.kernel) / conv.stride + 1;
+  const int w = (in.width + 2 * conv.padding - conv.kernel) / conv.stride + 1;
+  if (h <= 0 || w <= 0)
+    throw std::invalid_argument("conv_output_dims: kernel larger than input");
+  return {conv.out_channels, h, w};
+}
+
+double conv_flops(const TensorDims& in, const ConvSpec& conv) {
+  const TensorDims out = conv_output_dims(in, conv);
+  return 2.0 * conv.kernel * conv.kernel * in.channels *
+         static_cast<double>(out.elements());
+}
+
+TensorDims pool_output_dims(const TensorDims& in, int k, int s) {
+  if (k <= 0 || s <= 0)
+    throw std::invalid_argument("pool_output_dims: bad pool spec");
+  const int h = (in.height - k) / s + 1;
+  const int w = (in.width - k) / s + 1;
+  if (h <= 0 || w <= 0)
+    throw std::invalid_argument("pool_output_dims: kernel larger than input");
+  return {in.channels, h, w};
+}
+
+double fc_flops(int in_features, int out_features) {
+  if (in_features <= 0 || out_features <= 0)
+    throw std::invalid_argument("fc_flops: non-positive dims");
+  return 2.0 * in_features * static_cast<double>(out_features);
+}
+
+double exit_head_flops(const TensorDims& feature_map, int hidden, int classes) {
+  if (hidden <= 0 || classes <= 0)
+    throw std::invalid_argument("exit_head_flops: non-positive dims");
+  const double pool = static_cast<double>(feature_map.elements());
+  const double fc1 = fc_flops(feature_map.channels, hidden);
+  const double fc2 = fc_flops(hidden, classes);
+  const double softmax = 3.0 * classes;  // exp, sum, divide
+  return pool + fc1 + fc2 + softmax;
+}
+
+}  // namespace leime::models

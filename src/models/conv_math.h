@@ -1,0 +1,52 @@
+// FLOP and tensor-size arithmetic for convolutional architectures.
+//
+// Conventions: a multiply-accumulate counts as 2 FLOPs; tensors are float32
+// (4 bytes/element); spatial dims follow the usual floor((H + 2p - k)/s) + 1.
+#pragma once
+
+#include <vector>
+
+namespace leime::models {
+
+/// Geometry of a conv feature map.
+struct TensorDims {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  /// Number of elements (C*H*W).
+  long long elements() const {
+    return static_cast<long long>(channels) * height * width;
+  }
+
+  /// Size in bytes at float32.
+  double bytes() const { return 4.0 * static_cast<double>(elements()); }
+};
+
+/// A 2-D convolution hyperparameter set.
+struct ConvSpec {
+  int out_channels = 0;
+  int kernel = 0;
+  int stride = 1;
+  int padding = 0;
+};
+
+/// Output spatial/channel dims of applying `conv` to `in`.
+/// Throws std::invalid_argument if the conv does not fit (non-positive output).
+TensorDims conv_output_dims(const TensorDims& in, const ConvSpec& conv);
+
+/// FLOPs of the convolution (2 * K^2 * Cin * Cout * Hout * Wout).
+double conv_flops(const TensorDims& in, const ConvSpec& conv);
+
+/// Output dims of a max/avg pool with square kernel `k` and stride `s`
+/// (padding 0, floor mode).
+TensorDims pool_output_dims(const TensorDims& in, int k, int s);
+
+/// FLOPs of a fully connected layer (2 * in * out).
+double fc_flops(int in_features, int out_features);
+
+/// FLOPs of the paper's standardized exit head: global average pool over the
+/// feature map, FC(C -> hidden), FC(hidden -> classes), softmax.
+double exit_head_flops(const TensorDims& feature_map, int hidden, int classes);
+
+}  // namespace leime::models

@@ -1,0 +1,90 @@
+#include "models/exit_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leime::models {
+
+std::vector<double> power_law_exit_rates(const ModelProfile& profile,
+                                         double gamma) {
+  if (gamma <= 0.0)
+    throw std::invalid_argument("power_law_exit_rates: gamma must be > 0");
+  const int m = profile.num_units();
+  const double total = profile.total_flops();
+  std::vector<double> rates(static_cast<std::size_t>(m));
+  for (int i = 1; i <= m; ++i) {
+    const double frac = profile.prefix_flops(i) / total;
+    rates[static_cast<std::size_t>(i - 1)] = std::pow(frac, gamma);
+  }
+  rates.back() = 1.0;
+  return rates;
+}
+
+std::vector<double> logistic_exit_rates(const ModelProfile& profile,
+                                        double midpoint, double steepness) {
+  if (steepness <= 0.0)
+    throw std::invalid_argument("logistic_exit_rates: steepness must be > 0");
+  if (midpoint <= 0.0 || midpoint >= 1.0)
+    throw std::invalid_argument("logistic_exit_rates: midpoint outside (0,1)");
+  const int m = profile.num_units();
+  const double total = profile.total_flops();
+  auto s = [&](double f) { return 1.0 / (1.0 + std::exp(-steepness * (f - midpoint))); };
+  const double lo = s(0.0);
+  const double hi = s(1.0);
+  std::vector<double> rates(static_cast<std::size_t>(m));
+  for (int i = 1; i <= m; ++i) {
+    const double frac = profile.prefix_flops(i) / total;
+    rates[static_cast<std::size_t>(i - 1)] = (s(frac) - lo) / (hi - lo);
+  }
+  rates.back() = 1.0;
+  return rates;
+}
+
+std::vector<double> saturating_exit_accuracies(const ModelProfile& profile,
+                                               double first_exit_accuracy,
+                                               double final_accuracy,
+                                               double knee) {
+  if (first_exit_accuracy < 0.0 || first_exit_accuracy > 1.0 ||
+      final_accuracy < 0.0 || final_accuracy > 1.0)
+    throw std::invalid_argument(
+        "saturating_exit_accuracies: accuracies outside [0,1]");
+  if (knee <= 0.0)
+    throw std::invalid_argument("saturating_exit_accuracies: knee must be > 0");
+  const int m = profile.num_units();
+  const double total = profile.total_flops();
+  std::vector<double> acc(static_cast<std::size_t>(m));
+  for (int i = 1; i <= m; ++i) {
+    const double frac = profile.prefix_flops(i) / total;
+    acc[static_cast<std::size_t>(i - 1)] =
+        first_exit_accuracy + (final_accuracy - first_exit_accuracy) *
+                                  (1.0 - std::pow(1.0 - frac, knee));
+  }
+  acc.back() = final_accuracy;
+  return acc;
+}
+
+std::vector<double> rescale_to_first_exit_rate(std::vector<double> rates,
+                                               int exit_index,
+                                               double target_first) {
+  if (rates.empty())
+    throw std::invalid_argument("rescale_to_first_exit_rate: empty rates");
+  if (exit_index < 1 || exit_index > static_cast<int>(rates.size()))
+    throw std::invalid_argument("rescale_to_first_exit_rate: bad exit index");
+  if (target_first <= 0.0 || target_first > 1.0)
+    throw std::invalid_argument(
+        "rescale_to_first_exit_rate: target outside (0,1]");
+  const double base = rates[static_cast<std::size_t>(exit_index - 1)];
+  if (base <= 0.0)
+    throw std::invalid_argument(
+        "rescale_to_first_exit_rate: rate at exit index is zero");
+  const double scale = target_first / base;
+  for (auto& r : rates) r = std::min(1.0, r * scale);
+  // Enforce monotonicity (clamping can only flatten, never invert).
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    rates[i] = std::max(rates[i], rates[i - 1]);
+  rates.back() = 1.0;
+  return rates;
+}
+
+}  // namespace leime::models

@@ -1,0 +1,47 @@
+// Parametric cumulative exit-rate curves.
+//
+// The paper derives σ_i from trained exit classifiers under per-exit
+// confidence thresholds. This module provides parametric stand-ins used by
+// the analytic benches (the nn module can substitute measured rates via
+// ModelProfile::set_exit_rates). Both families guarantee σ monotone
+// non-decreasing with σ_m = 1, the assumption Theorem 1 relies on.
+#pragma once
+
+#include <vector>
+
+#include "models/profile.h"
+
+namespace leime::models {
+
+/// σ_i = frac_i^gamma where frac_i is the cumulative-FLOPs fraction at unit i.
+///
+/// gamma < 1 models easy data (many tasks exit early); gamma > 1 models hard
+/// data. gamma must be positive.
+std::vector<double> power_law_exit_rates(const ModelProfile& profile,
+                                         double gamma);
+
+/// Logistic-in-depth rates: σ_i = s(frac_i) rescaled so σ_m = 1, with
+/// s(f) = 1 / (1 + exp(-steepness * (f - midpoint))). Allows plateau shapes
+/// the power law cannot express. steepness > 0, midpoint in (0,1).
+std::vector<double> logistic_exit_rates(const ModelProfile& profile,
+                                        double midpoint, double steepness);
+
+/// Saturating per-exit accuracy curve:
+///   acc_i = first + (final - first) · (1 − (1 − frac_i)^knee)
+/// where frac_i is the cumulative-FLOPs fraction. knee > 1 rises fast and
+/// saturates (typical CNN behaviour: accuracy plateaus well before the last
+/// layer). first/final in [0,1], knee > 0.
+std::vector<double> saturating_exit_accuracies(const ModelProfile& profile,
+                                               double first_exit_accuracy,
+                                               double final_accuracy,
+                                               double knee);
+
+/// Rescales a curve so the First-exit-candidate region hits a target rate:
+/// returns rates r'_i = clamp(r_i * target_first / r_first, ..., 1) keeping
+/// monotonicity, where r_first is the rate at `exit_index`. Used by the
+/// Fig. 3(b) data-complexity sweep. target_first in (0,1].
+std::vector<double> rescale_to_first_exit_rate(std::vector<double> rates,
+                                               int exit_index,
+                                               double target_first);
+
+}  // namespace leime::models

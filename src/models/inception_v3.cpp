@@ -1,0 +1,168 @@
+// Inception v3 as a 16-unit chain: 5 stem convs (pools folded) followed by
+// 11 inception modules (3x A, reduction-A, 4x B, reduction-B, 2x C).
+// Branch structures follow Szegedy et al., "Rethinking the Inception
+// Architecture for Computer Vision" (CVPR'16). Within a module the branches
+// run in parallel, so for the chain abstraction the module is one unit whose
+// FLOPs are the branch sum and whose output is the channel concatenation.
+#include <string>
+
+#include "models/chain_builder.h"
+#include "models/conv_math.h"
+#include "models/zoo.h"
+
+namespace leime::models {
+
+namespace {
+
+/// FLOPs of an asymmetric 1xk / kx1 conv (padding keeps H, W unchanged).
+double asym_conv_flops(const TensorDims& in, int out_c, int k) {
+  return 2.0 * k * in.channels * out_c * static_cast<double>(in.height) *
+         in.width;
+}
+
+/// FLOPs of a square conv that keeps spatial dims (stride 1, same padding).
+double same_conv_flops(const TensorDims& in, int out_c, int k) {
+  return 2.0 * k * k * in.channels * out_c *
+         static_cast<double>(in.height) * in.width;
+}
+
+/// FLOPs of an average/max pool with kernel k (same spatial output).
+double pool_flops(const TensorDims& in, int k) {
+  return static_cast<double>(k) * k * in.elements();
+}
+
+struct ModuleResult {
+  double flops;
+  TensorDims out;
+};
+
+ModuleResult inception_a(const TensorDims& in, int pool_proj) {
+  double f = 0.0;
+  // Branch 1: 1x1 -> 64.
+  f += same_conv_flops(in, 64, 1);
+  // Branch 2: 1x1 -> 48, 5x5 -> 64.
+  f += same_conv_flops(in, 48, 1);
+  f += same_conv_flops({48, in.height, in.width}, 64, 5);
+  // Branch 3: 1x1 -> 64, 3x3 -> 96, 3x3 -> 96.
+  f += same_conv_flops(in, 64, 1);
+  f += same_conv_flops({64, in.height, in.width}, 96, 3);
+  f += same_conv_flops({96, in.height, in.width}, 96, 3);
+  // Branch 4: avg pool 3x3, 1x1 -> pool_proj.
+  f += pool_flops(in, 3);
+  f += same_conv_flops(in, pool_proj, 1);
+  return {f, {64 + 64 + 96 + pool_proj, in.height, in.width}};
+}
+
+ModuleResult reduction_a(const TensorDims& in) {
+  double f = 0.0;
+  const int h_out = (in.height - 3) / 2 + 1;
+  const int w_out = (in.width - 3) / 2 + 1;
+  // Branch 1: 3x3/2 -> 384.
+  f += conv_flops(in, ConvSpec{384, 3, 2, 0});
+  // Branch 2: 1x1 -> 64, 3x3 -> 96, 3x3/2 -> 96.
+  f += same_conv_flops(in, 64, 1);
+  f += same_conv_flops({64, in.height, in.width}, 96, 3);
+  f += conv_flops({96, in.height, in.width}, ConvSpec{96, 3, 2, 0});
+  // Branch 3: max pool 3x3/2 (passes channels through).
+  f += pool_flops(in, 3);
+  return {f, {384 + 96 + in.channels, h_out, w_out}};
+}
+
+ModuleResult inception_b(const TensorDims& in, int c7) {
+  double f = 0.0;
+  // Branch 1: 1x1 -> 192.
+  f += same_conv_flops(in, 192, 1);
+  // Branch 2: 1x1 -> c7, 1x7 -> c7, 7x1 -> 192.
+  f += same_conv_flops(in, c7, 1);
+  f += asym_conv_flops({c7, in.height, in.width}, c7, 7);
+  f += asym_conv_flops({c7, in.height, in.width}, 192, 7);
+  // Branch 3: 1x1 -> c7 then four alternating 7x1/1x7, ending at 192.
+  f += same_conv_flops(in, c7, 1);
+  f += 3.0 * asym_conv_flops({c7, in.height, in.width}, c7, 7);
+  f += asym_conv_flops({c7, in.height, in.width}, 192, 7);
+  // Branch 4: avg pool, 1x1 -> 192.
+  f += pool_flops(in, 3);
+  f += same_conv_flops(in, 192, 1);
+  return {f, {768, in.height, in.width}};
+}
+
+ModuleResult reduction_b(const TensorDims& in) {
+  double f = 0.0;
+  const int h_out = (in.height - 3) / 2 + 1;
+  const int w_out = (in.width - 3) / 2 + 1;
+  // Branch 1: 1x1 -> 192, 3x3/2 -> 320.
+  f += same_conv_flops(in, 192, 1);
+  f += conv_flops({192, in.height, in.width}, ConvSpec{320, 3, 2, 0});
+  // Branch 2: 1x1 -> 192, 1x7 -> 192, 7x1 -> 192, 3x3/2 -> 192.
+  f += same_conv_flops(in, 192, 1);
+  f += 2.0 * asym_conv_flops({192, in.height, in.width}, 192, 7);
+  f += conv_flops({192, in.height, in.width}, ConvSpec{192, 3, 2, 0});
+  // Branch 3: max pool 3x3/2.
+  f += pool_flops(in, 3);
+  return {f, {320 + 192 + in.channels, h_out, w_out}};
+}
+
+ModuleResult inception_c(const TensorDims& in) {
+  double f = 0.0;
+  // Branch 1: 1x1 -> 320.
+  f += same_conv_flops(in, 320, 1);
+  // Branch 2: 1x1 -> 384, split into 1x3 -> 384 and 3x1 -> 384.
+  f += same_conv_flops(in, 384, 1);
+  f += 2.0 * asym_conv_flops({384, in.height, in.width}, 384, 3);
+  // Branch 3: 1x1 -> 448, 3x3 -> 384, split into 1x3/3x1 -> 384 each.
+  f += same_conv_flops(in, 448, 1);
+  f += same_conv_flops({448, in.height, in.width}, 384, 3);
+  f += 2.0 * asym_conv_flops({384, in.height, in.width}, 384, 3);
+  // Branch 4: avg pool, 1x1 -> 192.
+  f += pool_flops(in, 3);
+  f += same_conv_flops(in, 192, 1);
+  return {f, {320 + 768 + 768 + 192, in.height, in.width}};
+}
+
+}  // namespace
+
+ModelProfile make_inception_v3(const ZooOptions& opts) {
+  ChainBuilder b({3, 299, 299}, opts);
+
+  // Stem (units 1-5).
+  b.conv_unit("stem_conv1", ConvSpec{32, 3, 2, 0});             // 149x149x32
+  b.conv_unit("stem_conv2", ConvSpec{32, 3, 1, 0});             // 147x147x32
+  b.conv_unit("stem_conv3", ConvSpec{64, 3, 1, 1}, 3, 2);       // 73x73x64
+  b.conv_unit("stem_conv4", ConvSpec{80, 1, 1, 0});             // 73x73x80
+  b.conv_unit("stem_conv5", ConvSpec{192, 3, 1, 0}, 3, 2);      // 35x35x192
+
+  // Units 6-8: Inception-A x3.
+  const int pool_proj[] = {32, 64, 64};
+  for (int i = 0; i < 3; ++i) {
+    const auto r = inception_a(b.dims(), pool_proj[i]);
+    b.block_unit("inceptionA_" + std::to_string(i + 1), r.flops, r.out);
+  }
+  // Unit 9: Reduction-A (35 -> 17).
+  {
+    const auto r = reduction_a(b.dims());
+    b.block_unit("reductionA", r.flops, r.out);
+  }
+  // Units 10-13: Inception-B x4.
+  const int c7[] = {128, 160, 160, 192};
+  for (int i = 0; i < 4; ++i) {
+    const auto r = inception_b(b.dims(), c7[i]);
+    b.block_unit("inceptionB_" + std::to_string(i + 1), r.flops, r.out);
+  }
+  // Unit 14: Reduction-B (17 -> 8).
+  {
+    const auto r = reduction_b(b.dims());
+    b.block_unit("reductionB", r.flops, r.out);
+  }
+  // Units 15-16: Inception-C x2.
+  for (int i = 0; i < 2; ++i) {
+    const auto r = inception_c(b.dims());
+    b.block_unit("inceptionC_" + std::to_string(i + 1), r.flops, r.out);
+  }
+
+  // Original head: global average pool + FC(2048 -> classes).
+  const double head = static_cast<double>(b.dims().elements()) +
+                      fc_flops(2048, opts.num_classes);
+  return std::move(b).build("Inception-v3", head);
+}
+
+}  // namespace leime::models

@@ -1,0 +1,114 @@
+#include "models/profile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leime::models {
+
+namespace {
+
+void validate_rates(const std::vector<ExitSpec>& exits) {
+  double prev = 0.0;
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    const double r = exits[i].exit_rate;
+    if (r < 0.0 || r > 1.0)
+      throw std::invalid_argument("ModelProfile: exit rate outside [0,1]");
+    if (r + 1e-12 < prev)
+      throw std::invalid_argument(
+          "ModelProfile: cumulative exit rates must be non-decreasing");
+    prev = r;
+  }
+  if (!exits.empty() && std::abs(exits.back().exit_rate - 1.0) > 1e-9)
+    throw std::invalid_argument("ModelProfile: final exit rate must be 1");
+}
+
+}  // namespace
+
+ModelProfile::ModelProfile(std::string name, double input_bytes,
+                           std::vector<UnitSpec> units,
+                           std::vector<ExitSpec> exits)
+    : name_(std::move(name)),
+      input_bytes_(input_bytes),
+      units_(std::move(units)),
+      exits_(std::move(exits)) {
+  if (units_.empty())
+    throw std::invalid_argument("ModelProfile: no units");
+  if (units_.size() != exits_.size())
+    throw std::invalid_argument("ModelProfile: units/exits size mismatch");
+  if (input_bytes_ <= 0.0)
+    throw std::invalid_argument("ModelProfile: input_bytes must be positive");
+  for (const auto& u : units_) {
+    if (u.flops <= 0.0 || u.out_bytes <= 0.0)
+      throw std::invalid_argument("ModelProfile: unit '" + u.name +
+                                  "' has non-positive flops or out_bytes");
+  }
+  for (const auto& e : exits_) {
+    if (e.classifier_flops <= 0.0)
+      throw std::invalid_argument(
+          "ModelProfile: exit classifier flops must be positive");
+    if (e.exit_accuracy < 0.0 || e.exit_accuracy > 1.0)
+      throw std::invalid_argument(
+          "ModelProfile: exit accuracy outside [0,1]");
+  }
+  validate_rates(exits_);
+
+  prefix_flops_.resize(units_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < units_.size(); ++i)
+    prefix_flops_[i + 1] = prefix_flops_[i] + units_[i].flops;
+}
+
+const UnitSpec& ModelProfile::unit(int i) const {
+  if (i < 1 || i > num_units())
+    throw std::out_of_range("ModelProfile::unit: index " + std::to_string(i));
+  return units_[static_cast<std::size_t>(i - 1)];
+}
+
+const ExitSpec& ModelProfile::exit(int i) const {
+  if (i < 1 || i > num_units())
+    throw std::out_of_range("ModelProfile::exit: index " + std::to_string(i));
+  return exits_[static_cast<std::size_t>(i - 1)];
+}
+
+double ModelProfile::prefix_flops(int i) const {
+  if (i < 0 || i > num_units())
+    throw std::out_of_range("ModelProfile::prefix_flops: index " +
+                            std::to_string(i));
+  return prefix_flops_[static_cast<std::size_t>(i)];
+}
+
+double ModelProfile::out_bytes_after(int i) const {
+  if (i == 0) return input_bytes_;
+  return unit(i).out_bytes;
+}
+
+void ModelProfile::set_exit_rates(const std::vector<double>& cumulative_rates) {
+  if (cumulative_rates.size() != exits_.size())
+    throw std::invalid_argument("set_exit_rates: size mismatch");
+  std::vector<ExitSpec> updated = exits_;
+  for (std::size_t i = 0; i < updated.size(); ++i)
+    updated[i].exit_rate = cumulative_rates[i];
+  validate_rates(updated);
+  exits_ = std::move(updated);
+}
+
+void ModelProfile::set_exit_accuracies(const std::vector<double>& accuracies) {
+  if (accuracies.size() != exits_.size())
+    throw std::invalid_argument("set_exit_accuracies: size mismatch");
+  for (double a : accuracies)
+    if (a < 0.0 || a > 1.0)
+      throw std::invalid_argument("set_exit_accuracies: value outside [0,1]");
+  for (std::size_t i = 0; i < exits_.size(); ++i)
+    exits_[i].exit_accuracy = accuracies[i];
+}
+
+double ModelProfile::expected_accuracy(int e1, int e2) const {
+  const int m = num_units();
+  if (!(1 <= e1 && e1 < e2 && e2 < m))
+    throw std::invalid_argument("expected_accuracy: need 1 <= e1 < e2 < m");
+  const double s1 = exit(e1).exit_rate;
+  const double s2 = exit(e2).exit_rate;
+  return s1 * exit(e1).exit_accuracy + (s2 - s1) * exit(e2).exit_accuracy +
+         (1.0 - s2) * exit(m).exit_accuracy;
+}
+
+}  // namespace leime::models

@@ -1,0 +1,87 @@
+// Chain-DNN profiles: the model abstraction consumed by LEIME's cost model.
+//
+// Following the paper (§III-B2), a DNN is a chain of m atomic units (conv
+// layers or conv blocks); after every unit sits one candidate exit — a small
+// classifier (pool + 2 FC + softmax). A profile records, per unit, its FLOPs
+// and the size in bytes of its output tensor (the data transmitted if the
+// chain is cut after that unit), plus per-exit classifier FLOPs and the
+// cumulative exit rate σ_i (σ_m = 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace leime::models {
+
+/// One atomic unit of the chain (a conv layer or a composite block).
+struct UnitSpec {
+  std::string name;       ///< human-readable, e.g. "conv3_2" or "inceptionA_1"
+  double flops = 0.0;     ///< forward-pass FLOPs of the unit
+  double out_bytes = 0.0; ///< bytes of the unit's output feature map
+};
+
+/// One candidate exit (classifier attached after the same-index unit).
+struct ExitSpec {
+  double classifier_flops = 0.0;  ///< FLOPs of the exit head
+  double exit_rate = 0.0;         ///< cumulative exit probability σ_i ∈ [0,1]
+  /// Accuracy of predictions made *at* this exit (among tasks it would
+  /// admit under its calibrated threshold), in [0,1]. Consumed by the
+  /// deadline-aware exit setting; defaults to 1 when accuracy is not
+  /// modelled so latency-only workflows are unaffected.
+  double exit_accuracy = 1.0;
+};
+
+/// Immutable-by-convention chain profile with validated invariants.
+///
+/// Units and exits are 1-indexed to match the paper's exit_1..exit_m.
+class ModelProfile {
+ public:
+  /// Validates: non-empty, matched sizes, positive FLOPs/bytes, exit rates
+  /// in [0,1], non-decreasing, and σ_m == 1. Throws std::invalid_argument.
+  ModelProfile(std::string name, double input_bytes,
+               std::vector<UnitSpec> units, std::vector<ExitSpec> exits);
+
+  const std::string& name() const { return name_; }
+
+  /// Number of units m (== number of candidate exits).
+  int num_units() const { return static_cast<int>(units_.size()); }
+
+  /// Raw input size d_0 in bytes.
+  double input_bytes() const { return input_bytes_; }
+
+  /// 1-indexed accessors; throw std::out_of_range on bad index.
+  const UnitSpec& unit(int i) const;
+  const ExitSpec& exit(int i) const;
+
+  /// Sum of unit FLOPs for units 1..i; prefix_flops(0) == 0.
+  double prefix_flops(int i) const;
+
+  /// Total backbone FLOPs (excludes exit heads).
+  double total_flops() const { return prefix_flops(num_units()); }
+
+  /// Intermediate data after unit i; out_bytes(0) == input_bytes (cut before
+  /// the first unit means transmitting the raw input).
+  double out_bytes_after(int i) const;
+
+  /// Replaces all cumulative exit rates (e.g. with rates measured by the nn
+  /// module). Same validation as the constructor.
+  void set_exit_rates(const std::vector<double>& cumulative_rates);
+
+  /// Replaces all per-exit accuracies (values in [0,1], e.g. measured by
+  /// the nn module's calibration). Throws std::invalid_argument on bad
+  /// sizes or values.
+  void set_exit_accuracies(const std::vector<double>& accuracies);
+
+  /// Expected end-to-end accuracy of the ME-DNN built from (e1, e2, m):
+  /// the exit-fraction-weighted mean of the selected exits' accuracies.
+  double expected_accuracy(int e1, int e2) const;
+
+ private:
+  std::string name_;
+  double input_bytes_;
+  std::vector<UnitSpec> units_;
+  std::vector<ExitSpec> exits_;
+  std::vector<double> prefix_flops_;  // size m+1, [0]=0
+};
+
+}  // namespace leime::models

@@ -1,0 +1,31 @@
+// Plain-text serialization of chain profiles, so users can bring their own
+// models (e.g. profiles measured on real hardware) without recompiling.
+//
+// Format (line-oriented, '#' comments allowed between records):
+//   leime-profile v1
+//   name <string, may contain spaces>
+//   input_bytes <double>
+//   units <m>
+//   <unit-name> <flops> <out_bytes>            (m lines; names have no spaces)
+//   exits <m>
+//   <classifier_flops> <exit_rate> <exit_accuracy>   (m lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "models/profile.h"
+
+namespace leime::models {
+
+/// Writes the profile in the v1 text format.
+void save_profile(const ModelProfile& profile, std::ostream& out);
+void save_profile_file(const ModelProfile& profile, const std::string& path);
+
+/// Parses a v1 text profile. Throws std::invalid_argument on malformed
+/// input (bad magic, truncated records, non-numeric fields) and propagates
+/// ModelProfile's own validation errors.
+ModelProfile load_profile(std::istream& in);
+ModelProfile load_profile_file(const std::string& path);
+
+}  // namespace leime::models

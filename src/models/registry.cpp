@@ -1,0 +1,32 @@
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace leime::models {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kVgg16: return "VGG-16";
+    case ModelKind::kResNet34: return "ResNet-34";
+    case ModelKind::kInceptionV3: return "Inception-v3";
+    case ModelKind::kSqueezeNet: return "SqueezeNet-1.0";
+  }
+  throw std::invalid_argument("to_string: unknown ModelKind");
+}
+
+std::vector<ModelKind> all_model_kinds() {
+  return {ModelKind::kSqueezeNet, ModelKind::kVgg16, ModelKind::kInceptionV3,
+          ModelKind::kResNet34};
+}
+
+ModelProfile make_profile(ModelKind kind, const ZooOptions& opts) {
+  switch (kind) {
+    case ModelKind::kVgg16: return make_vgg16(opts);
+    case ModelKind::kResNet34: return make_resnet34(opts);
+    case ModelKind::kInceptionV3: return make_inception_v3(opts);
+    case ModelKind::kSqueezeNet: return make_squeezenet(opts);
+  }
+  throw std::invalid_argument("make_profile: unknown ModelKind");
+}
+
+}  // namespace leime::models

@@ -1,0 +1,61 @@
+#include <string>
+
+#include "models/chain_builder.h"
+#include "models/conv_math.h"
+#include "models/zoo.h"
+
+namespace leime::models {
+
+namespace {
+
+/// FLOPs + output dims of a ResNet basic block (two 3x3 convs; when the
+/// block changes resolution/width, the first conv strides and a 1x1
+/// projection is added on the shortcut).
+struct BlockResult {
+  double flops;
+  TensorDims out;
+};
+
+BlockResult basic_block(const TensorDims& in, int out_c, int stride) {
+  const ConvSpec conv1{out_c, 3, stride, 1};
+  const TensorDims mid = conv_output_dims(in, conv1);
+  const ConvSpec conv2{out_c, 3, 1, 1};
+  const TensorDims out = conv_output_dims(mid, conv2);
+  double flops = conv_flops(in, conv1) + conv_flops(mid, conv2);
+  if (stride != 1 || in.channels != out_c) {
+    const ConvSpec proj{out_c, 1, stride, 0};
+    flops += conv_flops(in, proj);
+  }
+  flops += static_cast<double>(out.elements());  // residual add
+  return {flops, out};
+}
+
+}  // namespace
+
+ModelProfile make_resnet34(const ZooOptions& opts) {
+  ChainBuilder b({3, 224, 224}, opts);
+
+  // Stem: 7x7/2 conv then 3x3/2 max pool.
+  b.conv_unit("stem", ConvSpec{64, 7, 2, 3}, /*pool_k=*/3, /*pool_s=*/2);
+
+  struct Stage {
+    int blocks;
+    int channels;
+  };
+  const Stage stages[] = {{3, 64}, {4, 128}, {6, 256}, {3, 512}};
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < stages[s].blocks; ++i) {
+      const int stride = (s > 0 && i == 0) ? 2 : 1;
+      const auto r = basic_block(b.dims(), stages[s].channels, stride);
+      b.block_unit("layer" + std::to_string(s + 1) + "_" + std::to_string(i),
+                   r.flops, r.out);
+    }
+  }
+
+  // Original head: global average pool + FC(512 -> classes).
+  const double head = static_cast<double>(b.dims().elements()) +
+                      fc_flops(512, opts.num_classes);
+  return std::move(b).build("ResNet-34", head);
+}
+
+}  // namespace leime::models

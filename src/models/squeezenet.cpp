@@ -1,0 +1,62 @@
+#include <string>
+
+#include "models/chain_builder.h"
+#include "models/conv_math.h"
+#include "models/zoo.h"
+
+namespace leime::models {
+
+namespace {
+
+struct FireResult {
+  double flops;
+  TensorDims out;
+};
+
+/// SqueezeNet fire module: squeeze 1x1 -> s, expand 1x1 -> e1 plus expand
+/// 3x3 (pad 1) -> e3, concatenated.
+FireResult fire(const TensorDims& in, int s, int e1, int e3) {
+  double f = conv_flops(in, ConvSpec{s, 1, 1, 0});
+  const TensorDims squeezed{s, in.height, in.width};
+  f += conv_flops(squeezed, ConvSpec{e1, 1, 1, 0});
+  f += conv_flops(squeezed, ConvSpec{e3, 3, 1, 1});
+  return {f, {e1 + e3, in.height, in.width}};
+}
+
+}  // namespace
+
+ModelProfile make_squeezenet(const ZooOptions& opts) {
+  ChainBuilder b({3, 224, 224}, opts);
+
+  // conv1 7x7/2 + max pool 3x3/2 (SqueezeNet 1.0 layout).
+  b.conv_unit("conv1", ConvSpec{96, 7, 2, 0}, /*pool_k=*/3, /*pool_s=*/2);
+
+  struct FireSpec {
+    const char* name;
+    int s, e1, e3;
+    bool pool_after;
+  };
+  const FireSpec fires[] = {
+      {"fire2", 16, 64, 64, false},   {"fire3", 16, 64, 64, false},
+      {"fire4", 32, 128, 128, true},  {"fire5", 32, 128, 128, false},
+      {"fire6", 48, 192, 192, false}, {"fire7", 48, 192, 192, false},
+      {"fire8", 64, 256, 256, true},  {"fire9", 64, 256, 256, false},
+  };
+  for (const auto& fs : fires) {
+    const auto r = fire(b.dims(), fs.s, fs.e1, fs.e3);
+    if (fs.pool_after)
+      b.block_unit(fs.name, r.flops, r.out, 3, 2);
+    else
+      b.block_unit(fs.name, r.flops, r.out);
+  }
+
+  // conv10: 1x1 -> classes (SqueezeNet classifies with a conv, not an FC).
+  b.conv_unit("conv10", ConvSpec{opts.num_classes, 1, 1, 0});
+
+  // Original head: global average pool over the class maps + softmax.
+  const double head =
+      static_cast<double>(b.dims().elements()) + 3.0 * opts.num_classes;
+  return std::move(b).build("SqueezeNet-1.0", head);
+}
+
+}  // namespace leime::models

@@ -1,0 +1,32 @@
+#include "models/chain_builder.h"
+#include "models/conv_math.h"
+#include "models/zoo.h"
+
+namespace leime::models {
+
+ModelProfile make_vgg16(const ZooOptions& opts) {
+  ChainBuilder b({3, 224, 224}, opts);
+
+  auto conv3 = [](int out_c) { return ConvSpec{out_c, 3, 1, 1}; };
+
+  b.conv_unit("conv1_1", conv3(64));
+  b.conv_unit("conv1_2", conv3(64), /*pool_k=*/2, /*pool_s=*/2);
+  b.conv_unit("conv2_1", conv3(128));
+  b.conv_unit("conv2_2", conv3(128), 2, 2);
+  b.conv_unit("conv3_1", conv3(256));
+  b.conv_unit("conv3_2", conv3(256));
+  b.conv_unit("conv3_3", conv3(256), 2, 2);
+  b.conv_unit("conv4_1", conv3(512));
+  b.conv_unit("conv4_2", conv3(512));
+  b.conv_unit("conv4_3", conv3(512), 2, 2);
+  b.conv_unit("conv5_1", conv3(512));
+  b.conv_unit("conv5_2", conv3(512));
+  b.conv_unit("conv5_3", conv3(512), 2, 2);
+
+  // Original VGG head: flatten 7*7*512 -> FC4096 -> FC4096 -> FC classes.
+  const double head = fc_flops(7 * 7 * 512, 4096) + fc_flops(4096, 4096) +
+                      fc_flops(4096, opts.num_classes);
+  return std::move(b).build("VGG-16", head);
+}
+
+}  // namespace leime::models

@@ -1,0 +1,40 @@
+// The model zoo: chain profiles of the four DNNs the paper evaluates.
+//
+// Granularity follows the paper's treatment of conv layers/blocks as atomic
+// chain elements with one candidate exit after each:
+//   VGG-16        : 13 conv units                       (m = 13)
+//   ResNet-34     : stem + 16 basic blocks              (m = 17)
+//   Inception v3  : 5 stem convs + 11 inception modules (m = 16)
+//   SqueezeNet-1.0: conv1 + 8 fire modules + conv10     (m = 10)
+// Inception v3's m = 16 matches the paper's fixed exits (1, 14, 16) in §II-B2.
+//
+// FLOPs and intermediate tensor sizes are derived from the published
+// architectures at ImageNet-scale inputs (299² for Inception v3, 224² for
+// the rest); heads are CIFAR-10-sized (10 classes) as in the paper's testbed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/chain_builder.h"
+#include "models/profile.h"
+
+namespace leime::models {
+
+enum class ModelKind { kVgg16, kResNet34, kInceptionV3, kSqueezeNet };
+
+/// Display name, e.g. "Inception-v3".
+std::string to_string(ModelKind kind);
+
+/// All four zoo kinds, in the paper's Fig. 8 order.
+std::vector<ModelKind> all_model_kinds();
+
+/// Factory for any zoo model.
+ModelProfile make_profile(ModelKind kind, const ZooOptions& opts = {});
+
+ModelProfile make_vgg16(const ZooOptions& opts = {});
+ModelProfile make_resnet34(const ZooOptions& opts = {});
+ModelProfile make_inception_v3(const ZooOptions& opts = {});
+ModelProfile make_squeezenet(const ZooOptions& opts = {});
+
+}  // namespace leime::models

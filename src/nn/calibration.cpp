@@ -1,0 +1,124 @@
+#include "nn/calibration.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leime::nn {
+
+std::vector<ExitStats> collect_exit_stats(MultiExitNet& net,
+                                          const std::vector<Sample>& data) {
+  if (data.empty())
+    throw std::invalid_argument("collect_exit_stats: empty data");
+  std::vector<ExitStats> stats(static_cast<std::size_t>(net.num_exits()));
+  for (const auto& sample : data) {
+    const auto probs = net.exit_probabilities(sample.image);
+    for (std::size_t e = 0; e < probs.size(); ++e) {
+      const auto& p = probs[e];
+      int arg = 0;
+      for (std::size_t i = 1; i < p.size(); ++i)
+        if (p[i] > p[static_cast<std::size_t>(arg)]) arg = static_cast<int>(i);
+      stats[e].confidence.push_back(p[static_cast<std::size_t>(arg)]);
+      stats[e].prediction.push_back(arg);
+      stats[e].label.push_back(sample.label);
+    }
+  }
+  return stats;
+}
+
+double calibrate_threshold(const ExitStats& stats, double target_accuracy) {
+  if (stats.confidence.empty())
+    throw std::invalid_argument("calibrate_threshold: empty stats");
+  if (target_accuracy <= 0.0 || target_accuracy > 1.0)
+    throw std::invalid_argument("calibrate_threshold: target outside (0,1]");
+
+  // Sort samples by confidence descending; find the longest prefix (most
+  // permissive threshold) whose accuracy still meets the target.
+  std::vector<std::size_t> order(stats.confidence.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return stats.confidence[a] > stats.confidence[b];
+  });
+
+  double best_threshold = 2.0;  // unreachable: exit disabled
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t idx = order[i];
+    if (stats.prediction[idx] == stats.label[idx]) ++correct;
+    const double acc =
+        static_cast<double>(correct) / static_cast<double>(i + 1);
+    if (acc >= target_accuracy)
+      best_threshold = stats.confidence[idx];
+  }
+  return best_threshold;
+}
+
+MultiExitEvaluation evaluate_multi_exit(MultiExitNet& net,
+                                        const std::vector<Sample>& data,
+                                        const std::vector<int>& exits,
+                                        const std::vector<double>& thresholds) {
+  if (exits.empty() || exits.size() != thresholds.size())
+    throw std::invalid_argument("evaluate_multi_exit: exits/thresholds mismatch");
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    if (exits[i] < 0 || exits[i] >= net.num_exits())
+      throw std::invalid_argument("evaluate_multi_exit: exit out of range");
+    if (i > 0 && exits[i] <= exits[i - 1])
+      throw std::invalid_argument("evaluate_multi_exit: exits not ascending");
+  }
+  if (data.empty())
+    throw std::invalid_argument("evaluate_multi_exit: empty data");
+
+  MultiExitEvaluation out;
+  out.exit_fractions.assign(exits.size(), 0.0);
+  std::size_t correct = 0;
+  for (const auto& sample : data) {
+    const auto probs = net.exit_probabilities(sample.image);
+    for (std::size_t sel = 0; sel < exits.size(); ++sel) {
+      const auto& p = probs[static_cast<std::size_t>(exits[sel])];
+      int arg = 0;
+      for (std::size_t i = 1; i < p.size(); ++i)
+        if (p[i] > p[static_cast<std::size_t>(arg)]) arg = static_cast<int>(i);
+      const bool last = sel + 1 == exits.size();
+      if (last || p[static_cast<std::size_t>(arg)] >=
+                      static_cast<float>(thresholds[sel])) {
+        out.exit_fractions[sel] += 1.0;
+        if (arg == sample.label) ++correct;
+        break;
+      }
+    }
+  }
+  const auto n = static_cast<double>(data.size());
+  for (auto& f : out.exit_fractions) f /= n;
+  out.accuracy = static_cast<double>(correct) / n;
+  out.cumulative_rates.resize(exits.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    cum += out.exit_fractions[i];
+    out.cumulative_rates[i] = cum;
+  }
+  LEIME_CHECK(std::abs(cum - 1.0) < 1e-9);
+  return out;
+}
+
+std::vector<double> measured_cumulative_exit_rates(
+    MultiExitNet& net, const std::vector<Sample>& calibration,
+    const std::vector<Sample>& eval, double target_accuracy) {
+  const auto stats = collect_exit_stats(net, calibration);
+  std::vector<int> exits(static_cast<std::size_t>(net.num_exits()));
+  std::iota(exits.begin(), exits.end(), 0);
+  std::vector<double> thresholds;
+  thresholds.reserve(exits.size());
+  for (const auto& s : stats)
+    thresholds.push_back(calibrate_threshold(s, target_accuracy));
+  const auto eval_result = evaluate_multi_exit(net, eval, exits, thresholds);
+  auto rates = eval_result.cumulative_rates;
+  rates.back() = 1.0;
+  // Guard against float drift breaking monotonicity downstream.
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    rates[i] = std::max(rates[i], rates[i - 1]);
+  return rates;
+}
+
+}  // namespace leime::nn

@@ -1,0 +1,61 @@
+// Confidence-threshold calibration and multi-exit evaluation (§III-B2).
+//
+// At each exit the max-softmax confidence gates early exiting. The paper
+// "strictly sets the threshold of each exit so tasks exit early efficiently
+// while guaranteeing inference accuracy": we pick, per exit, the smallest
+// threshold whose exiting subset is at least `target_accuracy` accurate on
+// a calibration split. From the thresholds we measure cumulative exit rates
+// (the σ_i the analytic modules consume) and ME accuracy for any exit
+// combination (the Fig. 6 experiment).
+#pragma once
+
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/multi_exit_net.h"
+
+namespace leime::nn {
+
+/// Per-exit predictions over a dataset split.
+struct ExitStats {
+  std::vector<float> confidence;  ///< max softmax per sample
+  std::vector<int> prediction;    ///< argmax class per sample
+  std::vector<int> label;
+};
+
+/// Runs every sample through the net once, recording all exits.
+std::vector<ExitStats> collect_exit_stats(MultiExitNet& net,
+                                          const std::vector<Sample>& data);
+
+/// Smallest threshold t such that accuracy among samples with
+/// confidence >= t is >= target_accuracy (searching over observed
+/// confidences, most permissive first). Returns an unreachable threshold
+/// (> 1) when no suffix meets the target, i.e. the exit is disabled.
+double calibrate_threshold(const ExitStats& stats, double target_accuracy);
+
+/// Outcome of simulating the sequential multi-exit inference rule.
+struct MultiExitEvaluation {
+  double accuracy = 0.0;
+  /// Marginal fraction of samples exiting at each selected exit
+  /// (sums to 1; the last selected exit takes everything left).
+  std::vector<double> exit_fractions;
+  /// Cumulative exit rates σ at the selected exits.
+  std::vector<double> cumulative_rates;
+};
+
+/// Evaluates the selected exits (0-based block indices, strictly
+/// ascending; the last entry is the forced final exit, threshold ignored).
+/// `thresholds` must match `exits` in size.
+MultiExitEvaluation evaluate_multi_exit(MultiExitNet& net,
+                                        const std::vector<Sample>& data,
+                                        const std::vector<int>& exits,
+                                        const std::vector<double>& thresholds);
+
+/// Calibrates thresholds for every exit against `target_accuracy` using
+/// `calibration` data, then measures the full-chain cumulative exit rates on
+/// `eval` data. Returns one σ per exit (final forced to 1).
+std::vector<double> measured_cumulative_exit_rates(
+    MultiExitNet& net, const std::vector<Sample>& calibration,
+    const std::vector<Sample>& eval, double target_accuracy);
+
+}  // namespace leime::nn

@@ -1,0 +1,100 @@
+#include "nn/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leime::nn {
+
+namespace {
+
+/// Adds a Gaussian bump of the given amplitude/width at (cy, cx).
+void add_bump(Tensor& img, double cy, double cx, double amp, double width) {
+  const int s = img.dim(1);
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      const double dy = (y - cy) / width;
+      const double dx = (x - cx) / width;
+      img.at(0, y, x) +=
+          static_cast<float>(amp * std::exp(-0.5 * (dy * dy + dx * dx)));
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticImageDataset::SyntheticImageDataset(const DatasetConfig& config)
+    : config_(config) {
+  if (config.num_classes < 2)
+    throw std::invalid_argument("Dataset: need at least 2 classes");
+  if (config.image_size < 8)
+    throw std::invalid_argument("Dataset: image_size must be >= 8");
+  if (config.train_per_class <= 0 || config.test_per_class <= 0)
+    throw std::invalid_argument("Dataset: sample counts must be > 0");
+  if (config.noise_low < 0.0 || config.noise_high < config.noise_low)
+    throw std::invalid_argument("Dataset: bad noise range");
+
+  util::Rng rng(config.seed);
+
+  // Fixed class templates: 3-5 bumps each, normalized to unit peak.
+  const int s = config.image_size;
+  for (int c = 0; c < config.num_classes; ++c) {
+    Tensor tpl({1, s, s});
+    const auto bumps = static_cast<int>(rng.uniform_int(3, 5));
+    for (int b = 0; b < bumps; ++b) {
+      add_bump(tpl, rng.uniform(2.0, s - 3.0), rng.uniform(2.0, s - 3.0),
+               rng.uniform(0.6, 1.2) * (rng.bernoulli(0.35) ? -1.0 : 1.0),
+               rng.uniform(1.2, 3.0));
+    }
+    float peak = 1e-6f;
+    for (std::size_t i = 0; i < tpl.size(); ++i)
+      peak = std::max(peak, std::abs(tpl[i]));
+    for (std::size_t i = 0; i < tpl.size(); ++i) tpl[i] /= peak;
+    templates_.push_back(std::move(tpl));
+  }
+
+  for (int c = 0; c < config.num_classes; ++c) {
+    for (int i = 0; i < config.train_per_class; ++i)
+      train_.push_back(make_sample(c, rng));
+    for (int i = 0; i < config.test_per_class; ++i)
+      test_.push_back(make_sample(c, rng));
+  }
+  rng.shuffle(train_);
+  rng.shuffle(test_);
+}
+
+Sample SyntheticImageDataset::make_sample(int label, util::Rng& rng) const {
+  const int s = config_.image_size;
+  Sample sample;
+  sample.label = label;
+  sample.complexity = rng.uniform();
+  sample.image = Tensor({1, s, s});
+
+  const int shift_y =
+      static_cast<int>(rng.uniform_int(-config_.max_shift, config_.max_shift));
+  const int shift_x =
+      static_cast<int>(rng.uniform_int(-config_.max_shift, config_.max_shift));
+  const Tensor& tpl = templates_[static_cast<std::size_t>(label)];
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      const int sy = y - shift_y, sx = x - shift_x;
+      if (sy >= 0 && sy < s && sx >= 0 && sx < s)
+        sample.image.at(0, y, x) = tpl.at(0, sy, sx);
+    }
+  }
+
+  // Structured noise: a few random bumps plus pixel noise, scaled by the
+  // sample's complexity.
+  const double amp = config_.noise_low +
+                     (config_.noise_high - config_.noise_low) *
+                         sample.complexity;
+  Tensor noise({1, s, s});
+  for (int b = 0; b < 3; ++b)
+    add_bump(noise, rng.uniform(0.0, s - 1.0), rng.uniform(0.0, s - 1.0),
+             rng.uniform(-1.0, 1.0), rng.uniform(1.0, 2.5));
+  for (std::size_t i = 0; i < noise.size(); ++i)
+    noise[i] += static_cast<float>(rng.normal(0.0, 0.35));
+  sample.image.add_scaled(noise, static_cast<float>(amp));
+  return sample;
+}
+
+}  // namespace leime::nn

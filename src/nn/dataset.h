@@ -1,0 +1,52 @@
+// Procedural synthetic image dataset with controllable per-sample
+// complexity (the CIFAR-10 stand-in; see DESIGN.md §2).
+//
+// Each class is a fixed smooth template (a sum of Gaussian bumps drawn once
+// per class). A sample blends its class template with structured noise and a
+// small random translation; the blend weight is the sample's complexity, so
+// low-complexity samples are separable from shallow features while
+// high-complexity ones need depth — the property multi-exit DNNs exploit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace leime::nn {
+
+struct Sample {
+  Tensor image;
+  int label = 0;
+  double complexity = 0.0;  ///< in [0,1); drawn uniformly
+};
+
+struct DatasetConfig {
+  int num_classes = 5;
+  int image_size = 16;
+  int train_per_class = 160;
+  int test_per_class = 80;
+  double noise_low = 0.15;   ///< noise amplitude at complexity 0
+  double noise_high = 1.15;  ///< noise amplitude at complexity 1
+  int max_shift = 2;         ///< random translation in pixels
+  std::uint64_t seed = 3;
+};
+
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(const DatasetConfig& config);
+
+  const std::vector<Sample>& train() const { return train_; }
+  const std::vector<Sample>& test() const { return test_; }
+  const DatasetConfig& config() const { return config_; }
+
+ private:
+  Sample make_sample(int label, util::Rng& rng) const;
+
+  DatasetConfig config_;
+  std::vector<Tensor> templates_;
+  std::vector<Sample> train_, test_;
+};
+
+}  // namespace leime::nn

@@ -1,0 +1,501 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace leime::nn {
+
+namespace {
+
+void check_rank3(const Tensor& x, const char* who) {
+  if (x.rank() != 3)
+    throw std::invalid_argument(std::string(who) + ": expected CHW tensor");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int padding, util::Rng& rng, ConvImpl impl)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      impl_(impl) {
+  if (in_c_ <= 0 || out_c_ <= 0 || k_ <= 0 || stride_ <= 0 || pad_ < 0)
+    throw std::invalid_argument("Conv2d: bad hyperparameters");
+  const std::size_t n =
+      static_cast<std::size_t>(out_c_) * in_c_ * k_ * k_;
+  w_.resize(n);
+  gw_.assign(n, 0.0f);
+  b_.assign(static_cast<std::size_t>(out_c_), 0.0f);
+  gb_.assign(b_.size(), 0.0f);
+  // He initialisation.
+  const double sd = std::sqrt(2.0 / (in_c_ * k_ * k_));
+  for (auto& v : w_) v = static_cast<float>(rng.normal(0.0, sd));
+}
+
+std::size_t Conv2d::num_params() const { return w_.size() + b_.size(); }
+
+Tensor Conv2d::forward(const Tensor& x) {
+  check_rank3(x, "Conv2d");
+  if (x.dim(0) != in_c_)
+    throw std::invalid_argument("Conv2d: channel mismatch");
+  cached_input_ = x;
+  const int h_in = x.dim(1), w_in = x.dim(2);
+  const int h_out = (h_in + 2 * pad_ - k_) / stride_ + 1;
+  const int w_out = (w_in + 2 * pad_ - k_) / stride_ + 1;
+  if (h_out <= 0 || w_out <= 0)
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  if (impl_ == ConvImpl::kIm2col) return forward_im2col(x, h_out, w_out);
+  return forward_direct(x, h_out, w_out);
+}
+
+Tensor Conv2d::forward_direct(const Tensor& x, int h_out, int w_out) {
+  const int h_in = x.dim(1), w_in = x.dim(2);
+  Tensor out({out_c_, h_out, w_out});
+  for (int oc = 0; oc < out_c_; ++oc) {
+    for (int oh = 0; oh < h_out; ++oh) {
+      for (int ow = 0; ow < w_out; ++ow) {
+        float acc = b_[static_cast<std::size_t>(oc)];
+        for (int ic = 0; ic < in_c_; ++ic) {
+          for (int kh = 0; kh < k_; ++kh) {
+            const int ih = oh * stride_ + kh - pad_;
+            if (ih < 0 || ih >= h_in) continue;
+            for (int kw = 0; kw < k_; ++kw) {
+              const int iw = ow * stride_ + kw - pad_;
+              if (iw < 0 || iw >= w_in) continue;
+              acc += wref(oc, ic, kh, kw) * x.at(ic, ih, iw);
+            }
+          }
+        }
+        out.at(oc, oh, ow) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error("Conv2d::backward before forward");
+  if (impl_ == ConvImpl::kIm2col) return backward_im2col(grad_out);
+  return backward_direct(grad_out);
+}
+
+Tensor Conv2d::backward_direct(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const int h_in = x.dim(1), w_in = x.dim(2);
+  const int h_out = grad_out.dim(1), w_out = grad_out.dim(2);
+  Tensor grad_in({in_c_, h_in, w_in});
+  for (int oc = 0; oc < out_c_; ++oc) {
+    for (int oh = 0; oh < h_out; ++oh) {
+      for (int ow = 0; ow < w_out; ++ow) {
+        const float g = grad_out.at(oc, oh, ow);
+        if (g == 0.0f) continue;
+        gb_[static_cast<std::size_t>(oc)] += g;
+        for (int ic = 0; ic < in_c_; ++ic) {
+          for (int kh = 0; kh < k_; ++kh) {
+            const int ih = oh * stride_ + kh - pad_;
+            if (ih < 0 || ih >= h_in) continue;
+            for (int kw = 0; kw < k_; ++kw) {
+              const int iw = ow * stride_ + kw - pad_;
+              if (iw < 0 || iw >= w_in) continue;
+              gwref(oc, ic, kh, kw) += g * x.at(ic, ih, iw);
+              grad_in.at(ic, ih, iw) += g * wref(oc, ic, kh, kw);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::build_columns(const Tensor& x, int h_out, int w_out) {
+  const int h_in = x.dim(1), w_in = x.dim(2);
+  const int patch = in_c_ * k_ * k_;
+  columns_.assign(static_cast<std::size_t>(h_out) * w_out * patch, 0.0f);
+  std::size_t row = 0;
+  for (int oh = 0; oh < h_out; ++oh) {
+    for (int ow = 0; ow < w_out; ++ow, ++row) {
+      float* col = &columns_[row * static_cast<std::size_t>(patch)];
+      std::size_t c = 0;
+      for (int ic = 0; ic < in_c_; ++ic) {
+        for (int kh = 0; kh < k_; ++kh) {
+          const int ih = oh * stride_ + kh - pad_;
+          for (int kw = 0; kw < k_; ++kw, ++c) {
+            const int iw = ow * stride_ + kw - pad_;
+            if (ih >= 0 && ih < h_in && iw >= 0 && iw < w_in)
+              col[c] = x.at(ic, ih, iw);
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward_im2col(const Tensor& x, int h_out, int w_out) {
+  build_columns(x, h_out, w_out);
+  const int patch = in_c_ * k_ * k_;
+  const int rows = h_out * w_out;
+  Tensor out({out_c_, h_out, w_out});
+  // out[oc][r] = b[oc] + W[oc] . columns[r]
+  for (int oc = 0; oc < out_c_; ++oc) {
+    const float* wrow = &w_[static_cast<std::size_t>(oc) * patch];
+    float* orow = out.data() + static_cast<std::size_t>(oc) * rows;
+    const float bias = b_[static_cast<std::size_t>(oc)];
+    for (int r = 0; r < rows; ++r) {
+      const float* col = &columns_[static_cast<std::size_t>(r) * patch];
+      float acc = bias;
+      for (int c = 0; c < patch; ++c) acc += wrow[c] * col[c];
+      orow[r] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward_im2col(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const int h_in = x.dim(1), w_in = x.dim(2);
+  const int h_out = grad_out.dim(1), w_out = grad_out.dim(2);
+  const int rows = h_out * w_out;
+  const int patch = in_c_ * k_ * k_;
+
+  // dW[oc] += sum_r dY[oc][r] * columns[r];  db[oc] += sum_r dY[oc][r].
+  std::vector<float> dcols(static_cast<std::size_t>(rows) * patch, 0.0f);
+  for (int oc = 0; oc < out_c_; ++oc) {
+    const float* grow = grad_out.data() + static_cast<std::size_t>(oc) * rows;
+    float* gwrow = &gw_[static_cast<std::size_t>(oc) * patch];
+    const float* wrow = &w_[static_cast<std::size_t>(oc) * patch];
+    float gb_acc = 0.0f;
+    for (int r = 0; r < rows; ++r) {
+      const float g = grow[r];
+      if (g == 0.0f) continue;
+      gb_acc += g;
+      const float* col = &columns_[static_cast<std::size_t>(r) * patch];
+      float* dcol = &dcols[static_cast<std::size_t>(r) * patch];
+      for (int c = 0; c < patch; ++c) {
+        gwrow[c] += g * col[c];
+        dcol[c] += g * wrow[c];
+      }
+    }
+    gb_[static_cast<std::size_t>(oc)] += gb_acc;
+  }
+
+  // col2im: scatter dcols back onto the input geometry.
+  Tensor grad_in({in_c_, h_in, w_in});
+  std::size_t row = 0;
+  for (int oh = 0; oh < h_out; ++oh) {
+    for (int ow = 0; ow < w_out; ++ow, ++row) {
+      const float* dcol = &dcols[row * static_cast<std::size_t>(patch)];
+      std::size_t c = 0;
+      for (int ic = 0; ic < in_c_; ++ic) {
+        for (int kh = 0; kh < k_; ++kh) {
+          const int ih = oh * stride_ + kh - pad_;
+          for (int kw = 0; kw < k_; ++kw, ++c) {
+            const int iw = ow * stride_ + kw - pad_;
+            if (ih >= 0 && ih < h_in && iw >= 0 && iw < w_in)
+              grad_in.at(ic, ih, iw) += dcol[c];
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+std::vector<ParamSlice> Conv2d::parameters() {
+  return {{w_.data(), gw_.data(), w_.size()},
+          {b_.data(), gb_.data(), b_.size()}};
+}
+
+// ------------------------------------------------------------------ ReLU --
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error("ReLU::backward before forward");
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i)
+    if (cached_input_[i] <= 0.0f) grad_in[i] = 0.0f;
+  return grad_in;
+}
+
+// ------------------------------------------------------------- MaxPool2d --
+
+MaxPool2d::MaxPool2d(int kernel) : k_(kernel) {
+  if (kernel <= 1) throw std::invalid_argument("MaxPool2d: kernel must be > 1");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  check_rank3(x, "MaxPool2d");
+  const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  const int h_out = h / k_, w_out = w / k_;
+  if (h_out <= 0 || w_out <= 0)
+    throw std::invalid_argument("MaxPool2d: input smaller than kernel");
+  in_shape_ = {c, h, w};
+  Tensor out({c, h_out, w_out});
+  argmax_.assign(out.size(), 0);
+  std::size_t oi = 0;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oh = 0; oh < h_out; ++oh) {
+      for (int ow = 0; ow < w_out; ++ow, ++oi) {
+        float best = -std::numeric_limits<float>::infinity();
+        int best_idx = 0;
+        for (int kh = 0; kh < k_; ++kh) {
+          for (int kw = 0; kw < k_; ++kw) {
+            const int ih = oh * k_ + kh, iw = ow * k_ + kw;
+            const int idx = (ch * h + ih) * w + iw;
+            const float v = x[static_cast<std::size_t>(idx)];
+            if (v > best) {
+              best = v;
+              best_idx = idx;
+            }
+          }
+        }
+        out[oi] = best;
+        argmax_[oi] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (in_shape_.empty())
+    throw std::logic_error("MaxPool2d::backward before forward");
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    grad_in[static_cast<std::size_t>(argmax_[i])] += grad_out[i];
+  return grad_in;
+}
+
+// --------------------------------------------------------- GlobalAvgPool --
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  check_rank3(x, "GlobalAvgPool");
+  const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  in_shape_ = {c, h, w};
+  Tensor out({c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int ch = 0; ch < c; ++ch) {
+    float acc = 0.0f;
+    for (int i = 0; i < h * w; ++i)
+      acc += x[static_cast<std::size_t>(ch * h * w + i)];
+    out[static_cast<std::size_t>(ch)] = acc * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (in_shape_.empty())
+    throw std::logic_error("GlobalAvgPool::backward before forward");
+  const int c = in_shape_[0], h = in_shape_[1], w = in_shape_[2];
+  Tensor grad_in(in_shape_);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int ch = 0; ch < c; ++ch)
+    for (int i = 0; i < h * w; ++i)
+      grad_in[static_cast<std::size_t>(ch * h * w + i)] =
+          grad_out[static_cast<std::size_t>(ch)] * inv;
+  return grad_in;
+}
+
+// ----------------------------------------------------------------- Dense --
+
+Dense::Dense(int in_features, int out_features, util::Rng& rng)
+    : in_f_(in_features), out_f_(out_features) {
+  if (in_f_ <= 0 || out_f_ <= 0)
+    throw std::invalid_argument("Dense: bad dimensions");
+  const auto n = static_cast<std::size_t>(in_f_) * out_f_;
+  w_.resize(n);
+  gw_.assign(n, 0.0f);
+  b_.assign(static_cast<std::size_t>(out_f_), 0.0f);
+  gb_.assign(b_.size(), 0.0f);
+  const double sd = std::sqrt(2.0 / in_f_);
+  for (auto& v : w_) v = static_cast<float>(rng.normal(0.0, sd));
+}
+
+std::size_t Dense::num_params() const { return w_.size() + b_.size(); }
+
+Tensor Dense::forward(const Tensor& x) {
+  if (static_cast<int>(x.size()) != in_f_)
+    throw std::invalid_argument("Dense: input size mismatch");
+  cached_input_ = x;
+  Tensor out({out_f_});
+  for (int o = 0; o < out_f_; ++o) {
+    float acc = b_[static_cast<std::size_t>(o)];
+    const float* row = &w_[static_cast<std::size_t>(o) * in_f_];
+    for (int i = 0; i < in_f_; ++i) acc += row[i] * x[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(o)] = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error("Dense::backward before forward");
+  Tensor grad_in({in_f_});
+  for (int o = 0; o < out_f_; ++o) {
+    const float g = grad_out[static_cast<std::size_t>(o)];
+    gb_[static_cast<std::size_t>(o)] += g;
+    float* grow = &gw_[static_cast<std::size_t>(o) * in_f_];
+    const float* row = &w_[static_cast<std::size_t>(o) * in_f_];
+    for (int i = 0; i < in_f_; ++i) {
+      grow[i] += g * cached_input_[static_cast<std::size_t>(i)];
+      grad_in[static_cast<std::size_t>(i)] += g * row[i];
+    }
+  }
+  return grad_in;
+}
+
+void Dense::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+std::vector<ParamSlice> Dense::parameters() {
+  return {{w_.data(), gw_.data(), w_.size()},
+          {b_.data(), gb_.data(), b_.size()}};
+}
+
+// ----------------------------------------------------------- InstanceNorm --
+
+InstanceNorm::InstanceNorm(int channels, float eps)
+    : channels_(channels), eps_(eps) {
+  if (channels <= 0)
+    throw std::invalid_argument("InstanceNorm: channels must be > 0");
+  if (eps <= 0.0f) throw std::invalid_argument("InstanceNorm: eps must be > 0");
+  gain_.assign(static_cast<std::size_t>(channels), 1.0f);
+  bias_.assign(static_cast<std::size_t>(channels), 0.0f);
+  ggain_.assign(gain_.size(), 0.0f);
+  gbias_.assign(bias_.size(), 0.0f);
+}
+
+std::size_t InstanceNorm::num_params() const {
+  return gain_.size() + bias_.size();
+}
+
+std::vector<ParamSlice> InstanceNorm::parameters() {
+  return {{gain_.data(), ggain_.data(), gain_.size()},
+          {bias_.data(), gbias_.data(), bias_.size()}};
+}
+
+void InstanceNorm::zero_grad() {
+  std::fill(ggain_.begin(), ggain_.end(), 0.0f);
+  std::fill(gbias_.begin(), gbias_.end(), 0.0f);
+}
+
+Tensor InstanceNorm::forward(const Tensor& x) {
+  check_rank3(x, "InstanceNorm");
+  if (x.dim(0) != channels_)
+    throw std::invalid_argument("InstanceNorm: channel mismatch");
+  const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  const int hw = h * w;
+  cached_norm_ = Tensor({c, h, w});
+  inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
+  Tensor out({c, h, w});
+  for (int ch = 0; ch < c; ++ch) {
+    const float* xc = x.data() + static_cast<std::size_t>(ch) * hw;
+    double mean = 0.0;
+    for (int i = 0; i < hw; ++i) mean += xc[i];
+    mean /= hw;
+    double var = 0.0;
+    for (int i = 0; i < hw; ++i) {
+      const double d = xc[i] - mean;
+      var += d * d;
+    }
+    var /= hw;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    inv_std_[static_cast<std::size_t>(ch)] = inv;
+    float* nc = cached_norm_.data() + static_cast<std::size_t>(ch) * hw;
+    float* oc = out.data() + static_cast<std::size_t>(ch) * hw;
+    const float g = gain_[static_cast<std::size_t>(ch)];
+    const float b = bias_[static_cast<std::size_t>(ch)];
+    for (int i = 0; i < hw; ++i) {
+      nc[i] = (xc[i] - static_cast<float>(mean)) * inv;
+      oc[i] = g * nc[i] + b;
+    }
+  }
+  return out;
+}
+
+Tensor InstanceNorm::backward(const Tensor& grad_out) {
+  if (cached_norm_.empty())
+    throw std::logic_error("InstanceNorm::backward before forward");
+  const int c = cached_norm_.dim(0);
+  const int hw = cached_norm_.dim(1) * cached_norm_.dim(2);
+  Tensor grad_in(
+      {c, cached_norm_.dim(1), cached_norm_.dim(2)});
+  for (int ch = 0; ch < c; ++ch) {
+    const float* dy = grad_out.data() + static_cast<std::size_t>(ch) * hw;
+    const float* xn = cached_norm_.data() + static_cast<std::size_t>(ch) * hw;
+    float* dx = grad_in.data() + static_cast<std::size_t>(ch) * hw;
+    double sum_dy = 0.0, sum_dy_xn = 0.0;
+    for (int i = 0; i < hw; ++i) {
+      sum_dy += dy[i];
+      sum_dy_xn += static_cast<double>(dy[i]) * xn[i];
+    }
+    ggain_[static_cast<std::size_t>(ch)] += static_cast<float>(sum_dy_xn);
+    gbias_[static_cast<std::size_t>(ch)] += static_cast<float>(sum_dy);
+    const float g = gain_[static_cast<std::size_t>(ch)];
+    const float inv = inv_std_[static_cast<std::size_t>(ch)];
+    const float mean_dy = static_cast<float>(sum_dy / hw);
+    const float mean_dy_xn = static_cast<float>(sum_dy_xn / hw);
+    for (int i = 0; i < hw; ++i)
+      dx[i] = g * inv * (dy[i] - mean_dy - xn[i] * mean_dy_xn);
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------ Sequential --
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<ParamSlice> Sequential::parameters() {
+  std::vector<ParamSlice> out;
+  for (auto& layer : layers_) {
+    auto p = layer->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::size_t Sequential::num_params() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->num_params();
+  return n;
+}
+
+}  // namespace leime::nn

@@ -1,0 +1,164 @@
+// Neural-network layers with handwritten forward/backward rules.
+//
+// Contract: forward(x) caches whatever backward needs; backward(grad_out)
+// must follow the matching forward and returns grad wrt the input while
+// accumulating parameter gradients. zero_grad() clears accumulated
+// gradients; optimizers (nn/optimizer.h) update the parameter slices the
+// layer exposes via parameters().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace leime::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual void zero_grad() {}
+
+  /// Views over the layer's trainable parameters and their accumulated
+  /// gradients; empty for parameterless layers.
+  virtual std::vector<ParamSlice> parameters() { return {}; }
+
+  /// Number of trainable parameters (diagnostics).
+  virtual std::size_t num_params() const { return 0; }
+};
+
+/// Convolution compute strategy: direct nested loops, or im2col + matrix
+/// multiply (typically 2-4x faster for k > 1 at these sizes). Both produce
+/// bit-identical... numerically equivalent results (float summation order
+/// differs); equivalence is pinned by tests.
+enum class ConvImpl { kDirect, kIm2col };
+
+/// 2-D convolution with square kernel, stride and zero padding.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride,
+         int padding, util::Rng& rng, ConvImpl impl = ConvImpl::kIm2col);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void zero_grad() override;
+  std::vector<ParamSlice> parameters() override;
+  std::size_t num_params() const override;
+
+ private:
+  Tensor forward_direct(const Tensor& x, int h_out, int w_out);
+  Tensor backward_direct(const Tensor& grad_out);
+  Tensor forward_im2col(const Tensor& x, int h_out, int w_out);
+  Tensor backward_im2col(const Tensor& grad_out);
+  void build_columns(const Tensor& x, int h_out, int w_out);
+
+  int in_c_, out_c_, k_, stride_, pad_;
+  ConvImpl impl_;
+  std::vector<float> w_, b_;
+  std::vector<float> gw_, gb_;
+  Tensor cached_input_;
+  std::vector<float> columns_;  // im2col buffer: (h_out*w_out) x (in_c*k*k)
+
+  float& wref(int oc, int ic, int kh, int kw) {
+    return w_[static_cast<std::size_t>(((oc * in_c_ + ic) * k_ + kh) * k_ + kw)];
+  }
+  float& gwref(int oc, int ic, int kh, int kw) {
+    return gw_[static_cast<std::size_t>(((oc * in_c_ + ic) * k_ + kh) * k_ + kw)];
+  }
+};
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Max pooling with square kernel (stride == kernel, no padding).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int kernel);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  int k_;
+  std::vector<int> argmax_;  // flat input index per output element
+  std::vector<int> in_shape_;
+};
+
+/// Global average pool: (C,H,W) -> (C).
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+/// Fully connected layer on flat inputs.
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void zero_grad() override;
+  std::vector<ParamSlice> parameters() override;
+  std::size_t num_params() const override;
+
+ private:
+  int in_f_, out_f_;
+  std::vector<float> w_, b_, gw_, gb_;
+  Tensor cached_input_;
+};
+
+/// Per-channel spatial normalization with learnable gain/bias (instance
+/// norm): y_c = g_c * (x_c - mean_c) / sqrt(var_c + eps) + b_c. Stabilises
+/// the deeper multi-exit backbones.
+class InstanceNorm final : public Layer {
+ public:
+  explicit InstanceNorm(int channels, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void zero_grad() override;
+  std::vector<ParamSlice> parameters() override;
+  std::size_t num_params() const override;
+
+ private:
+  int channels_;
+  float eps_;
+  std::vector<float> gain_, bias_, ggain_, gbias_;
+  Tensor cached_norm_;          // x̂ per element
+  std::vector<float> inv_std_;  // 1/σ per channel
+};
+
+/// A sequential stack of layers acting as one layer.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void zero_grad() override;
+  std::vector<ParamSlice> parameters() override;
+  std::size_t num_params() const override;
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace leime::nn

@@ -1,0 +1,38 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leime::nn {
+
+std::vector<float> softmax(const Tensor& logits) {
+  if (logits.size() == 0) throw std::invalid_argument("softmax: empty logits");
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < logits.size(); ++i)
+    max_logit = std::max(max_logit, logits[i]);
+  std::vector<float> probs(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - max_logit);
+    sum += probs[i];
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (auto& p : probs) p *= inv;
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, int label) {
+  if (label < 0 || label >= static_cast<int>(logits.size()))
+    throw std::invalid_argument("softmax_cross_entropy: label out of range");
+  const auto probs = softmax(logits);
+  LossResult out;
+  const float p = std::max(probs[static_cast<std::size_t>(label)], 1e-12f);
+  out.loss = -std::log(static_cast<double>(p));
+  out.grad = Tensor({static_cast<int>(logits.size())});
+  for (std::size_t i = 0; i < probs.size(); ++i) out.grad[i] = probs[i];
+  out.grad[static_cast<std::size_t>(label)] -= 1.0f;
+  return out;
+}
+
+}  // namespace leime::nn

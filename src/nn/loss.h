@@ -1,0 +1,22 @@
+// Softmax and cross-entropy with analytic gradients.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace leime::nn {
+
+/// Numerically stable softmax over a flat logits tensor.
+std::vector<float> softmax(const Tensor& logits);
+
+struct LossResult {
+  double loss = 0.0;   ///< cross-entropy (nats)
+  Tensor grad;         ///< dL/dlogits (softmax - onehot)
+};
+
+/// Cross-entropy of `logits` against the integer `label`.
+/// Throws std::invalid_argument on a label outside [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits, int label);
+
+}  // namespace leime::nn

@@ -1,0 +1,109 @@
+#include "nn/metrics.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace leime::nn {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : classes_(num_classes) {
+  if (num_classes < 2)
+    throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+  cells_.assign(
+      static_cast<std::size_t>(num_classes) * static_cast<std::size_t>(num_classes),
+      0);
+}
+
+void ConfusionMatrix::check_label(int label, const char* what) const {
+  if (label < 0 || label >= classes_)
+    throw std::invalid_argument(std::string("ConfusionMatrix: ") + what +
+                                " out of range");
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  check_label(true_label, "true label");
+  check_label(predicted_label, "predicted label");
+  ++cells_[static_cast<std::size_t>(true_label) * classes_ + predicted_label];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  check_label(true_label, "true label");
+  check_label(predicted_label, "predicted label");
+  return cells_[static_cast<std::size_t>(true_label) * classes_ +
+                predicted_label];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < classes_; ++c)
+    correct += cells_[static_cast<std::size_t>(c) * classes_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  check_label(cls, "class");
+  std::size_t predicted = 0;
+  for (int t = 0; t < classes_; ++t)
+    predicted += cells_[static_cast<std::size_t>(t) * classes_ + cls];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(
+             cells_[static_cast<std::size_t>(cls) * classes_ + cls]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  check_label(cls, "class");
+  std::size_t actual = 0;
+  for (int p = 0; p < classes_; ++p)
+    actual += cells_[static_cast<std::size_t>(cls) * classes_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(
+             cells_[static_cast<std::size_t>(cls) * classes_ + cls]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_precision() const {
+  double sum = 0.0;
+  for (int c = 0; c < classes_; ++c) sum += precision(c);
+  return sum / classes_;
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  for (int c = 0; c < classes_; ++c) sum += recall(c);
+  return sum / classes_;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (int c = 0; c < classes_; ++c) sum += f1(c);
+  return sum / classes_;
+}
+
+ConfusionMatrix evaluate_exit(MultiExitNet& net,
+                              const std::vector<Sample>& data,
+                              int exit_index) {
+  if (exit_index < 0 || exit_index >= net.num_exits())
+    throw std::invalid_argument("evaluate_exit: bad exit index");
+  if (data.empty()) throw std::invalid_argument("evaluate_exit: empty data");
+  ConfusionMatrix cm(net.num_classes());
+  for (const auto& sample : data) {
+    const auto logits = net.forward_exits(sample.image);
+    const auto& l = logits[static_cast<std::size_t>(exit_index)];
+    int arg = 0;
+    for (std::size_t i = 1; i < l.size(); ++i)
+      if (l[i] > l[static_cast<std::size_t>(arg)]) arg = static_cast<int>(i);
+    cm.add(sample.label, arg);
+  }
+  return cm;
+}
+
+}  // namespace leime::nn

@@ -1,0 +1,51 @@
+// Classification evaluation metrics for the nn substrate: confusion
+// matrix, per-class precision/recall/F1, and macro averages.
+#pragma once
+
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/multi_exit_net.h"
+
+namespace leime::nn {
+
+/// Row-major confusion matrix: entry (true_label, predicted).
+class ConfusionMatrix {
+ public:
+  /// num_classes >= 2.
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Records one prediction. Labels must be in [0, num_classes).
+  void add(int true_label, int predicted_label);
+
+  int num_classes() const { return classes_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(int true_label, int predicted_label) const;
+
+  /// Overall accuracy; 0 when empty.
+  double accuracy() const;
+
+  /// Per-class precision/recall (0 for classes never predicted/seen).
+  double precision(int cls) const;
+  double recall(int cls) const;
+  double f1(int cls) const;
+
+  /// Unweighted means over classes.
+  double macro_precision() const;
+  double macro_recall() const;
+  double macro_f1() const;
+
+ private:
+  void check_label(int label, const char* what) const;
+
+  int classes_;
+  std::vector<std::size_t> cells_;  // classes_ x classes_
+  std::size_t total_ = 0;
+};
+
+/// Evaluates one exit head of a multi-exit network over a dataset split.
+ConfusionMatrix evaluate_exit(MultiExitNet& net,
+                              const std::vector<Sample>& data,
+                              int exit_index);
+
+}  // namespace leime::nn

@@ -1,0 +1,312 @@
+#include "nn/multi_exit_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leime::nn {
+
+MultiExitNet::MultiExitNet(const NetConfig& config) : config_(config) {
+  if (config.block_channels.empty())
+    throw std::invalid_argument("NetConfig: no backbone blocks");
+  if (config.num_classes < 2)
+    throw std::invalid_argument("NetConfig: need >= 2 classes");
+  util::Rng rng(config.seed);
+
+  int channels = config.in_channels;
+  int size = config.image_size;
+  for (std::size_t b = 0; b < config.block_channels.size(); ++b) {
+    Sequential block;
+    const int out_c = config.block_channels[b];
+    block.add(std::make_unique<Conv2d>(channels, out_c, 3, 1, 1, rng));
+    if (config.use_norm) block.add(std::make_unique<InstanceNorm>(out_c));
+    block.add(std::make_unique<ReLU>());
+    const bool pool =
+        std::find(config.pool_after.begin(), config.pool_after.end(),
+                  static_cast<int>(b)) != config.pool_after.end();
+    if (pool) {
+      if (size / 2 < 2)
+        throw std::invalid_argument("NetConfig: too many pools for image size");
+      block.add(std::make_unique<MaxPool2d>(2));
+      size /= 2;
+    }
+    channels = out_c;
+    blocks_.push_back(std::move(block));
+
+    Sequential head;
+    head.add(std::make_unique<GlobalAvgPool>());
+    head.add(std::make_unique<Dense>(channels, config.num_classes, rng));
+    heads_.push_back(std::move(head));
+  }
+}
+
+std::size_t MultiExitNet::num_params() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b.num_params();
+  for (const auto& h : heads_) n += h.num_params();
+  return n;
+}
+
+std::vector<Tensor> MultiExitNet::forward_exits(const Tensor& x) {
+  std::vector<Tensor> logits;
+  Tensor cur = x;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    cur = blocks_[b].forward(cur);
+    logits.push_back(heads_[b].forward(cur));
+  }
+  return logits;
+}
+
+std::vector<std::vector<float>> MultiExitNet::exit_probabilities(
+    const Tensor& x) {
+  const auto logits = forward_exits(x);
+  std::vector<std::vector<float>> probs;
+  probs.reserve(logits.size());
+  for (const auto& l : logits) probs.push_back(softmax(l));
+  return probs;
+}
+
+std::vector<ParamSlice> MultiExitNet::parameters() {
+  std::vector<ParamSlice> out;
+  for (auto& b : blocks_) {
+    auto p = b.parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  for (auto& h : heads_) {
+    auto p = h.parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+double MultiExitNet::train_batch(const std::vector<const Sample*>& batch,
+                                 double lr, double momentum,
+                                 const std::vector<double>& exit_weights) {
+  if (!default_optimizer_ || momentum != default_momentum_) {
+    default_optimizer_ = std::make_unique<SgdMomentum>(lr, momentum);
+    default_momentum_ = momentum;
+  } else {
+    default_optimizer_->set_learning_rate(lr);
+  }
+  return train_batch(batch, *default_optimizer_, exit_weights);
+}
+
+double MultiExitNet::train_batch(const std::vector<const Sample*>& batch,
+                                 Optimizer& optimizer,
+                                 const std::vector<double>& exit_weights) {
+  if (batch.empty())
+    throw std::invalid_argument("train_batch: empty batch");
+  std::vector<double> w = exit_weights;
+  if (w.empty()) w.assign(blocks_.size(), 1.0);
+  if (w.size() != blocks_.size())
+    throw std::invalid_argument("train_batch: weight count mismatch");
+
+  for (auto& b : blocks_) b.zero_grad();
+  for (auto& h : heads_) h.zero_grad();
+
+  double loss_sum = 0.0;
+  for (const Sample* sample : batch) {
+    const auto logits = forward_exits(sample->image);
+    // Per-exit losses and gradients at the logits.
+    std::vector<Tensor> dlogits(logits.size());
+    for (std::size_t e = 0; e < logits.size(); ++e) {
+      auto lr_res = softmax_cross_entropy(logits[e], sample->label);
+      loss_sum += w[e] * lr_res.loss;
+      dlogits[e] = std::move(lr_res.grad);
+      for (std::size_t i = 0; i < dlogits[e].size(); ++i)
+        dlogits[e][i] *= static_cast<float>(w[e]);
+    }
+    // Reverse sweep: merge each head's gradient with the carry from deeper
+    // blocks, then push through the block.
+    Tensor carry;
+    for (int b = static_cast<int>(blocks_.size()) - 1; b >= 0; --b) {
+      Tensor g = heads_[static_cast<std::size_t>(b)].backward(
+          dlogits[static_cast<std::size_t>(b)]);
+      if (!carry.empty()) g.add_scaled(carry, 1.0f);
+      carry = blocks_[static_cast<std::size_t>(b)].backward(g);
+    }
+  }
+
+  // Average the accumulated gradients over the batch, then step.
+  const auto params = parameters();
+  const float inv_batch = 1.0f / static_cast<float>(batch.size());
+  for (const auto& p : params)
+    for (std::size_t i = 0; i < p.size; ++i) p.grads[i] *= inv_batch;
+  optimizer.step(params);
+  const double total_weight = std::accumulate(w.begin(), w.end(), 0.0);
+  return loss_sum / (static_cast<double>(batch.size()) * total_weight);
+}
+
+namespace {
+
+/// Softmax of logits / T.
+std::vector<float> tempered_softmax(const Tensor& logits, double temperature) {
+  Tensor scaled = logits;
+  for (std::size_t i = 0; i < scaled.size(); ++i)
+    scaled[i] = static_cast<float>(scaled[i] / temperature);
+  return softmax(scaled);
+}
+
+}  // namespace
+
+double MultiExitNet::train_batch_distill(
+    const std::vector<const Sample*>& batch, Optimizer& optimizer,
+    double temperature, double alpha) {
+  if (batch.empty())
+    throw std::invalid_argument("train_batch_distill: empty batch");
+  if (temperature <= 0.0)
+    throw std::invalid_argument("train_batch_distill: temperature must be > 0");
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("train_batch_distill: alpha outside [0,1]");
+
+  for (auto& b : blocks_) b.zero_grad();
+  for (auto& h : heads_) h.zero_grad();
+
+  const auto last = static_cast<std::size_t>(num_exits()) - 1;
+  double loss_sum = 0.0;
+  for (const Sample* sample : batch) {
+    const auto logits = forward_exits(sample->image);
+    // Teacher: the final exit's softened distribution, detached.
+    const auto teacher = tempered_softmax(logits[last], temperature);
+
+    std::vector<Tensor> dlogits(logits.size());
+    for (std::size_t e = 0; e < logits.size(); ++e) {
+      auto hard = softmax_cross_entropy(logits[e], sample->label);
+      if (e == last) {
+        // The teacher itself trains on hard labels only.
+        loss_sum += hard.loss;
+        dlogits[e] = std::move(hard.grad);
+        continue;
+      }
+      // Soft term: T^2 * KL(teacher || student_T); its gradient at the
+      // student logits is T * (softmax(student/T) - teacher), and the T^2
+      // scale cancels one 1/T from the chain rule.
+      const auto student_soft = tempered_softmax(logits[e], temperature);
+      double soft_loss = 0.0;
+      for (std::size_t i = 0; i < teacher.size(); ++i) {
+        const double p = teacher[i];
+        if (p > 1e-12)
+          soft_loss += p * (std::log(p) -
+                            std::log(std::max(student_soft[i], 1e-12f)));
+      }
+      soft_loss *= temperature * temperature;
+      loss_sum += alpha * hard.loss + (1.0 - alpha) * soft_loss;
+
+      dlogits[e] = Tensor({static_cast<int>(teacher.size())});
+      for (std::size_t i = 0; i < teacher.size(); ++i) {
+        const float soft_grad = static_cast<float>(
+            temperature * (student_soft[i] - teacher[i]));
+        dlogits[e][i] = static_cast<float>(alpha) * hard.grad[i] +
+                        static_cast<float>(1.0 - alpha) * soft_grad;
+      }
+    }
+
+    Tensor carry;
+    for (int b = static_cast<int>(blocks_.size()) - 1; b >= 0; --b) {
+      Tensor g = heads_[static_cast<std::size_t>(b)].backward(
+          dlogits[static_cast<std::size_t>(b)]);
+      if (!carry.empty()) g.add_scaled(carry, 1.0f);
+      carry = blocks_[static_cast<std::size_t>(b)].backward(g);
+    }
+  }
+
+  const auto params = parameters();
+  const float inv_batch = 1.0f / static_cast<float>(batch.size());
+  for (const auto& p : params)
+    for (std::size_t i = 0; i < p.size; ++i) p.grads[i] *= inv_batch;
+  optimizer.step(params);
+  return loss_sum /
+         (static_cast<double>(batch.size()) * static_cast<double>(num_exits()));
+}
+
+double MultiExitNet::exit_accuracy(const std::vector<Sample>& data,
+                                   int exit_index) {
+  if (exit_index < 0 || exit_index >= num_exits())
+    throw std::invalid_argument("exit_accuracy: bad exit index");
+  if (data.empty()) throw std::invalid_argument("exit_accuracy: empty data");
+  std::size_t correct = 0;
+  for (const auto& sample : data) {
+    const auto logits = forward_exits(sample.image);
+    const auto& l = logits[static_cast<std::size_t>(exit_index)];
+    int arg = 0;
+    for (std::size_t i = 1; i < l.size(); ++i)
+      if (l[i] > l[static_cast<std::size_t>(arg)]) arg = static_cast<int>(i);
+    if (arg == sample.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double train(MultiExitNet& net, const std::vector<Sample>& data, int epochs,
+             double lr, double momentum, int batch_size, std::uint64_t seed,
+             const std::vector<double>& exit_weights) {
+  SgdMomentum optimizer(lr, momentum);
+  return train(net, data, epochs, optimizer, batch_size, seed, exit_weights);
+}
+
+double train(MultiExitNet& net, const std::vector<Sample>& data, int epochs,
+             Optimizer& optimizer, int batch_size, std::uint64_t seed,
+             const std::vector<double>& exit_weights) {
+  if (epochs <= 0 || batch_size <= 0)
+    throw std::invalid_argument("train: bad epochs/batch_size");
+  if (data.empty()) throw std::invalid_argument("train: empty data");
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(batch_size)) {
+      std::vector<const Sample*> batch;
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(batch_size));
+      for (std::size_t i = start; i < end; ++i)
+        batch.push_back(&data[order[i]]);
+      loss_sum += net.train_batch(batch, optimizer, exit_weights);
+      ++batches;
+    }
+    LEIME_CHECK(batches > 0);
+    last_epoch_loss = loss_sum / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+double train_distill(MultiExitNet& net, const std::vector<Sample>& data,
+                     int epochs, Optimizer& optimizer, int batch_size,
+                     std::uint64_t seed, double temperature, double alpha) {
+  if (epochs <= 0 || batch_size <= 0)
+    throw std::invalid_argument("train_distill: bad epochs/batch_size");
+  if (data.empty()) throw std::invalid_argument("train_distill: empty data");
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(batch_size)) {
+      std::vector<const Sample*> batch;
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(batch_size));
+      for (std::size_t i = start; i < end; ++i)
+        batch.push_back(&data[order[i]]);
+      loss_sum +=
+          net.train_batch_distill(batch, optimizer, temperature, alpha);
+      ++batches;
+    }
+    LEIME_CHECK(batches > 0);
+    last_epoch_loss = loss_sum / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace leime::nn

@@ -1,0 +1,104 @@
+// BranchyNet-style multi-exit convolutional network with joint training.
+//
+// The backbone is a chain of conv blocks; after every block an exit head
+// (global average pool + dense) produces class logits. Training minimises
+// the weighted sum of per-exit cross-entropies; the backward pass merges
+// gradients flowing from each head into the shared backbone, exactly the
+// BranchyNet recipe the paper builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace leime::nn {
+
+struct NetConfig {
+  int in_channels = 1;
+  int image_size = 16;
+  int num_classes = 5;
+  /// Conv channels per backbone block (3x3, stride 1, pad 1 + ReLU).
+  std::vector<int> block_channels = {8, 12, 16, 20};
+  /// 0-based block indices followed by a 2x2 max pool.
+  std::vector<int> pool_after = {0, 2};
+  /// Insert an InstanceNorm between each conv and its ReLU (stabilises the
+  /// deeper backbones).
+  bool use_norm = false;
+  std::uint64_t seed = 11;
+};
+
+class MultiExitNet {
+ public:
+  explicit MultiExitNet(const NetConfig& config);
+
+  int num_exits() const { return static_cast<int>(blocks_.size()); }
+  int num_classes() const { return config_.num_classes; }
+  std::size_t num_params() const;
+
+  /// Forward pass returning logits at every exit (index 0 = shallowest).
+  std::vector<Tensor> forward_exits(const Tensor& x);
+
+  /// Per-exit softmax probabilities for a sample.
+  std::vector<std::vector<float>> exit_probabilities(const Tensor& x);
+
+  /// One optimizer step on a batch with joint loss Σ_e weight_e · CE_e.
+  /// Gradients are averaged over the batch before the update. Returns the
+  /// mean (weighted) loss. exit_weights must have num_exits() entries (or
+  /// be empty for uniform weights).
+  double train_batch(const std::vector<const Sample*>& batch,
+                     Optimizer& optimizer,
+                     const std::vector<double>& exit_weights = {});
+
+  /// Convenience overload using an internally managed SGD-with-momentum
+  /// optimizer (state persists across calls; changing `momentum` resets it).
+  double train_batch(const std::vector<const Sample*>& batch, double lr,
+                     double momentum,
+                     const std::vector<double>& exit_weights = {});
+
+  /// All trainable parameter slices (backbone + heads).
+  std::vector<ParamSlice> parameters();
+
+  /// One optimizer step with self-distillation (BranchyNet follow-ups,
+  /// e.g. Phuong & Lampert '19): every non-final exit learns from a blend
+  /// of the hard labels and the final exit's softened predictions
+  /// (temperature T, blend alpha toward the hard labels). The teacher is
+  /// detached — no gradient flows into the final exit from the KD terms.
+  /// Raises early-exit accuracy, i.e. the σ_i LEIME's exit setting feeds on.
+  /// temperature > 0, alpha in [0,1].
+  double train_batch_distill(const std::vector<const Sample*>& batch,
+                             Optimizer& optimizer, double temperature = 2.0,
+                             double alpha = 0.5);
+
+  /// Accuracy of a single exit head over a dataset split.
+  double exit_accuracy(const std::vector<Sample>& data, int exit_index);
+
+ private:
+  NetConfig config_;
+  std::vector<Sequential> blocks_;
+  std::vector<Sequential> heads_;
+  std::unique_ptr<SgdMomentum> default_optimizer_;
+  double default_momentum_ = -1.0;
+};
+
+/// Convenience trainer: epochs of shuffled minibatches; returns final epoch
+/// mean loss.
+double train(MultiExitNet& net, const std::vector<Sample>& data, int epochs,
+             double lr, double momentum, int batch_size, std::uint64_t seed,
+             const std::vector<double>& exit_weights = {});
+
+/// Trainer with a caller-supplied optimizer (e.g. Adam).
+double train(MultiExitNet& net, const std::vector<Sample>& data, int epochs,
+             Optimizer& optimizer, int batch_size, std::uint64_t seed,
+             const std::vector<double>& exit_weights = {});
+
+/// Self-distillation trainer (see train_batch_distill).
+double train_distill(MultiExitNet& net, const std::vector<Sample>& data,
+                     int epochs, Optimizer& optimizer, int batch_size,
+                     std::uint64_t seed, double temperature = 2.0,
+                     double alpha = 0.5);
+
+}  // namespace leime::nn

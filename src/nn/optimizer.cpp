@@ -1,0 +1,63 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leime::nn {
+
+SgdMomentum::SgdMomentum(double lr, double momentum)
+    : lr_(lr), momentum_(momentum) {
+  if (lr <= 0.0) throw std::invalid_argument("SgdMomentum: lr must be > 0");
+  if (momentum < 0.0 || momentum >= 1.0)
+    throw std::invalid_argument("SgdMomentum: momentum outside [0,1)");
+}
+
+void SgdMomentum::set_learning_rate(double lr) {
+  if (lr <= 0.0) throw std::invalid_argument("SgdMomentum: lr must be > 0");
+  lr_ = lr;
+}
+
+void SgdMomentum::step(const std::vector<ParamSlice>& params) {
+  for (const auto& p : params) {
+    auto& v = velocity_[p.values];
+    if (v.size() != p.size) v.assign(p.size, 0.0f);
+    for (std::size_t i = 0; i < p.size; ++i) {
+      v[i] = static_cast<float>(momentum_) * v[i] -
+             static_cast<float>(lr_) * p.grads[i];
+      p.values[i] += v[i];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be > 0");
+  if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0)
+    throw std::invalid_argument("Adam: betas outside [0,1)");
+  if (eps <= 0.0) throw std::invalid_argument("Adam: eps must be > 0");
+}
+
+void Adam::step(const std::vector<ParamSlice>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (const auto& p : params) {
+    auto& mom = moments_[p.values];
+    if (mom.m.size() != p.size) {
+      mom.m.assign(p.size, 0.0f);
+      mom.v.assign(p.size, 0.0f);
+    }
+    for (std::size_t i = 0; i < p.size; ++i) {
+      const double g = p.grads[i];
+      mom.m[i] = static_cast<float>(beta1_ * mom.m[i] + (1.0 - beta1_) * g);
+      mom.v[i] =
+          static_cast<float>(beta2_ * mom.v[i] + (1.0 - beta2_) * g * g);
+      const double m_hat = mom.m[i] / bc1;
+      const double v_hat = mom.v[i] / bc2;
+      p.values[i] -=
+          static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+}  // namespace leime::nn

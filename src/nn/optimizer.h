@@ -1,0 +1,67 @@
+// Optimizers over parameter slices.
+//
+// Layers expose their parameters as (values, grads, size) slices; an
+// Optimizer updates them in place. Optimizer state (momentum / moment
+// estimates) is keyed by the values pointer, which is stable because layers
+// live behind unique_ptr for their whole training life.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace leime::nn {
+
+/// A view over one parameter tensor and its accumulated gradient.
+struct ParamSlice {
+  float* values = nullptr;
+  float* grads = nullptr;
+  std::size_t size = 0;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently accumulated gradients.
+  /// Gradients are NOT cleared (callers zero_grad per batch).
+  virtual void step(const std::vector<ParamSlice>& params) = 0;
+};
+
+/// SGD with classical momentum: v = m·v − lr·g; w += v.
+class SgdMomentum final : public Optimizer {
+ public:
+  /// lr > 0, momentum in [0, 1).
+  SgdMomentum(double lr, double momentum = 0.9);
+
+  void step(const std::vector<ParamSlice>& params) override;
+
+  void set_learning_rate(double lr);
+  double learning_rate() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::unordered_map<const float*, std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba), with bias-corrected moment estimates.
+class Adam final : public Optimizer {
+ public:
+  /// lr > 0, 0 <= beta1, beta2 < 1, eps > 0.
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  void step(const std::vector<ParamSlice>& params) override;
+
+ private:
+  struct Moments {
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+  double lr_, beta1_, beta2_, eps_;
+  long long t_ = 0;
+  std::unordered_map<const float*, Moments> moments_;
+};
+
+}  // namespace leime::nn

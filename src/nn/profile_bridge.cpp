@@ -1,0 +1,59 @@
+#include "nn/profile_bridge.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/metrics.h"
+
+namespace leime::nn {
+
+std::vector<double> interpolate_to_profile(
+    const models::ModelProfile& profile,
+    const std::vector<double>& measured) {
+  if (measured.size() < 2)
+    throw std::invalid_argument(
+        "interpolate_to_profile: need at least 2 measurements");
+  const int m = profile.num_units();
+  const double total = profile.total_flops();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (int i = 1; i <= m; ++i) {
+    const double frac = profile.prefix_flops(i) / total;
+    const double pos = frac * (static_cast<double>(measured.size()) - 1.0);
+    const auto lo = std::min(static_cast<std::size_t>(pos),
+                             measured.size() - 1);
+    const auto hi = std::min(lo + 1, measured.size() - 1);
+    const double t = pos - static_cast<double>(lo);
+    out.push_back(measured[lo] * (1.0 - t) + measured[hi] * t);
+  }
+  out.back() = measured.back();
+  // Interpolation between monotone points is monotone, but guard against
+  // float drift anyway.
+  for (std::size_t i = 1; i < out.size(); ++i)
+    out[i] = std::max(out[i], out[i - 1]);
+  return out;
+}
+
+void install_measured_behaviour(models::ModelProfile& profile,
+                                MultiExitNet& net,
+                                const std::vector<Sample>& calibration,
+                                const std::vector<Sample>& eval,
+                                double target_accuracy) {
+  // Rates: calibrated thresholds -> cumulative exit rates on eval.
+  const auto rates =
+      measured_cumulative_exit_rates(net, calibration, eval, target_accuracy);
+  auto mapped_rates = interpolate_to_profile(profile, rates);
+  mapped_rates.back() = 1.0;
+  profile.set_exit_rates(mapped_rates);
+
+  // Accuracies: each exit head's standalone accuracy on eval.
+  std::vector<double> accuracies;
+  accuracies.reserve(static_cast<std::size_t>(net.num_exits()));
+  for (int e = 0; e < net.num_exits(); ++e)
+    accuracies.push_back(evaluate_exit(net, eval, e).accuracy());
+  auto mapped_acc = interpolate_to_profile(profile, accuracies);
+  for (auto& a : mapped_acc) a = std::clamp(a, 0.0, 1.0);
+  profile.set_exit_accuracies(mapped_acc);
+}
+
+}  // namespace leime::nn

@@ -1,0 +1,35 @@
+// Bridge from trained multi-exit networks to analytic chain profiles.
+//
+// A MultiExitNet has B exits; a ModelProfile has m candidate exits. The
+// bridge maps per-exit measurements (cumulative exit rates, accuracies)
+// from the B training exits onto the m profile exits by cumulative-FLOPs
+// fraction, with linear interpolation — so the latency models consume
+// *measured* multi-exit behaviour instead of parametric curves.
+#pragma once
+
+#include <vector>
+
+#include "models/profile.h"
+#include "nn/calibration.h"
+
+namespace leime::nn {
+
+/// Interpolates `measured` (one value per training exit, assumed evenly
+/// spaced in depth) onto the profile's m exits by cumulative-FLOPs
+/// fraction. Guarantees the output is monotone non-decreasing if the input
+/// is; the final entry is forced to `measured.back()`.
+/// Throws std::invalid_argument on fewer than 2 measurements.
+std::vector<double> interpolate_to_profile(
+    const models::ModelProfile& profile, const std::vector<double>& measured);
+
+/// Trains nothing — takes an already-trained net, calibrates per-exit
+/// thresholds on `calibration` at `target_accuracy`, measures cumulative
+/// exit rates and per-exit accuracies on `eval`, and installs both into
+/// `profile` (via set_exit_rates / set_exit_accuracies).
+void install_measured_behaviour(models::ModelProfile& profile,
+                                MultiExitNet& net,
+                                const std::vector<Sample>& calibration,
+                                const std::vector<Sample>& eval,
+                                double target_accuracy);
+
+}  // namespace leime::nn

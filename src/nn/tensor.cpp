@@ -1,0 +1,29 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leime::nn {
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  if (shape_.empty()) throw std::invalid_argument("Tensor: empty shape");
+  std::size_t n = 1;
+  for (int d : shape_) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dim");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, 0.0f);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  if (other.size() != size())
+    throw std::invalid_argument("Tensor::add_scaled: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+}  // namespace leime::nn

@@ -1,0 +1,54 @@
+// Minimal dense float tensor for the from-scratch NN engine.
+//
+// Single-sample CHW layout; the training loop batches by iterating samples
+// and accumulating gradients, which keeps every layer's backward rule
+// simple and auditable. Sizes in this repo are tiny (16x16 images, <=32
+// channels), so naive loops are more than fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace leime::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape (all dims > 0).
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  int dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  int rank() const { return static_cast<int>(shape_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// CHW indexing for rank-3 tensors (unchecked beyond debug builds).
+  float& at(int c, int h, int w) {
+    return data_[static_cast<std::size_t>((c * dim(1) + h) * dim(2) + w)];
+  }
+  float at(int c, int h, int w) const {
+    return data_[static_cast<std::size_t>((c * dim(1) + h) * dim(2) + w)];
+  }
+
+  void fill(float value);
+
+  /// this += alpha * other (shapes must match).
+  void add_scaled(const Tensor& other, float alpha);
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace leime::nn

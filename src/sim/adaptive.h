@@ -1,0 +1,44 @@
+// Adaptive model redesign — an extension of LEIME's model-level loop.
+//
+// The paper designs the ME-DNN once from historical averages and adapts
+// only the offloading ratio at runtime. When the environment drifts far
+// from the design point (bandwidth collapse, sustained load change), the
+// deployed exits themselves become stale. This module re-runs the exit
+// setting at epoch boundaries from the *observed* epoch conditions and
+// redeploys the partition (queues drain at the boundary, modelling the
+// brief redeployment pause), quantifying how much periodic redesign buys
+// over the paper's design-once scheme.
+#pragma once
+
+#include <vector>
+
+#include "models/profile.h"
+#include "sim/scenario.h"
+
+namespace leime::sim {
+
+struct EpochReport {
+  double start = 0.0;
+  core::ExitCombo combo;   ///< partition deployed during this epoch
+  double mean_tct = 0.0;
+  std::size_t completed = 0;
+  double mean_bandwidth = 0.0;  ///< fleet-average uplink bandwidth used
+};
+
+struct AdaptiveResult {
+  std::vector<EpochReport> epochs;
+  double overall_mean_tct = 0.0;  ///< task-weighted across epochs
+  std::size_t total_completed = 0;
+};
+
+/// Splits base.duration into epochs of `epoch_length`. When `redesign` is
+/// true, each epoch re-runs branch-and-bound exit setting on the epoch's
+/// environment (per-device traces evaluated at the epoch midpoint, fleet
+/// averages for capability/bandwidth/latency); when false the first epoch's
+/// design is kept throughout (the paper's behaviour). base.partition is
+/// ignored — the design comes from `profile`.
+AdaptiveResult run_adaptive_scenario(const models::ModelProfile& profile,
+                                     const ScenarioConfig& base,
+                                     double epoch_length, bool redesign);
+
+}  // namespace leime::sim

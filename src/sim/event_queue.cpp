@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace leime::sim {
+
+void EventQueue::schedule(double when, Handler fn) {
+  if (when < now_)
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  heap_.push({when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the handler (closures here are small).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(double until) {
+  while (!heap_.empty() && heap_.top().when <= until) run_one();
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace leime::sim

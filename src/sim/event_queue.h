@@ -1,0 +1,60 @@
+// Deterministic discrete-event core.
+//
+// Events are (time, sequence, closure); ties on time break by insertion
+// order, so a run is bit-reproducible for a fixed seed. Single-threaded by
+// design — the edge scenarios here are small enough that determinism is
+// worth far more than parallel speed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace leime::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void schedule(double when, Handler fn);
+
+  /// Schedules `fn` `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Handler fn) { schedule(now_ + delay, std::move(fn)); }
+
+  /// Pops and runs the earliest event; returns false when empty.
+  bool run_one();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; leaves later events queued and advances now() to `until`.
+  void run_until(double until);
+
+  /// Drains the queue completely.
+  void run_all();
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace leime::sim

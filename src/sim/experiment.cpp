@@ -1,0 +1,31 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "sim/simulation.h"
+#include "util/stats.h"
+
+namespace leime::sim {
+
+ReplicatedResult run_replicated(const ScenarioConfig& config,
+                                int replications, std::uint64_t base_seed) {
+  if (replications < 1)
+    throw std::invalid_argument("run_replicated: need >= 1 replication");
+  ReplicatedResult out;
+  util::RunningStats means, p95s;
+  ScenarioConfig cfg = config;
+  for (int r = 0; r < replications; ++r) {
+    cfg.seed = base_seed + static_cast<std::uint64_t>(r);
+    const auto result = run_scenario(cfg);
+    means.add(result.tct.mean);
+    p95s.add(result.tct.p95);
+    out.per_run_mean.push_back(result.tct.mean);
+  }
+  out.mean_tct = means.mean();
+  out.stddev_tct = means.stddev();
+  out.mean_p95 = p95s.mean();
+  out.runs = static_cast<std::size_t>(replications);
+  return out;
+}
+
+}  // namespace leime::sim

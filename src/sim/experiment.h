@@ -1,0 +1,27 @@
+// Replication utilities: run a scenario across seeds and report
+// mean/stddev, so benches and tests can quote confidence instead of a
+// single draw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace leime::sim {
+
+struct ReplicatedResult {
+  double mean_tct = 0.0;    ///< mean of per-run mean TCTs
+  double stddev_tct = 0.0;  ///< stddev of per-run mean TCTs
+  double mean_p95 = 0.0;
+  std::size_t runs = 0;
+  std::vector<double> per_run_mean;  ///< one entry per seed
+};
+
+/// Runs the scenario `replications` times with seeds base_seed, base_seed+1,
+/// ... and aggregates. replications must be >= 1.
+ReplicatedResult run_replicated(const ScenarioConfig& config,
+                                int replications,
+                                std::uint64_t base_seed = 1000);
+
+}  // namespace leime::sim

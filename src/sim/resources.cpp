@@ -1,0 +1,98 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace leime::sim {
+
+FifoProcessor::FifoProcessor(EventQueue& queue, std::string name, double flops)
+    : queue_(&queue), name_(std::move(name)), flops_(flops) {
+  if (flops <= 0.0)
+    throw std::invalid_argument("FifoProcessor: flops must be > 0");
+}
+
+void FifoProcessor::set_flops(double flops) {
+  if (flops <= 0.0)
+    throw std::invalid_argument("FifoProcessor::set_flops: flops must be > 0");
+  flops_ = flops;
+}
+
+int FifoProcessor::pending_total() const {
+  return pending_[0] + pending_[1] + pending_[2];
+}
+
+void FifoProcessor::submit(double work, JobClass cls, Completion done) {
+  if (work < 0.0)
+    throw std::invalid_argument("FifoProcessor: negative work");
+  const double start = std::max(queue_->now(), busy_until_);
+  const double finish = start + work / flops_;
+  busy_until_ = finish;
+  total_work_ += work;
+  ++pending_[static_cast<int>(cls)];
+  queue_->schedule(finish, [this, cls, done = std::move(done), finish] {
+    --pending_[static_cast<int>(cls)];
+    LEIME_CHECK(pending_[static_cast<int>(cls)] >= 0);
+    done(finish);
+  });
+}
+
+Link::Link(EventQueue& queue, std::string name, double bandwidth_bytes_per_s,
+           double latency_s)
+    : queue_(&queue),
+      name_(std::move(name)),
+      bandwidth_(bandwidth_bytes_per_s),
+      latency_(latency_s) {
+  if (bandwidth_ <= 0.0)
+    throw std::invalid_argument("Link: bandwidth must be > 0");
+  if (latency_ < 0.0)
+    throw std::invalid_argument("Link: latency must be >= 0");
+}
+
+void Link::set_bandwidth_trace(util::PiecewiseConstant trace) {
+  for (const auto& p : trace.points())
+    if (p.value <= 0.0)
+      throw std::invalid_argument("Link: bandwidth trace must stay > 0");
+  bw_trace_ = std::move(trace);
+}
+
+void Link::set_latency_trace(util::PiecewiseConstant trace) {
+  for (const auto& p : trace.points())
+    if (p.value < 0.0)
+      throw std::invalid_argument("Link: latency trace must stay >= 0");
+  lat_trace_ = std::move(trace);
+}
+
+double Link::backlog_bytes(double now) const {
+  const double remaining = busy_until_ - now;
+  if (remaining <= 0.0) return 0.0;
+  return remaining * bandwidth_at(now);
+}
+
+double Link::bandwidth_at(double t) const {
+  return bw_trace_ ? bw_trace_->value_at(t) : bandwidth_;
+}
+
+double Link::latency_at(double t) const {
+  return lat_trace_ ? lat_trace_->value_at(t) : latency_;
+}
+
+void Link::transfer(double bytes, double extra_latency, Completion done) {
+  if (bytes < 0.0) throw std::invalid_argument("Link: negative bytes");
+  if (extra_latency < 0.0)
+    throw std::invalid_argument("Link: negative extra latency");
+  const double start = std::max(queue_->now(), busy_until_);
+  const double serialization = bytes / bandwidth_at(start);
+  busy_until_ = start + serialization;
+  total_bytes_ += bytes;
+  const double delivery = busy_until_ + latency_at(start) + extra_latency;
+  ++pending_;
+  queue_->schedule(delivery, [this, done = std::move(done), delivery] {
+    --pending_;
+    LEIME_CHECK(pending_ >= 0);
+    done(delivery);
+  });
+}
+
+}  // namespace leime::sim

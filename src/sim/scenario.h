@@ -1,0 +1,127 @@
+// Scenario description and result types for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/lyapunov.h"
+#include "core/partition.h"
+#include "util/stats.h"
+#include "util/trace.h"
+
+namespace leime::sim {
+
+/// How a device's tasks arrive.
+enum class ArrivalKind { kPoisson, kPeriodic, kBursty, kTrace };
+
+/// One end device of the fleet.
+struct DeviceSpec {
+  double flops = core::kRaspberryPiFlops;  ///< F_i^d
+  double uplink_bw = leime::util::mbps(10.0);
+  double uplink_lat = leime::util::ms(20.0);
+
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double mean_rate = 5.0;  ///< tasks/s (Poisson/periodic)
+  /// Rate trace for ArrivalKind::kTrace (tasks/s over time).
+  std::optional<util::PiecewiseConstant> rate_trace;
+  /// Bursty parameters (ArrivalKind::kBursty).
+  double bursty_high_rate = 20.0;
+  double bursty_dwell = 5.0;  ///< mean seconds per phase
+
+  /// Data-complexity reshaping (1 = calibrated exit rates hold exactly).
+  double difficulty = 1.0;
+
+  /// Optional COMCAST-style uplink shaping.
+  std::optional<util::PiecewiseConstant> uplink_bw_trace;
+  std::optional<util::PiecewiseConstant> uplink_lat_trace;
+};
+
+/// A full experiment: fleet + edge + cloud + deployed ME-DNN + policy.
+struct ScenarioConfig {
+  core::MeDnnPartition partition;
+
+  double edge_flops = core::kEdgeDesktopFlops;
+  double cloud_flops = core::kCloudV100Flops;
+  double edge_cloud_bw = leime::util::mbps(100.0);
+  double edge_cloud_lat = leime::util::ms(30.0);
+
+  std::vector<DeviceSpec> devices;
+
+  /// One of "LEIME", "LEIME-balance", "D-only", "E-only", "cap_based";
+  /// or set fixed_ratio in [0,1] to override with a constant ratio.
+  std::string policy = "LEIME";
+  double fixed_ratio = -1.0;
+
+  core::LyapunovConfig lyapunov;
+
+  /// When > 0, the edge's per-device docker shares are recomputed every
+  /// this many seconds from the *observed* arrival rates (eq. 27 on live
+  /// statistics) instead of staying fixed at the design-time allocation.
+  double reallocation_period = 0.0;
+
+  double duration = 60.0;  ///< seconds of task generation
+  double warmup = 5.0;     ///< tasks arriving before this are excluded
+  std::uint64_t seed = 42;
+
+  /// Width of the TCT timeline aggregation window (seconds).
+  double timeline_window = 2.0;
+
+  /// Model the cloud as a FIFO server at cloud_flops instead of the default
+  /// uncontended service (relevant when many tasks reach block 3).
+  bool cloud_fifo = false;
+
+  /// When > 0, classification results of this many bytes return to the
+  /// device over a per-device downlink (same bandwidth/latency as the
+  /// uplink) — and over a cloud-return link first for block-3 completions.
+  /// The paper (and the default) ignores the downlink: results are tiny.
+  double result_bytes = 0.0;
+
+  /// When non-empty, a per-task CSV trace (arrive/complete times, device,
+  /// exit block, offloaded flag) is written here at the end of the run.
+  std::string task_trace_path;
+
+  /// Feed the uplink's outstanding bytes back into the eq. 8 budget (the
+  /// refinement documented in DESIGN.md §5). Disable to reproduce the
+  /// paper's memoryless per-slot constraint.
+  bool uplink_backlog_feedback = true;
+
+  /// When > 0, all devices share one WiFi access point of this capacity
+  /// (bytes/s): every upload serializes through the shared medium (with
+  /// each device's own propagation latency on top) instead of dedicated
+  /// per-device links. Per-device bandwidth values and uplink traces are
+  /// ignored in this mode.
+  double shared_uplink_bw = 0.0;
+};
+
+/// Aggregated outcome of a run.
+struct SimResult {
+  util::Summary tct;  ///< over completed, post-warmup tasks
+  std::size_t generated = 0;
+  std::size_t completed = 0;  ///< completed out of the counted (post-warmup)
+  double exit1_fraction = 0.0;
+  double exit2_fraction = 0.0;
+  double exit3_fraction = 0.0;
+  double mean_offload_ratio = 0.0;  ///< decision-averaged across slots
+  double mean_device_queue = 0.0;   ///< slot-averaged Q_i over fleet
+  double mean_edge_queue = 0.0;     ///< slot-averaged H_i over fleet
+
+  struct TimelinePoint {
+    double time = 0.0;      ///< window centre
+    double mean_tct = 0.0;  ///< mean TCT of tasks completed in the window
+    std::size_t count = 0;
+  };
+  std::vector<TimelinePoint> timeline;
+
+  /// Per-device breakdown (index-aligned with ScenarioConfig::devices).
+  struct DeviceResult {
+    util::Summary tct;
+    std::size_t completed = 0;
+    double mean_offload_ratio = 0.0;
+  };
+  std::vector<DeviceResult> per_device;
+};
+
+}  // namespace leime::sim

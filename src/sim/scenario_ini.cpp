@@ -1,0 +1,85 @@
+#include "sim/scenario_ini.h"
+
+#include <stdexcept>
+
+#include "core/exit_setting.h"
+#include "models/profile_io.h"
+#include "models/zoo.h"
+
+namespace leime::sim {
+
+models::ModelProfile resolve_model_name(const std::string& name) {
+  if (name == "vgg16") return models::make_vgg16();
+  if (name == "resnet34") return models::make_resnet34();
+  if (name == "inception") return models::make_inception_v3();
+  if (name == "squeezenet") return models::make_squeezenet();
+  return models::load_profile_file(name);
+}
+
+IniScenario load_scenario(const util::IniFile& ini) {
+  const auto& sc = ini.only("scenario");
+  const auto& edge = ini.only("edge");
+
+  ScenarioConfig cfg;
+  cfg.edge_flops = util::gflops(edge.get_double("gflops", 50.0));
+  cfg.cloud_flops = util::tflops(edge.get_double("cloud_tflops", 4.0));
+  cfg.edge_cloud_bw = util::mbps(edge.get_double("cloud_mbps", 100.0));
+  cfg.edge_cloud_lat = util::ms(edge.get_double("cloud_latency_ms", 30.0));
+  cfg.policy = sc.get("policy", "LEIME");
+  cfg.duration = sc.get_double("duration", 120.0);
+  cfg.warmup = sc.get_double("warmup", 5.0);
+  cfg.seed = static_cast<std::uint64_t>(sc.get_int("seed", 42));
+  cfg.reallocation_period = sc.get_double("reallocation_period", 0.0);
+  cfg.result_bytes = sc.get_double("result_bytes", 0.0);
+  const double shared_mbps = sc.get_double("shared_uplink_mbps", 0.0);
+  if (shared_mbps > 0.0) cfg.shared_uplink_bw = util::mbps(shared_mbps);
+
+  const auto devices = ini.all("device");
+  if (devices.empty())
+    throw std::invalid_argument("scenario file has no [device] sections");
+  double flops_sum = 0.0, bw_sum = 0.0, lat_sum = 0.0;
+  for (const auto* d : devices) {
+    DeviceSpec dev;
+    dev.flops = util::gflops(d->get_double("gflops", 0.6));
+    dev.mean_rate = d->get_double("rate", 1.0);
+    dev.uplink_bw = util::mbps(d->get_double("uplink_mbps", 10.0));
+    dev.uplink_lat = util::ms(d->get_double("uplink_latency_ms", 20.0));
+    dev.difficulty = d->get_double("difficulty", 1.0);
+    cfg.devices.push_back(dev);
+    flops_sum += dev.flops;
+    bw_sum += dev.uplink_bw;
+    lat_sum += dev.uplink_lat;
+  }
+
+  IniScenario out{resolve_model_name(sc.get("model", "inception")),
+                  ScenarioConfig{}, {}, 0.0,
+                  static_cast<int>(sc.get_int("replications", 1))};
+  if (out.replications < 1)
+    throw std::invalid_argument("scenario: replications must be >= 1");
+
+  // Exit setting from fleet averages (the paper's F_av / B_av).
+  const auto n = static_cast<double>(cfg.devices.size());
+  core::Environment env;
+  env.caps.device_flops = flops_sum / n;
+  env.caps.edge_flops = cfg.edge_flops / n;
+  env.caps.cloud_flops = cfg.cloud_flops;
+  env.net.dev_edge_bw =
+      cfg.shared_uplink_bw > 0.0 ? cfg.shared_uplink_bw / n : bw_sum / n;
+  env.net.dev_edge_lat = lat_sum / n;
+  env.net.edge_cloud_bw = cfg.edge_cloud_bw;
+  env.net.edge_cloud_lat = cfg.edge_cloud_lat;
+  core::CostModel cm(out.profile, env);
+  const auto setting = core::branch_and_bound_exit_setting(cm);
+  cfg.partition = core::make_partition(out.profile, setting.combo);
+
+  out.config = std::move(cfg);
+  out.designed_exits = setting.combo;
+  out.expected_tct = setting.cost;
+  return out;
+}
+
+IniScenario load_scenario_file(const std::string& path) {
+  return load_scenario(util::IniFile::parse_file(path));
+}
+
+}  // namespace leime::sim

@@ -1,0 +1,41 @@
+// INI-file scenario descriptions (the format consumed by
+// examples/scenario_runner and documented by `scenario_runner --template`).
+//
+// Sections:
+//   [scenario]  model / policy / duration / warmup / seed / replications /
+//               reallocation_period / shared_uplink_mbps / result_bytes
+//   [edge]      gflops / cloud_tflops / cloud_mbps / cloud_latency_ms
+//   [device]    (repeatable) gflops / rate / uplink_mbps /
+//               uplink_latency_ms / difficulty
+#pragma once
+
+#include <string>
+
+#include "models/profile.h"
+#include "sim/scenario.h"
+#include "util/ini.h"
+
+namespace leime::sim {
+
+/// A parsed scenario file: the resolved model plus the simulator config
+/// (partition designed via branch-and-bound on the fleet averages).
+struct IniScenario {
+  models::ModelProfile profile;
+  ScenarioConfig config;
+  core::ExitCombo designed_exits;
+  double expected_tct = 0.0;  ///< the exit setting's cost estimate
+  int replications = 1;
+};
+
+/// Resolves a model name: one of the zoo shorthands (vgg16 | resnet34 |
+/// inception | squeezenet) or a path to a leime-profile text file.
+models::ModelProfile resolve_model_name(const std::string& name);
+
+/// Builds the full scenario from parsed INI data. Throws
+/// std::invalid_argument on missing sections/devices or bad values.
+IniScenario load_scenario(const util::IniFile& ini);
+
+/// Convenience: parse + build from a file path.
+IniScenario load_scenario_file(const std::string& path);
+
+}  // namespace leime::sim

@@ -1,0 +1,453 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/offload_policy.h"
+#include "core/resource_alloc.h"
+#include "sim/event_queue.h"
+#include "sim/resources.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "workload/arrival.h"
+#include "workload/complexity.h"
+
+namespace leime::sim {
+
+namespace {
+
+std::unique_ptr<workload::ArrivalProcess> make_arrivals(
+    const DeviceSpec& spec) {
+  switch (spec.arrival) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<workload::PoissonArrivals>(spec.mean_rate);
+    case ArrivalKind::kPeriodic:
+      return std::make_unique<workload::PeriodicArrivals>(1.0 /
+                                                          spec.mean_rate);
+    case ArrivalKind::kBursty:
+      return std::make_unique<workload::BurstyArrivals>(
+          spec.mean_rate, spec.bursty_high_rate, spec.bursty_dwell,
+          spec.bursty_dwell);
+    case ArrivalKind::kTrace:
+      if (!spec.rate_trace)
+        throw std::invalid_argument(
+            "DeviceSpec: ArrivalKind::kTrace needs rate_trace");
+      return std::make_unique<workload::TraceArrivals>(*spec.rate_trace);
+  }
+  throw std::invalid_argument("DeviceSpec: unknown ArrivalKind");
+}
+
+/// Everything the simulator tracks per device.
+struct DeviceRuntime {
+  const DeviceSpec* spec = nullptr;
+  std::unique_ptr<FifoProcessor> cpu;
+  std::unique_ptr<Link> uplink;
+  std::unique_ptr<Link> downlink;  ///< only when result_bytes > 0
+  Link* tx = nullptr;              ///< own uplink, or the shared AP
+  double tx_extra_latency = 0.0;   ///< per-device latency in shared mode
+  std::unique_ptr<FifoProcessor> edge_share;  ///< p_i·F^e docker share
+  std::unique_ptr<workload::ArrivalProcess> arrivals;
+  workload::ComplexityModel complexity{1.0};
+  util::Rng rng;
+  double x = 0.0;              ///< current offloading ratio
+  int arrived_this_slot = 0;   ///< observed arrivals in the current slot
+  double arrival_estimate = 0; ///< estimate used at the next decision
+  int arrived_this_window = 0; ///< arrivals since the last reallocation
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const ScenarioConfig& config) : cfg_(config) {
+    if (cfg_.devices.empty())
+      throw std::invalid_argument("ScenarioConfig: no devices");
+    if (cfg_.duration <= 0.0 || cfg_.warmup < 0.0 ||
+        cfg_.warmup >= cfg_.duration)
+      throw std::invalid_argument("ScenarioConfig: bad duration/warmup");
+    if (cfg_.reallocation_period < 0.0)
+      throw std::invalid_argument("ScenarioConfig: bad reallocation_period");
+    if (cfg_.timeline_window <= 0.0)
+      throw std::invalid_argument("ScenarioConfig: bad timeline_window");
+    build();
+  }
+
+  SimResult run() {
+    util::Rng master(cfg_.seed);
+    for (auto& dev : devices_) dev->rng = master.fork();
+
+    // Initial decisions + arrival streams + slot ticks.
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      decide(i);
+      schedule_next_arrival(i);
+    }
+    queue_.schedule(cfg_.lyapunov.tau, [this] { slot_tick(); });
+    if (cfg_.reallocation_period > 0.0)
+      queue_.schedule(cfg_.reallocation_period, [this] { reallocate(); });
+
+    // Generation stops at duration; in-flight tasks drain afterwards.
+    queue_.run_all();
+    return finalize();
+  }
+
+ private:
+  struct TaskRecord {
+    double t_arrive;
+    double t_complete = -1.0;
+    std::size_t device = 0;
+    int block = 0;  ///< 1, 2, or 3
+    bool offloaded = false;
+    bool counted = false;  ///< post-warmup
+  };
+
+  void build() {
+    const auto& p = cfg_.partition;
+    if (p.mu1 <= 0.0 || p.mu2 <= 0.0 || p.mu3 <= 0.0)
+      throw std::invalid_argument("ScenarioConfig: invalid partition");
+
+    // Edge shares from expected per-slot load (paper eq. 27).
+    std::vector<double> k, fd;
+    for (const auto& spec : cfg_.devices) {
+      k.push_back(std::max(1e-6, spec.mean_rate * cfg_.lyapunov.tau));
+      fd.push_back(spec.flops);
+    }
+    const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
+
+    edge_cloud_link_ = std::make_unique<Link>(
+        queue_, "edge-cloud", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
+    if (cfg_.shared_uplink_bw > 0.0)
+      shared_ap_ = std::make_unique<Link>(queue_, "shared-ap",
+                                          cfg_.shared_uplink_bw, 0.0);
+    if (cfg_.result_bytes > 0.0)
+      cloud_return_link_ = std::make_unique<Link>(
+          queue_, "cloud-return", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
+    if (cfg_.cloud_fifo)
+      cloud_ = std::make_unique<FifoProcessor>(queue_, "cloud",
+                                               cfg_.cloud_flops);
+
+    for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
+      const auto& spec = cfg_.devices[i];
+      auto dev = std::make_unique<DeviceRuntime>();
+      dev->spec = &spec;
+      dev->cpu = std::make_unique<FifoProcessor>(
+          queue_, "device" + std::to_string(i), spec.flops);
+      dev->uplink = std::make_unique<Link>(
+          queue_, "uplink" + std::to_string(i), spec.uplink_bw,
+          spec.uplink_lat);
+      if (spec.uplink_bw_trace)
+        dev->uplink->set_bandwidth_trace(*spec.uplink_bw_trace);
+      if (spec.uplink_lat_trace)
+        dev->uplink->set_latency_trace(*spec.uplink_lat_trace);
+      dev->edge_share = std::make_unique<FifoProcessor>(
+          queue_, "edge-share" + std::to_string(i),
+          shares[i] * cfg_.edge_flops);
+      if (cfg_.result_bytes > 0.0)
+        dev->downlink = std::make_unique<Link>(
+            queue_, "downlink" + std::to_string(i), spec.uplink_bw,
+            spec.uplink_lat);
+      dev->arrivals = make_arrivals(spec);
+      if (shared_ap_) {
+        dev->tx = shared_ap_.get();
+        dev->tx_extra_latency = spec.uplink_lat;
+      } else {
+        dev->tx = dev->uplink.get();
+      }
+      dev->complexity = workload::ComplexityModel(spec.difficulty);
+      dev->arrival_estimate =
+          std::max(1.0, spec.mean_rate * cfg_.lyapunov.tau);
+      devices_.push_back(std::move(dev));
+    }
+
+    if (cfg_.fixed_ratio >= 0.0)
+      policy_ = std::make_unique<core::FixedRatioPolicy>(cfg_.fixed_ratio);
+    else
+      policy_ = core::make_policy(cfg_.policy);
+
+    x_sum_dev_.assign(devices_.size(), 0.0);
+    x_count_dev_.assign(devices_.size(), 0);
+  }
+
+  core::DeviceSlotState observe(std::size_t i) const {
+    const auto& dev = *devices_[i];
+    core::DeviceSlotState s;
+    s.partition = &cfg_.partition;
+    s.device_flops = dev.spec->flops;
+    s.edge_share_flops = dev.edge_share->flops();
+    s.bandwidth = dev.tx->bandwidth_at(queue_.now());
+    // Clamp so tau > latency always holds for the decision model even under
+    // extreme shaping traces.
+    s.latency =
+        std::min(dev.tx->latency_at(queue_.now()) + dev.tx_extra_latency,
+                 0.9 * cfg_.lyapunov.tau);
+    s.queue_device = dev.cpu->pending(JobClass::kBlock1);
+    s.queue_edge = dev.edge_share->pending(JobClass::kBlock1);
+    s.uplink_backlog_bytes = cfg_.uplink_backlog_feedback
+                                 ? dev.tx->backlog_bytes(queue_.now())
+                                 : 0.0;
+    s.arrivals = dev.arrival_estimate;
+    s.config = cfg_.lyapunov;
+    return s;
+  }
+
+  void decide(std::size_t i) {
+    auto& dev = *devices_[i];
+    dev.x = policy_->decide(observe(i));
+    x_sum_ += dev.x;
+    ++x_count_;
+    x_sum_dev_[i] += dev.x;
+    ++x_count_dev_[i];
+  }
+
+  void slot_tick() {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      auto& dev = *devices_[i];
+      // Blend observation with the process's nominal rate: reacts to bursts
+      // while staying stable at low rates.
+      const double observed = dev.arrived_this_slot;
+      const double nominal =
+          dev.arrivals->rate_at(queue_.now()) * cfg_.lyapunov.tau;
+      dev.arrival_estimate = std::max(0.5 * (observed + nominal), 0.25);
+      dev.arrived_this_slot = 0;
+      decide(i);
+      q_sum_ += dev.cpu->pending(JobClass::kBlock1);
+      h_sum_ += dev.edge_share->pending(JobClass::kBlock1);
+      ++queue_samples_;
+    }
+    if (queue_.now() + cfg_.lyapunov.tau <= cfg_.duration)
+      queue_.schedule_in(cfg_.lyapunov.tau, [this] { slot_tick(); });
+  }
+
+  void schedule_next_arrival(std::size_t i) {
+    auto& dev = *devices_[i];
+    const double gap = dev.arrivals->next_interarrival(queue_.now(), dev.rng);
+    const double when = queue_.now() + gap;
+    if (when > cfg_.duration) return;  // generation window closed
+    queue_.schedule(when, [this, i] {
+      on_arrival(i);
+      schedule_next_arrival(i);
+    });
+  }
+
+  void reallocate() {
+    // Re-run the eq. 27 allocation on observed per-window rates; a floor
+    // keeps idle devices from being starved out entirely.
+    std::vector<double> k, fd;
+    for (auto& dev : devices_) {
+      k.push_back(std::max(0.25, static_cast<double>(dev->arrived_this_window) *
+                                     cfg_.lyapunov.tau /
+                                     cfg_.reallocation_period));
+      fd.push_back(dev->spec->flops);
+      dev->arrived_this_window = 0;
+    }
+    const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+      devices_[i]->edge_share->set_flops(shares[i] * cfg_.edge_flops);
+    if (queue_.now() + cfg_.reallocation_period <= cfg_.duration)
+      queue_.schedule_in(cfg_.reallocation_period, [this] { reallocate(); });
+  }
+
+  void on_arrival(std::size_t i) {
+    auto& dev = *devices_[i];
+    ++dev.arrived_this_slot;
+    ++dev.arrived_this_window;
+    const std::size_t task_id = tasks_.size();
+    TaskRecord rec;
+    rec.t_arrive = queue_.now();
+    rec.device = i;
+    rec.block =
+        workload::block_for_complexity(cfg_.partition, dev.complexity.sample(dev.rng));
+    rec.offloaded = dev.rng.bernoulli(dev.x);
+    rec.counted = rec.t_arrive >= cfg_.warmup;
+    tasks_.push_back(rec);
+
+    const auto& p = cfg_.partition;
+    if (rec.offloaded) {
+      // Raw input crosses the uplink, then block 1 runs on the edge share.
+      dev.tx->transfer(p.d0, dev.tx_extra_latency, [this, i, task_id](double) {
+        devices_[i]->edge_share->submit(
+            cfg_.partition.mu1, JobClass::kBlock1,
+            [this, i, task_id](double t) { after_block1(i, task_id, t, true); });
+      });
+    } else {
+      dev.cpu->submit(p.mu1, JobClass::kBlock1, [this, i, task_id](double t) {
+        after_block1(i, task_id, t, false);
+      });
+    }
+  }
+
+  void after_block1(std::size_t i, std::size_t task_id, double t,
+                    bool on_edge) {
+    auto& rec = tasks_[task_id];
+    if (rec.block == 1) {
+      // Local completions hold the result already; edge ones return it.
+      if (on_edge)
+        deliver_from_edge(i, task_id, t);
+      else
+        complete(task_id, t);
+      return;
+    }
+    const auto& p = cfg_.partition;
+    if (on_edge) {
+      // Already at the edge: block 2 continues on the same share.
+      devices_[i]->edge_share->submit(
+          p.mu2, JobClass::kBlock2,
+          [this, i, task_id](double t2) { after_block2(i, task_id, t2); });
+    } else {
+      // Intermediate tensor crosses the uplink first.
+      devices_[i]->tx->transfer(
+          p.d1, devices_[i]->tx_extra_latency, [this, i, task_id](double) {
+        devices_[i]->edge_share->submit(
+            cfg_.partition.mu2, JobClass::kBlock2,
+            [this, i, task_id](double t2) { after_block2(i, task_id, t2); });
+      });
+    }
+  }
+
+  void after_block2(std::size_t i, std::size_t task_id, double t) {
+    auto& rec = tasks_[task_id];
+    if (rec.block == 2) {
+      deliver_from_edge(i, task_id, t);
+      return;
+    }
+    const auto& p = cfg_.partition;
+    edge_cloud_link_->transfer(p.d2, [this, i, task_id](double t2) {
+      if (cloud_) {
+        cloud_->submit(cfg_.partition.mu3, JobClass::kBlock3,
+                       [this, i, task_id](double t3) {
+                         deliver_from_cloud(i, task_id, t3);
+                       });
+      } else {
+        // Uncontended cloud service.
+        const double finish = t2 + cfg_.partition.mu3 / cfg_.cloud_flops;
+        queue_.schedule(finish, [this, i, task_id, finish] {
+          deliver_from_cloud(i, task_id, finish);
+        });
+      }
+    });
+    (void)t;
+  }
+
+  /// Result return from the edge tier (no-op transfer when results are
+  /// modelled as free).
+  void deliver_from_edge(std::size_t i, std::size_t task_id, double t) {
+    if (cfg_.result_bytes <= 0.0) {
+      complete(task_id, t);
+      return;
+    }
+    devices_[i]->downlink->transfer(
+        cfg_.result_bytes,
+        [this, task_id](double t2) { complete(task_id, t2); });
+  }
+
+  /// Result return from the cloud: cloud -> edge, then edge -> device.
+  void deliver_from_cloud(std::size_t i, std::size_t task_id, double t) {
+    if (cfg_.result_bytes <= 0.0) {
+      complete(task_id, t);
+      return;
+    }
+    cloud_return_link_->transfer(cfg_.result_bytes, [this, i,
+                                                     task_id](double) {
+      devices_[i]->downlink->transfer(
+          cfg_.result_bytes,
+          [this, task_id](double t2) { complete(task_id, t2); });
+    });
+    (void)t;
+  }
+
+  void complete(std::size_t task_id, double t) {
+    auto& rec = tasks_[task_id];
+    LEIME_CHECK(rec.t_complete < 0.0);
+    rec.t_complete = t;
+  }
+
+  SimResult finalize() const {
+    SimResult out;
+    std::vector<double> tcts;
+    std::map<long long, std::pair<double, std::size_t>> windows;
+    std::size_t exits[3] = {0, 0, 0};
+    std::vector<std::vector<double>> device_tcts(devices_.size());
+    for (const auto& rec : tasks_) {
+      ++out.generated;
+      if (!rec.counted) continue;
+      if (rec.t_complete < 0.0) continue;  // still in flight at drain end
+      ++out.completed;
+      const double tct = rec.t_complete - rec.t_arrive;
+      tcts.push_back(tct);
+      device_tcts[rec.device].push_back(tct);
+      ++exits[rec.block - 1];
+      const auto w =
+          static_cast<long long>(rec.t_complete / cfg_.timeline_window);
+      auto& slot = windows[w];
+      slot.first += tct;
+      ++slot.second;
+    }
+    out.tct = util::summarize(tcts);
+    const double total = std::max<std::size_t>(1, out.completed);
+    out.exit1_fraction = exits[0] / total;
+    out.exit2_fraction = exits[1] / total;
+    out.exit3_fraction = exits[2] / total;
+    out.mean_offload_ratio = x_count_ ? x_sum_ / x_count_ : 0.0;
+    out.mean_device_queue = queue_samples_ ? q_sum_ / queue_samples_ : 0.0;
+    out.mean_edge_queue = queue_samples_ ? h_sum_ / queue_samples_ : 0.0;
+    for (const auto& [w, agg] : windows)
+      out.timeline.push_back({(w + 0.5) * cfg_.timeline_window,
+                              agg.first / agg.second, agg.second});
+    if (!cfg_.task_trace_path.empty()) write_task_trace();
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      SimResult::DeviceResult dr;
+      dr.tct = util::summarize(device_tcts[i]);
+      dr.completed = device_tcts[i].size();
+      dr.mean_offload_ratio =
+          x_count_dev_[i] ? x_sum_dev_[i] / static_cast<double>(x_count_dev_[i])
+                          : 0.0;
+      out.per_device.push_back(dr);
+    }
+    return out;
+  }
+
+  void write_task_trace() const {
+    util::CsvWriter trace(cfg_.task_trace_path,
+                          {"task", "device", "t_arrive", "t_complete",
+                           "tct", "exit_block", "offloaded", "counted"});
+    for (std::size_t id = 0; id < tasks_.size(); ++id) {
+      const auto& rec = tasks_[id];
+      const bool done = rec.t_complete >= 0.0;
+      trace.add_row({std::to_string(id), std::to_string(rec.device),
+                     std::to_string(rec.t_arrive),
+                     done ? std::to_string(rec.t_complete) : "-",
+                     done ? std::to_string(rec.t_complete - rec.t_arrive)
+                          : "-",
+                     std::to_string(rec.block),
+                     rec.offloaded ? "1" : "0", rec.counted ? "1" : "0"});
+    }
+  }
+
+  ScenarioConfig cfg_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<DeviceRuntime>> devices_;
+  std::unique_ptr<Link> edge_cloud_link_;
+  std::unique_ptr<Link> cloud_return_link_;
+  std::unique_ptr<Link> shared_ap_;
+  std::unique_ptr<FifoProcessor> cloud_;
+  std::unique_ptr<core::OffloadPolicy> policy_;
+  std::vector<TaskRecord> tasks_;
+  double x_sum_ = 0.0;
+  std::size_t x_count_ = 0;
+  double q_sum_ = 0.0;
+  double h_sum_ = 0.0;
+  std::size_t queue_samples_ = 0;
+  std::vector<double> x_sum_dev_;
+  std::vector<std::size_t> x_count_dev_;
+};
+
+}  // namespace
+
+SimResult run_scenario(const ScenarioConfig& config) {
+  Simulation sim(config);
+  return sim.run();
+}
+
+}  // namespace leime::sim

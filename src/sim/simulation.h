@@ -1,0 +1,28 @@
+// The discrete-event edge-intelligence simulator.
+//
+// Executes the paper's testbed (Fig. 5) in simulation: N devices generate
+// inference tasks; each task either starts its first ME-DNN block locally or
+// is offloaded (per the slot's offloading ratio x_i); tasks that fail to
+// exit early traverse device -> edge -> cloud, paying FIFO compute queues
+// and FIFO link serialization plus propagation on each hop. A slot
+// controller re-evaluates every device's x_i each tau seconds from observed
+// queue backlogs, exactly the information the paper's online algorithm uses.
+//
+// Modelling notes (documented substitutions):
+//  * result downlink is ignored (classification results are tens of bytes);
+//  * the cloud is uncontended (V100-class service at fixed FLOPS);
+//  * the edge is partitioned into per-device docker shares p_i·F^e computed
+//    once from expected load via core::kkt_edge_allocation, as in the paper.
+#pragma once
+
+#include <memory>
+
+#include "sim/scenario.h"
+
+namespace leime::sim {
+
+/// Runs one scenario to completion and returns aggregate metrics.
+/// Deterministic for a fixed config (including seed).
+SimResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace leime::sim

@@ -1,0 +1,93 @@
+#include "sim/slotted.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace leime::sim {
+
+namespace {
+
+void validate(const SlottedConfig& cfg) {
+  if (cfg.device_flops <= 0.0 || cfg.edge_share_flops <= 0.0)
+    throw std::invalid_argument("SlottedConfig: non-positive FLOPS");
+  if (cfg.bandwidth <= 0.0 || cfg.latency < 0.0)
+    throw std::invalid_argument("SlottedConfig: bad link");
+  if (cfg.num_slots <= 0)
+    throw std::invalid_argument("SlottedConfig: num_slots must be > 0");
+}
+
+SlottedResult run_impl(const SlottedConfig& cfg,
+                       workload::SlotArrivalModel& arrivals,
+                       const core::OffloadPolicy* policy,
+                       double fixed_ratio) {
+  validate(cfg);
+  util::Rng rng(cfg.seed);
+
+  core::DeviceSlotState s;
+  s.partition = &cfg.partition;
+  s.device_flops = cfg.device_flops;
+  s.edge_share_flops = cfg.edge_share_flops;
+  s.bandwidth = cfg.bandwidth;
+  s.latency = cfg.latency;
+  s.config = cfg.lyapunov;
+  s.queue_device = 0.0;
+  s.queue_edge = 0.0;
+
+  SlottedResult out;
+  out.per_slot_cost.reserve(static_cast<std::size_t>(cfg.num_slots));
+  double cost_sum = 0.0;
+  double x_sum = 0.0;
+
+  for (int t = 0; t < cfg.num_slots; ++t) {
+    const int m = arrivals.tasks_in_slot(rng);
+    s.arrivals = m;
+    const double x = policy ? policy->decide(s) : fixed_ratio;
+    x_sum += x;
+
+    const double y = core::slot_cost(s, x);
+    out.per_slot_cost.push_back(y);
+    cost_sum += y;
+    out.total_tasks += static_cast<std::size_t>(m);
+
+    // Queue evolution, eqs. 10-11.
+    const double a = (1.0 - x) * m;
+    const double d = x * m;
+    const double b = core::device_service_tasks(s);
+    const double c = core::edge_service_tasks(s, x);
+    s.queue_device = std::max(s.queue_device - b, 0.0) + a;
+    s.queue_edge = std::max(s.queue_edge - c, 0.0) + d;
+
+    out.mean_device_queue += s.queue_device;
+    out.mean_edge_queue += s.queue_edge;
+  }
+
+  const double n = cfg.num_slots;
+  out.mean_device_queue /= n;
+  out.mean_edge_queue /= n;
+  out.final_device_queue = s.queue_device;
+  out.final_edge_queue = s.queue_edge;
+  out.mean_offload_ratio = x_sum / n;
+  out.mean_tct =
+      out.total_tasks > 0 ? cost_sum / static_cast<double>(out.total_tasks) : 0.0;
+  return out;
+}
+
+}  // namespace
+
+SlottedResult run_slotted_fixed(const SlottedConfig& config,
+                                workload::SlotArrivalModel& arrivals,
+                                double offload_ratio) {
+  if (offload_ratio < 0.0 || offload_ratio > 1.0)
+    throw std::invalid_argument("run_slotted_fixed: ratio outside [0,1]");
+  return run_impl(config, arrivals, nullptr, offload_ratio);
+}
+
+SlottedResult run_slotted_policy(const SlottedConfig& config,
+                                 workload::SlotArrivalModel& arrivals,
+                                 const core::OffloadPolicy& policy) {
+  return run_impl(config, arrivals, &policy, 0.0);
+}
+
+}  // namespace leime::sim

@@ -1,0 +1,54 @@
+// Slotted analytic simulator: a direct execution of the paper's queueing
+// model (eqs. 10-14) for a single device-edge pair.
+//
+// Unlike the discrete-event simulator, slots are atomic: each slot draws
+// M_i(t) arrivals, splits them by the offloading ratio, charges the slot
+// cost Y_i(t) (eq. 14), and advances the Q/H backlogs by eqs. 10-11. This
+// matches the math of §III-D exactly and is what the Fig. 3 offload-ratio
+// sweeps and the Lyapunov controller tests run against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lyapunov.h"
+#include "core/offload_policy.h"
+#include "workload/arrival.h"
+
+namespace leime::sim {
+
+struct SlottedConfig {
+  core::MeDnnPartition partition;
+  double device_flops = 0.0;
+  double edge_share_flops = 0.0;  ///< p_i·F^e available to this device
+  double bandwidth = 0.0;         ///< B_i^e bytes/s
+  double latency = 0.0;           ///< L_i^e seconds
+  core::LyapunovConfig lyapunov;
+  int num_slots = 500;
+  std::uint64_t seed = 7;
+};
+
+struct SlottedResult {
+  double mean_tct = 0.0;        ///< Σ Y_i(t) / Σ tasks (per-task completion time)
+  double mean_device_queue = 0.0;
+  double mean_edge_queue = 0.0;
+  double final_device_queue = 0.0;
+  double final_edge_queue = 0.0;
+  double mean_offload_ratio = 0.0;
+  std::vector<double> per_slot_cost;  ///< Y_i(t) series
+  std::size_t total_tasks = 0;
+};
+
+/// Runs the slotted model with a fixed offloading ratio.
+SlottedResult run_slotted_fixed(const SlottedConfig& config,
+                                workload::SlotArrivalModel& arrivals,
+                                double offload_ratio);
+
+/// Runs the slotted model with a per-slot policy decision.
+SlottedResult run_slotted_policy(const SlottedConfig& config,
+                                 workload::SlotArrivalModel& arrivals,
+                                 const core::OffloadPolicy& policy);
+
+}  // namespace leime::sim

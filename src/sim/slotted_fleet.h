@@ -1,0 +1,47 @@
+// Multi-device slotted model: the paper's P1 in full — N devices share one
+// edge through the eq. 27 docker allocation; each device runs its own
+// per-slot drift-plus-penalty decision (the decentralized property of
+// §III-D4: no coordination beyond the static shares).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/lyapunov.h"
+#include "core/offload_policy.h"
+#include "workload/arrival.h"
+
+namespace leime::sim {
+
+struct FleetDeviceSpec {
+  double flops = 0.0;      ///< F_i^d
+  double bandwidth = 0.0;  ///< B_i^e bytes/s
+  double latency = 0.0;    ///< L_i^e seconds
+  double mean_tasks = 0.0; ///< k_i, expected tasks per slot (Poisson)
+};
+
+struct SlottedFleetConfig {
+  core::MeDnnPartition partition;
+  std::vector<FleetDeviceSpec> devices;
+  double edge_flops = 0.0;  ///< F^e, split by eq. 27
+  core::LyapunovConfig lyapunov;
+  int num_slots = 500;
+  std::uint64_t seed = 7;
+};
+
+struct SlottedFleetResult {
+  double mean_tct = 0.0;  ///< fleet-wide Σ Y_i / Σ tasks
+  std::vector<double> per_device_tct;
+  std::vector<double> final_device_queue;
+  std::vector<double> final_edge_queue;
+  std::vector<double> mean_offload_ratio;
+  std::vector<double> edge_shares;  ///< the p_i actually used
+  std::size_t total_tasks = 0;
+};
+
+/// Runs the fleet with every device deciding via `policy` each slot.
+SlottedFleetResult run_slotted_fleet(const SlottedFleetConfig& config,
+                                     const core::OffloadPolicy& policy);
+
+}  // namespace leime::sim

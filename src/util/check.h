@@ -1,0 +1,51 @@
+// Lightweight invariant checking for the LEIME library.
+//
+// LEIME_CHECK guards internal invariants; violations indicate a library bug
+// and throw leime::util::CheckError with source location and the failed
+// expression. Argument validation at public API boundaries should prefer
+// throwing std::invalid_argument directly with a descriptive message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace leime::util {
+
+/// Thrown when an internal invariant (LEIME_CHECK) fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LEIME_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace leime::util
+
+/// Checks an internal invariant; throws leime::util::CheckError on failure.
+#define LEIME_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::leime::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// LEIME_CHECK with an additional streamed message, e.g.
+/// LEIME_CHECK_MSG(x > 0, "x=" << x).
+#define LEIME_CHECK_MSG(expr, stream_expr)                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream leime_check_os_;                                  \
+      leime_check_os_ << stream_expr;                                      \
+      ::leime::util::detail::check_failed(#expr, __FILE__, __LINE__,       \
+                                          leime_check_os_.str());          \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,34 @@
+// Minimal RFC-4180-ish CSV writer for exporting bench series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace leime::util {
+
+/// Writes rows to a CSV file; cells containing commas/quotes/newlines are
+/// quoted. The file is created on construction and flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t num_rows() const { return rows_written_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_written_ = 0;
+};
+
+/// Escapes a single CSV cell (exposed for testing).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace leime::util

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Rng wraps xoshiro256++ seeded through splitmix64, giving fast,
+// high-quality, reproducible streams. Every stochastic component in the
+// library takes an Rng& (or a seed) so whole simulations replay bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace leime::util {
+
+/// xoshiro256++ generator with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>
+/// distributions, but the built-in helpers below are preferred for
+/// cross-platform reproducibility (libstdc++/libc++ distributions differ).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-seeds the generator; equal seeds yield equal streams.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw; p is clamped to [0, 1].
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (stateless variant: one sample/call).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+
+  /// Exponential with the given rate (> 0); mean is 1/rate.
+  double exponential(double rate);
+
+  /// Poisson sample with the given mean (>= 0). Uses inversion for small
+  /// means and normal approximation beyond 1e3 (adequate for workloads).
+  int poisson(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i - 1)));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream (for per-device generators).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace leime::util

@@ -1,0 +1,62 @@
+// Streaming and batch statistics used by the simulator and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace leime::util {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between closest ranks.
+/// q in [0, 1]; throws std::invalid_argument on empty input or bad q.
+/// The input is copied and sorted internally.
+double percentile(std::vector<double> values, double q);
+
+/// Convenience batch mean; 0 on empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; all fields zero for an empty sample.
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace leime::util

@@ -1,0 +1,46 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leime::util {
+
+PiecewiseConstant::PiecewiseConstant(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.empty())
+    throw std::invalid_argument("PiecewiseConstant: no breakpoints");
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].time <= points_[i - 1].time)
+      throw std::invalid_argument(
+          "PiecewiseConstant: breakpoint times must be strictly increasing");
+}
+
+PiecewiseConstant PiecewiseConstant::constant(double value) {
+  return PiecewiseConstant({{0.0, value}});
+}
+
+double PiecewiseConstant::value_at(double t) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double lhs, const Point& rhs) { return lhs < rhs.time; });
+  if (it == points_.begin()) return points_.front().value;
+  return std::prev(it)->value;
+}
+
+PiecewiseConstant PiecewiseConstant::shifted(double offset) const {
+  std::vector<Point> points;
+  points.push_back({0.0, value_at(offset)});
+  for (const auto& p : points_) {
+    const double t = p.time - offset;
+    if (t > 0.0) points.push_back({t, p.value});
+  }
+  return PiecewiseConstant(std::move(points));
+}
+
+double PiecewiseConstant::max_value() const {
+  double best = points_.front().value;
+  for (const auto& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+}  // namespace leime::util

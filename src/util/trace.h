@@ -1,0 +1,41 @@
+// Piecewise-constant time series, used for COMCAST-style bandwidth/latency
+// shaping and time-varying arrival-rate traces.
+#pragma once
+
+#include <vector>
+
+namespace leime::util {
+
+/// value_at(t) returns the value of the last breakpoint at or before t.
+/// Breakpoint times must be strictly increasing; the first breakpoint's
+/// value also covers all earlier times.
+class PiecewiseConstant {
+ public:
+  struct Point {
+    double time;
+    double value;
+  };
+
+  /// Throws std::invalid_argument on empty input or non-increasing times.
+  explicit PiecewiseConstant(std::vector<Point> points);
+
+  /// Constant-for-all-time convenience.
+  static PiecewiseConstant constant(double value);
+
+  double value_at(double t) const;
+
+  /// Largest breakpoint value (used for thinning-based samplers).
+  double max_value() const;
+
+  /// The trace as seen from `offset` seconds in: value_at(t) of the result
+  /// equals value_at(t + offset) of the original. Used to re-run trace
+  /// segments from local time zero (epoch-based simulation).
+  PiecewiseConstant shifted(double offset) const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace leime::util

@@ -1,0 +1,29 @@
+// Unit helpers. Library-wide conventions: FLOPS as double, bytes as double,
+// seconds as double, bandwidth in bytes/second. These helpers keep scenario
+// definitions readable (paper quotes Mbps / ms / GFLOPS).
+#pragma once
+
+namespace leime::util {
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+/// Megabits per second -> bytes per second.
+constexpr double mbps(double v) { return v * kMega / 8.0; }
+
+/// Milliseconds -> seconds.
+constexpr double ms(double v) { return v * 1e-3; }
+
+/// GFLOPS -> FLOPS.
+constexpr double gflops(double v) { return v * kGiga; }
+
+/// TFLOPS -> FLOPS.
+constexpr double tflops(double v) { return v * kTera; }
+
+/// Kilobytes / megabytes -> bytes.
+constexpr double kilobytes(double v) { return v * 1024.0; }
+constexpr double megabytes(double v) { return v * 1024.0 * 1024.0; }
+
+}  // namespace leime::util

@@ -1,0 +1,92 @@
+#include "workload/arrival.h"
+
+#include <stdexcept>
+
+namespace leime::workload {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  if (rate <= 0.0)
+    throw std::invalid_argument("PoissonArrivals: rate must be > 0");
+}
+
+double PoissonArrivals::next_interarrival(double, util::Rng& rng) {
+  return rng.exponential(rate_);
+}
+
+PeriodicArrivals::PeriodicArrivals(double interval) : interval_(interval) {
+  if (interval <= 0.0)
+    throw std::invalid_argument("PeriodicArrivals: interval must be > 0");
+}
+
+double PeriodicArrivals::next_interarrival(double, util::Rng&) {
+  return interval_;
+}
+
+TraceArrivals::TraceArrivals(util::PiecewiseConstant rate_trace)
+    : trace_(std::move(rate_trace)) {
+  if (trace_.max_value() <= 0.0)
+    throw std::invalid_argument("TraceArrivals: trace must reach a rate > 0");
+  for (const auto& p : trace_.points())
+    if (p.value < 0.0)
+      throw std::invalid_argument("TraceArrivals: negative rate");
+}
+
+double TraceArrivals::next_interarrival(double now, util::Rng& rng) {
+  // Lewis-Shedler thinning against the trace's max rate.
+  const double lambda_max = trace_.max_value();
+  double t = now;
+  for (;;) {
+    t += rng.exponential(lambda_max);
+    if (rng.uniform() * lambda_max <= trace_.value_at(t)) return t - now;
+  }
+}
+
+BurstyArrivals::BurstyArrivals(double rate_low, double rate_high,
+                               double mean_dwell_low, double mean_dwell_high)
+    : rate_low_(rate_low),
+      rate_high_(rate_high),
+      dwell_low_(mean_dwell_low),
+      dwell_high_(mean_dwell_high) {
+  if (rate_low <= 0.0 || rate_high <= 0.0 || mean_dwell_low <= 0.0 ||
+      mean_dwell_high <= 0.0)
+    throw std::invalid_argument("BurstyArrivals: all parameters must be > 0");
+}
+
+double BurstyArrivals::rate_at(double) const {
+  return high_phase_ ? rate_high_ : rate_low_;
+}
+
+double BurstyArrivals::next_interarrival(double now, util::Rng& rng) {
+  double t = now;
+  for (;;) {
+    if (t >= phase_ends_) {
+      high_phase_ = !high_phase_;
+      phase_ends_ =
+          t + rng.exponential(1.0 / (high_phase_ ? dwell_high_ : dwell_low_));
+    }
+    const double rate = high_phase_ ? rate_high_ : rate_low_;
+    const double gap = rng.exponential(rate);
+    if (t + gap <= phase_ends_) return t + gap - now;
+    t = phase_ends_;  // phase ended before the arrival; resample in new phase
+  }
+}
+
+UniformSlotArrivals::UniformSlotArrivals(int m_max) : m_max_(m_max) {
+  if (m_max < 0)
+    throw std::invalid_argument("UniformSlotArrivals: m_max must be >= 0");
+}
+
+int UniformSlotArrivals::tasks_in_slot(util::Rng& rng) {
+  return static_cast<int>(rng.uniform_int(0, m_max_));
+}
+
+PoissonSlotArrivals::PoissonSlotArrivals(double mean) : mean_(mean) {
+  if (mean < 0.0)
+    throw std::invalid_argument("PoissonSlotArrivals: mean must be >= 0");
+}
+
+int PoissonSlotArrivals::tasks_in_slot(util::Rng& rng) {
+  return rng.poisson(mean_);
+}
+
+}  // namespace leime::workload

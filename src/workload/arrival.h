@@ -1,0 +1,116 @@
+// Task arrival processes for the discrete-event simulator (continuous time)
+// and the slotted analytic simulator (tasks per slot).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace leime::workload {
+
+/// Continuous-time arrival process. Implementations may be stateful (e.g.
+/// the bursty process tracks its modulating phase), so one instance serves
+/// exactly one device.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Seconds from `now` until the next task arrival.
+  virtual double next_interarrival(double now, util::Rng& rng) = 0;
+
+  /// Instantaneous expected rate (tasks/s) at time t, for diagnostics and
+  /// controller-side arrival estimation.
+  virtual double rate_at(double t) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Homogeneous Poisson process.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+  double next_interarrival(double now, util::Rng& rng) override;
+  double rate_at(double) const override { return rate_; }
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double rate_;
+};
+
+/// Deterministic arrivals every `interval` seconds.
+class PeriodicArrivals final : public ArrivalProcess {
+ public:
+  explicit PeriodicArrivals(double interval);
+  double next_interarrival(double now, util::Rng& rng) override;
+  double rate_at(double) const override { return 1.0 / interval_; }
+  std::string name() const override { return "periodic"; }
+
+ private:
+  double interval_;
+};
+
+/// Non-homogeneous Poisson with a piecewise-constant rate trace, sampled by
+/// thinning. Models the paper's "dynamic task arrival rates" (Fig. 9).
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(util::PiecewiseConstant rate_trace);
+  double next_interarrival(double now, util::Rng& rng) override;
+  double rate_at(double t) const override { return trace_.value_at(t); }
+  std::string name() const override { return "trace"; }
+
+ private:
+  util::PiecewiseConstant trace_;
+};
+
+/// Two-phase Markov-modulated Poisson process (bursty traffic): alternates
+/// between a low-rate and a high-rate phase with exponentially distributed
+/// dwell times.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double rate_low, double rate_high, double mean_dwell_low,
+                 double mean_dwell_high);
+  double next_interarrival(double now, util::Rng& rng) override;
+  double rate_at(double) const override;
+  std::string name() const override { return "bursty"; }
+
+ private:
+  double rate_low_, rate_high_;
+  double dwell_low_, dwell_high_;
+  bool high_phase_ = false;
+  double phase_ends_ = 0.0;
+};
+
+/// Slotted arrival model: number of tasks per slot. The paper's system model
+/// draws M_i(t) i.i.d. in [0, M_max] with mean k_i.
+class SlotArrivalModel {
+ public:
+  virtual ~SlotArrivalModel() = default;
+  virtual int tasks_in_slot(util::Rng& rng) = 0;
+  virtual double mean() const = 0;
+};
+
+/// Uniform integer in [0, m_max] (mean m_max/2), the paper's assumption.
+class UniformSlotArrivals final : public SlotArrivalModel {
+ public:
+  explicit UniformSlotArrivals(int m_max);
+  int tasks_in_slot(util::Rng& rng) override;
+  double mean() const override { return 0.5 * m_max_; }
+
+ private:
+  int m_max_;
+};
+
+/// Poisson-distributed tasks per slot.
+class PoissonSlotArrivals final : public SlotArrivalModel {
+ public:
+  explicit PoissonSlotArrivals(double mean);
+  int tasks_in_slot(util::Rng& rng) override;
+  double mean() const override { return mean_; }
+
+ private:
+  double mean_;
+};
+
+}  // namespace leime::workload

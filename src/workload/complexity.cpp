@@ -1,0 +1,40 @@
+#include "workload/complexity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leime::workload {
+
+ComplexityModel::ComplexityModel(double difficulty) : difficulty_(difficulty) {
+  if (difficulty <= 0.0)
+    throw std::invalid_argument("ComplexityModel: difficulty must be > 0");
+}
+
+double ComplexityModel::sample(util::Rng& rng) const {
+  const double raw = rng.uniform();
+  if (difficulty_ == 1.0) return raw;
+  return std::pow(raw, 1.0 / difficulty_);
+}
+
+int exit_for_complexity(const std::vector<double>& cumulative_rates,
+                        double u) {
+  if (cumulative_rates.empty())
+    throw std::invalid_argument("exit_for_complexity: empty rates");
+  if (std::abs(cumulative_rates.back() - 1.0) > 1e-9)
+    throw std::invalid_argument("exit_for_complexity: final rate must be 1");
+  if (u < 0.0 || u >= 1.0)
+    throw std::invalid_argument("exit_for_complexity: u outside [0,1)");
+  for (std::size_t i = 0; i < cumulative_rates.size(); ++i)
+    if (cumulative_rates[i] > u) return static_cast<int>(i) + 1;
+  return static_cast<int>(cumulative_rates.size());
+}
+
+int block_for_complexity(const core::MeDnnPartition& partition, double u) {
+  if (u < 0.0 || u >= 1.0)
+    throw std::invalid_argument("block_for_complexity: u outside [0,1)");
+  if (u < partition.sigma1) return 1;
+  if (u < partition.sigma2) return 2;
+  return 3;
+}
+
+}  // namespace leime::workload

@@ -1,0 +1,41 @@
+// Task-complexity model: which exit would a task take?
+//
+// A task's complexity is a percentile u ∈ [0,1). With calibrated thresholds,
+// cumulative exit rates satisfy P(task exits at or before exit_i) = σ_i, so
+// a task with complexity u exits at the first exit whose σ_i > u. The
+// `difficulty` knob reshapes the complexity distribution (u = raw^(1/γ))
+// to emulate easier/harder datasets — the paper's Fig. 3(b) sweep.
+#pragma once
+
+#include <vector>
+
+#include "core/partition.h"
+#include "util/rng.h"
+
+namespace leime::workload {
+
+class ComplexityModel {
+ public:
+  /// difficulty == 1: complexities uniform (exit rates match σ exactly);
+  /// difficulty > 1: harder tasks (fewer early exits); < 1: easier.
+  /// Must be > 0.
+  explicit ComplexityModel(double difficulty = 1.0);
+
+  /// Draws a complexity percentile in [0, 1).
+  double sample(util::Rng& rng) const;
+
+  double difficulty() const { return difficulty_; }
+
+ private:
+  double difficulty_;
+};
+
+/// Index (1-based) of the first exit whose cumulative rate exceeds u.
+/// `cumulative_rates` must be non-empty with back() == 1.
+int exit_for_complexity(const std::vector<double>& cumulative_rates, double u);
+
+/// Which of the three ME-DNN blocks completes a task of complexity u:
+/// 1 (device/First-exit), 2 (edge/Second-exit) or 3 (cloud/Third-exit).
+int block_for_complexity(const core::MeDnnPartition& partition, double u);
+
+}  // namespace leime::workload

@@ -1,0 +1,145 @@
+#include "baselines/exit_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+
+namespace leime::baselines {
+namespace {
+
+class BaselineZooTest : public testing::TestWithParam<models::ModelKind> {};
+
+TEST_P(BaselineZooTest, AllStrategiesReturnValidCombos) {
+  const auto profile = models::make_profile(GetParam());
+  const int m = profile.num_units();
+  core::CostModel cm(profile, core::testbed_environment());
+  for (const auto strategy :
+       {ExitStrategy::kLeime, ExitStrategy::kDdnn, ExitStrategy::kEdgent,
+        ExitStrategy::kMinComp, ExitStrategy::kMinTran, ExitStrategy::kMean}) {
+    const auto combo = select_exits(strategy, cm);
+    EXPECT_GE(combo.e1, 1) << to_string(strategy);
+    EXPECT_LT(combo.e1, combo.e2) << to_string(strategy);
+    EXPECT_LT(combo.e2, combo.e3) << to_string(strategy);
+    EXPECT_EQ(combo.e3, m) << to_string(strategy);
+  }
+}
+
+TEST_P(BaselineZooTest, LeimeIsNeverWorseThanHeuristics) {
+  const auto profile = models::make_profile(GetParam());
+  core::CostModel cm(profile, core::testbed_environment());
+  const double leime_cost =
+      cm.expected_tct(select_exits(ExitStrategy::kLeime, cm));
+  for (const auto strategy :
+       {ExitStrategy::kDdnn, ExitStrategy::kEdgent, ExitStrategy::kMinComp,
+        ExitStrategy::kMinTran, ExitStrategy::kMean}) {
+    const auto combo = select_exits(strategy, cm);
+    EXPECT_LE(leime_cost, cm.expected_tct(combo) + 1e-9)
+        << to_string(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BaselineZooTest,
+                         testing::ValuesIn(models::all_model_kinds()),
+                         [](const auto& info) {
+                           std::string n = models::to_string(info.param);
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(ExitBaselines, MinCompPicksEarliestExits) {
+  const auto profile = models::make_vgg16();
+  const auto combo = min_comp_exit_setting(profile);
+  EXPECT_EQ(combo.e1, 1);
+  EXPECT_EQ(combo.e2, 2);
+}
+
+TEST(ExitBaselines, MeanSplitsInThirds) {
+  const auto profile = models::make_resnet34();  // m = 17
+  const auto combo = mean_exit_setting(profile);
+  EXPECT_EQ(combo.e1, 5);
+  EXPECT_EQ(combo.e2, 11);
+}
+
+TEST(ExitBaselines, EdgentPrefersSmallestTensors) {
+  const auto profile = models::make_vgg16();
+  const auto combo = edgent_exit_setting(profile);
+  // No exit in the allowed First-exit range may have a smaller tensor.
+  for (int i = 1; i <= profile.num_units() - 2; ++i)
+    EXPECT_GE(profile.out_bytes_after(i),
+              profile.out_bytes_after(combo.e1));
+}
+
+TEST(ExitBaselines, DdnnBalancesRateAndData) {
+  const auto profile = models::make_vgg16();
+  const auto combo = ddnn_exit_setting(profile);
+  const auto score = [&](int i) {
+    return profile.exit(i).exit_rate / profile.out_bytes_after(i);
+  };
+  for (int i = 1; i <= profile.num_units() - 2; ++i)
+    EXPECT_LE(score(i), score(combo.e1) + 1e-18);
+}
+
+TEST(ExitBaselines, MinTranMinimisesExpectedBytes) {
+  const auto profile = models::make_squeezenet();
+  const auto combo = min_tran_exit_setting(profile);
+  const int m = profile.num_units();
+  const auto expected_bytes = [&](int e1, int e2) {
+    return (1.0 - profile.exit(e1).exit_rate) * profile.out_bytes_after(e1) +
+           (1.0 - profile.exit(e2).exit_rate) * profile.out_bytes_after(e2);
+  };
+  const double best = expected_bytes(combo.e1, combo.e2);
+  for (int e1 = 1; e1 <= m - 2; ++e1)
+    for (int e2 = e1 + 1; e2 <= m - 1; ++e2)
+      EXPECT_GE(expected_bytes(e1, e2) + 1e-12, best);
+}
+
+TEST(ExitBaselines, StrategyNames) {
+  EXPECT_EQ(to_string(ExitStrategy::kLeime), "LEIME");
+  EXPECT_EQ(to_string(ExitStrategy::kMinTran), "min_tran");
+}
+
+}  // namespace
+}  // namespace leime::baselines
+namespace leime::baselines {
+namespace {
+
+TEST(NeurosurgeonNative, IsOptimalOverAllPartitions) {
+  const auto profile = models::make_inception_v3();
+  core::CostModel cm(profile, core::testbed_environment());
+  const auto best = neurosurgeon_native_partition(cm);
+  const int m = cm.num_exits();
+  EXPECT_LE(0, best.r1);
+  EXPECT_LE(best.r1, best.r2);
+  EXPECT_LE(best.r2, m);
+  for (int r1 = 0; r1 <= m; ++r1)
+    for (int r2 = r1; r2 <= m; ++r2)
+      EXPECT_GE(cm.no_exit_tct(r1, r2) + 1e-12, best.latency);
+}
+
+TEST(NeurosurgeonNative, SlowDeviceOffloadsEverything) {
+  const auto profile = models::make_vgg16();
+  auto env = core::testbed_environment();
+  env.caps.device_flops = 1e7;  // pathologically slow device
+  core::CostModel cm(profile, env);
+  const auto best = neurosurgeon_native_partition(cm);
+  EXPECT_EQ(best.r1, 0);  // nothing runs on the device
+}
+
+TEST(NeurosurgeonNative, NativeBeatsOrMatchesPinnedCuts) {
+  // The native optimizer can only improve on the paper's pinned cut points
+  // under the no-exit metric.
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    core::CostModel cm(profile, core::testbed_environment());
+    const auto pinned = core::branch_and_bound_exit_setting(cm).combo;
+    const auto native = neurosurgeon_native_partition(cm);
+    EXPECT_LE(native.latency,
+              cm.no_exit_tct(pinned.e1, pinned.e2) + 1e-12)
+        << models::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace leime::baselines

@@ -1,0 +1,122 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "models/profile.h"
+#include "models/zoo.h"
+
+namespace leime::core {
+namespace {
+
+/// Tiny 4-unit profile with round numbers for hand computation.
+models::ModelProfile tiny_profile() {
+  std::vector<models::UnitSpec> units = {
+      {"u1", 100.0, 800.0},
+      {"u2", 200.0, 400.0},
+      {"u3", 400.0, 200.0},
+      {"u4", 800.0, 100.0},
+  };
+  std::vector<models::ExitSpec> exits = {
+      {10.0, 0.25}, {20.0, 0.5}, {40.0, 0.75}, {80.0, 1.0}};
+  return models::ModelProfile("tiny", 1600.0, std::move(units),
+                              std::move(exits));
+}
+
+Environment simple_env() {
+  Environment env;
+  env.caps = {10.0, 100.0, 1000.0};          // FLOPS
+  env.net = {100.0, 0.5, 200.0, 0.25};       // bytes/s, s
+  return env;
+}
+
+TEST(CostModel, DeviceTimeHandComputed) {
+  CostModel cm(tiny_profile(), simple_env());
+  // e1 = 2: (100 + 200 + 20) / 10 = 32.
+  EXPECT_DOUBLE_EQ(cm.device_time(2), 32.0);
+  EXPECT_DOUBLE_EQ(cm.device_time(1), 11.0);
+}
+
+TEST(CostModel, EdgeTimeHandComputed) {
+  CostModel cm(tiny_profile(), simple_env());
+  // e1=1, e2=3: compute (200+400+40)/100 = 6.4; transfer 800/100 + 0.5 = 8.5.
+  EXPECT_DOUBLE_EQ(cm.edge_time(1, 3), 14.9);
+}
+
+TEST(CostModel, CloudTimeHandComputed) {
+  CostModel cm(tiny_profile(), simple_env());
+  // e2=3: compute (800+80)/1000 = 0.88; transfer 200/200 + 0.25 = 1.25.
+  EXPECT_DOUBLE_EQ(cm.cloud_time(3), 2.13);
+}
+
+TEST(CostModel, ExpectedTctCombinesWithExitRates) {
+  CostModel cm(tiny_profile(), simple_env());
+  const ExitCombo combo{1, 3, 4};
+  const double expected = cm.device_time(1) +
+                          (1.0 - 0.25) * cm.edge_time(1, 3) +
+                          (1.0 - 0.75) * cm.cloud_time(3);
+  EXPECT_DOUBLE_EQ(cm.expected_tct(combo), expected);
+}
+
+TEST(CostModel, TwoExitCostHandComputed) {
+  CostModel cm(tiny_profile(), simple_env());
+  // i=1: t_d = 11; edge runs u2..u4 + final head:
+  // (200+400+800+80)/100 = 14.8 + 800/100 + 0.5 = 23.3; (1-0.25)*23.3.
+  EXPECT_DOUBLE_EQ(cm.two_exit_cost(1), 11.0 + 0.75 * 23.3);
+}
+
+TEST(CostModel, ComboValidation) {
+  CostModel cm(tiny_profile(), simple_env());
+  EXPECT_THROW(cm.expected_tct({0, 2, 4}), std::invalid_argument);
+  EXPECT_THROW(cm.expected_tct({2, 2, 4}), std::invalid_argument);
+  EXPECT_THROW(cm.expected_tct({1, 4, 4}), std::invalid_argument);
+  EXPECT_THROW(cm.expected_tct({1, 2, 3}), std::invalid_argument);  // e3 != m
+  EXPECT_THROW(cm.device_time(0), std::invalid_argument);
+  EXPECT_THROW(cm.edge_time(2, 2), std::invalid_argument);
+  EXPECT_THROW(cm.cloud_time(4), std::invalid_argument);
+  EXPECT_THROW(cm.two_exit_cost(4), std::invalid_argument);
+}
+
+TEST(CostModel, RejectsBadEnvironmentAndTinyProfiles) {
+  Environment bad = simple_env();
+  bad.caps.device_flops = 0.0;
+  EXPECT_THROW(CostModel(tiny_profile(), bad), std::invalid_argument);
+
+  std::vector<models::UnitSpec> units = {{"u1", 1.0, 1.0}, {"u2", 1.0, 1.0}};
+  std::vector<models::ExitSpec> exits = {{1.0, 0.5}, {1.0, 1.0}};
+  models::ModelProfile two("two", 1.0, units, exits);
+  EXPECT_THROW(CostModel(two, simple_env()), std::invalid_argument);
+}
+
+TEST(CostModel, NoExitTctFullChain) {
+  CostModel cm(tiny_profile(), simple_env());
+  // r1=1, r2=3: device 100/10=10; uplink 800/100+0.5=8.5;
+  // edge (200+400)/100=6; downstream 200/200+0.25=1.25;
+  // cloud (800+80)/1000=0.88.
+  EXPECT_DOUBLE_EQ(cm.no_exit_tct(1, 3), 10.0 + 8.5 + 6.0 + 1.25 + 0.88);
+}
+
+TEST(CostModel, NoExitTctDegenerateTiers) {
+  CostModel cm(tiny_profile(), simple_env());
+  // Everything on the device: all units + final head at device speed.
+  EXPECT_DOUBLE_EQ(cm.no_exit_tct(4, 4), (100 + 200 + 400 + 800 + 80) / 10.0);
+  // Everything offloaded to the edge (r1 = 0).
+  const double expect_edge =
+      1600.0 / 100.0 + 0.5 + (1500.0 + 80.0) / 100.0;
+  EXPECT_DOUBLE_EQ(cm.no_exit_tct(0, 4), expect_edge);
+  EXPECT_THROW(cm.no_exit_tct(3, 2), std::invalid_argument);
+  EXPECT_THROW(cm.no_exit_tct(-1, 2), std::invalid_argument);
+}
+
+TEST(CostModel, FasterDevicePrefersDeeperWork) {
+  // Sanity on a real profile: speeding the device 10x lowers device time
+  // 10x but leaves edge/cloud untouched.
+  const auto profile = models::make_inception_v3();
+  Environment slow = testbed_environment(kRaspberryPiFlops);
+  Environment fast = testbed_environment(10 * kRaspberryPiFlops);
+  CostModel cs(profile, slow), cf(profile, fast);
+  EXPECT_NEAR(cs.device_time(3) / cf.device_time(3), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cs.edge_time(3, 8), cf.edge_time(3, 8));
+}
+
+}  // namespace
+}  // namespace leime::core

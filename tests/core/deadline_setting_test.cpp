@@ -1,0 +1,93 @@
+#include "core/deadline_setting.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+
+namespace leime::core {
+namespace {
+
+CostModel testbed_model() {
+  return CostModel(models::make_inception_v3(), testbed_environment());
+}
+
+TEST(DeadlineSetting, LooseDeadlinePicksMostAccurateCombo) {
+  const auto cm = testbed_model();
+  const auto r = deadline_aware_exit_setting(cm, 1e9);
+  EXPECT_TRUE(r.feasible);
+  // With a monotone accuracy curve the most accurate combination pushes
+  // both exits as deep as possible.
+  const int m = cm.num_exits();
+  EXPECT_EQ(r.combo.e1, m - 2);
+  EXPECT_EQ(r.combo.e2, m - 1);
+}
+
+TEST(DeadlineSetting, TightDeadlineFallsBackToLatencyOptimum) {
+  const auto cm = testbed_model();
+  const auto latency_opt = branch_and_bound_exit_setting(cm);
+  const auto r = deadline_aware_exit_setting(cm, 0.5 * latency_opt.cost);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.combo, latency_opt.combo);
+  EXPECT_DOUBLE_EQ(r.expected_tct, latency_opt.cost);
+}
+
+TEST(DeadlineSetting, ResultRespectsDeadlineWhenFeasible) {
+  const auto cm = testbed_model();
+  const auto latency_opt = branch_and_bound_exit_setting(cm);
+  for (double slack : {1.05, 1.5, 3.0}) {
+    const auto r = deadline_aware_exit_setting(cm, slack * latency_opt.cost);
+    ASSERT_TRUE(r.feasible) << "slack " << slack;
+    EXPECT_LE(r.expected_tct, slack * latency_opt.cost + 1e-12);
+  }
+}
+
+TEST(DeadlineSetting, AccuracyMonotoneInDeadline) {
+  // Looser deadlines can only admit more combinations, so the achieved
+  // accuracy is non-decreasing in the deadline.
+  const auto cm = testbed_model();
+  const auto latency_opt = branch_and_bound_exit_setting(cm);
+  double prev_acc = 0.0;
+  for (double slack : {1.0, 1.2, 1.5, 2.0, 4.0, 10.0}) {
+    const auto r = deadline_aware_exit_setting(cm, slack * latency_opt.cost);
+    if (!r.feasible) continue;
+    EXPECT_GE(r.expected_accuracy + 1e-12, prev_acc) << "slack " << slack;
+    prev_acc = std::max(prev_acc, r.expected_accuracy);
+  }
+  EXPECT_GT(prev_acc, 0.5);
+}
+
+TEST(DeadlineSetting, ExpectedAccuracyMatchesProfileFormula) {
+  const auto cm = testbed_model();
+  const auto r = deadline_aware_exit_setting(cm, 1e9);
+  EXPECT_DOUBLE_EQ(
+      r.expected_accuracy,
+      cm.profile().expected_accuracy(r.combo.e1, r.combo.e2));
+}
+
+TEST(DeadlineSetting, Validation) {
+  const auto cm = testbed_model();
+  EXPECT_THROW(deadline_aware_exit_setting(cm, 0.0), std::invalid_argument);
+  EXPECT_THROW(deadline_aware_exit_setting(cm, -1.0), std::invalid_argument);
+}
+
+TEST(ProfileAccuracy, ExpectedAccuracyWeightsExitFractions) {
+  auto profile = models::make_squeezenet();
+  profile.set_exit_rates({0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0});
+  std::vector<double> acc(10, 0.9);
+  acc[1] = 0.6;   // exit-2
+  acc[4] = 0.8;   // exit-5
+  acc[9] = 0.95;  // final
+  profile.set_exit_accuracies(acc);
+  // e1=2 (σ=0.3), e2=5 (σ=0.6): 0.3*0.6 + 0.3*0.8 + 0.4*0.95.
+  EXPECT_NEAR(profile.expected_accuracy(2, 5), 0.3 * 0.6 + 0.3 * 0.8 + 0.4 * 0.95,
+              1e-12);
+  EXPECT_THROW(profile.expected_accuracy(5, 5), std::invalid_argument);
+  EXPECT_THROW(profile.expected_accuracy(0, 5), std::invalid_argument);
+  EXPECT_THROW(profile.set_exit_accuracies({0.5}), std::invalid_argument);
+  EXPECT_THROW(profile.set_exit_accuracies(std::vector<double>(10, 1.5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::core

@@ -1,0 +1,201 @@
+#include "core/exit_setting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/exit_curve.h"
+#include "models/zoo.h"
+#include "util/rng.h"
+
+namespace leime::core {
+namespace {
+
+/// Random chain profile with monotone exit rates (Theorem 1's assumption).
+models::ModelProfile random_profile(int m, util::Rng& rng) {
+  std::vector<models::UnitSpec> units;
+  std::vector<models::ExitSpec> exits;
+  for (int i = 0; i < m; ++i) {
+    units.push_back({"u" + std::to_string(i),
+                     rng.uniform(1e6, 5e8),
+                     rng.uniform(1e3, 5e6)});
+    exits.push_back({rng.uniform(1e4, 1e6), 0.0});
+  }
+  // Monotone rates via sorted uniforms.
+  std::vector<double> rates;
+  for (int i = 0; i < m - 1; ++i) rates.push_back(rng.uniform());
+  rates.push_back(1.0);
+  std::sort(rates.begin(), rates.end());
+  rates.back() = 1.0;
+  for (int i = 0; i < m; ++i) exits[static_cast<std::size_t>(i)].exit_rate = rates[static_cast<std::size_t>(i)];
+  return models::ModelProfile("rand", rng.uniform(1e4, 1e6), std::move(units),
+                              std::move(exits));
+}
+
+Environment random_env(util::Rng& rng) {
+  Environment env;
+  env.caps = {rng.uniform(1e9, 4e10), rng.uniform(5e10, 4e11),
+              rng.uniform(1e12, 1e13)};
+  env.net = {rng.uniform(1e5, 2e7), rng.uniform(0.005, 0.2),
+             rng.uniform(1e6, 5e7), rng.uniform(0.01, 0.1)};
+  return env;
+}
+
+TEST(ExitSetting, ExhaustiveFindsValidCombo) {
+  const auto profile = models::make_inception_v3();
+  CostModel cm(profile, testbed_environment());
+  const auto result = exhaustive_exit_setting(cm);
+  EXPECT_GE(result.combo.e1, 1);
+  EXPECT_LT(result.combo.e1, result.combo.e2);
+  EXPECT_LT(result.combo.e2, result.combo.e3);
+  EXPECT_EQ(result.combo.e3, profile.num_units());
+  // m=16: (m-2)(m-1)/2 = 105 pair evaluations.
+  EXPECT_EQ(result.evaluations, 105u);
+}
+
+TEST(ExitSetting, BranchAndBoundMatchesExhaustiveOnZoo) {
+  for (const auto kind : models::all_model_kinds()) {
+    const auto profile = models::make_profile(kind);
+    for (double dev_flops : {kRaspberryPiFlops, kJetsonNanoFlops}) {
+      CostModel cm(profile, testbed_environment(dev_flops));
+      const auto ex = exhaustive_exit_setting(cm);
+      const auto bb = branch_and_bound_exit_setting(cm);
+      EXPECT_DOUBLE_EQ(bb.cost, ex.cost) << models::to_string(kind);
+      EXPECT_EQ(bb.combo, ex.combo) << models::to_string(kind);
+    }
+  }
+}
+
+TEST(ExitSetting, PropertyRandomInstancesOptimal) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(3, 40));
+    const auto profile = random_profile(m, rng);
+    const auto env = random_env(rng);
+    CostModel cm(profile, env);
+    const auto ex = exhaustive_exit_setting(cm);
+    const auto bb = branch_and_bound_exit_setting(cm);
+    // The B&B must return the optimal cost (ties may pick another combo).
+    ASSERT_NEAR(bb.cost, ex.cost, 1e-9 * std::abs(ex.cost))
+        << "trial " << trial << " m=" << m;
+  }
+}
+
+TEST(ExitSetting, BranchAndBoundUsesFewerEvaluationsAtScale) {
+  util::Rng rng(7);
+  const int m = 256;
+  const auto profile = random_profile(m, rng);
+  const auto env = random_env(rng);
+  CostModel cm(profile, env);
+  const auto ex = exhaustive_exit_setting(cm);
+  const auto bb = branch_and_bound_exit_setting(cm);
+  EXPECT_NEAR(bb.cost, ex.cost, 1e-9 * std::abs(ex.cost));
+  EXPECT_LT(bb.evaluations, ex.evaluations);
+}
+
+TEST(ExitSetting, AverageComplexityGrowsSubquadratically) {
+  // Theorem 2: O(m ln m) average evaluations. Check the growth rate between
+  // m and 4m stays well under the quadratic factor 16.
+  util::Rng rng(99);
+  auto avg_evals = [&](int m) {
+    double sum = 0.0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      const auto profile = random_profile(m, rng);
+      const auto env = random_env(rng);
+      CostModel cm(profile, env);
+      sum += static_cast<double>(branch_and_bound_exit_setting(cm).evaluations);
+    }
+    return sum / trials;
+  };
+  const double e1 = avg_evals(64);
+  const double e2 = avg_evals(256);
+  const double growth = e2 / e1;
+  EXPECT_LT(growth, 9.0);  // m ln m predicts ~5.3, quadratic predicts 16
+}
+
+TEST(ExitSetting, MinimumSizeProfile) {
+  util::Rng rng(1);
+  const auto profile = random_profile(3, rng);
+  CostModel cm(profile, random_env(rng));
+  const auto ex = exhaustive_exit_setting(cm);
+  const auto bb = branch_and_bound_exit_setting(cm);
+  EXPECT_EQ(ex.combo, (ExitCombo{1, 2, 3}));
+  EXPECT_EQ(bb.combo, (ExitCombo{1, 2, 3}));
+}
+
+TEST(ExitSetting, SlowDevicePushesFirstExitShallow) {
+  // Fig. 2(a): on a Raspberry Pi the optimal First-exit is very shallow;
+  // on a Jetson Nano it moves deeper.
+  const auto profile = models::make_inception_v3();
+  CostModel slow(profile, testbed_environment(kRaspberryPiFlops));
+  CostModel fast(profile, testbed_environment(kJetsonNanoFlops));
+  const auto e_slow = branch_and_bound_exit_setting(slow);
+  const auto e_fast = branch_and_bound_exit_setting(fast);
+  EXPECT_LE(e_slow.combo.e1, e_fast.combo.e1);
+}
+
+TEST(ExitSetting, LoadedEdgePullsSecondExitShallower) {
+  // Fig. 2(b): heavy edge load (lower available F^e) favours a shallower
+  // Second-exit.
+  const auto profile = models::make_inception_v3();
+  Environment light = testbed_environment();
+  Environment heavy = light;
+  heavy.caps.edge_flops *= 0.05;
+  const auto e_light =
+      branch_and_bound_exit_setting(CostModel(profile, light));
+  const auto e_heavy =
+      branch_and_bound_exit_setting(CostModel(profile, heavy));
+  EXPECT_LE(e_heavy.combo.e2, e_light.combo.e2);
+}
+
+}  // namespace
+}  // namespace leime::core
+namespace leime::core {
+namespace {
+
+TEST(ExitSetting, Theorem1DominanceHoldsOnMonotoneInstances) {
+  // Direct statement of Theorem 1: with monotone cumulative exit rates, a
+  // First-exit candidate i1 < i2 with two-exit cost T2(i1) <= T2(i2)
+  // dominates i2 for every Second-exit j > i2.
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(4, 24));
+    const auto profile = random_profile(m, rng);
+    const auto env = random_env(rng);
+    CostModel cm(profile, env);
+    for (int i1 = 1; i1 <= m - 2; ++i1) {
+      for (int i2 = i1 + 1; i2 <= m - 2; ++i2) {
+        if (cm.two_exit_cost(i1) > cm.two_exit_cost(i2)) continue;
+        for (int j = i2 + 1; j <= m - 1; ++j) {
+          ASSERT_LE(cm.expected_tct({i1, j, m}),
+                    cm.expected_tct({i2, j, m}) + 1e-9)
+              << "m=" << m << " i1=" << i1 << " i2=" << i2 << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExitSetting, Theorem1CanFailWithoutMonotoneRates) {
+  // The dominance argument uses σ_{i1} <= σ_{i2}; craft a (disallowed by
+  // ModelProfile, so built via direct cost arithmetic) counterexample
+  // showing the assumption is load-bearing: with σ decreasing, a cheaper
+  // two-exit First-exit can be worse for some Second-exit. We emulate
+  // non-monotone σ by comparing the closed forms manually.
+  //
+  // T(E1) - T(E2) = T2(i1) - T2(i2) + (σ1 - σ2)·K with K > 0 (paper eq. 6).
+  // With σ1 > σ2 (non-monotone) and T2(i1) slightly below T2(i2), the sign
+  // flips for large K.
+  const double t2_i1 = 1.00, t2_i2 = 1.01;  // i1 looks better on two exits
+  const double sigma_i1 = 0.9, sigma_i2 = 0.3;  // but rates are inverted
+  const double k_small = 0.001, k_large = 1.0;
+  const auto diff = [&](double k) {
+    return (t2_i1 - t2_i2) + (sigma_i1 - sigma_i2) * k;
+  };
+  EXPECT_LT(diff(k_small), 0.0);  // dominance appears to hold
+  EXPECT_GT(diff(k_large), 0.0);  // but fails at larger K: pruning unsafe
+}
+
+}  // namespace
+}  // namespace leime::core

@@ -1,0 +1,44 @@
+#include "core/leime.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace leime::core {
+namespace {
+
+TEST(LeimeSystem, DesignProducesConsistentState) {
+  const auto profile = models::make_inception_v3();
+  const auto env = testbed_environment();
+  const auto system = LeimeSystem::design(profile, env);
+
+  const auto& combo = system.exit_setting().combo;
+  EXPECT_EQ(combo.e3, profile.num_units());
+  EXPECT_LT(combo.e1, combo.e2);
+
+  const auto& part = system.partition();
+  EXPECT_EQ(part.combo, combo);
+  EXPECT_GT(part.mu1, 0.0);
+  EXPECT_EQ(system.policy().name(), "LEIME");
+  EXPECT_TRUE(system.environment().valid());
+}
+
+TEST(LeimeSystem, ExitSettingIsOptimalForTheEnvironment) {
+  const auto profile = models::make_resnet34();
+  const auto env = testbed_environment(kJetsonNanoFlops);
+  const auto system = LeimeSystem::design(profile, env);
+  CostModel cm(profile, env);
+  const auto exhaustive = exhaustive_exit_setting(cm);
+  EXPECT_DOUBLE_EQ(system.exit_setting().cost, exhaustive.cost);
+}
+
+TEST(LeimeSystem, ConfigPropagates) {
+  const auto profile = models::make_squeezenet();
+  LyapunovConfig cfg{123.0, 0.5};
+  const auto system = LeimeSystem::design(profile, testbed_environment(), cfg);
+  EXPECT_DOUBLE_EQ(system.config().V, 123.0);
+  EXPECT_DOUBLE_EQ(system.config().tau, 0.5);
+}
+
+}  // namespace
+}  // namespace leime::core

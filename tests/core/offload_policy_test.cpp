@@ -1,0 +1,72 @@
+#include "core/offload_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "models/zoo.h"
+
+namespace leime::core {
+namespace {
+
+MeDnnPartition test_partition() {
+  const auto profile = models::make_inception_v3();
+  return make_partition(profile, {3, 10, profile.num_units()});
+}
+
+DeviceSlotState base_state(const MeDnnPartition& part) {
+  DeviceSlotState s;
+  s.partition = &part;
+  s.device_flops = kRaspberryPiFlops;
+  s.edge_share_flops = 0.25 * kEdgeDesktopFlops;
+  s.bandwidth = leime::util::mbps(10.0);
+  s.latency = leime::util::ms(20.0);
+  s.arrivals = 5.0;
+  s.config = {50.0, 1.0};
+  return s;
+}
+
+TEST(OffloadPolicy, StaticPolicies) {
+  const auto part = test_partition();
+  const auto s = base_state(part);
+  EXPECT_DOUBLE_EQ(DeviceOnlyPolicy{}.decide(s), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeOnlyPolicy{}.decide(s), 1.0);
+  const double cap = CapabilityPolicy{}.decide(s);
+  EXPECT_DOUBLE_EQ(cap,
+                   s.edge_share_flops / (s.device_flops + s.edge_share_flops));
+  EXPECT_DOUBLE_EQ(FixedRatioPolicy{0.37}.decide(s), 0.37);
+}
+
+TEST(OffloadPolicy, FixedRatioValidation) {
+  EXPECT_THROW(FixedRatioPolicy{-0.1}, std::invalid_argument);
+  EXPECT_THROW(FixedRatioPolicy{1.1}, std::invalid_argument);
+}
+
+TEST(OffloadPolicy, LeimeRespectsBounds) {
+  const auto part = test_partition();
+  const auto s = base_state(part);
+  const double x = LeimePolicy{}.decide(s);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, 1.0);
+}
+
+TEST(OffloadPolicy, Names) {
+  EXPECT_EQ(LeimePolicy{}.name(), "LEIME");
+  EXPECT_EQ(BalancePolicy{}.name(), "LEIME-balance");
+  EXPECT_EQ(DeviceOnlyPolicy{}.name(), "D-only");
+  EXPECT_EQ(EdgeOnlyPolicy{}.name(), "E-only");
+  EXPECT_EQ(CapabilityPolicy{}.name(), "cap_based");
+  EXPECT_EQ(FixedRatioPolicy{0.5}.name(), "fixed(0.5)");
+}
+
+TEST(OffloadPolicy, Factory) {
+  for (const auto* name :
+       {"LEIME", "LEIME-balance", "D-only", "E-only", "cap_based"}) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW(make_policy("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::core

@@ -1,0 +1,56 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace leime::core {
+namespace {
+
+TEST(Partition, BlocksCoverWholeModel) {
+  const auto profile = models::make_inception_v3();
+  const int m = profile.num_units();
+  const ExitCombo combo{3, 10, m};
+  const auto p = make_partition(profile, combo);
+  const double head_sum = profile.exit(3).classifier_flops +
+                          profile.exit(10).classifier_flops +
+                          profile.exit(m).classifier_flops;
+  EXPECT_NEAR(p.mu1 + p.mu2 + p.mu3, profile.total_flops() + head_sum, 1.0);
+  EXPECT_DOUBLE_EQ(p.d0, profile.input_bytes());
+  EXPECT_DOUBLE_EQ(p.d1, profile.out_bytes_after(3));
+  EXPECT_DOUBLE_EQ(p.d2, profile.out_bytes_after(10));
+  EXPECT_DOUBLE_EQ(p.sigma1, profile.exit(3).exit_rate);
+  EXPECT_DOUBLE_EQ(p.sigma2, profile.exit(10).exit_rate);
+  EXPECT_DOUBLE_EQ(p.sigma3, 1.0);
+}
+
+TEST(Partition, Validation) {
+  const auto profile = models::make_squeezenet();
+  const int m = profile.num_units();
+  EXPECT_THROW(make_partition(profile, {0, 2, m}), std::invalid_argument);
+  EXPECT_THROW(make_partition(profile, {2, 2, m}), std::invalid_argument);
+  EXPECT_THROW(make_partition(profile, {2, m, m}), std::invalid_argument);
+  EXPECT_THROW(make_partition(profile, {1, 2, m - 1}), std::invalid_argument);
+}
+
+TEST(Partition, NoExitPartitionHasZeroSigmas) {
+  const auto profile = models::make_vgg16();
+  const int m = profile.num_units();
+  const auto p = make_no_exit_partition(profile, 4, 10);
+  EXPECT_DOUBLE_EQ(p.sigma1, 0.0);
+  EXPECT_DOUBLE_EQ(p.sigma2, 0.0);
+  EXPECT_DOUBLE_EQ(p.sigma3, 1.0);
+  // No intermediate heads: block sums equal backbone + final head only.
+  EXPECT_NEAR(p.mu1 + p.mu2 + p.mu3,
+              profile.total_flops() + profile.exit(m).classifier_flops, 1.0);
+  EXPECT_DOUBLE_EQ(p.mu1, profile.prefix_flops(4));
+}
+
+TEST(Partition, NoExitValidation) {
+  const auto profile = models::make_squeezenet();
+  EXPECT_THROW(make_no_exit_partition(profile, 5, 5), std::invalid_argument);
+  EXPECT_THROW(make_no_exit_partition(profile, 0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::core

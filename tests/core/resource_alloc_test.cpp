@@ -1,0 +1,111 @@
+#include "core/resource_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace leime::core {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ResourceAlloc, InteriorSolutionSumsToOne) {
+  const std::vector<double> k{4.0, 4.0, 4.0};
+  const std::vector<double> f{1e9, 1e9, 1e9};
+  const auto p = kkt_interior_solution(k, f, 1e11);
+  EXPECT_NEAR(sum(p), 1.0, 1e-12);
+  // Symmetric inputs -> symmetric shares.
+  EXPECT_NEAR(p[0], p[1], 1e-12);
+  EXPECT_NEAR(p[1], p[2], 1e-12);
+}
+
+TEST(ResourceAlloc, MoreTasksMoreShare) {
+  const std::vector<double> k{1.0, 9.0};
+  const std::vector<double> f{1e9, 1e9};
+  const auto p = kkt_edge_allocation(k, f, 1e11);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_NEAR(sum(p), 1.0, 1e-9);
+}
+
+TEST(ResourceAlloc, StrongerDeviceNeedsLessShare) {
+  const std::vector<double> k{4.0, 4.0};
+  const std::vector<double> f{1e9, 3e10};  // second device much stronger
+  const auto p = kkt_edge_allocation(k, f, 1e11);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(ResourceAlloc, ClampsNegativeInteriorShares) {
+  // A very strong device makes the interior share negative; the
+  // water-filling allocation must pin it at p_min and stay a distribution.
+  const std::vector<double> k{4.0, 4.0};
+  const std::vector<double> f{1e9, 9e10};
+  const double edge = 1e10;
+  const auto interior = kkt_interior_solution(k, f, edge);
+  ASSERT_LT(interior[1], 0.0);  // the premise of the test
+  const auto p = kkt_edge_allocation(k, f, edge, 1e-4);
+  EXPECT_NEAR(sum(p), 1.0, 1e-9);
+  EXPECT_GE(p[1], 1e-4 / 2);  // pinned near the floor (post-normalisation)
+  EXPECT_GT(p[0], 0.9);
+}
+
+TEST(ResourceAlloc, MatchesInteriorWhenFeasible) {
+  const std::vector<double> k{2.0, 5.0, 8.0};
+  const std::vector<double> f{2e9, 3e9, 1e9};
+  const double edge = 2e11;
+  const auto interior = kkt_interior_solution(k, f, edge);
+  for (double v : interior) ASSERT_GT(v, 0.0);
+  const auto p = kkt_edge_allocation(k, f, edge);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(p[i], interior[i], 1e-9);
+}
+
+TEST(ResourceAlloc, AllocationMinimisesObjective) {
+  // Property: the returned shares should beat many random feasible shares
+  // on the paper's objective f(P).
+  util::Rng rng(5);
+  const std::vector<double> k{1.0, 3.0, 7.0, 2.0};
+  const std::vector<double> f{1e9, 2e9, 5e8, 3e9};
+  const double edge = 5e10;
+  const double mu = 1e9;
+  auto objective = [&](const std::vector<double>& p) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < k.size(); ++i)
+      total += k[i] * mu / (f[i] + p[i] * edge);
+    return total;
+  };
+  const auto best = kkt_edge_allocation(k, f, edge);
+  const double best_obj = objective(best);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> p(k.size());
+    double s = 0.0;
+    for (auto& v : p) {
+      v = rng.uniform(0.01, 1.0);
+      s += v;
+    }
+    for (auto& v : p) v /= s;
+    EXPECT_GE(objective(p) + 1e-9, best_obj);
+  }
+}
+
+TEST(ResourceAlloc, Validation) {
+  EXPECT_THROW(kkt_edge_allocation({}, {}, 1e9), std::invalid_argument);
+  EXPECT_THROW(kkt_edge_allocation({1.0}, {1.0, 2.0}, 1e9),
+               std::invalid_argument);
+  EXPECT_THROW(kkt_edge_allocation({1.0}, {1e9}, 0.0), std::invalid_argument);
+  EXPECT_THROW(kkt_edge_allocation({-1.0}, {1e9}, 1e9),
+               std::invalid_argument);
+  EXPECT_THROW(kkt_edge_allocation({1.0}, {0.0}, 1e9), std::invalid_argument);
+  EXPECT_THROW(kkt_edge_allocation({0.0, 0.0}, {1e9, 1e9}, 1e9),
+               std::invalid_argument);
+  // p_min too large for n devices.
+  EXPECT_THROW(kkt_edge_allocation({1.0, 1.0}, {1e9, 1e9}, 1e9, 0.6),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::core

@@ -1,0 +1,122 @@
+// Cross-validation between the three latency models in this repo: the
+// closed-form cost model (eqs. 1-4), the slotted analytic simulator
+// (eqs. 10-14) and the discrete-event simulator. They make different
+// approximations; these tests pin down where they must agree.
+#include <gtest/gtest.h>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+#include "sim/simulation.h"
+#include "sim/slotted.h"
+
+namespace leime {
+namespace {
+
+/// DES with sparse sequential tasks, all launched on the device (the cost
+/// model's premise), must match the closed form closely: the only effects
+/// the closed form omits (queueing, contention) vanish at this load.
+TEST(CrossValidation, DesMatchesCostModelAtLightLoad) {
+  for (const auto kind :
+       {models::ModelKind::kInceptionV3, models::ModelKind::kSqueezeNet}) {
+    const auto profile = models::make_profile(kind);
+    const auto env = core::testbed_environment();
+    core::CostModel cm(profile, env);
+    const int m = profile.num_units();
+
+    for (const core::ExitCombo combo :
+         {core::ExitCombo{1, m / 2, m}, core::ExitCombo{m / 3, m - 1, m}}) {
+      sim::ScenarioConfig cfg;
+      cfg.partition = core::make_partition(profile, combo);
+      sim::DeviceSpec dev;
+      dev.arrival = sim::ArrivalKind::kPeriodic;
+      dev.mean_rate = 1.0 / 120.0;  // one task every 2 minutes
+      cfg.devices.push_back(dev);
+      cfg.fixed_ratio = 0.0;
+      cfg.duration = 60.0 * 120.0;
+      cfg.warmup = 0.0;
+      const auto result = sim::run_scenario(cfg);
+      ASSERT_GT(result.completed, 50u);
+
+      // Weight the per-tier closed forms by the *realized* exit fractions
+      // (the Bernoulli exit draws are the only stochastic element at this
+      // load, so this isolates the latency mechanics from sampling noise).
+      const double frac_past_e1 =
+          result.exit2_fraction + result.exit3_fraction;
+      const double analytic = cm.device_time(combo.e1) +
+                              frac_past_e1 * cm.edge_time(combo.e1, combo.e2) +
+                              result.exit3_fraction * cm.cloud_time(combo.e2);
+      EXPECT_NEAR(result.tct.mean, analytic, 0.03 * analytic)
+          << models::to_string(kind) << " combo (" << combo.e1 << ","
+          << combo.e2 << ")";
+      // And the population mean stays within broad sampling bounds.
+      EXPECT_NEAR(result.tct.mean, cm.expected_tct(combo),
+                  0.25 * cm.expected_tct(combo));
+    }
+  }
+}
+
+/// The slotted model and the DES must agree on the *direction* of the
+/// offloading trade-off in a clearly differentiated setting.
+TEST(CrossValidation, SlottedAndDesAgreeOnOffloadDirection) {
+  const auto profile = models::make_inception_v3();
+  const auto part =
+      core::make_partition(profile, {10, 14, profile.num_units()});
+
+  // Weak device, strong edge, decent bandwidth: offloading must win.
+  sim::SlottedConfig scfg;
+  scfg.partition = part;
+  scfg.device_flops = core::kRaspberryPiFlops;
+  scfg.edge_share_flops = core::kEdgeDesktopFlops;
+  scfg.bandwidth = util::mbps(30.0);
+  scfg.latency = util::ms(20.0);
+  scfg.num_slots = 300;
+  workload::PoissonSlotArrivals a1(0.5), a2(0.5);
+  const double slotted_local = sim::run_slotted_fixed(scfg, a1, 0.0).mean_tct;
+  const double slotted_off = sim::run_slotted_fixed(scfg, a2, 1.0).mean_tct;
+
+  sim::ScenarioConfig dcfg;
+  dcfg.partition = part;
+  sim::DeviceSpec dev;
+  dev.flops = core::kRaspberryPiFlops;
+  dev.uplink_bw = util::mbps(30.0);
+  dev.mean_rate = 0.5;
+  dcfg.devices.push_back(dev);
+  dcfg.duration = 120.0;
+  dcfg.fixed_ratio = 0.0;
+  const double des_local = sim::run_scenario(dcfg).tct.mean;
+  dcfg.fixed_ratio = 1.0;
+  const double des_off = sim::run_scenario(dcfg).tct.mean;
+
+  EXPECT_LT(slotted_off, slotted_local);
+  EXPECT_LT(des_off, des_local);
+}
+
+/// Theorem 3's stability conditions (C3/C4): under a feasible load the
+/// LEIME-controlled queues are mean-rate stable — final backlog over
+/// horizon shrinks as the horizon grows.
+TEST(CrossValidation, LeimeQueuesAreMeanRateStable) {
+  const auto profile = models::make_inception_v3();
+  core::CostModel cm(profile, core::testbed_environment());
+  sim::SlottedConfig cfg;
+  cfg.partition = core::make_partition(
+      profile, core::branch_and_bound_exit_setting(cm).combo);
+  cfg.device_flops = core::kRaspberryPiFlops;
+  cfg.edge_share_flops = core::kEdgeDesktopFlops;
+  cfg.bandwidth = util::mbps(10.0);
+  cfg.latency = util::ms(20.0);
+  const core::LeimePolicy policy;
+
+  auto backlog_rate = [&](int slots) {
+    cfg.num_slots = slots;
+    workload::PoissonSlotArrivals arrivals(0.8);
+    const auto r = sim::run_slotted_policy(cfg, arrivals, policy);
+    return (r.final_device_queue + r.final_edge_queue) /
+           static_cast<double>(slots);
+  };
+  const double short_run = backlog_rate(200);
+  const double long_run = backlog_rate(1600);
+  EXPECT_LT(long_run, std::max(0.05, 0.5 * short_run + 0.01));
+}
+
+}  // namespace
+}  // namespace leime

@@ -1,0 +1,135 @@
+// Randomised property tests across module boundaries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/exit_setting.h"
+#include "models/exit_curve.h"
+#include "models/profile_io.h"
+#include "models/zoo.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace leime {
+namespace {
+
+models::ModelProfile random_profile(util::Rng& rng) {
+  const int m = static_cast<int>(rng.uniform_int(3, 24));
+  std::vector<models::UnitSpec> units;
+  std::vector<models::ExitSpec> exits;
+  std::vector<double> rates;
+  for (int i = 0; i < m; ++i) {
+    units.push_back({"unit_" + std::to_string(i), rng.uniform(1e6, 1e9),
+                     rng.uniform(1e3, 1e7)});
+    exits.push_back({rng.uniform(1e3, 1e7), 0.0, rng.uniform(0.4, 1.0)});
+    rates.push_back(i + 1 == m ? 1.0 : rng.uniform());
+  }
+  std::sort(rates.begin(), rates.end());
+  rates.back() = 1.0;
+  for (int i = 0; i < m; ++i)
+    exits[static_cast<std::size_t>(i)].exit_rate =
+        rates[static_cast<std::size_t>(i)];
+  return models::ModelProfile("fuzz_" + std::to_string(m),
+                              rng.uniform(1e3, 1e7), std::move(units),
+                              std::move(exits));
+}
+
+TEST(Property, ProfileIoRoundTripsRandomProfiles) {
+  util::Rng rng(808);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto original = random_profile(rng);
+    std::stringstream buffer;
+    models::save_profile(original, buffer);
+    const auto loaded = models::load_profile(buffer);
+    ASSERT_EQ(loaded.num_units(), original.num_units());
+    for (int i = 1; i <= original.num_units(); ++i) {
+      ASSERT_DOUBLE_EQ(loaded.unit(i).flops, original.unit(i).flops);
+      ASSERT_DOUBLE_EQ(loaded.exit(i).exit_rate, original.exit(i).exit_rate);
+      ASSERT_DOUBLE_EQ(loaded.exit(i).exit_accuracy,
+                       original.exit(i).exit_accuracy);
+    }
+  }
+}
+
+TEST(Property, ExpectedTctBoundedByTierSums) {
+  // For any combo: t_d <= T(E) <= t_d + t_e + t_c (exit rates only ever
+  // remove downstream work).
+  util::Rng rng(909);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto profile = random_profile(rng);
+    core::Environment env;
+    env.caps = {rng.uniform(1e8, 1e10), rng.uniform(1e9, 1e11),
+                rng.uniform(1e11, 1e13)};
+    env.net = {rng.uniform(1e5, 1e7), rng.uniform(0.0, 0.2),
+               rng.uniform(1e6, 1e8), rng.uniform(0.0, 0.1)};
+    core::CostModel cm(profile, env);
+    const int m = cm.num_exits();
+    for (int e1 = 1; e1 <= m - 2; ++e1) {
+      for (int e2 = e1 + 1; e2 <= m - 1; ++e2) {
+        const double t = cm.expected_tct({e1, e2, m});
+        ASSERT_GE(t, cm.device_time(e1) - 1e-12);
+        ASSERT_LE(t, cm.device_time(e1) + cm.edge_time(e1, e2) +
+                         cm.cloud_time(e2) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Property, DesConservesTasksAcrossRandomScenarios) {
+  // Conservation: completed (post-warmup) <= generated; all counted tasks
+  // complete after drain; exit fractions sum to 1.
+  util::Rng rng(111);
+  const auto profile = models::make_squeezenet();
+  for (int trial = 0; trial < 12; ++trial) {
+    const int m = profile.num_units();
+    const int e1 = static_cast<int>(rng.uniform_int(1, m - 2));
+    const int e2 = static_cast<int>(rng.uniform_int(e1 + 1, m - 1));
+    sim::ScenarioConfig cfg;
+    cfg.partition = core::make_partition(profile, {e1, e2, m});
+    const int n_dev = static_cast<int>(rng.uniform_int(1, 4));
+    for (int d = 0; d < n_dev; ++d) {
+      sim::DeviceSpec dev;
+      dev.flops = rng.uniform(0.3e9, 8e9);
+      dev.mean_rate = rng.uniform(0.2, 2.0);
+      dev.uplink_bw = util::mbps(rng.uniform(2.0, 30.0));
+      dev.difficulty = rng.uniform(0.5, 2.0);
+      cfg.devices.push_back(dev);
+    }
+    cfg.duration = 25.0;
+    cfg.warmup = 2.0;
+    cfg.seed = rng.next_u64();
+    const auto r = sim::run_scenario(cfg);
+    ASSERT_LE(r.completed, r.generated);
+    ASSERT_NEAR(r.exit1_fraction + r.exit2_fraction + r.exit3_fraction,
+                r.completed ? 1.0 : 0.0, 1e-9);
+    std::size_t per_dev_total = 0;
+    for (const auto& d : r.per_device) per_dev_total += d.completed;
+    ASSERT_EQ(per_dev_total, r.completed);
+  }
+}
+
+TEST(Property, BranchAndBoundNeverWorseThanHeuristicCurves) {
+  // With any monotone parametric curve installed, the B&B optimum must be
+  // <= every evenly spaced combo's cost.
+  util::Rng rng(222);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto profile = random_profile(rng);
+    profile.set_exit_rates(
+        models::power_law_exit_rates(profile, rng.uniform(0.4, 2.5)));
+    core::Environment env;
+    env.caps = {rng.uniform(1e8, 1e10), rng.uniform(1e9, 1e11),
+                rng.uniform(1e11, 1e13)};
+    env.net = {rng.uniform(1e5, 1e7), rng.uniform(0.0, 0.2),
+               rng.uniform(1e6, 1e8), rng.uniform(0.0, 0.1)};
+    core::CostModel cm(profile, env);
+    const auto best = core::branch_and_bound_exit_setting(cm);
+    const int m = cm.num_exits();
+    const int e1 = std::max(1, m / 3);
+    const int e2 = std::max(e1 + 1, (2 * m) / 3);
+    if (e2 >= m) continue;
+    ASSERT_LE(best.cost, cm.expected_tct({e1, e2, m}) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace leime

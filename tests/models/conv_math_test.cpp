@@ -1,0 +1,79 @@
+#include "models/conv_math.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace leime::models {
+namespace {
+
+TEST(ConvMath, OutputDimsBasic) {
+  const TensorDims in{3, 224, 224};
+  const auto out = conv_output_dims(in, {64, 3, 1, 1});
+  EXPECT_EQ(out.channels, 64);
+  EXPECT_EQ(out.height, 224);
+  EXPECT_EQ(out.width, 224);
+}
+
+TEST(ConvMath, OutputDimsStrided) {
+  const auto out = conv_output_dims({3, 224, 224}, {64, 7, 2, 3});
+  EXPECT_EQ(out.height, 112);
+  EXPECT_EQ(out.width, 112);
+}
+
+TEST(ConvMath, OutputDimsNoPadding) {
+  const auto out = conv_output_dims({32, 149, 149}, {32, 3, 1, 0});
+  EXPECT_EQ(out.height, 147);
+}
+
+TEST(ConvMath, FlopsMatchesHandComputation) {
+  // 2 * k^2 * Cin * Cout * Hout * Wout with a 1x1 conv on 4x4.
+  const double f = conv_flops({2, 4, 4}, {3, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(f, 2.0 * 1 * 2 * 3 * 16);
+}
+
+TEST(ConvMath, FlopsVgg16FirstLayer) {
+  // conv3-64 on 224x224x3: 2*9*3*64*224*224 ≈ 173.4 MFLOPs.
+  const double f = conv_flops({3, 224, 224}, {64, 3, 1, 1});
+  EXPECT_NEAR(f, 173408256.0, 1.0);
+}
+
+TEST(ConvMath, PoolDims) {
+  const auto out = pool_output_dims({64, 112, 112}, 3, 2);
+  EXPECT_EQ(out.channels, 64);
+  EXPECT_EQ(out.height, 55);
+  const auto out2 = pool_output_dims({64, 224, 224}, 2, 2);
+  EXPECT_EQ(out2.height, 112);
+}
+
+TEST(ConvMath, TensorBytes) {
+  const TensorDims d{64, 10, 10};
+  EXPECT_DOUBLE_EQ(d.bytes(), 4.0 * 64 * 100);
+  EXPECT_EQ(d.elements(), 6400);
+}
+
+TEST(ConvMath, FcFlops) {
+  EXPECT_DOUBLE_EQ(fc_flops(512, 10), 2.0 * 512 * 10);
+  EXPECT_THROW(fc_flops(0, 10), std::invalid_argument);
+}
+
+TEST(ConvMath, ExitHeadFlops) {
+  const TensorDims fm{128, 8, 8};
+  const double f = exit_head_flops(fm, 64, 10);
+  // pool + FC(128,64) + FC(64,10) + softmax
+  EXPECT_DOUBLE_EQ(f, 128 * 64.0 + 2.0 * 128 * 64 + 2.0 * 64 * 10 + 30.0);
+}
+
+TEST(ConvMath, Validation) {
+  EXPECT_THROW(conv_output_dims({0, 10, 10}, {1, 3, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(conv_output_dims({3, 10, 10}, {1, 0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(conv_output_dims({3, 2, 2}, {1, 5, 1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(pool_output_dims({3, 2, 2}, 5, 2), std::invalid_argument);
+  EXPECT_THROW(exit_head_flops({1, 1, 1}, 0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::models

@@ -1,0 +1,122 @@
+#include "models/exit_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace leime::models {
+namespace {
+
+ModelProfile toy() {
+  return make_squeezenet();  // small m = 10
+}
+
+TEST(ExitCurve, PowerLawMonotoneEndsAtOne) {
+  auto p = toy();
+  for (double gamma : {0.5, 1.0, 2.0}) {
+    const auto rates = power_law_exit_rates(p, gamma);
+    ASSERT_EQ(static_cast<int>(rates.size()), p.num_units());
+    for (std::size_t i = 1; i < rates.size(); ++i)
+      EXPECT_GE(rates[i], rates[i - 1]) << "gamma=" << gamma;
+    EXPECT_DOUBLE_EQ(rates.back(), 1.0);
+    EXPECT_GT(rates.front(), 0.0);
+  }
+}
+
+TEST(ExitCurve, GammaOrdersEarlyExitMass) {
+  auto p = toy();
+  const auto easy = power_law_exit_rates(p, 0.5);
+  const auto hard = power_law_exit_rates(p, 2.0);
+  // Easier data exits earlier at every non-final exit.
+  for (std::size_t i = 0; i + 1 < easy.size(); ++i)
+    EXPECT_GT(easy[i], hard[i]);
+}
+
+TEST(ExitCurve, PowerLawValidation) {
+  auto p = toy();
+  EXPECT_THROW(power_law_exit_rates(p, 0.0), std::invalid_argument);
+  EXPECT_THROW(power_law_exit_rates(p, -1.0), std::invalid_argument);
+}
+
+TEST(ExitCurve, LogisticMonotoneAndNormalised) {
+  auto p = toy();
+  const auto rates = logistic_exit_rates(p, 0.5, 8.0);
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    EXPECT_GE(rates[i], rates[i - 1]);
+  EXPECT_DOUBLE_EQ(rates.back(), 1.0);
+  EXPECT_GE(rates.front(), 0.0);
+  EXPECT_THROW(logistic_exit_rates(p, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(logistic_exit_rates(p, 1.5, 3.0), std::invalid_argument);
+}
+
+TEST(ExitCurve, RescaleHitsTargetFirstExitRate) {
+  auto p = toy();
+  auto rates = power_law_exit_rates(p, 1.2);
+  const int idx = 2;
+  const auto scaled = rescale_to_first_exit_rate(rates, idx, 0.4);
+  EXPECT_NEAR(scaled[idx - 1], 0.4, 1e-12);
+  for (std::size_t i = 1; i < scaled.size(); ++i)
+    EXPECT_GE(scaled[i], scaled[i - 1]);
+  EXPECT_DOUBLE_EQ(scaled.back(), 1.0);
+}
+
+TEST(ExitCurve, RescaleClampsAtOne) {
+  std::vector<double> rates{0.5, 0.8, 1.0};
+  const auto scaled = rescale_to_first_exit_rate(rates, 1, 0.9);
+  EXPECT_NEAR(scaled[0], 0.9, 1e-12);
+  EXPECT_LE(scaled[1], 1.0);
+  EXPECT_DOUBLE_EQ(scaled[2], 1.0);
+}
+
+TEST(ExitCurve, RescaleValidation) {
+  std::vector<double> rates{0.5, 1.0};
+  EXPECT_THROW(rescale_to_first_exit_rate({}, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(rescale_to_first_exit_rate(rates, 0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(rescale_to_first_exit_rate(rates, 3, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(rescale_to_first_exit_rate(rates, 1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(rescale_to_first_exit_rate(rates, 1, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::models
+namespace leime::models {
+namespace {
+
+TEST(AccuracyCurve, SaturatingShape) {
+  const auto p = make_squeezenet();
+  const auto acc = saturating_exit_accuracies(p, 0.7, 0.9, 2.5);
+  ASSERT_EQ(static_cast<int>(acc.size()), p.num_units());
+  for (std::size_t i = 1; i < acc.size(); ++i) EXPECT_GE(acc[i], acc[i - 1]);
+  EXPECT_DOUBLE_EQ(acc.back(), 0.9);
+  EXPECT_GE(acc.front(), 0.7);
+  // Fast early rise: half the gap is closed well before half the depth.
+  const auto mid = acc[acc.size() / 2];
+  EXPECT_GT(mid, 0.7 + 0.5 * (0.9 - 0.7));
+}
+
+TEST(AccuracyCurve, Validation) {
+  const auto p = make_squeezenet();
+  EXPECT_THROW(saturating_exit_accuracies(p, -0.1, 0.9, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(saturating_exit_accuracies(p, 0.5, 1.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(saturating_exit_accuracies(p, 0.5, 0.9, 0.0),
+               std::invalid_argument);
+}
+
+TEST(AccuracyCurve, ZooProfilesCarryAccuracies) {
+  for (const auto kind : all_model_kinds()) {
+    const auto p = make_profile(kind);
+    for (int i = 2; i <= p.num_units(); ++i)
+      EXPECT_GE(p.exit(i).exit_accuracy, p.exit(i - 1).exit_accuracy);
+    EXPECT_GT(p.exit(1).exit_accuracy, 0.5);
+    EXPECT_LE(p.exit(p.num_units()).exit_accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace leime::models

@@ -1,0 +1,101 @@
+#include "models/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "models/zoo.h"
+
+namespace leime::models {
+namespace {
+
+TEST(ProfileIo, RoundTripPreservesEverything) {
+  for (const auto kind : all_model_kinds()) {
+    const auto original = make_profile(kind);
+    std::stringstream buffer;
+    save_profile(original, buffer);
+    const auto loaded = load_profile(buffer);
+
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_DOUBLE_EQ(loaded.input_bytes(), original.input_bytes());
+    ASSERT_EQ(loaded.num_units(), original.num_units());
+    for (int i = 1; i <= original.num_units(); ++i) {
+      EXPECT_EQ(loaded.unit(i).name, original.unit(i).name);
+      EXPECT_DOUBLE_EQ(loaded.unit(i).flops, original.unit(i).flops);
+      EXPECT_DOUBLE_EQ(loaded.unit(i).out_bytes, original.unit(i).out_bytes);
+      EXPECT_DOUBLE_EQ(loaded.exit(i).classifier_flops,
+                       original.exit(i).classifier_flops);
+      EXPECT_DOUBLE_EQ(loaded.exit(i).exit_rate, original.exit(i).exit_rate);
+      EXPECT_DOUBLE_EQ(loaded.exit(i).exit_accuracy,
+                       original.exit(i).exit_accuracy);
+    }
+  }
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/leime_profile_io.txt";
+  const auto original = make_squeezenet();
+  save_profile_file(original, path);
+  const auto loaded = load_profile_file(path);
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.num_units(), original.num_units());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_profile_file(path), std::runtime_error);
+}
+
+TEST(ProfileIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  save_profile(make_squeezenet(), buffer);
+  std::string text = buffer.str();
+  text.insert(text.find('\n') + 1, "# a comment\n\n   \n");
+  std::stringstream patched(text);
+  EXPECT_NO_THROW(load_profile(patched));
+}
+
+TEST(ProfileIo, RejectsBadMagic) {
+  std::stringstream in("not-a-profile v9\n");
+  EXPECT_THROW(load_profile(in), std::invalid_argument);
+}
+
+TEST(ProfileIo, RejectsTruncatedInput) {
+  std::stringstream buffer;
+  save_profile(make_squeezenet(), buffer);
+  const std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_profile(truncated), std::invalid_argument);
+}
+
+TEST(ProfileIo, RejectsNonNumericFields) {
+  std::stringstream in(
+      "leime-profile v1\n"
+      "name toy\n"
+      "input_bytes not_a_number\n");
+  EXPECT_THROW(load_profile(in), std::invalid_argument);
+}
+
+TEST(ProfileIo, RejectsCountMismatch) {
+  std::stringstream in(
+      "leime-profile v1\n"
+      "name toy\n"
+      "input_bytes 100\n"
+      "units 2\n"
+      "u1 10 20\n"
+      "u2 10 20\n"
+      "exits 3\n");
+  EXPECT_THROW(load_profile(in), std::invalid_argument);
+}
+
+TEST(ProfileIo, LoadedProfileStillValidates) {
+  // Corrupting an exit rate must trip ModelProfile's own validation.
+  std::stringstream buffer;
+  save_profile(make_squeezenet(), buffer);
+  std::string text = buffer.str();
+  const auto pos = text.rfind("\n", text.size() - 2);
+  text = text.substr(0, pos + 1) + "10 5.0 0.5\n";  // exit_rate 5.0
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_profile(corrupted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::models

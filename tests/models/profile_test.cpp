@@ -1,0 +1,86 @@
+#include "models/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace leime::models {
+namespace {
+
+std::vector<UnitSpec> three_units() {
+  return {{"u1", 100.0, 400.0}, {"u2", 200.0, 300.0}, {"u3", 300.0, 200.0}};
+}
+
+std::vector<ExitSpec> three_exits() {
+  return {{10.0, 0.2}, {10.0, 0.6}, {50.0, 1.0}};
+}
+
+TEST(ModelProfile, AccessorsAreOneIndexed) {
+  ModelProfile p("toy", 1000.0, three_units(), three_exits());
+  EXPECT_EQ(p.num_units(), 3);
+  EXPECT_EQ(p.unit(1).name, "u1");
+  EXPECT_EQ(p.unit(3).name, "u3");
+  EXPECT_DOUBLE_EQ(p.exit(2).exit_rate, 0.6);
+  EXPECT_THROW(p.unit(0), std::out_of_range);
+  EXPECT_THROW(p.unit(4), std::out_of_range);
+  EXPECT_THROW(p.exit(0), std::out_of_range);
+}
+
+TEST(ModelProfile, PrefixFlops) {
+  ModelProfile p("toy", 1000.0, three_units(), three_exits());
+  EXPECT_DOUBLE_EQ(p.prefix_flops(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.prefix_flops(1), 100.0);
+  EXPECT_DOUBLE_EQ(p.prefix_flops(2), 300.0);
+  EXPECT_DOUBLE_EQ(p.prefix_flops(3), 600.0);
+  EXPECT_DOUBLE_EQ(p.total_flops(), 600.0);
+  EXPECT_THROW(p.prefix_flops(-1), std::out_of_range);
+  EXPECT_THROW(p.prefix_flops(4), std::out_of_range);
+}
+
+TEST(ModelProfile, OutBytesAfterCut) {
+  ModelProfile p("toy", 1000.0, three_units(), three_exits());
+  EXPECT_DOUBLE_EQ(p.out_bytes_after(0), 1000.0);  // raw input
+  EXPECT_DOUBLE_EQ(p.out_bytes_after(1), 400.0);
+  EXPECT_DOUBLE_EQ(p.out_bytes_after(3), 200.0);
+}
+
+TEST(ModelProfile, SetExitRates) {
+  ModelProfile p("toy", 1000.0, three_units(), three_exits());
+  p.set_exit_rates({0.1, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(p.exit(1).exit_rate, 0.1);
+  EXPECT_THROW(p.set_exit_rates({0.5, 0.1, 1.0}), std::invalid_argument);
+  EXPECT_THROW(p.set_exit_rates({0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(p.set_exit_rates({0.1, 0.5, 0.9}), std::invalid_argument);
+  // Failed update must not corrupt state.
+  EXPECT_DOUBLE_EQ(p.exit(1).exit_rate, 0.1);
+}
+
+TEST(ModelProfile, ConstructorValidation) {
+  EXPECT_THROW(ModelProfile("x", 1000.0, {}, {}), std::invalid_argument);
+  EXPECT_THROW(ModelProfile("x", 0.0, three_units(), three_exits()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ModelProfile("x", 1.0, three_units(), {{10.0, 0.2}, {10.0, 0.6}}),
+      std::invalid_argument);
+  // Non-monotone rates.
+  EXPECT_THROW(ModelProfile("x", 1.0, three_units(),
+                            {{10.0, 0.7}, {10.0, 0.6}, {50.0, 1.0}}),
+               std::invalid_argument);
+  // Last rate != 1.
+  EXPECT_THROW(ModelProfile("x", 1.0, three_units(),
+                            {{10.0, 0.2}, {10.0, 0.6}, {50.0, 0.9}}),
+               std::invalid_argument);
+  // Non-positive unit flops.
+  auto bad = three_units();
+  bad[1].flops = 0.0;
+  EXPECT_THROW(ModelProfile("x", 1.0, bad, three_exits()),
+               std::invalid_argument);
+  // Non-positive classifier flops.
+  auto bad_exits = three_exits();
+  bad_exits[0].classifier_flops = 0.0;
+  EXPECT_THROW(ModelProfile("x", 1.0, three_units(), bad_exits),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::models

@@ -1,0 +1,104 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace leime::models {
+namespace {
+
+class ZooTest : public testing::TestWithParam<ModelKind> {};
+
+TEST_P(ZooTest, ProfileIsWellFormed) {
+  const auto p = make_profile(GetParam());
+  EXPECT_GE(p.num_units(), 3);
+  EXPECT_GT(p.input_bytes(), 0.0);
+  for (int i = 1; i <= p.num_units(); ++i) {
+    EXPECT_GT(p.unit(i).flops, 0.0) << p.unit(i).name;
+    EXPECT_GT(p.unit(i).out_bytes, 0.0) << p.unit(i).name;
+    EXPECT_GT(p.exit(i).classifier_flops, 0.0);
+  }
+  // Cumulative exit rates monotone, final = 1.
+  for (int i = 2; i <= p.num_units(); ++i)
+    EXPECT_GE(p.exit(i).exit_rate, p.exit(i - 1).exit_rate);
+  EXPECT_DOUBLE_EQ(p.exit(p.num_units()).exit_rate, 1.0);
+}
+
+TEST_P(ZooTest, GammaControlsExitRates) {
+  ZooOptions easy;
+  easy.exit_rate_gamma = 0.5;
+  ZooOptions hard;
+  hard.exit_rate_gamma = 2.5;
+  const auto pe = make_profile(GetParam(), easy);
+  const auto ph = make_profile(GetParam(), hard);
+  EXPECT_GT(pe.exit(1).exit_rate, ph.exit(1).exit_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooTest,
+                         testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(Zoo, UnitCountsMatchPaperGranularity) {
+  EXPECT_EQ(make_vgg16().num_units(), 13);
+  EXPECT_EQ(make_resnet34().num_units(), 17);   // stem + 16 basic blocks
+  EXPECT_EQ(make_inception_v3().num_units(), 16);  // 5 stem + 11 modules
+  EXPECT_EQ(make_squeezenet().num_units(), 10);    // conv1 + 8 fires + conv10
+}
+
+TEST(Zoo, TotalFlopsInPublishedBallpark) {
+  // Published forward-pass figures (2x MACs): VGG-16 ≈ 31 GFLOPs,
+  // ResNet-34 ≈ 7.3 GFLOPs, Inception v3 ≈ 5.7 GFLOPs,
+  // SqueezeNet 1.0 ≈ 1.7 GFLOPs. Allow a generous band: the profiles fold
+  // pools/heads differently than the reference implementations.
+  const double vgg = make_vgg16().total_flops();
+  EXPECT_GT(vgg, 25e9);
+  EXPECT_LT(vgg, 36e9);
+  const double rn = make_resnet34().total_flops();
+  EXPECT_GT(rn, 5e9);
+  EXPECT_LT(rn, 10e9);
+  const double inc = make_inception_v3().total_flops();
+  EXPECT_GT(inc, 4e9);
+  EXPECT_LT(inc, 13e9);
+  const double sq = make_squeezenet().total_flops();
+  EXPECT_GT(sq, 0.8e9);
+  EXPECT_LT(sq, 3e9);
+}
+
+TEST(Zoo, RelativeModelOrdering) {
+  // VGG-16 is by far the heaviest; SqueezeNet the lightest.
+  const double vgg = make_vgg16().total_flops();
+  const double rn = make_resnet34().total_flops();
+  const double inc = make_inception_v3().total_flops();
+  const double sq = make_squeezenet().total_flops();
+  EXPECT_GT(vgg, rn);
+  EXPECT_GT(vgg, inc);
+  EXPECT_GT(rn, sq);
+  EXPECT_GT(inc, sq);
+}
+
+TEST(Zoo, InputBytes) {
+  EXPECT_DOUBLE_EQ(make_vgg16().input_bytes(), 4.0 * 3 * 224 * 224);
+  EXPECT_DOUBLE_EQ(make_inception_v3().input_bytes(), 4.0 * 3 * 299 * 299);
+}
+
+TEST(Zoo, IntermediateDataShrinksDeep) {
+  // The deepest cut should move far less data than the shallowest.
+  for (const auto kind : all_model_kinds()) {
+    const auto p = make_profile(kind);
+    const int m = p.num_units();
+    EXPECT_LT(p.out_bytes_after(m), p.out_bytes_after(1))
+        << to_string(kind);
+  }
+}
+
+TEST(Zoo, NamesAndRegistry) {
+  EXPECT_EQ(to_string(ModelKind::kVgg16), "VGG-16");
+  EXPECT_EQ(make_profile(ModelKind::kResNet34).name(), "ResNet-34");
+  EXPECT_EQ(all_model_kinds().size(), 4u);
+}
+
+}  // namespace
+}  // namespace leime::models

@@ -1,0 +1,156 @@
+#include "nn/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace leime::nn {
+namespace {
+
+struct TrainedFixture : public testing::Test {
+  static MultiExitNet* net;
+  static SyntheticImageDataset* data;
+
+  static void SetUpTestSuite() {
+    NetConfig ncfg;
+    ncfg.in_channels = 1;
+    ncfg.image_size = 12;
+    ncfg.num_classes = 3;
+    ncfg.block_channels = {6, 8, 10, 12};
+    ncfg.pool_after = {0, 2};
+    net = new MultiExitNet(ncfg);
+    DatasetConfig dcfg;
+    dcfg.num_classes = 3;
+    dcfg.image_size = 12;
+    dcfg.train_per_class = 80;
+    dcfg.test_per_class = 60;
+    data = new SyntheticImageDataset(dcfg);
+    train(*net, data->train(), 5, 0.05, 0.9, 16, 17);
+  }
+  static void TearDownTestSuite() {
+    delete net;
+    delete data;
+    net = nullptr;
+    data = nullptr;
+  }
+};
+
+MultiExitNet* TrainedFixture::net = nullptr;
+SyntheticImageDataset* TrainedFixture::data = nullptr;
+
+TEST_F(TrainedFixture, CollectStatsShapes) {
+  const auto stats = collect_exit_stats(*net, data->test());
+  ASSERT_EQ(stats.size(), 4u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.confidence.size(), data->test().size());
+    EXPECT_EQ(s.prediction.size(), data->test().size());
+    for (float c : s.confidence) {
+      ASSERT_GE(c, 0.0f);
+      ASSERT_LE(c, 1.0f);
+    }
+  }
+}
+
+TEST_F(TrainedFixture, ThresholdGuaranteesPrecision) {
+  const auto stats = collect_exit_stats(*net, data->test());
+  const double target = 0.8;
+  for (const auto& s : stats) {
+    const double thr = calibrate_threshold(s, target);
+    if (thr > 1.0) continue;  // exit disabled: target unattainable
+    std::size_t exiting = 0, correct = 0;
+    for (std::size_t i = 0; i < s.confidence.size(); ++i) {
+      if (s.confidence[i] >= thr) {
+        ++exiting;
+        if (s.prediction[i] == s.label[i]) ++correct;
+      }
+    }
+    ASSERT_GT(exiting, 0u);
+    EXPECT_GE(static_cast<double>(correct) / exiting, target - 1e-9);
+  }
+}
+
+TEST_F(TrainedFixture, LowerTargetAdmitsMoreExits) {
+  const auto stats = collect_exit_stats(*net, data->test());
+  const double strict = calibrate_threshold(stats[0], 0.95);
+  const double loose = calibrate_threshold(stats[0], 0.5);
+  EXPECT_LE(loose, strict);
+}
+
+TEST_F(TrainedFixture, EvaluateMultiExitFractionsSumToOne) {
+  const auto stats = collect_exit_stats(*net, data->test());
+  std::vector<int> exits{0, 2, 3};
+  std::vector<double> thr{calibrate_threshold(stats[0], 0.75),
+                          calibrate_threshold(stats[2], 0.75), 0.0};
+  const auto eval = evaluate_multi_exit(*net, data->test(), exits, thr);
+  double sum = 0.0;
+  for (double f : eval.exit_fractions) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(eval.cumulative_rates.back(), 1.0, 1e-9);
+  EXPECT_GT(eval.accuracy, 0.4);
+}
+
+TEST_F(TrainedFixture, MeasuredRatesAreMonotoneEndingAtOne) {
+  const auto rates = measured_cumulative_exit_rates(*net, data->test(),
+                                                    data->test(), 0.75);
+  ASSERT_EQ(rates.size(), 4u);
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    EXPECT_GE(rates[i], rates[i - 1]);
+  EXPECT_DOUBLE_EQ(rates.back(), 1.0);
+}
+
+TEST_F(TrainedFixture, MultiExitAccuracyNearFullModel) {
+  // The calibrated ME configuration should stay within a few points of the
+  // full model's accuracy — the paper's Test Case 1 claim.
+  const double full = net->exit_accuracy(data->test(), net->num_exits() - 1);
+  const auto stats = collect_exit_stats(*net, data->test());
+  std::vector<int> exits{0, 1, 2, 3};
+  std::vector<double> thr;
+  for (const auto& s : stats) thr.push_back(calibrate_threshold(s, full));
+  thr.back() = 0.0;
+  const auto eval = evaluate_multi_exit(*net, data->test(), exits, thr);
+  EXPECT_GT(eval.accuracy, full - 0.08);
+}
+
+TEST_F(TrainedFixture, EvaluateValidation) {
+  EXPECT_THROW(evaluate_multi_exit(*net, data->test(), {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_multi_exit(*net, data->test(), {0, 1}, {0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_multi_exit(*net, data->test(), {2, 1}, {0.5, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_multi_exit(*net, data->test(), {0, 9}, {0.5, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Calibration, ThresholdValidation) {
+  ExitStats empty;
+  EXPECT_THROW(calibrate_threshold(empty, 0.9), std::invalid_argument);
+  ExitStats s;
+  s.confidence = {0.9f};
+  s.prediction = {1};
+  s.label = {1};
+  EXPECT_THROW(calibrate_threshold(s, 0.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_threshold(s, 1.5), std::invalid_argument);
+}
+
+TEST(Calibration, PerfectExitGetsPermissiveThreshold) {
+  ExitStats s;
+  for (int i = 0; i < 10; ++i) {
+    s.confidence.push_back(0.1f * static_cast<float>(i + 1));
+    s.prediction.push_back(0);
+    s.label.push_back(0);  // always correct
+  }
+  const double thr = calibrate_threshold(s, 0.99);
+  EXPECT_LE(thr, 0.1 + 1e-6);  // everything may exit
+}
+
+TEST(Calibration, HopelessExitIsDisabled) {
+  ExitStats s;
+  for (int i = 0; i < 10; ++i) {
+    s.confidence.push_back(0.5f);
+    s.prediction.push_back(0);
+    s.label.push_back(1);  // always wrong
+  }
+  EXPECT_GT(calibrate_threshold(s, 0.9), 1.0);
+}
+
+}  // namespace
+}  // namespace leime::nn

@@ -1,0 +1,100 @@
+#include "nn/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace leime::nn {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.num_classes = 3;
+  cfg.image_size = 12;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 10;
+  return cfg;
+}
+
+TEST(Dataset, SizesAndLabels) {
+  SyntheticImageDataset ds(small_config());
+  EXPECT_EQ(ds.train().size(), 60u);
+  EXPECT_EQ(ds.test().size(), 30u);
+  int seen[3] = {0, 0, 0};
+  for (const auto& s : ds.train()) {
+    ASSERT_GE(s.label, 0);
+    ASSERT_LT(s.label, 3);
+    ++seen[s.label];
+    EXPECT_EQ(s.image.rank(), 3);
+    EXPECT_EQ(s.image.dim(1), 12);
+    ASSERT_GE(s.complexity, 0.0);
+    ASSERT_LT(s.complexity, 1.0);
+  }
+  EXPECT_EQ(seen[0], 20);
+  EXPECT_EQ(seen[1], 20);
+  EXPECT_EQ(seen[2], 20);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  SyntheticImageDataset a(small_config()), b(small_config());
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (std::size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].label, b.train()[i].label);
+    for (std::size_t j = 0; j < a.train()[i].image.size(); ++j)
+      ASSERT_EQ(a.train()[i].image[j], b.train()[i].image[j]);
+  }
+}
+
+TEST(Dataset, SeedChangesData) {
+  auto cfg = small_config();
+  SyntheticImageDataset a(cfg);
+  cfg.seed = 99;
+  SyntheticImageDataset b(cfg);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.train()[0].image.size(); ++j)
+    if (a.train()[0].image[j] != b.train()[0].image[j]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, LowComplexitySamplesAreCloserToTemplate) {
+  // Average within-class distance between a simple and a complex sample of
+  // the same class should be dominated by the complex one's noise.
+  auto cfg = small_config();
+  cfg.train_per_class = 150;
+  SyntheticImageDataset ds(cfg);
+  double simple_energy = 0.0, complex_energy = 0.0;
+  int n_simple = 0, n_complex = 0;
+  for (const auto& s : ds.train()) {
+    double energy = 0.0;
+    for (std::size_t j = 0; j < s.image.size(); ++j)
+      energy += s.image[j] * s.image[j];
+    if (s.complexity < 0.2) {
+      simple_energy += energy;
+      ++n_simple;
+    } else if (s.complexity > 0.8) {
+      complex_energy += energy;
+      ++n_complex;
+    }
+  }
+  ASSERT_GT(n_simple, 5);
+  ASSERT_GT(n_complex, 5);
+  EXPECT_GT(complex_energy / n_complex, simple_energy / n_simple);
+}
+
+TEST(Dataset, Validation) {
+  auto cfg = small_config();
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticImageDataset{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.image_size = 4;
+  EXPECT_THROW(SyntheticImageDataset{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.train_per_class = 0;
+  EXPECT_THROW(SyntheticImageDataset{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.noise_high = cfg.noise_low - 0.1;
+  EXPECT_THROW(SyntheticImageDataset{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::nn

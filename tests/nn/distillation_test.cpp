@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "nn/calibration.h"
+#include "nn/multi_exit_net.h"
+
+namespace leime::nn {
+namespace {
+
+NetConfig net_config() {
+  NetConfig cfg;
+  cfg.num_classes = 3;
+  cfg.image_size = 12;
+  cfg.block_channels = {6, 8, 10, 12};
+  cfg.pool_after = {0, 2};
+  return cfg;
+}
+
+DatasetConfig data_config() {
+  DatasetConfig cfg;
+  cfg.num_classes = 3;
+  cfg.image_size = 12;
+  cfg.train_per_class = 70;
+  cfg.test_per_class = 50;
+  return cfg;
+}
+
+TEST(Distillation, LossDecreasesOverTraining) {
+  MultiExitNet net(net_config());
+  SyntheticImageDataset data(data_config());
+  SgdMomentum opt(0.03, 0.9);
+  std::vector<const Sample*> batch;
+  for (std::size_t i = 0; i < 16; ++i) batch.push_back(&data.train()[i]);
+  const double first = net.train_batch_distill(batch, opt);
+  double last = first;
+  for (int it = 0; it < 100; ++it)
+    last = net.train_batch_distill(batch, opt);
+  EXPECT_LT(last, 0.7 * first);
+}
+
+TEST(Distillation, TrainedNetIsAccurate) {
+  MultiExitNet net(net_config());
+  SyntheticImageDataset data(data_config());
+  SgdMomentum opt(0.05, 0.9);
+  train(net, data.train(), 3, opt, 16, 21);  // warm up the teacher
+  train_distill(net, data.train(), 3, opt, 16, 22);
+  EXPECT_GT(net.exit_accuracy(data.test(), net.num_exits() - 1), 0.55);
+  // Early exits must be usable too (well above 1/3 chance).
+  EXPECT_GT(net.exit_accuracy(data.test(), 0), 0.45);
+}
+
+TEST(Distillation, ImprovesEarlyExitQualityOverPlainTraining) {
+  // Same architecture, same data, same optimizer settings and budget: the
+  // distilled net's shallow exits should reach at least the plain net's
+  // quality (measured as mean accuracy over the non-final exits). KD is
+  // stochastic, so allow a small tolerance — the claim is "no worse, and
+  // typically better".
+  SyntheticImageDataset data(data_config());
+  MultiExitNet plain(net_config()), distilled(net_config());
+  SgdMomentum opt_a(0.05, 0.9), opt_b(0.05, 0.9);
+  train(plain, data.train(), 6, opt_a, 16, 21);
+  train(distilled, data.train(), 4, opt_b, 16, 21);  // teacher warmup
+  train_distill(distilled, data.train(), 2, opt_b, 16, 22,
+                /*temperature=*/1.5, /*alpha=*/0.75);
+  auto mean_early = [&](MultiExitNet& net) {
+    double sum = 0.0;
+    for (int e = 0; e + 1 < net.num_exits(); ++e)
+      sum += net.exit_accuracy(data.test(), e);
+    return sum / (net.num_exits() - 1);
+  };
+  EXPECT_GE(mean_early(distilled) + 0.03, mean_early(plain));
+}
+
+TEST(Distillation, Validation) {
+  MultiExitNet net(net_config());
+  SyntheticImageDataset data(data_config());
+  SgdMomentum opt(0.05, 0.9);
+  std::vector<const Sample*> batch{&data.train()[0]};
+  EXPECT_THROW(net.train_batch_distill({}, opt), std::invalid_argument);
+  EXPECT_THROW(net.train_batch_distill(batch, opt, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(net.train_batch_distill(batch, opt, 2.0, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(train_distill(net, data.train(), 0, opt, 8, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::nn

@@ -1,0 +1,196 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace leime::nn {
+namespace {
+
+TEST(Conv2d, IdentityKernelForward) {
+  util::Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, 0, rng);
+  // Overwrite: we can't poke weights directly, so test shape + linearity
+  // instead: doubling the input doubles (output - bias-effect).
+  Tensor x({1, 3, 3});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y1 = conv.forward(x);
+  Tensor x2 = x;
+  for (std::size_t i = 0; i < x2.size(); ++i) x2[i] *= 2.0f;
+  const Tensor y2 = conv.forward(x2);
+  ASSERT_EQ(y1.size(), 9u);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_NEAR(y2[i], 2.0f * y1[i], 1e-5);
+}
+
+TEST(Conv2d, OutputShape) {
+  util::Rng rng(2);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  Tensor x({3, 16, 16});
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.dim(0), 8);
+  EXPECT_EQ(y.dim(1), 16);
+  EXPECT_EQ(y.dim(2), 16);
+  Conv2d strided(3, 4, 3, 2, 0, rng);
+  const Tensor ys = strided.forward(x);
+  EXPECT_EQ(ys.dim(1), 7);
+}
+
+TEST(Conv2d, Validation) {
+  util::Rng rng(3);
+  EXPECT_THROW(Conv2d(0, 1, 3, 1, 1, rng), std::invalid_argument);
+  Conv2d conv(2, 1, 3, 1, 0, rng);
+  Tensor wrong_c({3, 8, 8});
+  EXPECT_THROW(conv.forward(wrong_c), std::invalid_argument);
+  Tensor tiny({2, 2, 2});
+  EXPECT_THROW(conv.forward(tiny), std::invalid_argument);
+  Tensor g({1, 6, 6});
+  EXPECT_THROW(Conv2d(2, 1, 3, 1, 0, rng).backward(g), std::logic_error);
+}
+
+TEST(ReLU, ClampsAndGates) {
+  ReLU relu;
+  Tensor x({4});
+  x[0] = -1.0f;
+  x[1] = 0.0f;
+  x[2] = 2.0f;
+  x[3] = -0.5f;
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor g({4});
+  g.fill(1.0f);
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);  // gradient gated at exactly zero
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(MaxPool2d, ForwardPicksMaxBackwardRoutes) {
+  MaxPool2d pool(2);
+  Tensor x({1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1), 15.0f);
+  Tensor g({1, 2, 2});
+  g.fill(1.0f);
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[5], 1.0f);   // winner receives gradient
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);   // losers get none
+}
+
+TEST(MaxPool2d, Validation) {
+  EXPECT_THROW(MaxPool2d(1), std::invalid_argument);
+  MaxPool2d pool(4);
+  Tensor tiny({1, 2, 2});
+  EXPECT_THROW(pool.forward(tiny), std::invalid_argument);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  GlobalAvgPool pool;
+  Tensor x({2, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) x[i] = 4.0f;       // channel 0
+  for (std::size_t i = 4; i < 8; ++i) x[i] = static_cast<float>(i);  // 4..7
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.5f);
+  Tensor g({2});
+  g[0] = 4.0f;
+  g[1] = 8.0f;
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[7], 2.0f);
+}
+
+TEST(Dense, LinearityAndShapes) {
+  util::Rng rng(5);
+  Dense fc(4, 3, rng);
+  Tensor x({4});
+  for (std::size_t i = 0; i < 4; ++i) x[i] = static_cast<float>(i + 1);
+  const Tensor y = fc.forward(x);
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_EQ(fc.num_params(), 4u * 3u + 3u);
+  Tensor wrong({5});
+  EXPECT_THROW(fc.forward(wrong), std::invalid_argument);
+}
+
+TEST(Dense, OptimizerStepMovesParameters) {
+  util::Rng rng(6);
+  Dense fc(2, 2, rng);
+  Tensor x({2});
+  x.fill(1.0f);
+  const Tensor y0 = fc.forward(x);
+  Tensor g({2});
+  g.fill(1.0f);
+  fc.backward(g);
+  SgdMomentum opt(0.1, 0.0);
+  opt.step(fc.parameters());
+  const Tensor y1 = fc.forward(x);
+  // Gradient of both outputs was +1, so outputs must decrease.
+  EXPECT_LT(y1[0], y0[0]);
+  EXPECT_LT(y1[1], y0[1]);
+}
+
+TEST(Sequential, ChainsForwardAndBackward) {
+  util::Rng rng(7);
+  Sequential seq;
+  seq.add(std::make_unique<Dense>(4, 8, rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<Dense>(8, 2, rng));
+  EXPECT_EQ(seq.num_layers(), 3u);
+  EXPECT_EQ(seq.num_params(), 4u * 8 + 8 + 8u * 2 + 2);
+  Tensor x({4});
+  x.fill(0.5f);
+  const Tensor y = seq.forward(x);
+  EXPECT_EQ(y.size(), 2u);
+  Tensor g({2});
+  g.fill(1.0f);
+  const Tensor gx = seq.backward(g);
+  EXPECT_EQ(gx.size(), 4u);
+}
+
+}  // namespace
+}  // namespace leime::nn
+namespace leime::nn {
+namespace {
+
+TEST(Conv2d, DirectAndIm2colAgree) {
+  // Identical weights (same RNG seed), identical inputs: forward outputs
+  // and all gradients must match to float tolerance.
+  for (const auto& [k, stride, pad] :
+       {std::tuple{3, 1, 1}, std::tuple{5, 2, 2}, std::tuple{1, 1, 0},
+        std::tuple{3, 2, 0}}) {
+    util::Rng rng_a(42), rng_b(42), rng_x(7);
+    Conv2d direct(3, 5, k, stride, pad, rng_a, ConvImpl::kDirect);
+    Conv2d gemm(3, 5, k, stride, pad, rng_b, ConvImpl::kIm2col);
+    Tensor x({3, 11, 11});
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = static_cast<float>(rng_x.normal(0.0, 1.0));
+
+    const Tensor ya = direct.forward(x);
+    const Tensor yb = gemm.forward(x);
+    ASSERT_EQ(ya.size(), yb.size());
+    for (std::size_t i = 0; i < ya.size(); ++i)
+      ASSERT_NEAR(ya[i], yb[i], 1e-4) << "k=" << k;
+
+    Tensor g(ya.shape());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g[i] = static_cast<float>(rng_x.normal(0.0, 1.0));
+    const Tensor dxa = direct.backward(g);
+    const Tensor dxb = gemm.backward(g);
+    for (std::size_t i = 0; i < dxa.size(); ++i)
+      ASSERT_NEAR(dxa[i], dxb[i], 1e-4);
+
+    const auto pa = direct.parameters();
+    const auto pb = gemm.parameters();
+    for (std::size_t s = 0; s < pa.size(); ++s)
+      for (std::size_t i = 0; i < pa[s].size; ++i)
+        ASSERT_NEAR(pa[s].grads[i], pb[s].grads[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace leime::nn

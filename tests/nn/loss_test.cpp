@@ -1,0 +1,67 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace leime::nn {
+namespace {
+
+TEST(Softmax, NormalisesAndOrders) {
+  Tensor logits({3});
+  logits[0] = 1.0f;
+  logits[1] = 2.0f;
+  logits[2] = 3.0f;
+  const auto p = softmax(logits);
+  double sum = 0.0;
+  for (float v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({2});
+  logits[0] = 1000.0f;
+  logits[1] = 1000.0f;
+  const auto p = softmax(logits);
+  EXPECT_NEAR(p[0], 0.5, 1e-6);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({4});
+  const auto res = softmax_cross_entropy(logits, 2);
+  EXPECT_NEAR(res.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehot) {
+  Tensor logits({3});
+  logits[0] = 0.5f;
+  logits[1] = -1.0f;
+  logits[2] = 2.0f;
+  const auto p = softmax(logits);
+  const auto res = softmax_cross_entropy(logits, 1);
+  EXPECT_NEAR(res.grad[0], p[0], 1e-6);
+  EXPECT_NEAR(res.grad[1], p[1] - 1.0f, 1e-6);
+  EXPECT_NEAR(res.grad[2], p[2], 1e-6);
+  // Gradient sums to zero.
+  EXPECT_NEAR(res.grad[0] + res.grad[1] + res.grad[2], 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits({2});
+  logits[0] = 10.0f;
+  logits[1] = -10.0f;
+  EXPECT_LT(softmax_cross_entropy(logits, 0).loss, 1e-4);
+  EXPECT_GT(softmax_cross_entropy(logits, 1).loss, 10.0);
+}
+
+TEST(CrossEntropy, Validation) {
+  Tensor logits({3});
+  EXPECT_THROW(softmax_cross_entropy(logits, -1), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::nn

@@ -1,0 +1,85 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace leime::nn {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(2, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 6.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: TP=3, FP=1, FN=2.
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);
+  cm.add(0, 1);
+  cm.add(1, 0);
+  cm.add(1, 0);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 3.0 / 5.0);
+  const double p = 0.75, r = 0.6;
+  EXPECT_NEAR(cm.f1(1), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrix, DegenerateClassesGiveZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);     // never seen
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, MacroAverages) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.macro_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(-1, 0), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, 2), std::invalid_argument);
+  EXPECT_THROW(cm.count(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.precision(5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);  // empty
+}
+
+TEST(EvaluateExit, MatchesExitAccuracy) {
+  NetConfig ncfg;
+  ncfg.num_classes = 3;
+  ncfg.image_size = 12;
+  ncfg.block_channels = {6, 8};
+  ncfg.pool_after = {0};
+  MultiExitNet net(ncfg);
+  DatasetConfig dcfg;
+  dcfg.num_classes = 3;
+  dcfg.image_size = 12;
+  dcfg.train_per_class = 40;
+  dcfg.test_per_class = 30;
+  SyntheticImageDataset data(dcfg);
+  train(net, data.train(), 3, 0.05, 0.9, 16, 9);
+
+  const auto cm = evaluate_exit(net, data.test(), 1);
+  EXPECT_EQ(cm.total(), data.test().size());
+  EXPECT_NEAR(cm.accuracy(), net.exit_accuracy(data.test(), 1), 1e-12);
+  EXPECT_THROW(evaluate_exit(net, data.test(), 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::nn

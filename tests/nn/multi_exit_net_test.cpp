@@ -1,0 +1,116 @@
+#include "nn/multi_exit_net.h"
+
+#include <gtest/gtest.h>
+
+namespace leime::nn {
+namespace {
+
+NetConfig tiny_net() {
+  NetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.image_size = 12;
+  cfg.num_classes = 3;
+  cfg.block_channels = {6, 8, 10};
+  cfg.pool_after = {0};
+  return cfg;
+}
+
+DatasetConfig tiny_data() {
+  DatasetConfig cfg;
+  cfg.num_classes = 3;
+  cfg.image_size = 12;
+  cfg.train_per_class = 60;
+  cfg.test_per_class = 40;
+  return cfg;
+}
+
+TEST(MultiExitNet, ForwardShapes) {
+  MultiExitNet net(tiny_net());
+  EXPECT_EQ(net.num_exits(), 3);
+  EXPECT_GT(net.num_params(), 0u);
+  Tensor x({1, 12, 12});
+  const auto logits = net.forward_exits(x);
+  ASSERT_EQ(logits.size(), 3u);
+  for (const auto& l : logits) EXPECT_EQ(l.size(), 3u);
+  const auto probs = net.exit_probabilities(x);
+  double sum = 0.0;
+  for (float p : probs[0]) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(MultiExitNet, TrainingReducesLoss) {
+  MultiExitNet net(tiny_net());
+  SyntheticImageDataset ds(tiny_data());
+  std::vector<const Sample*> batch;
+  for (std::size_t i = 0; i < 16; ++i) batch.push_back(&ds.train()[i]);
+  const double first = net.train_batch(batch, 0.03, 0.9);
+  double last = first;
+  for (int it = 0; it < 120; ++it) last = net.train_batch(batch, 0.03, 0.9);
+  // 120 steps on a fixed 16-sample batch must memorise it substantially.
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(MultiExitNet, TrainingImprovesAccuracyAboveChance) {
+  MultiExitNet net(tiny_net());
+  SyntheticImageDataset ds(tiny_data());
+  train(net, ds.train(), /*epochs=*/4, /*lr=*/0.05, /*momentum=*/0.9,
+        /*batch_size=*/16, /*seed=*/5);
+  const double acc = net.exit_accuracy(ds.test(), net.num_exits() - 1);
+  EXPECT_GT(acc, 0.55);  // chance is 1/3
+}
+
+TEST(MultiExitNet, DeeperExitsAtLeastAsGoodOnAverage) {
+  MultiExitNet net(tiny_net());
+  SyntheticImageDataset ds(tiny_data());
+  train(net, ds.train(), 4, 0.05, 0.9, 16, 5);
+  const double shallow = net.exit_accuracy(ds.test(), 0);
+  const double deep = net.exit_accuracy(ds.test(), net.num_exits() - 1);
+  // Deep exit should not be catastrophically worse than the shallow one.
+  EXPECT_GT(deep, shallow - 0.15);
+}
+
+TEST(MultiExitNet, ExitWeightsSteerCapacity) {
+  // Weighting only the first exit should make it clearly better than an
+  // untrained net's chance level.
+  MultiExitNet net(tiny_net());
+  SyntheticImageDataset ds(tiny_data());
+  std::vector<double> w = {1.0, 0.0, 0.0};
+  train(net, ds.train(), 4, 0.05, 0.9, 16, 5, w);
+  EXPECT_GT(net.exit_accuracy(ds.test(), 0), 0.5);
+}
+
+TEST(MultiExitNet, Validation) {
+  NetConfig bad = tiny_net();
+  bad.block_channels.clear();
+  EXPECT_THROW(MultiExitNet{bad}, std::invalid_argument);
+  bad = tiny_net();
+  bad.num_classes = 1;
+  EXPECT_THROW(MultiExitNet{bad}, std::invalid_argument);
+  bad = tiny_net();
+  bad.pool_after = {0, 1, 2};  // 12 -> 6 -> 3 -> 1: too many pools
+  EXPECT_THROW(MultiExitNet{bad}, std::invalid_argument);
+
+  MultiExitNet net(tiny_net());
+  EXPECT_THROW(net.train_batch({}, 0.1, 0.9), std::invalid_argument);
+  SyntheticImageDataset ds(tiny_data());
+  std::vector<const Sample*> batch{&ds.train()[0]};
+  EXPECT_THROW(net.train_batch(batch, 0.1, 0.9, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(net.exit_accuracy(ds.test(), 5), std::invalid_argument);
+  EXPECT_THROW(train(net, ds.train(), 0, 0.1, 0.9, 8, 1),
+               std::invalid_argument);
+}
+
+TEST(MultiExitNet, DeterministicForSeeds) {
+  MultiExitNet a(tiny_net()), b(tiny_net());
+  Tensor x({1, 12, 12});
+  x.fill(0.3f);
+  const auto la = a.forward_exits(x);
+  const auto lb = b.forward_exits(x);
+  for (std::size_t e = 0; e < la.size(); ++e)
+    for (std::size_t i = 0; i < la[e].size(); ++i)
+      ASSERT_EQ(la[e][i], lb[e][i]);
+}
+
+}  // namespace
+}  // namespace leime::nn

@@ -1,0 +1,111 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace leime::nn {
+namespace {
+
+/// Minimise f(w) = 0.5*||w - target||^2 with gradient w - target.
+struct Quadratic {
+  std::vector<float> w;
+  std::vector<float> g;
+  std::vector<float> target;
+
+  explicit Quadratic(std::vector<float> t)
+      : w(t.size(), 0.0f), g(t.size(), 0.0f), target(std::move(t)) {}
+
+  ParamSlice slice() { return {w.data(), g.data(), w.size()}; }
+
+  void compute_grad() {
+    for (std::size_t i = 0; i < w.size(); ++i) g[i] = w[i] - target[i];
+  }
+
+  double distance() const {
+    double d = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double e = w[i] - target[i];
+      d += e * e;
+    }
+    return std::sqrt(d);
+  }
+};
+
+TEST(SgdMomentum, ConvergesOnQuadratic) {
+  Quadratic q({3.0f, -2.0f, 0.5f});
+  SgdMomentum opt(0.1, 0.9);
+  for (int it = 0; it < 200; ++it) {
+    q.compute_grad();
+    opt.step({q.slice()});
+  }
+  EXPECT_LT(q.distance(), 1e-3);
+}
+
+TEST(SgdMomentum, MomentumAcceleratesEarlySteps) {
+  Quadratic plain({10.0f}), with_momentum({10.0f});
+  SgdMomentum o1(0.01, 0.0), o2(0.01, 0.9);
+  for (int it = 0; it < 30; ++it) {
+    plain.compute_grad();
+    o1.step({plain.slice()});
+    with_momentum.compute_grad();
+    o2.step({with_momentum.slice()});
+  }
+  EXPECT_LT(with_momentum.distance(), plain.distance());
+}
+
+TEST(SgdMomentum, Validation) {
+  EXPECT_THROW(SgdMomentum(0.0), std::invalid_argument);
+  EXPECT_THROW(SgdMomentum(0.1, 1.0), std::invalid_argument);
+  SgdMomentum opt(0.1);
+  EXPECT_THROW(opt.set_learning_rate(-1.0), std::invalid_argument);
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q({3.0f, -2.0f, 0.5f, 100.0f});
+  Adam opt(0.5);
+  for (int it = 0; it < 800; ++it) {
+    q.compute_grad();
+    opt.step({q.slice()});
+  }
+  EXPECT_LT(q.distance(), 1e-2);
+}
+
+TEST(Adam, HandlesBadlyScaledCoordinates) {
+  // Adam's per-coordinate scaling: the tiny-gradient coordinate must still
+  // move. Plain SGD with the same lr would crawl on it.
+  Quadratic q({1000.0f, 0.001f});
+  Adam opt(1.0);
+  for (int it = 0; it < 3000; ++it) {
+    q.compute_grad();
+    opt.step({q.slice()});
+  }
+  EXPECT_NEAR(q.w[1], 0.001f, 0.01);
+  EXPECT_NEAR(q.w[0], 1000.0f, 5.0);
+}
+
+TEST(Adam, Validation) {
+  EXPECT_THROW(Adam(0.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), std::invalid_argument);
+}
+
+TEST(Optimizer, StatePerParameterTensor) {
+  // Two tensors stepped by the same optimizer keep independent momentum.
+  Quadratic a({5.0f}), b({-5.0f});
+  SgdMomentum opt(0.1, 0.9);
+  for (int it = 0; it < 300; ++it) {
+    a.compute_grad();
+    b.compute_grad();
+    opt.step({a.slice(), b.slice()});
+  }
+  EXPECT_LT(a.distance(), 1e-2);
+  EXPECT_LT(b.distance(), 1e-2);
+}
+
+}  // namespace
+}  // namespace leime::nn

@@ -1,0 +1,46 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace leime::nn {
+namespace {
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ChwIndexing) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[23], 7.0f);  // (1*3+2)*4+3
+  EXPECT_EQ(t.at(1, 2, 3), 7.0f);
+}
+
+TEST(Tensor, FillAndAddScaled) {
+  Tensor a({4});
+  Tensor b({4});
+  a.fill(1.0f);
+  b.fill(2.0f);
+  a.add_scaled(b, 0.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 2.0f);
+}
+
+TEST(Tensor, Validation) {
+  EXPECT_THROW(Tensor(std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a.add_scaled(b, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace leime::nn

@@ -1,0 +1,54 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace leime::sim {
+namespace {
+
+ScenarioConfig small_scenario() {
+  const auto profile = models::make_squeezenet();
+  ScenarioConfig cfg;
+  cfg.partition = core::make_partition(profile, {4, 8, profile.num_units()});
+  DeviceSpec dev;
+  dev.mean_rate = 1.0;
+  cfg.devices.push_back(dev);
+  cfg.duration = 20.0;
+  cfg.warmup = 2.0;
+  return cfg;
+}
+
+TEST(Experiment, AggregatesAcrossSeeds) {
+  const auto r = run_replicated(small_scenario(), 5);
+  EXPECT_EQ(r.runs, 5u);
+  EXPECT_EQ(r.per_run_mean.size(), 5u);
+  EXPECT_GT(r.mean_tct, 0.0);
+  EXPECT_GE(r.stddev_tct, 0.0);
+  EXPECT_GE(r.mean_p95, r.mean_tct);
+  // Different seeds must actually vary the outcome.
+  bool varies = false;
+  for (double v : r.per_run_mean)
+    if (v != r.per_run_mean.front()) varies = true;
+  EXPECT_TRUE(varies);
+}
+
+TEST(Experiment, MeanOfRunsMatchesManualAverage) {
+  const auto r = run_replicated(small_scenario(), 4, 77);
+  double sum = 0.0;
+  for (double v : r.per_run_mean) sum += v;
+  EXPECT_NEAR(r.mean_tct, sum / 4.0, 1e-12);
+}
+
+TEST(Experiment, DeterministicForBaseSeed) {
+  const auto a = run_replicated(small_scenario(), 3, 500);
+  const auto b = run_replicated(small_scenario(), 3, 500);
+  EXPECT_EQ(a.per_run_mean, b.per_run_mean);
+}
+
+TEST(Experiment, Validation) {
+  EXPECT_THROW(run_replicated(small_scenario(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::sim

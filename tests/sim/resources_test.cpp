@@ -1,0 +1,158 @@
+#include "sim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace leime::sim {
+namespace {
+
+TEST(FifoProcessor, SingleJobTiming) {
+  EventQueue q;
+  FifoProcessor cpu(q, "cpu", 100.0);
+  double finish = -1.0;
+  cpu.submit(250.0, JobClass::kBlock1, [&](double t) { finish = t; });
+  EXPECT_EQ(cpu.pending(JobClass::kBlock1), 1);
+  q.run_all();
+  EXPECT_DOUBLE_EQ(finish, 2.5);
+  EXPECT_EQ(cpu.pending(JobClass::kBlock1), 0);
+}
+
+TEST(FifoProcessor, FifoOrderingAndBackToBack) {
+  EventQueue q;
+  FifoProcessor cpu(q, "cpu", 10.0);
+  std::vector<double> finishes;
+  for (int i = 0; i < 3; ++i)
+    cpu.submit(10.0, JobClass::kBlock1,
+               [&](double t) { finishes.push_back(t); });
+  q.run_all();
+  ASSERT_EQ(finishes.size(), 3u);
+  EXPECT_DOUBLE_EQ(finishes[0], 1.0);
+  EXPECT_DOUBLE_EQ(finishes[1], 2.0);
+  EXPECT_DOUBLE_EQ(finishes[2], 3.0);
+  EXPECT_DOUBLE_EQ(cpu.total_work(), 30.0);
+}
+
+TEST(FifoProcessor, LateSubmissionStartsAtNow) {
+  EventQueue q;
+  FifoProcessor cpu(q, "cpu", 10.0);
+  double finish = -1.0;
+  q.schedule(5.0, [&] {
+    cpu.submit(10.0, JobClass::kBlock2, [&](double t) { finish = t; });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(finish, 6.0);
+}
+
+TEST(FifoProcessor, TracksClassesSeparately) {
+  EventQueue q;
+  FifoProcessor cpu(q, "cpu", 1.0);
+  cpu.submit(10.0, JobClass::kBlock1, [](double) {});
+  cpu.submit(10.0, JobClass::kBlock2, [](double) {});
+  cpu.submit(10.0, JobClass::kBlock1, [](double) {});
+  EXPECT_EQ(cpu.pending(JobClass::kBlock1), 2);
+  EXPECT_EQ(cpu.pending(JobClass::kBlock2), 1);
+  EXPECT_EQ(cpu.pending_total(), 3);
+  q.run_all();
+  EXPECT_EQ(cpu.pending_total(), 0);
+}
+
+TEST(FifoProcessor, Validation) {
+  EventQueue q;
+  EXPECT_THROW(FifoProcessor(q, "bad", 0.0), std::invalid_argument);
+  FifoProcessor cpu(q, "cpu", 1.0);
+  EXPECT_THROW(cpu.submit(-1.0, JobClass::kBlock1, [](double) {}),
+               std::invalid_argument);
+}
+
+TEST(Link, TransferTimingSerializationPlusLatency) {
+  EventQueue q;
+  Link link(q, "l", 100.0, 0.5);
+  double t1 = -1.0, t2 = -1.0;
+  link.transfer(200.0, [&](double t) { t1 = t; });  // 2s ser + 0.5 lat
+  link.transfer(100.0, [&](double t) { t2 = t; });  // starts at 2, +1 +0.5
+  q.run_all();
+  EXPECT_DOUBLE_EQ(t1, 2.5);
+  EXPECT_DOUBLE_EQ(t2, 3.5);
+  EXPECT_DOUBLE_EQ(link.total_bytes(), 300.0);
+}
+
+TEST(Link, PropagationIsPipelined) {
+  // Second transfer can start while the first is still propagating.
+  EventQueue q;
+  Link link(q, "l", 100.0, 10.0);
+  double t1 = -1.0, t2 = -1.0;
+  link.transfer(100.0, [&](double t) { t1 = t; });
+  link.transfer(100.0, [&](double t) { t2 = t; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(t1, 11.0);
+  EXPECT_DOUBLE_EQ(t2, 12.0);  // not 22: latency does not hold the link
+}
+
+TEST(Link, BandwidthTraceApplies) {
+  EventQueue q;
+  Link link(q, "l", 100.0, 0.0);
+  link.set_bandwidth_trace(util::PiecewiseConstant({{0.0, 100.0}, {5.0, 10.0}}));
+  double t1 = -1.0, t2 = -1.0;
+  link.transfer(100.0, [&](double t) { t1 = t; });  // at bw 100 -> 1s
+  q.schedule(6.0, [&] {
+    link.transfer(100.0, [&](double t) { t2 = t; });  // at bw 10 -> 10s
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 16.0);
+}
+
+TEST(Link, LatencyTraceApplies) {
+  EventQueue q;
+  Link link(q, "l", 100.0, 0.1);
+  link.set_latency_trace(util::PiecewiseConstant({{0.0, 0.1}, {5.0, 2.0}}));
+  double t = -1.0;
+  q.schedule(5.0, [&] { link.transfer(100.0, [&](double tt) { t = tt; }); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(t, 8.0);  // 5 + 1s serialization + 2s latency
+}
+
+TEST(Link, Validation) {
+  EventQueue q;
+  EXPECT_THROW(Link(q, "l", 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Link(q, "l", 1.0, -0.1), std::invalid_argument);
+  Link link(q, "l", 1.0, 0.0);
+  EXPECT_THROW(link.transfer(-1.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(
+      link.set_bandwidth_trace(util::PiecewiseConstant::constant(0.0)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      link.set_latency_trace(util::PiecewiseConstant::constant(-1.0)),
+      std::invalid_argument);
+}
+
+TEST(Link, ZeroByteTransferIsLatencyOnly) {
+  EventQueue q;
+  Link link(q, "l", 100.0, 0.25);
+  double t = -1.0;
+  link.transfer(0.0, [&](double tt) { t = tt; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(t, 0.25);
+}
+
+}  // namespace
+}  // namespace leime::sim
+namespace leime::sim {
+namespace {
+
+TEST(Link, ExtraLatencyPerTransfer) {
+  EventQueue q;
+  Link link(q, "ap", 100.0, 0.5);
+  double t1 = -1.0, t2 = -1.0;
+  link.transfer(100.0, 0.25, [&](double t) { t1 = t; });
+  link.transfer(100.0, 1.0, [&](double t) { t2 = t; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(t1, 1.0 + 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(t2, 2.0 + 0.5 + 1.0);
+  EXPECT_THROW(link.transfer(1.0, -0.1, [](double) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::sim

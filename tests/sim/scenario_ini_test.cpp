@@ -1,0 +1,88 @@
+#include "sim/scenario_ini.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace leime::sim {
+namespace {
+
+constexpr const char* kScenario = R"(
+[scenario]
+model = squeezenet
+policy = cap_based
+duration = 30
+warmup = 3
+seed = 9
+replications = 2
+reallocation_period = 10
+shared_uplink_mbps = 12
+result_bytes = 1000
+
+[edge]
+gflops = 40
+cloud_tflops = 2
+cloud_mbps = 80
+cloud_latency_ms = 25
+
+[device]
+gflops = 0.6
+rate = 0.4
+uplink_mbps = 8
+uplink_latency_ms = 30
+difficulty = 1.5
+
+[device]
+gflops = 6
+rate = 0.8
+)";
+
+TEST(ScenarioIni, ParsesEveryField) {
+  const auto s = load_scenario(util::IniFile::parse_string(kScenario));
+  EXPECT_EQ(s.profile.name(), "SqueezeNet-1.0");
+  EXPECT_EQ(s.replications, 2);
+  const auto& cfg = s.config;
+  EXPECT_EQ(cfg.policy, "cap_based");
+  EXPECT_DOUBLE_EQ(cfg.duration, 30.0);
+  EXPECT_DOUBLE_EQ(cfg.warmup, 3.0);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_DOUBLE_EQ(cfg.reallocation_period, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.shared_uplink_bw, util::mbps(12.0));
+  EXPECT_DOUBLE_EQ(cfg.result_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(cfg.edge_flops, util::gflops(40.0));
+  EXPECT_DOUBLE_EQ(cfg.cloud_flops, util::tflops(2.0));
+  ASSERT_EQ(cfg.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.devices[0].flops, util::gflops(0.6));
+  EXPECT_DOUBLE_EQ(cfg.devices[0].difficulty, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.devices[1].mean_rate, 0.8);
+  // Defaults filled for the second device.
+  EXPECT_DOUBLE_EQ(cfg.devices[1].uplink_bw, util::mbps(10.0));
+  // The partition was actually designed.
+  EXPECT_GT(cfg.partition.mu1, 0.0);
+  EXPECT_GE(s.designed_exits.e1, 1);
+  EXPECT_GT(s.expected_tct, 0.0);
+}
+
+TEST(ScenarioIni, LoadedScenarioRuns) {
+  const auto s = load_scenario(util::IniFile::parse_string(kScenario));
+  const auto r = run_scenario(s.config);
+  EXPECT_GT(r.generated, 5u);
+}
+
+TEST(ScenarioIni, Validation) {
+  EXPECT_THROW(load_scenario(util::IniFile::parse_string(
+                   "[scenario]\nmodel = inception\n[edge]\ngflops = 50\n")),
+               std::invalid_argument);  // no devices
+  EXPECT_THROW(
+      load_scenario(util::IniFile::parse_string(
+          "[scenario]\nreplications = 0\n[edge]\ngflops = "
+          "50\n[device]\nrate = 1\n")),
+      std::invalid_argument);
+  EXPECT_THROW(resolve_model_name("/nonexistent/profile.txt"),
+               std::runtime_error);
+  EXPECT_EQ(resolve_model_name("vgg16").name(), "VGG-16");
+  EXPECT_EQ(resolve_model_name("resnet34").name(), "ResNet-34");
+}
+
+}  // namespace
+}  // namespace leime::sim

@@ -1,0 +1,98 @@
+#include "sim/slotted_fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+
+namespace leime::sim {
+namespace {
+
+SlottedFleetConfig fleet_config(int devices = 3) {
+  const auto profile = models::make_inception_v3();
+  core::CostModel cm(profile, core::testbed_environment());
+  SlottedFleetConfig cfg;
+  cfg.partition = core::make_partition(
+      profile, core::branch_and_bound_exit_setting(cm).combo);
+  cfg.edge_flops = core::kEdgeDesktopFlops;
+  for (int i = 0; i < devices; ++i) {
+    FleetDeviceSpec dev;
+    dev.flops = (i % 2 == 0) ? core::kRaspberryPiFlops
+                             : core::kJetsonNanoFlops;
+    dev.bandwidth = util::mbps(10.0);
+    dev.latency = util::ms(20.0);
+    dev.mean_tasks = 0.5 + 0.3 * i;
+    cfg.devices.push_back(dev);
+  }
+  cfg.num_slots = 300;
+  return cfg;
+}
+
+TEST(SlottedFleet, SharesSumToOneAndFavourLoadedWeakDevices) {
+  const auto cfg = fleet_config(4);
+  const core::LeimePolicy policy;
+  const auto r = run_slotted_fleet(cfg, policy);
+  double sum = 0.0;
+  for (double p : r.edge_shares) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  ASSERT_EQ(r.edge_shares.size(), 4u);
+  // Device 2 (RPi, rate 1.1) needs more share than device 1 (Nano, 0.8).
+  EXPECT_GT(r.edge_shares[2], r.edge_shares[1]);
+}
+
+TEST(SlottedFleet, PerDeviceAggregatesConsistent) {
+  const auto cfg = fleet_config();
+  const core::LeimePolicy policy;
+  const auto r = run_slotted_fleet(cfg, policy);
+  EXPECT_GT(r.total_tasks, 300u);
+  EXPECT_GT(r.mean_tct, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(r.mean_offload_ratio[i], 0.0);
+    EXPECT_LE(r.mean_offload_ratio[i], 1.0);
+    EXPECT_GE(r.final_device_queue[i], 0.0);
+  }
+}
+
+TEST(SlottedFleet, DeterministicForSeed) {
+  const auto cfg = fleet_config();
+  const core::LeimePolicy policy;
+  const auto a = run_slotted_fleet(cfg, policy);
+  const auto b = run_slotted_fleet(cfg, policy);
+  EXPECT_DOUBLE_EQ(a.mean_tct, b.mean_tct);
+  EXPECT_EQ(a.total_tasks, b.total_tasks);
+}
+
+TEST(SlottedFleet, LeimeStabilisesWhereDeviceOnlyDiverges) {
+  auto cfg = fleet_config();
+  // Push each device beyond its local first-block capacity.
+  for (auto& d : cfg.devices) d.mean_tasks = 3.0;
+  const core::LeimePolicy leime;
+  const core::DeviceOnlyPolicy donly;
+  const auto with_leime = run_slotted_fleet(cfg, leime);
+  const auto with_donly = run_slotted_fleet(cfg, donly);
+  double leime_backlog = 0.0, donly_backlog = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    leime_backlog += with_leime.final_device_queue[i];
+    donly_backlog += with_donly.final_device_queue[i];
+  }
+  EXPECT_LT(leime_backlog, donly_backlog);
+  EXPECT_LT(with_leime.mean_tct, with_donly.mean_tct);
+}
+
+TEST(SlottedFleet, Validation) {
+  const core::LeimePolicy policy;
+  SlottedFleetConfig cfg;
+  EXPECT_THROW(run_slotted_fleet(cfg, policy), std::invalid_argument);
+  cfg = fleet_config();
+  cfg.edge_flops = 0.0;
+  EXPECT_THROW(run_slotted_fleet(cfg, policy), std::invalid_argument);
+  cfg = fleet_config();
+  cfg.num_slots = 0;
+  EXPECT_THROW(run_slotted_fleet(cfg, policy), std::invalid_argument);
+  cfg = fleet_config();
+  cfg.devices[0].flops = -1.0;
+  EXPECT_THROW(run_slotted_fleet(cfg, policy), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::sim

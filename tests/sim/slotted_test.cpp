@@ -1,0 +1,94 @@
+#include "sim/slotted.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace leime::sim {
+namespace {
+
+SlottedConfig base_config() {
+  const auto profile = models::make_inception_v3();
+  SlottedConfig cfg;
+  cfg.partition = core::make_partition(profile, {3, 10, profile.num_units()});
+  cfg.device_flops = core::kRaspberryPiFlops;
+  cfg.edge_share_flops = 0.25 * core::kEdgeDesktopFlops;
+  cfg.bandwidth = util::mbps(10.0);
+  cfg.latency = util::ms(20.0);
+  cfg.num_slots = 300;
+  return cfg;
+}
+
+TEST(Slotted, FixedRatioRunsAndCounts) {
+  auto cfg = base_config();
+  workload::PoissonSlotArrivals arrivals(4.0);
+  const auto r = run_slotted_fixed(cfg, arrivals, 0.5);
+  EXPECT_GT(r.total_tasks, 800u);
+  EXPECT_GT(r.mean_tct, 0.0);
+  EXPECT_EQ(r.per_slot_cost.size(), 300u);
+  EXPECT_DOUBLE_EQ(r.mean_offload_ratio, 0.5);
+}
+
+TEST(Slotted, DeterministicForFixedSeed) {
+  auto cfg = base_config();
+  workload::PoissonSlotArrivals a1(4.0), a2(4.0);
+  const auto r1 = run_slotted_fixed(cfg, a1, 0.3);
+  const auto r2 = run_slotted_fixed(cfg, a2, 0.3);
+  EXPECT_DOUBLE_EQ(r1.mean_tct, r2.mean_tct);
+  EXPECT_EQ(r1.total_tasks, r2.total_tasks);
+}
+
+TEST(Slotted, OverloadedDeviceQueueGrowsWithoutOffloading) {
+  auto cfg = base_config();
+  // Device can serve ~F/mu1 tasks/slot; push far beyond that with x = 0.
+  const double service = cfg.device_flops * cfg.lyapunov.tau /
+                         cfg.partition.mu1;
+  workload::PoissonSlotArrivals arrivals(4.0 * service + 4.0);
+  const auto r = run_slotted_fixed(cfg, arrivals, 0.0);
+  EXPECT_GT(r.final_device_queue, 0.5 * r.mean_device_queue);
+  EXPECT_GT(r.final_device_queue, 50.0);
+}
+
+TEST(Slotted, LeimePolicyStabilisesSameLoad) {
+  auto cfg = base_config();
+  const double service = cfg.device_flops * cfg.lyapunov.tau /
+                         cfg.partition.mu1;
+  workload::PoissonSlotArrivals a_fixed(4.0 * service + 4.0);
+  workload::PoissonSlotArrivals a_leime(4.0 * service + 4.0);
+  const auto fixed = run_slotted_fixed(cfg, a_fixed, 0.0);
+  const core::LeimePolicy policy;
+  const auto leime = run_slotted_policy(cfg, a_leime, policy);
+  EXPECT_LT(leime.final_device_queue, fixed.final_device_queue);
+  EXPECT_LT(leime.mean_tct, fixed.mean_tct);
+}
+
+TEST(Slotted, LeimeBeatsOrMatchesEveryFixedRatio) {
+  auto cfg = base_config();
+  cfg.num_slots = 200;
+  const core::LeimePolicy policy;
+  workload::PoissonSlotArrivals a(6.0);
+  const auto leime = run_slotted_policy(cfg, a, policy);
+  double best_fixed = 1e18;
+  for (double x = 0.0; x <= 1.0 + 1e-9; x += 0.125) {
+    workload::PoissonSlotArrivals af(6.0);
+    best_fixed = std::min(best_fixed, run_slotted_fixed(cfg, af, x).mean_tct);
+  }
+  // The online policy adapts per slot, so it should be close to (or better
+  // than) the best static ratio; allow 15% slack for stochastic arrivals.
+  EXPECT_LT(leime.mean_tct, 1.15 * best_fixed);
+}
+
+TEST(Slotted, Validation) {
+  auto cfg = base_config();
+  workload::PoissonSlotArrivals arrivals(4.0);
+  EXPECT_THROW(run_slotted_fixed(cfg, arrivals, -0.1), std::invalid_argument);
+  EXPECT_THROW(run_slotted_fixed(cfg, arrivals, 1.1), std::invalid_argument);
+  cfg.device_flops = 0.0;
+  EXPECT_THROW(run_slotted_fixed(cfg, arrivals, 0.5), std::invalid_argument);
+  cfg = base_config();
+  cfg.num_slots = 0;
+  EXPECT_THROW(run_slotted_fixed(cfg, arrivals, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::sim

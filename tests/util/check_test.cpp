@@ -1,0 +1,35 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace leime::util {
+namespace {
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(LEIME_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(LEIME_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    LEIME_CHECK(2 < 1);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsStreamed) {
+  try {
+    const int x = 41;
+    LEIME_CHECK_MSG(x == 42, "x=" << x);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("x=41"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace leime::util

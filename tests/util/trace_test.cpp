@@ -1,0 +1,69 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace leime::util {
+namespace {
+
+TEST(PiecewiseConstant, StepsAtBreakpoints) {
+  PiecewiseConstant t({{0.0, 1.0}, {10.0, 5.0}, {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(t.value_at(-5.0), 1.0);  // before first breakpoint
+  EXPECT_DOUBLE_EQ(t.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.value_at(15.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.value_at(100.0), 2.0);
+}
+
+TEST(PiecewiseConstant, ConstantHelper) {
+  auto t = PiecewiseConstant::constant(3.5);
+  EXPECT_DOUBLE_EQ(t.value_at(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(t.value_at(1e9), 3.5);
+}
+
+TEST(PiecewiseConstant, MaxValue) {
+  PiecewiseConstant t({{0.0, 1.0}, {1.0, 9.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(t.max_value(), 9.0);
+}
+
+TEST(PiecewiseConstant, Validation) {
+  EXPECT_THROW(PiecewiseConstant({}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstant({{1.0, 2.0}, {1.0, 3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseConstant({{2.0, 2.0}, {1.0, 3.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::util
+namespace leime::util {
+namespace {
+
+TEST(PiecewiseConstant, ShiftedMatchesOriginal) {
+  PiecewiseConstant t({{0.0, 1.0}, {10.0, 5.0}, {20.0, 2.0}});
+  const auto s = t.shifted(12.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(7.9), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(100.0), 2.0);
+}
+
+TEST(PiecewiseConstant, ShiftBeyondLastBreakpointIsConstant) {
+  PiecewiseConstant t({{0.0, 1.0}, {10.0, 5.0}});
+  const auto s = t.shifted(50.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(1e6), 5.0);
+  EXPECT_EQ(s.points().size(), 1u);
+}
+
+TEST(PiecewiseConstant, ZeroShiftEquivalent) {
+  PiecewiseConstant t({{0.0, 3.0}, {4.0, 7.0}});
+  const auto s = t.shifted(0.0);
+  for (double x : {0.0, 3.9, 4.0, 9.0})
+    EXPECT_DOUBLE_EQ(s.value_at(x), t.value_at(x));
+}
+
+}  // namespace
+}  // namespace leime::util

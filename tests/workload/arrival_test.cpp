@@ -1,0 +1,93 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace leime::workload {
+namespace {
+
+TEST(PoissonArrivals, MeanInterarrivalMatchesRate) {
+  PoissonArrivals p(4.0);
+  util::Rng rng(1);
+  util::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(p.next_interarrival(0.0, rng));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(p.rate_at(123.0), 4.0);
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+}
+
+TEST(PeriodicArrivals, Deterministic) {
+  PeriodicArrivals p(0.5);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(p.next_interarrival(10.0, rng), 0.5);
+  EXPECT_DOUBLE_EQ(p.rate_at(0.0), 2.0);
+  EXPECT_THROW(PeriodicArrivals(-1.0), std::invalid_argument);
+}
+
+TEST(TraceArrivals, RatesFollowTrace) {
+  // Rate 10/s until t=50, then 1/s. Count arrivals in each regime.
+  TraceArrivals p(util::PiecewiseConstant({{0.0, 10.0}, {50.0, 1.0}}));
+  util::Rng rng(3);
+  double t = 0.0;
+  int early = 0, late = 0;
+  while (t < 100.0) {
+    t += p.next_interarrival(t, rng);
+    if (t < 50.0)
+      ++early;
+    else if (t < 100.0)
+      ++late;
+  }
+  EXPECT_NEAR(early, 500, 80);
+  EXPECT_NEAR(late, 50, 25);
+}
+
+TEST(TraceArrivals, Validation) {
+  EXPECT_THROW(TraceArrivals(util::PiecewiseConstant::constant(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TraceArrivals(util::PiecewiseConstant({{0.0, -1.0}, {1.0, 2.0}})),
+      std::invalid_argument);
+}
+
+TEST(BurstyArrivals, LongRunRateBetweenPhases) {
+  BurstyArrivals p(2.0, 20.0, 5.0, 5.0);
+  util::Rng rng(7);
+  double t = 0.0;
+  int count = 0;
+  while (t < 2000.0) {
+    t += p.next_interarrival(t, rng);
+    ++count;
+  }
+  const double rate = count / 2000.0;
+  // Equal dwell -> average rate ≈ (2+20)/2 = 11.
+  EXPECT_GT(rate, 7.0);
+  EXPECT_LT(rate, 15.0);
+  EXPECT_THROW(BurstyArrivals(0.0, 1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(UniformSlotArrivals, RangeAndMean) {
+  UniformSlotArrivals a(8);
+  util::Rng rng(9);
+  util::RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const int m = a.tasks_in_slot(rng);
+    ASSERT_GE(m, 0);
+    ASSERT_LE(m, 8);
+    s.add(m);
+  }
+  EXPECT_NEAR(s.mean(), a.mean(), 0.1);
+  EXPECT_THROW(UniformSlotArrivals(-1), std::invalid_argument);
+}
+
+TEST(PoissonSlotArrivals, Mean) {
+  PoissonSlotArrivals a(6.0);
+  util::Rng rng(11);
+  util::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(a.tasks_in_slot(rng));
+  EXPECT_NEAR(s.mean(), 6.0, 0.15);
+  EXPECT_THROW(PoissonSlotArrivals(-0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::workload

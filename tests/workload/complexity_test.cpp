@@ -1,0 +1,73 @@
+#include "workload/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace leime::workload {
+namespace {
+
+TEST(ComplexityModel, UniformAtDifficultyOne) {
+  ComplexityModel m(1.0);
+  util::Rng rng(1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += m.sample(rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(ComplexityModel, DifficultySkewsDistribution) {
+  util::Rng rng(2);
+  ComplexityModel hard(3.0), easy(0.3);
+  double hard_sum = 0.0, easy_sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hard_sum += hard.sample(rng);
+    easy_sum += easy.sample(rng);
+  }
+  EXPECT_GT(hard_sum / n, 0.65);  // skewed towards complex
+  EXPECT_LT(easy_sum / n, 0.35);  // skewed towards simple
+  EXPECT_THROW(ComplexityModel(0.0), std::invalid_argument);
+}
+
+TEST(ExitForComplexity, MatchesCumulativeRates) {
+  const std::vector<double> rates{0.3, 0.6, 1.0};
+  EXPECT_EQ(exit_for_complexity(rates, 0.0), 1);
+  EXPECT_EQ(exit_for_complexity(rates, 0.29), 1);
+  EXPECT_EQ(exit_for_complexity(rates, 0.3), 2);
+  EXPECT_EQ(exit_for_complexity(rates, 0.59), 2);
+  EXPECT_EQ(exit_for_complexity(rates, 0.99), 3);
+}
+
+TEST(ExitForComplexity, EmpiricalRatesMatchSigma) {
+  const std::vector<double> rates{0.25, 0.5, 1.0};
+  util::Rng rng(3);
+  ComplexityModel m(1.0);
+  int counts[3] = {0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    ++counts[exit_for_complexity(rates, m.sample(rng)) - 1];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR((counts[0] + counts[1]) / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(ExitForComplexity, Validation) {
+  EXPECT_THROW(exit_for_complexity({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(exit_for_complexity({0.5, 0.9}, 0.5), std::invalid_argument);
+  EXPECT_THROW(exit_for_complexity({0.5, 1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(exit_for_complexity({0.5, 1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(BlockForComplexity, UsesPartitionSigmas) {
+  const auto profile = models::make_inception_v3();
+  const auto part =
+      core::make_partition(profile, {3, 10, profile.num_units()});
+  EXPECT_EQ(block_for_complexity(part, 0.0), 1);
+  EXPECT_EQ(block_for_complexity(part, part.sigma1), 2);
+  EXPECT_EQ(block_for_complexity(part, part.sigma2), 3);
+  EXPECT_EQ(block_for_complexity(part, 0.999), 3);
+  EXPECT_THROW(block_for_complexity(part, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::workload
