@@ -2,7 +2,10 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "runtime/executor.h"
+#include "runtime/sinks.h"
 #include "sim/simulation.h"
 
 namespace leime::bench {
@@ -57,10 +60,11 @@ sim::ScenarioConfig single_device_scenario(
   return cfg;
 }
 
-double scheme_mean_tct(const Scheme& scheme,
-                       const models::ModelProfile& profile,
-                       const core::Environment& env, double device_flops,
-                       double arrival_rate, double duration) {
+sim::ScenarioConfig scheme_scenario(const Scheme& scheme,
+                                    const models::ModelProfile& profile,
+                                    const core::Environment& env,
+                                    double device_flops, double arrival_rate,
+                                    double duration) {
   core::Environment design_env = env;
   design_env.caps.device_flops = device_flops;
   const auto partition = partition_for(scheme, profile, design_env);
@@ -68,14 +72,13 @@ double scheme_mean_tct(const Scheme& scheme,
                                     arrival_rate, duration);
   cfg.policy = scheme.policy;
   cfg.fixed_ratio = scheme.fixed_ratio;
-  return sim::run_scenario(cfg).tct.mean;
+  return cfg;
 }
 
-double scheme_sequential_latency(const Scheme& scheme,
-                                 const models::ModelProfile& profile,
-                                 const core::Environment& env,
-                                 double device_flops, int num_tasks,
-                                 double spacing) {
+sim::ScenarioConfig scheme_sequential_scenario(
+    const Scheme& scheme, const models::ModelProfile& profile,
+    const core::Environment& env, double device_flops, int num_tasks,
+    double spacing) {
   core::Environment design_env = env;
   design_env.caps.device_flops = device_flops;
   const auto partition = partition_for(scheme, profile, design_env);
@@ -86,7 +89,90 @@ double scheme_sequential_latency(const Scheme& scheme,
   cfg.policy = scheme.policy;
   cfg.fixed_ratio = scheme.fixed_ratio;
   cfg.warmup = 0.0;
-  return sim::run_scenario(cfg).tct.mean;
+  return cfg;
+}
+
+double scheme_mean_tct(const Scheme& scheme,
+                       const models::ModelProfile& profile,
+                       const core::Environment& env, double device_flops,
+                       double arrival_rate, double duration) {
+  return sim::run_scenario(scheme_scenario(scheme, profile, env, device_flops,
+                                           arrival_rate, duration))
+      .tct.mean;
+}
+
+double scheme_sequential_latency(const Scheme& scheme,
+                                 const models::ModelProfile& profile,
+                                 const core::Environment& env,
+                                 double device_flops, int num_tasks,
+                                 double spacing) {
+  return sim::run_scenario(scheme_sequential_scenario(
+                               scheme, profile, env, device_flops, num_tasks,
+                               spacing))
+      .tct.mean;
+}
+
+SweepOptions sweep_options_from_args(int argc, char** argv) {
+  SweepOptions opts;
+  if (const char* env = std::getenv("LEIME_BENCH_THREADS");
+      env != nullptr && *env != '\0')
+    opts.threads = std::atoi(env);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc)
+      opts.threads = std::atoi(argv[++i]);
+    else if (arg == "--trace" && i + 1 < argc)
+      opts.trace_path = argv[++i];
+    else if (arg == "--progress")
+      opts.progress = true;
+  }
+  if (opts.threads < 1) opts.threads = 1;
+  return opts;
+}
+
+std::vector<std::vector<sim::SimResult>> run_grid(
+    const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& col_labels,
+    const std::function<sim::ScenarioConfig(std::size_t, std::size_t)>&
+        config_of,
+    const SweepOptions& opts) {
+  std::vector<runtime::Cell> cells;
+  cells.reserve(row_labels.size() * col_labels.size());
+  for (std::size_t r = 0; r < row_labels.size(); ++r)
+    for (std::size_t c = 0; c < col_labels.size(); ++c) {
+      runtime::Cell cell;
+      cell.index = cells.size();
+      cell.labels = {row_labels[r], col_labels[c]};
+      cell.config = config_of(r, c);
+      cells.push_back(std::move(cell));
+    }
+
+  runtime::ExecutorOptions exec_opts;
+  exec_opts.threads = opts.threads;
+  exec_opts.progress = opts.progress;
+  runtime::Executor executor(exec_opts);
+  const auto records = executor.run(std::move(cells));
+
+  const double wall = executor.last_wall_s();
+  std::cerr << "[runtime] " << records.size() << " cells on "
+            << runtime::Executor::resolve_threads(opts.threads)
+            << " thread(s) in " << util::fmt(wall, 2) << " s ("
+            << util::fmt(wall > 0 ? static_cast<double>(records.size()) / wall
+                                  : 0.0,
+                         1)
+            << " cells/s)\n";
+  if (!opts.trace_path.empty()) {
+    runtime::write_chrome_trace(opts.trace_path, records);
+    std::cerr << "[runtime] chrome trace written to " << opts.trace_path
+              << "\n";
+  }
+
+  std::vector<std::vector<sim::SimResult>> out(
+      row_labels.size(), std::vector<sim::SimResult>(col_labels.size()));
+  for (const auto& rec : records)
+    out[rec.cell_index / col_labels.size()]
+       [rec.cell_index % col_labels.size()] = rec.result;
+  return out;
 }
 
 void print_banner(const std::string& figure, const std::string& paper_claim,

@@ -10,6 +10,7 @@
 //   DDNN         — exits maximising σ/d, ratio 0
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +47,23 @@ sim::ScenarioConfig single_device_scenario(
     const core::MeDnnPartition& partition, const core::Environment& env,
     double device_flops, double arrival_rate, double duration = 120.0);
 
+/// Builds the full scenario a scheme runs in scheme_mean_tct (partition
+/// designed for device_flops, policy/ratio applied) without running it, so
+/// grids of schemes can be expanded up front and executed concurrently.
+sim::ScenarioConfig scheme_scenario(const Scheme& scheme,
+                                    const models::ModelProfile& profile,
+                                    const core::Environment& env,
+                                    double device_flops, double arrival_rate,
+                                    double duration = 120.0);
+
+/// Scenario behind scheme_sequential_latency: tasks arrive one at a time
+/// (periodic, spaced beyond the slowest scheme's latency) so queueing does
+/// not pollute the comparison — the paper's Fig. 7/8 methodology.
+sim::ScenarioConfig scheme_sequential_scenario(
+    const Scheme& scheme, const models::ModelProfile& profile,
+    const core::Environment& env, double device_flops, int num_tasks = 40,
+    double spacing = 80.0);
+
 /// Runs a scheme end to end on a single-device scenario and returns the
 /// mean TCT (seconds).
 double scheme_mean_tct(const Scheme& scheme,
@@ -53,14 +71,34 @@ double scheme_mean_tct(const Scheme& scheme,
                        const core::Environment& env, double device_flops,
                        double arrival_rate, double duration = 120.0);
 
-/// Per-task latency measurement, the paper's Fig. 7/8 methodology: tasks
-/// arrive one at a time (periodic, spaced beyond the slowest scheme's
-/// latency) so queueing does not pollute the comparison.
+/// Per-task latency measurement over scheme_sequential_scenario.
 double scheme_sequential_latency(const Scheme& scheme,
                                  const models::ModelProfile& profile,
                                  const core::Environment& env,
                                  double device_flops, int num_tasks = 40,
                                  double spacing = 80.0);
+
+/// Shared sweep loop of the fig benches, hoisted onto the runtime
+/// executor: expand an R×C grid of configs, run the cells concurrently
+/// (order-preserving), and return the SimResult matrix [row][col].
+/// Announces wall-clock/thread telemetry on stderr and writes a chrome
+/// trace of cell start/end times when opts.trace_path is set.
+struct SweepOptions {
+  int threads = 1;         ///< executor workers (results identical for any)
+  std::string trace_path;  ///< --trace <file>: chrome://tracing JSON
+  bool progress = false;   ///< --progress: live cell counter on stderr
+};
+
+/// Parses --threads N / --trace FILE / --progress from argv (unrecognised
+/// args are ignored); LEIME_BENCH_THREADS is the env fallback for threads.
+SweepOptions sweep_options_from_args(int argc, char** argv);
+
+std::vector<std::vector<sim::SimResult>> run_grid(
+    const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& col_labels,
+    const std::function<sim::ScenarioConfig(std::size_t row, std::size_t col)>&
+        config_of,
+    const SweepOptions& opts = {});
 
 /// Prints the standard bench banner: figure id, paper finding, our setup.
 void print_banner(const std::string& figure, const std::string& paper_claim,

@@ -17,10 +17,13 @@ namespace {
 using namespace leime;
 
 // Per-task latency methodology (sequential tasks), see bench_common.h.
+// The (condition × scheme) grid is expanded up front and executed on the
+// runtime thread pool (--threads N / --trace / --progress).
 
 void sweep(const std::string& title, const std::string& axis,
            const std::vector<double>& values,
-           core::Environment (*env_of)(double)) {
+           core::Environment (*env_of)(double),
+           const bench::SweepOptions& opts) {
   const auto profile = models::make_inception_v3();
   const auto schemes = bench::paper_schemes();
 
@@ -32,14 +35,23 @@ void sweep(const std::string& title, const std::string& axis,
     return h;
   }());
 
+  std::vector<std::string> row_labels, col_labels;
+  for (double v : values) row_labels.push_back(util::fmt(v, 0));
+  for (const auto& s : schemes) col_labels.push_back(s.name);
+  const auto results = bench::run_grid(
+      row_labels, col_labels,
+      [&](std::size_t r, std::size_t c) {
+        return bench::scheme_sequential_scenario(
+            schemes[c], profile, env_of(values[r]), core::kRaspberryPiFlops);
+      },
+      opts);
+
   std::map<std::string, double> speedup_sum;
-  for (double v : values) {
-    const auto env = env_of(v);
+  for (std::size_t r = 0; r < values.size(); ++r) {
     std::vector<double> tct;
-    for (const auto& s : schemes)
-      tct.push_back(bench::scheme_sequential_latency(
-          s, profile, env, core::kRaspberryPiFlops));
-    std::vector<std::string> row{util::fmt(v, 0)};
+    for (std::size_t c = 0; c < schemes.size(); ++c)
+      tct.push_back(results[r][c].tct.mean);
+    std::vector<std::string> row{row_labels[r]};
     for (double x : tct) row.push_back(util::fmt(x, 3));
     for (std::size_t i = 1; i < schemes.size(); ++i) {
       const double sp = tct[i] / tct[0];
@@ -76,16 +88,22 @@ core::Environment env_for_latency(double lat_ms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto opts = bench::sweep_options_from_args(argc, argv);
   bench::print_banner(
       "Fig. 7 / Test Case 2 — overall performance vs network conditions",
       "LEIME 4.4x/6.5x/18.7x faster than Neurosurgeon/Edgent/DDNN across "
       "bandwidths; 4.2x/5.7x/14.5x across latencies; widest gap in poor "
       "networks",
       "ME-Inception-v3 on Raspberry Pi, DES, sequential tasks");
+  auto bw_opts = opts, lat_opts = opts;
+  if (!opts.trace_path.empty()) {
+    bw_opts.trace_path = opts.trace_path + ".bw.json";
+    lat_opts.trace_path = opts.trace_path + ".lat.json";
+  }
   sweep("-- bandwidth sweep (latency 20 ms) --", "bw (Mbps)",
-        {1.0, 2.0, 4.0, 8.0, 16.0, 30.0}, env_for_bandwidth);
+        {1.0, 2.0, 4.0, 8.0, 16.0, 30.0}, env_for_bandwidth, bw_opts);
   sweep("-- propagation latency sweep (bandwidth 10 Mbps) --", "lat (ms)",
-        {10.0, 25.0, 50.0, 100.0, 200.0}, env_for_latency);
+        {10.0, 25.0, 50.0, 100.0, 200.0}, env_for_latency, lat_opts);
   return 0;
 }

@@ -6,11 +6,16 @@
 // share (F^e / n), so exits shift to relieve edge load as the fleet grows —
 // the paper finds LEIME's average TCT grows almost linearly and supports
 // the most devices; the baselines' curves blow up earlier.
+//
+// The fleet sweep is embarrassingly parallel and runs on the runtime
+// executor: `--threads N` fans the (fleet size × scheme) grid across N
+// workers, `--trace out.json` dumps a chrome://tracing timeline of the
+// cells, `--progress` shows a live counter. Results are identical for any
+// thread count (per-run seeds are fixed in the configs).
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "sim/simulation.h"
 #include "util/table.h"
 
 namespace {
@@ -19,8 +24,9 @@ using namespace leime;
 
 constexpr double kPerDeviceRate = 0.5;
 
-double fleet_tct(const bench::Scheme& scheme,
-                 const models::ModelProfile& profile, int n_devices) {
+sim::ScenarioConfig fleet_config(const bench::Scheme& scheme,
+                                 const models::ModelProfile& profile,
+                                 int n_devices) {
   auto env = core::testbed_environment();
   // Exit setting sees the per-device average available edge capacity.
   auto design_env = env;
@@ -44,22 +50,40 @@ double fleet_tct(const bench::Scheme& scheme,
   cfg.policy = scheme.policy;
   cfg.fixed_ratio = scheme.fixed_ratio;
   cfg.duration = 60.0;
-  return sim::run_scenario(cfg).tct.mean;
+  return cfg;
 }
 
-void model_table(const models::ModelKind kind) {
+void model_table(const models::ModelKind kind, const bench::SweepOptions& opts,
+                 const std::string& trace_tag) {
+  // Each model's sweep gets its own trace file so one doesn't clobber the
+  // other when --trace is given.
+  auto table_opts = opts;
+  if (!opts.trace_path.empty())
+    table_opts.trace_path = opts.trace_path + "." + trace_tag + ".json";
   const auto profile = models::make_profile(kind);
   const auto schemes = bench::paper_schemes();
+  const std::vector<int> fleet_sizes{1, 2, 4, 8, 16, 32};
   std::cout << "-- " << models::to_string(kind) << " --\n";
+
+  std::vector<std::string> row_labels, col_labels;
+  for (int n : fleet_sizes) row_labels.push_back(std::to_string(n));
+  for (const auto& s : schemes) col_labels.push_back(s.name);
+  const auto results = bench::run_grid(
+      row_labels, col_labels,
+      [&](std::size_t r, std::size_t c) {
+        return fleet_config(schemes[c], profile, fleet_sizes[r]);
+      },
+      table_opts);
+
   util::TablePrinter t([&] {
     std::vector<std::string> h{"devices"};
     for (const auto& s : schemes) h.push_back(s.name + " (s)");
     return h;
   }());
-  for (int n : {1, 2, 4, 8, 16, 32}) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (const auto& s : schemes)
-      row.push_back(util::fmt(fleet_tct(s, profile, n), 3));
+  for (std::size_t r = 0; r < row_labels.size(); ++r) {
+    std::vector<std::string> row{row_labels[r]};
+    for (std::size_t c = 0; c < col_labels.size(); ++c)
+      row.push_back(util::fmt(results[r][c].tct.mean, 3));
     t.add_row(row);
   }
   t.print(std::cout);
@@ -68,14 +92,15 @@ void model_table(const models::ModelKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::sweep_options_from_args(argc, argv);
   bench::print_banner(
       "Fig. 11 / Test Case 5 — scalability with connected devices",
       "LEIME's TCT grows almost linearly with fleet size and supports the "
       "most devices; baselines blow up earlier",
       "homogeneous RPi fleets (1..32) sharing one edge, 0.5 tasks/s each; "
       "LEIME re-runs exit setting per fleet size with F^e/n");
-  model_table(models::ModelKind::kInceptionV3);
-  model_table(models::ModelKind::kResNet34);
+  model_table(models::ModelKind::kInceptionV3, opts, "inception");
+  model_table(models::ModelKind::kResNet34, opts, "resnet34");
   return 0;
 }

@@ -10,9 +10,12 @@
 #include <iostream>
 #include <string>
 
-#include "sim/experiment.h"
+#include "runtime/executor.h"
+#include "runtime/experiment_plan.h"
+#include "runtime/sinks.h"
 #include "sim/scenario_ini.h"
 #include "sim/simulation.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace {
@@ -50,6 +53,15 @@ gflops = 6               # Jetson Nano class
 rate = 2.0
 uplink_mbps = 20
 uplink_latency_ms = 15
+
+# Optional: how the experiment runtime executes the replications.
+[runtime]
+threads = 0              # worker threads; 0 = all cores (results are
+                         # identical for any value)
+seed_mode = split        # split (independent substreams) | legacy (seed+i)
+jsonl =                  # per-run JSONL telemetry file, empty = off
+trace =                  # chrome://tracing timeline file, empty = off
+progress = false         # live cell counter on stderr
 )";
 
 int run(const std::string& path) {
@@ -61,12 +73,42 @@ int run(const std::string& path) {
             << util::fmt(scenario.expected_tct, 3) << " s\n\n";
 
   if (scenario.replications > 1) {
-    const auto r = sim::run_replicated(scenario.config, scenario.replications,
-                                       scenario.config.seed);
-    std::cout << "over " << r.runs << " replications: mean TCT "
-              << util::fmt(r.mean_tct, 3) << " s (stddev "
-              << util::fmt(r.stddev_tct, 3) << "), mean p95 "
-              << util::fmt(r.mean_p95, 3) << " s\n";
+    // Replications run as an axis-free plan on the runtime executor, with
+    // per-run seeds derived from [scenario] seed (or the legacy base+i
+    // convention when [runtime] seed_mode = legacy).
+    runtime::ExperimentPlan plan(scenario.config);
+    plan.replications(scenario.replications)
+        .base_seed(scenario.config.seed)
+        .seed_mode(scenario.legacy_seeds
+                       ? runtime::SeedMode::kLegacyArithmetic
+                       : runtime::SeedMode::kSplit);
+    runtime::ExecutorOptions exec_opts;
+    exec_opts.threads = scenario.threads;
+    exec_opts.progress = scenario.progress;
+    runtime::Executor executor(exec_opts);
+    const auto records = executor.run(plan);
+
+    util::RunningStats means, p95s;
+    for (const auto& rec : records) {
+      means.add(rec.result.tct.mean);
+      p95s.add(rec.result.tct.p95);
+    }
+    std::cout << "over " << records.size() << " replications ("
+              << runtime::Executor::resolve_threads(scenario.threads)
+              << " thread(s), " << util::fmt(executor.last_wall_s(), 2)
+              << " s wall): mean TCT " << util::fmt(means.mean(), 3)
+              << " s (stddev " << util::fmt(means.stddev(), 3)
+              << "), mean p95 " << util::fmt(p95s.mean(), 3) << " s\n";
+
+    const auto axis_names = plan.axis_names();
+    if (!scenario.jsonl_path.empty()) {
+      runtime::write_jsonl_file(scenario.jsonl_path, axis_names, records);
+      std::cout << "(jsonl telemetry: " << scenario.jsonl_path << ")\n";
+    }
+    if (!scenario.trace_path.empty()) {
+      runtime::write_chrome_trace(scenario.trace_path, records);
+      std::cout << "(chrome trace: " << scenario.trace_path << ")\n";
+    }
     return 0;
   }
 

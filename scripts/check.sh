@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Repo verification gate.
+#
+#   1. Tier-1: configure + build + full ctest suite (ROADMAP.md contract).
+#   2. TSan:   rebuild the parallel-runtime tests with
+#              -DLEIME_SANITIZE=thread and re-run them, guarding the
+#              executor thread pool against data races. Skipped (with a
+#              notice) when the toolchain lacks libtsan.
+#
+# Env knobs: JOBS (parallel build jobs, default nproc),
+#            LEIME_SKIP_TSAN=1 to run only the tier-1 pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${LEIME_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== tsan pass skipped (LEIME_SKIP_TSAN=1) =="
+  exit 0
+fi
+
+probe="$(mktemp)"
+if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "$probe" \
+    2>/dev/null; then
+  rm -f "$probe"
+  echo "== tsan: runtime + sim tests under -fsanitize=thread =="
+  cmake -B build-tsan -S . -DLEIME_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target runtime_test sim_test
+  ctest --test-dir build-tsan --output-on-failure -R '^(runtime_test|sim_test)$'
+else
+  rm -f "$probe"
+  echo "== tsan pass skipped: ThreadSanitizer unavailable on this toolchain =="
+fi
+
+echo "== check.sh: all passes OK =="

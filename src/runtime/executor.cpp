@@ -1,0 +1,101 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace leime::runtime {
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int Executor::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<RunRecord> Executor::run(const ExperimentPlan& plan) const {
+  return run(plan.expand());
+}
+
+std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
+  const std::size_t total = cells.size();
+  std::vector<RunRecord> records(total);
+  const int threads = resolve_threads(opts_.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex report_mu;
+  std::exception_ptr first_error;
+
+  // Each worker claims cells off the shared counter and writes its record
+  // into the cell's own slot, so collection order never depends on the
+  // schedule and no two threads touch the same element.
+  auto worker_fn = [&](int worker_id) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= total) return;
+      Cell& cell = cells[i];
+      RunRecord rec;
+      rec.cell_index = cell.index;
+      rec.labels = std::move(cell.labels);
+      rec.replication = cell.replication;
+      rec.seed = cell.config.seed;
+      rec.worker = worker_id;
+      rec.start_s = seconds_since(t0);
+      try {
+        rec.result = sim::run_scenario(cell.config);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(report_mu);
+        if (!first_error) first_error = std::current_exception();
+        next.store(total);  // drain the queue so the pool winds down
+        return;
+      }
+      rec.end_s = seconds_since(t0);
+      records[i] = std::move(rec);
+
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (opts_.on_cell_done || opts_.progress) {
+        std::lock_guard<std::mutex> lock(report_mu);
+        if (opts_.on_cell_done) opts_.on_cell_done(finished, total);
+        if (opts_.progress) {
+          std::cerr << "\r[runtime] " << finished << "/" << total
+                    << " cells, " << threads << " thread"
+                    << (threads == 1 ? "" : "s") << ", "
+                    << util::fmt(seconds_since(t0), 1) << " s" << std::flush;
+          if (finished == total) std::cerr << "\n";
+        }
+      }
+    }
+  };
+
+  if (threads <= 1 || total <= 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> pool;
+    const int n = std::min<int>(threads, static_cast<int>(total));
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int w = 0; w < n; ++w) pool.emplace_back(worker_fn, w);
+    for (auto& t : pool) t.join();
+  }
+
+  last_wall_s_ = seconds_since(t0);
+  if (first_error) std::rethrow_exception(first_error);
+  return records;
+}
+
+}  // namespace leime::runtime

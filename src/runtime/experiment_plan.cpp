@@ -1,0 +1,95 @@
+#include "runtime/experiment_plan.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace leime::runtime {
+
+ExperimentPlan& ExperimentPlan::add_axis(std::string name,
+                                         std::vector<AxisValue> values) {
+  if (values.empty())
+    throw std::invalid_argument("ExperimentPlan: axis '" + name +
+                                "' has no values");
+  axes_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+ExperimentPlan& ExperimentPlan::add_axis(
+    std::string name, const std::vector<double>& values,
+    const std::function<void(sim::ScenarioConfig&, double)>& set) {
+  std::vector<AxisValue> points;
+  points.reserve(values.size());
+  for (double v : values)
+    points.push_back(
+        {util::fmt(v, v == static_cast<std::int64_t>(v) ? 0 : 3),
+         [set, v](sim::ScenarioConfig& cfg) { set(cfg, v); }});
+  return add_axis(std::move(name), std::move(points));
+}
+
+ExperimentPlan& ExperimentPlan::replications(int n) {
+  if (n < 1)
+    throw std::invalid_argument("ExperimentPlan: replications must be >= 1");
+  replications_ = n;
+  return *this;
+}
+
+ExperimentPlan& ExperimentPlan::base_seed(std::uint64_t seed) {
+  base_seed_ = seed;
+  return *this;
+}
+
+ExperimentPlan& ExperimentPlan::seed_mode(SeedMode mode) {
+  seed_mode_ = mode;
+  return *this;
+}
+
+std::vector<std::string> ExperimentPlan::axis_names() const {
+  std::vector<std::string> names;
+  names.reserve(axes_.size());
+  for (const auto& axis : axes_) names.push_back(axis.name);
+  return names;
+}
+
+std::size_t ExperimentPlan::num_cells() const {
+  std::size_t n = static_cast<std::size_t>(replications_);
+  for (const auto& axis : axes_) n *= axis.values.size();
+  return n;
+}
+
+std::vector<Cell> ExperimentPlan::expand() const {
+  std::vector<Cell> cells;
+  cells.reserve(num_cells());
+  // Odometer over axis indices; replication cycles innermost.
+  std::vector<std::size_t> at(axes_.size(), 0);
+  const std::size_t total = num_cells();
+  for (std::size_t index = 0; index < total; ++index) {
+    const int rep =
+        static_cast<int>(index % static_cast<std::size_t>(replications_));
+    Cell cell;
+    cell.index = index;
+    cell.replication = rep;
+    cell.config = base_;
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const auto& value = axes_[a].values[at[a]];
+      cell.labels.push_back(value.label);
+      value.apply(cell.config);
+    }
+    cell.config.seed =
+        seed_mode_ == SeedMode::kSplit
+            ? util::Rng::derive_seed(base_seed_, index)
+            : base_seed_ + static_cast<std::uint64_t>(cell.replication);
+    cells.push_back(std::move(cell));
+
+    // Advance: replication first, then axes from the innermost (last).
+    if (rep + 1 < replications_) continue;
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      if (++at[a] < axes_[a].values.size()) break;
+      at[a] = 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace leime::runtime

@@ -1,0 +1,44 @@
+// sim::run_replicated, rebuilt on the runtime executor. Lives in
+// leime_runtime (not leime_sim) so the sim library does not need to link
+// back against the engine that drives it.
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "runtime/executor.h"
+#include "runtime/experiment_plan.h"
+#include "util/stats.h"
+
+namespace leime::sim {
+
+ReplicatedResult run_replicated(const ScenarioConfig& config,
+                                int replications, std::uint64_t base_seed,
+                                const ReplicateOptions& opts) {
+  if (replications < 1)
+    throw std::invalid_argument("run_replicated: need >= 1 replication");
+
+  runtime::ExperimentPlan plan(config);
+  plan.replications(replications)
+      .base_seed(base_seed)
+      .seed_mode(opts.legacy_seeds ? runtime::SeedMode::kLegacyArithmetic
+                                   : runtime::SeedMode::kSplit);
+  runtime::ExecutorOptions exec_opts;
+  exec_opts.threads = opts.threads;
+  const auto records = runtime::Executor(exec_opts).run(plan);
+
+  ReplicatedResult out;
+  util::RunningStats means, p95s;
+  for (const auto& rec : records) {
+    means.add(rec.result.tct.mean);
+    p95s.add(rec.result.tct.p95);
+    out.per_run_mean.push_back(rec.result.tct.mean);
+    out.per_run_seed.push_back(rec.seed);
+  }
+  out.mean_tct = means.mean();
+  out.stddev_tct = means.stddev();
+  out.mean_p95 = p95s.mean();
+  out.runs = records.size();
+  return out;
+}
+
+}  // namespace leime::sim

@@ -1,0 +1,42 @@
+// Work items and results of the parallel experiment-execution engine.
+//
+// A Cell is one fully materialized simulator run (grid coordinates +
+// replication + derived seed + config); a RunRecord is its outcome plus
+// execution telemetry. Records are collected in plan order regardless of
+// which worker thread ran which cell, so a result set is a deterministic
+// function of the plan alone — timing fields are the only nondeterministic
+// part, and every sink can exclude them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace leime::runtime {
+
+/// One grid cell of an ExperimentPlan, ready to run.
+struct Cell {
+  std::size_t index = 0;            ///< ordinal in row-major plan expansion
+  std::vector<std::string> labels;  ///< one coordinate label per axis
+  int replication = 0;              ///< 0-based replication number
+  sim::ScenarioConfig config;       ///< seed already applied
+};
+
+/// Outcome of one cell.
+struct RunRecord {
+  std::size_t cell_index = 0;
+  std::vector<std::string> labels;
+  int replication = 0;
+  std::uint64_t seed = 0;
+  sim::SimResult result;
+
+  // Execution telemetry (nondeterministic; excluded from determinism
+  // comparisons and optional in the JSONL sink).
+  double start_s = 0.0;  ///< wall-clock offset from executor start
+  double end_s = 0.0;
+  int worker = -1;       ///< pool thread that ran the cell
+};
+
+}  // namespace leime::runtime

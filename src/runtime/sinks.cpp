@@ -1,0 +1,143 @@
+#include "runtime/sinks.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace leime::runtime {
+
+namespace {
+
+// Shortest round-trip representation so equal doubles always serialize to
+// equal bytes (the determinism contract of the JSONL sink).
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void check_widths(const std::vector<std::string>& axis_names,
+                  const std::vector<RunRecord>& records) {
+  for (const auto& rec : records)
+    if (rec.labels.size() != axis_names.size())
+      throw std::invalid_argument(
+          "runtime sinks: record label count does not match axis names");
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("runtime sinks: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& axis_names,
+               const std::vector<RunRecord>& records) {
+  check_widths(axis_names, records);
+  std::vector<std::string> header = axis_names;
+  for (const char* col :
+       {"replication", "seed", "mean_tct", "stddev_tct", "p50_tct", "p95_tct",
+        "p99_tct", "generated", "completed", "exit1_frac", "exit2_frac",
+        "exit3_frac", "mean_offload_ratio", "start_s", "end_s", "worker"})
+    header.push_back(col);
+  util::CsvWriter csv(path, header);
+  for (const auto& rec : records) {
+    std::vector<std::string> row = rec.labels;
+    row.push_back(std::to_string(rec.replication));
+    row.push_back(std::to_string(rec.seed));
+    for (double v : {rec.result.tct.mean, rec.result.tct.stddev,
+                     rec.result.tct.p50, rec.result.tct.p95,
+                     rec.result.tct.p99})
+      row.push_back(num(v));
+    row.push_back(std::to_string(rec.result.generated));
+    row.push_back(std::to_string(rec.result.completed));
+    for (double v : {rec.result.exit1_fraction, rec.result.exit2_fraction,
+                     rec.result.exit3_fraction, rec.result.mean_offload_ratio})
+      row.push_back(num(v));
+    row.push_back(num(rec.start_s));
+    row.push_back(num(rec.end_s));
+    row.push_back(std::to_string(rec.worker));
+    csv.add_row(row);
+  }
+}
+
+void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
+                 const std::vector<RunRecord>& records,
+                 const JsonlOptions& opts) {
+  check_widths(axis_names, records);
+  for (const auto& rec : records) {
+    out << "{\"cell\":" << rec.cell_index;
+    for (std::size_t a = 0; a < axis_names.size(); ++a)
+      out << ",\"" << json_escape(axis_names[a]) << "\":\""
+          << json_escape(rec.labels[a]) << "\"";
+    out << ",\"replication\":" << rec.replication << ",\"seed\":" << rec.seed
+        << ",\"mean_tct\":" << num(rec.result.tct.mean)
+        << ",\"stddev_tct\":" << num(rec.result.tct.stddev)
+        << ",\"p50_tct\":" << num(rec.result.tct.p50)
+        << ",\"p95_tct\":" << num(rec.result.tct.p95)
+        << ",\"p99_tct\":" << num(rec.result.tct.p99)
+        << ",\"generated\":" << rec.result.generated
+        << ",\"completed\":" << rec.result.completed
+        << ",\"exit_fracs\":[" << num(rec.result.exit1_fraction) << ","
+        << num(rec.result.exit2_fraction) << ","
+        << num(rec.result.exit3_fraction) << "]"
+        << ",\"mean_offload_ratio\":" << num(rec.result.mean_offload_ratio);
+    if (opts.include_timing)
+      out << ",\"start_s\":" << num(rec.start_s)
+          << ",\"end_s\":" << num(rec.end_s) << ",\"worker\":" << rec.worker;
+    out << "}\n";
+  }
+}
+
+void write_jsonl_file(const std::string& path,
+                      const std::vector<std::string>& axis_names,
+                      const std::vector<RunRecord>& records,
+                      const JsonlOptions& opts) {
+  auto out = open_or_throw(path);
+  write_jsonl(out, axis_names, records, opts);
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<RunRecord>& records) {
+  auto out = open_or_throw(path);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& rec : records) {
+    if (!first) out << ",";
+    first = false;
+    std::string name = "cell " + std::to_string(rec.cell_index);
+    for (const auto& label : rec.labels) name += " " + label;
+    out << "\n{\"name\":\"" << json_escape(name)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << rec.worker
+        << ",\"ts\":" << num(rec.start_s * 1e6)
+        << ",\"dur\":" << num((rec.end_s - rec.start_s) * 1e6)
+        << ",\"args\":{\"seed\":" << rec.seed
+        << ",\"replication\":" << rec.replication
+        << ",\"mean_tct\":" << num(rec.result.tct.mean) << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace leime::runtime

@@ -1,0 +1,47 @@
+// Structured sinks for collected RunRecords.
+//
+// Three machine-readable formats plus the executor's live progress line:
+//   * CSV   — one row per cell (util::CsvWriter), for pandas/gnuplot;
+//   * JSONL — one self-describing JSON object per cell; timing fields are
+//             optional so determinism tests can compare outputs byte-wise;
+//   * chrome trace — "X" complete events per cell keyed by worker thread,
+//             loadable at chrome://tracing or ui.perfetto.dev to inspect
+//             pool utilisation and per-cell wall time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/run_record.h"
+
+namespace leime::runtime {
+
+/// Columns: one per axis name, then replication, seed, the headline
+/// metrics, and timing telemetry. `axis_names` must match the records'
+/// label widths.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& axis_names,
+               const std::vector<RunRecord>& records);
+
+struct JsonlOptions {
+  /// Include start_s/end_s/worker. Off, the stream is a deterministic
+  /// function of the plan — identical bytes for any executor thread count.
+  bool include_timing = true;
+};
+
+void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
+                 const std::vector<RunRecord>& records,
+                 const JsonlOptions& opts = {});
+
+void write_jsonl_file(const std::string& path,
+                      const std::vector<std::string>& axis_names,
+                      const std::vector<RunRecord>& records,
+                      const JsonlOptions& opts = {});
+
+/// chrome://tracing JSON: one complete ("ph":"X") event per cell, pid 0,
+/// tid = worker, ts/dur in microseconds from executor start.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<RunRecord>& records);
+
+}  // namespace leime::runtime

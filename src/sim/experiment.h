@@ -1,6 +1,12 @@
 // Replication utilities: run a scenario across seeds and report
 // mean/stddev, so benches and tests can quote confidence instead of a
 // single draw.
+//
+// Since the runtime subsystem landed this is a thin aggregation layer over
+// runtime::Executor (the implementation lives in src/runtime/replicate.cpp
+// and links from leime_runtime): replications become a one-axis-free
+// ExperimentPlan and can run on a thread pool, with per-run seeds derived
+// via util::Rng::derive_seed instead of the collision-prone base_seed + i.
 #pragma once
 
 #include <cstdint>
@@ -15,13 +21,28 @@ struct ReplicatedResult {
   double stddev_tct = 0.0;  ///< stddev of per-run mean TCTs
   double mean_p95 = 0.0;
   std::size_t runs = 0;
-  std::vector<double> per_run_mean;  ///< one entry per seed
+  std::vector<double> per_run_mean;       ///< one entry per replication
+  std::vector<std::uint64_t> per_run_seed;  ///< the seed behind each entry
 };
 
-/// Runs the scenario `replications` times with seeds base_seed, base_seed+1,
-/// ... and aggregates. replications must be >= 1.
+struct ReplicateOptions {
+  /// Executor worker threads (replications run concurrently; each DES run
+  /// stays single-threaded, so results are identical for any value).
+  int threads = 1;
+
+  /// Re-enables the pre-runtime seeding convention seed = base_seed + i,
+  /// for replaying seed-numbered results from existing benches. Off, run i
+  /// is seeded with util::Rng::derive_seed(base_seed, i).
+  bool legacy_seeds = false;
+};
+
+/// Runs the scenario `replications` times with independent seeds derived
+/// from base_seed and aggregates. replications must be >= 1. Deterministic
+/// for fixed (config, replications, base_seed, legacy_seeds) regardless of
+/// opts.threads.
 ReplicatedResult run_replicated(const ScenarioConfig& config,
                                 int replications,
-                                std::uint64_t base_seed = 1000);
+                                std::uint64_t base_seed = 1000,
+                                const ReplicateOptions& opts = {});
 
 }  // namespace leime::sim

@@ -57,6 +57,20 @@ IniScenario load_scenario(const util::IniFile& ini) {
   if (out.replications < 1)
     throw std::invalid_argument("scenario: replications must be >= 1");
 
+  if (const auto* rt = ini.find("runtime")) {
+    out.threads = static_cast<int>(rt->get_int("threads", 1));
+    if (out.threads < 0)
+      throw std::invalid_argument("runtime: threads must be >= 0");
+    const auto seed_mode = rt->get("seed_mode", "split");
+    if (seed_mode == "legacy")
+      out.legacy_seeds = true;
+    else if (seed_mode != "split")
+      throw std::invalid_argument("runtime: seed_mode must be split|legacy");
+    out.jsonl_path = rt->get("jsonl", "");
+    out.trace_path = rt->get("trace", "");
+    out.progress = rt->get_bool("progress", false);
+  }
+
   // Exit setting from fleet averages (the paper's F_av / B_av).
   const auto n = static_cast<double>(cfg.devices.size());
   core::Environment env;

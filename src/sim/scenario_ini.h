@@ -7,6 +7,9 @@
 //   [edge]      gflops / cloud_tflops / cloud_mbps / cloud_latency_ms
 //   [device]    (repeatable) gflops / rate / uplink_mbps /
 //               uplink_latency_ms / difficulty
+//   [runtime]   (optional) threads / seed_mode (split | legacy) / jsonl /
+//               trace / progress — how the runtime executor runs the
+//               replications and where structured telemetry goes
 #pragma once
 
 #include <string>
@@ -25,6 +28,14 @@ struct IniScenario {
   core::ExitCombo designed_exits;
   double expected_tct = 0.0;  ///< the exit setting's cost estimate
   int replications = 1;
+
+  // [runtime] knobs (plain values here so leime_sim does not depend on
+  // leime_runtime; the caller maps them onto the executor).
+  int threads = 1;            ///< executor workers for replications
+  bool legacy_seeds = false;  ///< seed_mode = legacy: seeds base_seed + i
+  std::string jsonl_path;     ///< per-run JSONL telemetry, "" = off
+  std::string trace_path;     ///< chrome://tracing timeline, "" = off
+  bool progress = false;      ///< live cell counter on stderr
 };
 
 /// Resolves a model name: one of the zoo shorthands (vgg16 | resnet34 |

@@ -22,6 +22,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
   std::uint64_t sm = seed;
   for (auto& s : state_) s = splitmix64(sm);
 }
@@ -114,6 +115,18 @@ Rng Rng::fork() {
   Rng child;
   child.reseed(next_u64());
   return child;
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t index) {
+  // mix(base) xor index feeds a second splitmix64 round; splitmix64 is a
+  // bijection, so distinct indices under one base never collide.
+  std::uint64_t s = base;
+  s = splitmix64(s) ^ index;
+  return splitmix64(s);
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  return Rng(derive_seed(seed_, index));
 }
 
 }  // namespace leime::util

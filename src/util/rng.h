@@ -69,10 +69,29 @@ class Rng {
   }
 
   /// Derives an independent child stream (for per-device generators).
+  /// Consumes one draw from this stream, so the result depends on the
+  /// current position; prefer split() when substreams must be addressable.
   Rng fork();
+
+  /// Independent, reproducible substream `index` of this generator.
+  /// Depends only on the seed this Rng was constructed (or last reseeded)
+  /// with — not on how many draws have been made — so split(i) is a stable
+  /// address: the runtime hands grid cell i the same stream on every run
+  /// and across any thread schedule.
+  Rng split(std::uint64_t index) const;
+
+  /// The substream-seed derivation behind split(): two rounds of splitmix64
+  /// over (base, index). Unlike the old `base + index` convention, adjacent
+  /// indices land in unrelated regions of seed space, so per-cell streams
+  /// cannot collide with each other or with neighbouring base seeds.
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+  /// The seed this generator was constructed / last reseeded with.
+  std::uint64_t seed() const { return seed_; }
 
  private:
   std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace leime::util

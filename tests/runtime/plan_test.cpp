@@ -1,0 +1,108 @@
+#include "runtime/experiment_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/zoo.h"
+#include "util/rng.h"
+
+namespace leime::runtime {
+namespace {
+
+sim::ScenarioConfig base_config() {
+  const auto profile = models::make_squeezenet();
+  sim::ScenarioConfig cfg;
+  cfg.partition = core::make_partition(profile, {4, 8, profile.num_units()});
+  sim::DeviceSpec dev;
+  dev.mean_rate = 1.0;
+  cfg.devices.push_back(dev);
+  cfg.duration = 10.0;
+  cfg.warmup = 1.0;
+  return cfg;
+}
+
+ExperimentPlan two_axis_plan() {
+  ExperimentPlan plan(base_config());
+  plan.add_axis("duration", {10.0, 20.0, 30.0},
+                [](sim::ScenarioConfig& cfg, double v) { cfg.duration = v; });
+  plan.add_axis("policy",
+                {{"LEIME", [](sim::ScenarioConfig& cfg) { cfg.policy = "LEIME"; }},
+                 {"D-only",
+                  [](sim::ScenarioConfig& cfg) { cfg.policy = "D-only"; }}});
+  plan.replications(2).base_seed(99);
+  return plan;
+}
+
+TEST(ExperimentPlan, CrossProductTimesReplications) {
+  const auto plan = two_axis_plan();
+  EXPECT_EQ(plan.num_cells(), 3u * 2u * 2u);
+  const auto cells = plan.expand();
+  ASSERT_EQ(cells.size(), 12u);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(ExperimentPlan, RowMajorOrderWithReplicationInnermost) {
+  const auto cells = two_axis_plan().expand();
+  // index = ((i_duration * 2) + i_policy) * 2 + replication.
+  EXPECT_EQ(cells[0].labels, (std::vector<std::string>{"10", "LEIME"}));
+  EXPECT_EQ(cells[0].replication, 0);
+  EXPECT_EQ(cells[1].labels, (std::vector<std::string>{"10", "LEIME"}));
+  EXPECT_EQ(cells[1].replication, 1);
+  EXPECT_EQ(cells[2].labels, (std::vector<std::string>{"10", "D-only"}));
+  EXPECT_EQ(cells[4].labels, (std::vector<std::string>{"20", "LEIME"}));
+  EXPECT_EQ(cells[11].labels, (std::vector<std::string>{"30", "D-only"}));
+  EXPECT_EQ(cells[11].replication, 1);
+}
+
+TEST(ExperimentPlan, AxisMutationsReachTheConfig) {
+  const auto cells = two_axis_plan().expand();
+  EXPECT_DOUBLE_EQ(cells[0].config.duration, 10.0);
+  EXPECT_EQ(cells[0].config.policy, "LEIME");
+  EXPECT_DOUBLE_EQ(cells[2].config.duration, 10.0);
+  EXPECT_EQ(cells[2].config.policy, "D-only");
+  EXPECT_DOUBLE_EQ(cells[11].config.duration, 30.0);
+  EXPECT_EQ(cells[11].config.policy, "D-only");
+}
+
+TEST(ExperimentPlan, SplitSeedsAreDerivedAndUnique) {
+  const auto cells = two_axis_plan().expand();
+  std::set<std::uint64_t> seeds;
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.config.seed, util::Rng::derive_seed(99, cell.index));
+    seeds.insert(cell.config.seed);
+  }
+  EXPECT_EQ(seeds.size(), cells.size());
+}
+
+TEST(ExperimentPlan, LegacySeedModeReproducesBasePlusReplication) {
+  auto plan = two_axis_plan();
+  plan.seed_mode(SeedMode::kLegacyArithmetic);
+  for (const auto& cell : plan.expand())
+    EXPECT_EQ(cell.config.seed,
+              99u + static_cast<std::uint64_t>(cell.replication));
+}
+
+TEST(ExperimentPlan, AxisNames) {
+  EXPECT_EQ(two_axis_plan().axis_names(),
+            (std::vector<std::string>{"duration", "policy"}));
+}
+
+TEST(ExperimentPlan, NoAxesIsJustReplications) {
+  ExperimentPlan plan(base_config());
+  plan.replications(4);
+  const auto cells = plan.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& cell : cells) EXPECT_TRUE(cell.labels.empty());
+}
+
+TEST(ExperimentPlan, Validation) {
+  ExperimentPlan plan(base_config());
+  EXPECT_THROW(plan.replications(0), std::invalid_argument);
+  EXPECT_THROW(plan.add_axis("empty", std::vector<AxisValue>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::runtime

@@ -1,0 +1,101 @@
+#include "runtime/sinks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace leime::runtime {
+namespace {
+
+std::vector<RunRecord> sample_records() {
+  std::vector<RunRecord> records(2);
+  records[0].cell_index = 0;
+  records[0].labels = {"8", "LEIME"};
+  records[0].replication = 0;
+  records[0].seed = 101;
+  records[0].result.tct.mean = 0.5;
+  records[0].result.tct.p95 = 0.9;
+  records[0].result.generated = 40;
+  records[0].result.completed = 38;
+  records[0].result.exit1_fraction = 0.7;
+  records[0].start_s = 0.0;
+  records[0].end_s = 1.25;
+  records[0].worker = 0;
+  records[1] = records[0];
+  records[1].cell_index = 1;
+  records[1].labels = {"8", "DDNN"};
+  records[1].replication = 1;
+  records[1].seed = 102;
+  records[1].result.tct.mean = 1.75;
+  records[1].worker = 1;
+  return records;
+}
+
+const std::vector<std::string> kAxes{"bw", "scheme"};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Sinks, CsvHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "runtime_sinks_test.csv";
+  write_csv(path, kAxes, sample_records());
+  const auto text = read_file(path);
+  EXPECT_NE(text.find("bw,scheme,replication,seed,mean_tct"),
+            std::string::npos);
+  EXPECT_NE(text.find("8,LEIME,0,101,0.5"), std::string::npos);
+  EXPECT_NE(text.find("8,DDNN,1,102,1.75"), std::string::npos);
+  // header + 2 rows
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, JsonlTimingToggle) {
+  std::ostringstream with, without;
+  write_jsonl(with, kAxes, sample_records());
+  JsonlOptions opts;
+  opts.include_timing = false;
+  write_jsonl(without, kAxes, sample_records(), opts);
+
+  EXPECT_NE(with.str().find("\"start_s\":"), std::string::npos);
+  EXPECT_NE(with.str().find("\"worker\":1"), std::string::npos);
+  EXPECT_EQ(without.str().find("\"start_s\":"), std::string::npos);
+  EXPECT_EQ(without.str().find("\"worker\""), std::string::npos);
+
+  // One object per record, keyed by the axis names.
+  const auto text = without.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("{\"cell\":0,\"bw\":\"8\",\"scheme\":\"LEIME\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"mean_tct\":1.75"), std::string::npos);
+}
+
+TEST(Sinks, ChromeTraceShape) {
+  const std::string path = ::testing::TempDir() + "runtime_sinks_test.trace";
+  write_chrome_trace(path, sample_records());
+  const auto text = read_file(path);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":1"), std::string::npos);
+  // 1.25 s cell duration -> 1.25e6 us.
+  EXPECT_NE(text.find("\"dur\":1250000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, MismatchedLabelWidthThrows) {
+  auto records = sample_records();
+  records[1].labels = {"only-one"};
+  std::ostringstream out;
+  EXPECT_THROW(write_jsonl(out, kAxes, records), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leime::runtime

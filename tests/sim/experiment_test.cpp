@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "models/zoo.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace leime::sim {
 namespace {
@@ -48,6 +50,39 @@ TEST(Experiment, DeterministicForBaseSeed) {
 
 TEST(Experiment, Validation) {
   EXPECT_THROW(run_replicated(small_scenario(), 0), std::invalid_argument);
+}
+
+TEST(Experiment, FourThreadsMatchSequentialRun) {
+  ReplicateOptions sequential, pooled;
+  pooled.threads = 4;
+  const auto a = run_replicated(small_scenario(), 6, 500, sequential);
+  const auto b = run_replicated(small_scenario(), 6, 500, pooled);
+  EXPECT_EQ(a.per_run_mean, b.per_run_mean);
+  EXPECT_EQ(a.per_run_seed, b.per_run_seed);
+  EXPECT_DOUBLE_EQ(a.mean_tct, b.mean_tct);
+  EXPECT_DOUBLE_EQ(a.stddev_tct, b.stddev_tct);
+}
+
+TEST(Experiment, SeedsAreSplitDerivedByDefault) {
+  const auto r = run_replicated(small_scenario(), 3, 500);
+  ASSERT_EQ(r.per_run_seed.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(r.per_run_seed[i], util::Rng::derive_seed(500, i));
+}
+
+TEST(Experiment, LegacySeedFlagReplaysOldConvention) {
+  // The pre-runtime convention (seed = base + i) stays available for
+  // replaying seed-numbered results: each run must match a direct
+  // run_scenario at that seed.
+  ReplicateOptions opts;
+  opts.legacy_seeds = true;
+  const auto r = run_replicated(small_scenario(), 3, 500, opts);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.per_run_seed[i], 500u + i);
+    auto cfg = small_scenario();
+    cfg.seed = 500 + i;
+    EXPECT_DOUBLE_EQ(r.per_run_mean[i], run_scenario(cfg).tct.mean);
+  }
 }
 
 }  // namespace

@@ -35,6 +35,13 @@ difficulty = 1.5
 [device]
 gflops = 6
 rate = 0.8
+
+[runtime]
+threads = 4
+seed_mode = legacy
+jsonl = out/runs.jsonl
+trace = out/cells.trace.json
+progress = true
 )";
 
 TEST(ScenarioIni, ParsesEveryField) {
@@ -61,6 +68,31 @@ TEST(ScenarioIni, ParsesEveryField) {
   EXPECT_GT(cfg.partition.mu1, 0.0);
   EXPECT_GE(s.designed_exits.e1, 1);
   EXPECT_GT(s.expected_tct, 0.0);
+  // [runtime] knobs.
+  EXPECT_EQ(s.threads, 4);
+  EXPECT_TRUE(s.legacy_seeds);
+  EXPECT_EQ(s.jsonl_path, "out/runs.jsonl");
+  EXPECT_EQ(s.trace_path, "out/cells.trace.json");
+  EXPECT_TRUE(s.progress);
+}
+
+TEST(ScenarioIni, RuntimeSectionIsOptionalAndValidated) {
+  const char* no_runtime =
+      "[scenario]\nmodel = squeezenet\n[edge]\ngflops = 50\n"
+      "[device]\nrate = 1\n";
+  const auto s = load_scenario(util::IniFile::parse_string(no_runtime));
+  EXPECT_EQ(s.threads, 1);
+  EXPECT_FALSE(s.legacy_seeds);
+  EXPECT_TRUE(s.jsonl_path.empty());
+
+  EXPECT_THROW(load_scenario(util::IniFile::parse_string(
+                   "[scenario]\nmodel = squeezenet\n[edge]\ngflops = 50\n"
+                   "[device]\nrate = 1\n[runtime]\nseed_mode = bogus\n")),
+               std::invalid_argument);
+  EXPECT_THROW(load_scenario(util::IniFile::parse_string(
+                   "[scenario]\nmodel = squeezenet\n[edge]\ngflops = 50\n"
+                   "[device]\nrate = 1\n[runtime]\nthreads = -2\n")),
+               std::invalid_argument);
 }
 
 TEST(ScenarioIni, LoadedScenarioRuns) {

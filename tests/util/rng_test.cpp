@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 #include <vector>
 
 namespace leime::util {
@@ -120,6 +122,50 @@ TEST(Rng, ForkProducesIndependentStream) {
   for (int i = 0; i < 64; ++i)
     if (parent.next_u64() == child.next_u64()) ++equal;
   EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitStreamsShareNoDrawsAcross1kPrefix) {
+  // 16 substreams of one base seed, 1k draws each: every value distinct, so
+  // no stream's prefix overlaps another's anywhere (collision probability
+  // for 16k random u64s is ~1e-11).
+  Rng base(2024);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    Rng stream = base.split(i);
+    for (int d = 0; d < 1000; ++d) seen.insert(stream.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 16u * 1000u);
+}
+
+TEST(Rng, SplitIsDeterministicPerSeedAndIndex) {
+  Rng a = Rng(1).split(5), b = Rng(1).split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(Rng(1).split(6).next_u64(), Rng(1).split(5).next_u64());
+  EXPECT_NE(Rng(2).split(5).next_u64(), Rng(1).split(5).next_u64());
+}
+
+TEST(Rng, SplitIgnoresStreamPosition) {
+  // Unlike fork(), split() addresses substreams by (seed, index) only, so
+  // grid cell i gets the same stream no matter when it is derived.
+  Rng parent(77);
+  const auto before = parent.split(3).next_u64();
+  parent.next_u64();
+  parent.next_u64();
+  EXPECT_EQ(parent.split(3).next_u64(), before);
+}
+
+TEST(Rng, DeriveSeedAvoidsArithmeticNeighbourCollisions) {
+  // base+1's stream 0 must not equal base's stream 1 (the failure mode of
+  // the old base_seed + i convention).
+  EXPECT_NE(Rng::derive_seed(100, 1), Rng::derive_seed(101, 0));
+  EXPECT_NE(Rng::derive_seed(100, 0), 100u);
+}
+
+TEST(Rng, SeedAccessorTracksReseed) {
+  Rng rng(42);
+  EXPECT_EQ(rng.seed(), 42u);
+  rng.reseed(7);
+  EXPECT_EQ(rng.seed(), 7u);
 }
 
 TEST(Rng, ShufflePreservesElements) {
