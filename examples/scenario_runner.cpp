@@ -25,7 +25,8 @@ using namespace leime;
 constexpr const char* kTemplate = R"([scenario]
 model = inception        # vgg16 | resnet34 | inception | squeezenet,
                          # or a path to a leime-profile text file
-policy = LEIME           # LEIME | LEIME-balance | D-only | E-only | cap_based
+policy = LEIME           # LEIME | LEIME-balance | D-only | E-only | cap_based,
+                         # +fallback suffix = device-only while edge is down
 duration = 120           # seconds of task generation
 warmup = 5
 seed = 42
@@ -62,6 +63,23 @@ seed_mode = split        # split (independent substreams) | legacy (seed+i)
 jsonl =                  # per-run JSONL telemetry file, empty = off
 trace =                  # chrome://tracing timeline file, empty = off
 progress = false         # live cell counter on stderr
+
+# Optional: fault injection + graceful degradation (sim/faults.h).
+# Windows are "start-end" in seconds ("40-" = never heals, edge only);
+# link windows may be scoped to one device as "d<idx>:start-end".
+[faults]
+link_outage_windows =    # e.g. "d0:40-50, 80-90" (unscoped = every device)
+link_outage_rate = 0     # Poisson outage onsets per device per second
+link_outage_mean_s = 2   # mean outage duration
+edge_down_windows =      # e.g. "30-45, 75-90" or "100-" (never restarts)
+edge_crash_rate = 0      # Poisson edge crashes per second
+edge_downtime_mean_s = 5
+churn =                  # e.g. "2:30-60, 1:80-" (device:leave-rejoin)
+detection_timeout_s = 0.5
+task_timeout_s = 0       # >0 arms the per-task retry watchdog
+max_retries = 2
+retry_backoff_s = 0.25
+probe_period_s = 1
 )";
 
 int run(const std::string& path) {

@@ -4,8 +4,13 @@
 //   * the arrival rate is bursty (Markov-modulated Poisson);
 //   * the uplink bandwidth drops from 20 Mbps to 2 Mbps mid-run and
 //     recovers (COMCAST-style shaping);
-// The example prints the windowed TCT timeline for LEIME vs the static
-// capability-based split, showing the online policy absorbing both shocks.
+//   * the edge server crashes outright at t=130 s and restarts at t=145 s
+//     (sim/faults.h), so the policy must fall back to device-only inference
+//     and fail offloaded work back to the device.
+// The example prints the windowed TCT timeline for LEIME (with the
+// graceful-degradation fallback) vs the static capability-based split,
+// showing the online policy absorbing all three shocks, plus the fault
+// counters behind the crash window.
 //
 // Build & run:  ./build/examples/wild_dynamics
 #include <iostream>
@@ -41,6 +46,10 @@ sim::ScenarioConfig wild_scenario(const core::MeDnnPartition& partition,
   cfg.duration = 180.0;
   cfg.warmup = 5.0;
   cfg.timeline_window = 15.0;
+  // The edge dies shortly after the bandwidth recovers.
+  cfg.faults.edge.windows = {{130.0, 145.0}};
+  cfg.faults.degradation.detection_timeout = 1.0;
+  cfg.faults.degradation.probe_period = 0.5;
   return cfg;
 }
 
@@ -54,7 +63,8 @@ int main() {
   const auto partition = core::make_partition(profile, combo);
 
   std::cout << "Wild dynamics: Jetson Nano, ME-ResNet-34, bursty arrivals "
-               "(0.4 <-> 1.5 tasks/s), uplink 20 -> 4 -> 20 Mbps\n\n";
+               "(0.4 <-> 1.5 tasks/s), uplink 20 -> 4 -> 20 Mbps,\n"
+               "edge server down 130-145 s\n\n";
 
   struct Cell {
     double leime = -1.0;
@@ -62,32 +72,42 @@ int main() {
   };
   std::map<int, Cell> timeline;
   double leime_mean = 0.0, cap_mean = 0.0;
+  sim::SimResult::FaultStats leime_faults, cap_faults;
   {
-    const auto r = sim::run_scenario(wild_scenario(partition, "LEIME"));
+    const auto r =
+        sim::run_scenario(wild_scenario(partition, "LEIME+fallback"));
     leime_mean = r.tct.mean;
+    leime_faults = r.faults;
     for (const auto& p : r.timeline)
       timeline[static_cast<int>(p.time / 15.0)].leime = p.mean_tct;
   }
   {
     const auto r = sim::run_scenario(wild_scenario(partition, "cap_based"));
     cap_mean = r.tct.mean;
+    cap_faults = r.faults;
     for (const auto& p : r.timeline)
       timeline[static_cast<int>(p.time / 15.0)].cap = p.mean_tct;
   }
 
-  util::TablePrinter t({"time (s)", "uplink", "LEIME TCT (s)",
+  util::TablePrinter t({"time (s)", "uplink", "edge", "LEIME+fb TCT (s)",
                         "cap_based TCT (s)"});
   for (const auto& [w, v] : timeline) {
     const double mid = (w + 0.5) * 15.0;
     const char* link = (mid >= 60.0 && mid < 120.0) ? "4 Mbps" : "20 Mbps";
+    const char* edge = (mid >= 130.0 && mid < 145.0) ? "DOWN" : "up";
     auto cell = [](double x) {
       return x < 0.0 ? std::string("-") : util::fmt(x, 2);
     };
-    t.add_row({util::fmt(mid, 0), link, cell(v.leime), cell(v.cap)});
+    t.add_row({util::fmt(mid, 0), link, edge, cell(v.leime), cell(v.cap)});
   }
   t.print(std::cout);
-  std::cout << "\noverall mean TCT: LEIME " << util::fmt(leime_mean, 2)
+  std::cout << "\noverall mean TCT: LEIME+fallback " << util::fmt(leime_mean, 2)
             << " s vs cap_based " << util::fmt(cap_mean, 2) << " s ("
             << util::fmt(cap_mean / leime_mean, 2) << "x)\n";
+  std::cout << "crash window: LEIME+fallback failed_over="
+            << leime_faults.failed_over
+            << " fallback_slots=" << leime_faults.fallback_slots
+            << " | cap_based failed_over=" << cap_faults.failed_over
+            << " fallback_slots=" << cap_faults.fallback_slots << "\n";
   return 0;
 }

@@ -35,6 +35,10 @@ struct DeviceSlotState {
   /// oversubscribe the link (a runtime refinement over the paper's
   /// memoryless per-slot constraint).
   double uplink_backlog_bytes = 0.0;
+  /// False while the edge tier is unreachable for this device (edge server
+  /// crashed or uplink in outage; fed by the fault layer, sim/faults.h).
+  /// Policies wrapped with FallbackPolicy degrade to x = 0 when false.
+  bool edge_available = true;
   LyapunovConfig config;
 
   /// Throws std::invalid_argument on inconsistent values.

@@ -37,7 +37,24 @@ std::string FixedRatioPolicy::name() const {
   return os.str();
 }
 
+FallbackPolicy::FallbackPolicy(std::unique_ptr<OffloadPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_)
+    throw std::invalid_argument("FallbackPolicy: null inner policy");
+}
+
+double FallbackPolicy::decide(const DeviceSlotState& state) const {
+  if (!state.edge_available) return 0.0;
+  return inner_->decide(state);
+}
+
 std::unique_ptr<OffloadPolicy> make_policy(const std::string& name) {
+  constexpr const char* kSuffix = "+fallback";
+  constexpr std::size_t kSuffixLen = 9;
+  if (name.size() > kSuffixLen &&
+      name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0)
+    return std::make_unique<FallbackPolicy>(
+        make_policy(name.substr(0, name.size() - kSuffixLen)));
   if (name == "LEIME") return std::make_unique<LeimePolicy>();
   if (name == "LEIME-balance") return std::make_unique<BalancePolicy>();
   if (name == "D-only") return std::make_unique<DeviceOnlyPolicy>();

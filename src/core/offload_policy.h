@@ -69,7 +69,22 @@ class FixedRatioPolicy final : public OffloadPolicy {
   double ratio_;
 };
 
-/// Convenience factory for the Fig. 10(b) comparison set.
+/// Graceful-degradation decorator: device-only (x = 0) while the edge tier
+/// is marked unreachable (DeviceSlotState::edge_available == false),
+/// deferring to the wrapped policy otherwise. Spelled "<base>+fallback" in
+/// make_policy, e.g. "LEIME+fallback".
+class FallbackPolicy final : public OffloadPolicy {
+ public:
+  explicit FallbackPolicy(std::unique_ptr<OffloadPolicy> inner);
+  double decide(const DeviceSlotState& state) const override;
+  std::string name() const override { return inner_->name() + "+fallback"; }
+
+ private:
+  std::unique_ptr<OffloadPolicy> inner_;
+};
+
+/// Convenience factory for the Fig. 10(b) comparison set. A "+fallback"
+/// suffix wraps any base policy in FallbackPolicy.
 std::unique_ptr<OffloadPolicy> make_policy(const std::string& name);
 
 }  // namespace leime::core

@@ -60,7 +60,9 @@ void write_csv(const std::string& path,
   for (const char* col :
        {"replication", "seed", "mean_tct", "stddev_tct", "p50_tct", "p95_tct",
         "p99_tct", "generated", "completed", "exit1_frac", "exit2_frac",
-        "exit3_frac", "mean_offload_ratio", "start_s", "end_s", "worker"})
+        "exit3_frac", "mean_offload_ratio", "total_completed", "in_flight",
+        "failed_over", "retries", "fallback_slots", "start_s", "end_s",
+        "worker"})
     header.push_back(col);
   util::CsvWriter csv(path, header);
   for (const auto& rec : records) {
@@ -76,6 +78,11 @@ void write_csv(const std::string& path,
     for (double v : {rec.result.exit1_fraction, rec.result.exit2_fraction,
                      rec.result.exit3_fraction, rec.result.mean_offload_ratio})
       row.push_back(num(v));
+    for (std::size_t v :
+         {rec.result.total_completed, rec.result.in_flight,
+          rec.result.faults.failed_over, rec.result.faults.retries,
+          rec.result.faults.fallback_slots})
+      row.push_back(std::to_string(v));
     row.push_back(num(rec.start_s));
     row.push_back(num(rec.end_s));
     row.push_back(std::to_string(rec.worker));
@@ -103,7 +110,18 @@ void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
         << ",\"exit_fracs\":[" << num(rec.result.exit1_fraction) << ","
         << num(rec.result.exit2_fraction) << ","
         << num(rec.result.exit3_fraction) << "]"
-        << ",\"mean_offload_ratio\":" << num(rec.result.mean_offload_ratio);
+        << ",\"mean_offload_ratio\":" << num(rec.result.mean_offload_ratio)
+        << ",\"total_completed\":" << rec.result.total_completed
+        << ",\"in_flight\":" << rec.result.in_flight;
+    const auto& f = rec.result.faults;
+    out << ",\"faults\":{\"link_outages\":" << f.link_outages
+        << ",\"edge_crashes\":" << f.edge_crashes
+        << ",\"churn_events\":" << f.churn_events
+        << ",\"failed_over\":" << f.failed_over
+        << ",\"retries\":" << f.retries
+        << ",\"local_fallbacks\":" << f.local_fallbacks
+        << ",\"fallback_slots\":" << f.fallback_slots
+        << ",\"parked\":" << f.parked << "}";
     if (opts.include_timing)
       out << ",\"start_s\":" << num(rec.start_s)
           << ",\"end_s\":" << num(rec.end_s) << ",\"worker\":" << rec.worker;

@@ -18,8 +18,9 @@
 namespace leime::runtime {
 
 /// Columns: one per axis name, then replication, seed, the headline
-/// metrics, and timing telemetry. `axis_names` must match the records'
-/// label widths.
+/// metrics, the conservation/fault counters (total_completed, in_flight,
+/// failed_over, retries, fallback_slots), and timing telemetry.
+/// `axis_names` must match the records' label widths.
 void write_csv(const std::string& path,
                const std::vector<std::string>& axis_names,
                const std::vector<RunRecord>& records);

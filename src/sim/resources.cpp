@@ -1,6 +1,7 @@
 #include "sim/resources.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/check.h"
@@ -64,6 +65,25 @@ void Link::set_latency_trace(util::PiecewiseConstant trace) {
   lat_trace_ = std::move(trace);
 }
 
+void Link::set_outage_windows(std::vector<std::pair<double, double>> windows) {
+  double prev_end = 0.0;
+  for (const auto& [start, end] : windows) {
+    if (start < prev_end || end <= start || !std::isfinite(end))
+      throw std::invalid_argument(
+          "Link: outage windows must be sorted, disjoint and finite");
+    prev_end = end;
+  }
+  outages_ = std::move(windows);
+}
+
+bool Link::up_at(double t) const {
+  for (const auto& [start, end] : outages_) {
+    if (t < start) return true;
+    if (t < end) return false;
+  }
+  return true;
+}
+
 double Link::backlog_bytes(double now) const {
   const double remaining = busy_until_ - now;
   if (remaining <= 0.0) return 0.0;
@@ -83,8 +103,22 @@ void Link::transfer(double bytes, double extra_latency, Completion done) {
   if (extra_latency < 0.0)
     throw std::invalid_argument("Link: negative extra latency");
   const double start = std::max(queue_->now(), busy_until_);
-  const double serialization = bytes / bandwidth_at(start);
-  busy_until_ = start + serialization;
+  // Serialization only progresses outside outage windows; a transfer that
+  // starts (or lands) inside one is held and resumes at the window's end.
+  double t = start;
+  double remaining = bytes / bandwidth_at(start);
+  for (const auto& [down_start, down_end] : outages_) {
+    if (down_end <= t) continue;
+    if (t >= down_start) {
+      t = down_end;
+      continue;
+    }
+    const double up_time = down_start - t;
+    if (remaining <= up_time) break;
+    remaining -= up_time;
+    t = down_end;
+  }
+  busy_until_ = t + remaining;
   total_bytes_ += bytes;
   const double delivery = busy_until_ + latency_at(start) + extra_latency;
   ++pending_;

@@ -11,6 +11,8 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "util/trace.h"
@@ -43,6 +45,12 @@ class FifoProcessor {
   /// reallocation. Must be > 0.
   void set_flops(double flops);
 
+  /// Crash-recovery reset: the server comes back empty at time `now`
+  /// (queued work evaporates; the fault layer reschedules it elsewhere).
+  /// Completions of pre-crash jobs still fire but are ignored by their
+  /// (now stale) callbacks; the pending counters drain through them.
+  void restart(double now) { busy_until_ = now; }
+
   /// Total FLOPs ever submitted (for utilisation accounting).
   double total_work() const { return total_work_; }
 
@@ -73,6 +81,15 @@ class Link {
   void set_bandwidth_trace(util::PiecewiseConstant trace);
   void set_latency_trace(util::PiecewiseConstant trace);
 
+  /// Outage windows [start, end) during which the link stops serializing:
+  /// queued bytes are held, not lost, and transfers resume at each window's
+  /// end (fault injection; see sim/faults.h). Windows must be sorted,
+  /// disjoint and finite. Call before any transfer.
+  void set_outage_windows(std::vector<std::pair<double, double>> windows);
+
+  /// False while inside an outage window.
+  bool up_at(double t) const;
+
   /// Enqueues a transfer of `bytes` (>= 0); `done` fires when the last bit
   /// arrives (serialization + propagation). The link serializes transfers
   /// FIFO; propagation is pipelined (does not occupy the link).
@@ -86,6 +103,9 @@ class Link {
 
   /// Bytes still to be serialized at time `now` (busy time remaining times
   /// the current bandwidth); the controller's uplink-backlog observation.
+  /// During an outage this deliberately overstates the queued bytes (the
+  /// held time counts as backlog), which steers the controller away from a
+  /// down link.
   double backlog_bytes(double now) const;
 
   double bandwidth_at(double t) const;
@@ -100,6 +120,7 @@ class Link {
   double latency_;
   std::optional<util::PiecewiseConstant> bw_trace_;
   std::optional<util::PiecewiseConstant> lat_trace_;
+  std::vector<std::pair<double, double>> outages_;
   double busy_until_ = 0.0;
   double total_bytes_ = 0.0;
   int pending_ = 0;

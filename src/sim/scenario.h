@@ -9,6 +9,7 @@
 #include "core/environment.h"
 #include "core/lyapunov.h"
 #include "core/partition.h"
+#include "sim/faults.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
@@ -50,8 +51,10 @@ struct ScenarioConfig {
 
   std::vector<DeviceSpec> devices;
 
-  /// One of "LEIME", "LEIME-balance", "D-only", "E-only", "cap_based";
-  /// or set fixed_ratio in [0,1] to override with a constant ratio.
+  /// One of "LEIME", "LEIME-balance", "D-only", "E-only", "cap_based",
+  /// optionally with a "+fallback" suffix (device-only while the edge is
+  /// unreachable; see core::FallbackPolicy); or set fixed_ratio in [0,1]
+  /// to override with a constant ratio.
   std::string policy = "LEIME";
   double fixed_ratio = -1.0;
 
@@ -94,6 +97,13 @@ struct ScenarioConfig {
   /// per-device links. Per-device bandwidth values and uplink traces are
   /// ignored in this mode.
   double shared_uplink_bw = 0.0;
+
+  /// Fault injection: link outages, edge crashes, device churn, and the
+  /// graceful-degradation knobs (sim/faults.h). The default (empty) plan
+  /// injects nothing and leaves the run bit-identical to a fault-free
+  /// build. In shared-uplink mode every link outage window applies to the
+  /// shared AP.
+  FaultPlan faults;
 };
 
 /// Aggregated outcome of a run.
@@ -101,6 +111,12 @@ struct SimResult {
   util::Summary tct;  ///< over completed, post-warmup tasks
   std::size_t generated = 0;
   std::size_t completed = 0;  ///< completed out of the counted (post-warmup)
+  /// Task conservation: every generated task is either completed or still
+  /// pending at the end of the drain, so generated == total_completed +
+  /// in_flight always holds (the fault property-test contract). Without
+  /// never-healing faults, in_flight is 0.
+  std::size_t total_completed = 0;  ///< completed including warmup tasks
+  std::size_t in_flight = 0;        ///< still pending when the run ended
   double exit1_fraction = 0.0;
   double exit2_fraction = 0.0;
   double exit3_fraction = 0.0;
@@ -115,11 +131,27 @@ struct SimResult {
   };
   std::vector<TimelinePoint> timeline;
 
+  /// Fault-layer telemetry (all zero for an empty FaultPlan).
+  struct FaultStats {
+    std::size_t link_outages = 0;  ///< materialized windows, fleet-wide
+    std::size_t edge_crashes = 0;
+    std::size_t churn_events = 0;
+    std::size_t failed_over = 0;  ///< edge-side work failed back to devices
+    std::size_t retries = 0;      ///< task-timeout re-dispatches
+    std::size_t local_fallbacks = 0;  ///< retry budget exhausted -> device
+    std::size_t fallback_slots = 0;   ///< x == 0 decisions with edge down
+    std::size_t parked = 0;  ///< failed-over tasks still pending at end
+  };
+  FaultStats faults;
+
   /// Per-device breakdown (index-aligned with ScenarioConfig::devices).
   struct DeviceResult {
     util::Summary tct;
     std::size_t completed = 0;
     double mean_offload_ratio = 0.0;
+    std::size_t failed_over = 0;
+    std::size_t retries = 0;
+    std::size_t fallback_slots = 0;
   };
   std::vector<DeviceResult> per_device;
 };

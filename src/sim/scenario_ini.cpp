@@ -57,6 +57,10 @@ IniScenario load_scenario(const util::IniFile& ini) {
   if (out.replications < 1)
     throw std::invalid_argument("scenario: replications must be >= 1");
 
+  if (const auto* faults = ini.find("faults"))
+    cfg.faults = parse_faults_section(*faults);
+  cfg.faults.validate(cfg.devices.size());
+
   if (const auto* rt = ini.find("runtime")) {
     out.threads = static_cast<int>(rt->get_int("threads", 1));
     if (out.threads < 0)

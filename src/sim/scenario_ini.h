@@ -10,6 +10,10 @@
 //   [runtime]   (optional) threads / seed_mode (split | legacy) / jsonl /
 //               trace / progress — how the runtime executor runs the
 //               replications and where structured telemetry goes
+//   [faults]    (optional) link_outage_windows / link_outage_rate /
+//               edge_down_windows / edge_crash_rate / churn /
+//               detection_timeout_s / task_timeout_s / max_retries / ... —
+//               fault injection + graceful degradation (sim/faults.h)
 #pragma once
 
 #include <string>

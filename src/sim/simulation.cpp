@@ -10,6 +10,7 @@
 #include "core/offload_policy.h"
 #include "core/resource_alloc.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/resources.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -72,12 +73,22 @@ class Simulation {
       throw std::invalid_argument("ScenarioConfig: bad reallocation_period");
     if (cfg_.timeline_window <= 0.0)
       throw std::invalid_argument("ScenarioConfig: bad timeline_window");
+    cfg_.faults.validate(cfg_.devices.size());
+    faults_on_ = cfg_.faults.enabled();
     build();
   }
 
   SimResult run() {
     util::Rng master(cfg_.seed);
     for (auto& dev : devices_) dev->rng = master.fork();
+    if (faults_on_) {
+      // Faults draw from their own substream, forked after every device's,
+      // so the task streams are identical with and without fault sources.
+      util::Rng fault_rng = master.fork();
+      timeline_ = materialize_faults(cfg_.faults, devices_.size(),
+                                     cfg_.duration, fault_rng);
+      apply_fault_timeline();
+    }
 
     // Initial decisions + arrival streams + slot ticks.
     for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -94,6 +105,13 @@ class Simulation {
   }
 
  private:
+  /// Where a task currently is (fault bookkeeping; kLocal/kUplink/kEdge*
+  /// mirror the hop it occupies, kWait covers detection/backoff/probe gaps,
+  /// kParked is terminal-pending).
+  enum class Stage : std::uint8_t {
+    kLocal, kUplink, kEdge1, kEdge2, kCloud, kReturn, kWait, kParked
+  };
+
   struct TaskRecord {
     double t_arrive;
     double t_complete = -1.0;
@@ -101,6 +119,19 @@ class Simulation {
     int block = 0;  ///< 1, 2, or 3
     bool offloaded = false;
     bool counted = false;  ///< post-warmup
+    Stage stage = Stage::kLocal;
+    /// Bumped whenever the task's current path is abandoned (crash
+    /// failover, timeout retry); in-flight callbacks carry the attempt they
+    /// were issued under and go stale when it changes.
+    int attempt = 0;
+    int retries = 0;
+    bool parked = false;
+  };
+
+  struct FaultCounters {
+    std::size_t failed_over = 0;
+    std::size_t retries = 0;
+    std::size_t fallback_slots = 0;
   };
 
   void build() {
@@ -168,7 +199,177 @@ class Simulation {
 
     x_sum_dev_.assign(devices_.size(), 0.0);
     x_count_dev_.assign(devices_.size(), 0);
+    present_.assign(devices_.size(), 1);
+    dev_faults_.assign(devices_.size(), {});
   }
+
+  // ---------------------------------------------------------------- faults
+
+  const DegradationConfig& deg() const { return cfg_.faults.degradation; }
+
+  /// True while the task is still waiting for the callbacks of attempt
+  /// `att`; stale paths (abandoned by a failover or retry) return false.
+  bool alive(std::size_t task_id, int att) const {
+    const auto& rec = tasks_[task_id];
+    return rec.t_complete < 0.0 && rec.attempt == att;
+  }
+
+  void apply_fault_timeline() {
+    edge_up_now_ = timeline_.edge_up_at(0.0);
+    auto to_pairs = [](const std::vector<FaultWindow>& windows) {
+      std::vector<std::pair<double, double>> out;
+      for (const auto& w : windows) out.push_back({w.start, w.end});
+      return out;
+    };
+    if (shared_ap_) {
+      // Shared medium: every outage window silences the one AP.
+      std::vector<FaultWindow> all;
+      for (const auto& lane : timeline_.link_down)
+        all.insert(all.end(), lane.begin(), lane.end());
+      shared_windows_ = merge_windows(std::move(all));
+      shared_ap_->set_outage_windows(to_pairs(shared_windows_));
+    } else {
+      for (std::size_t i = 0; i < devices_.size(); ++i)
+        devices_[i]->uplink->set_outage_windows(
+            to_pairs(timeline_.link_down[i]));
+    }
+    for (const auto& w : timeline_.edge_down) {
+      queue_.schedule(w.start, [this] { on_edge_crash(); });
+      if (std::isfinite(w.end))
+        queue_.schedule(w.end, [this] { on_edge_restart(); });
+    }
+    for (const auto& e : timeline_.churn) {
+      const auto d = static_cast<std::size_t>(e.device);
+      queue_.schedule(e.leave, [this, d] { on_churn(d, false); });
+      if (e.rejoin >= 0.0)
+        queue_.schedule(e.rejoin, [this, d] { on_churn(d, true); });
+    }
+  }
+
+  bool link_up_now(std::size_t i) const {
+    if (!faults_on_) return true;
+    if (shared_ap_) return !down_at(shared_windows_, queue_.now());
+    return !down_at(timeline_.link_down[i], queue_.now());
+  }
+
+  void on_edge_crash() {
+    edge_up_now_ = false;
+    ++edge_crashes_;
+    const double now = queue_.now();
+    // Every task resident on an edge share loses its work; the owning
+    // device notices after the detection timeout and reclaims it.
+    for (std::size_t id = 0; id < tasks_.size(); ++id) {
+      auto& rec = tasks_[id];
+      if (rec.t_complete >= 0.0) continue;
+      if (rec.stage != Stage::kEdge1 && rec.stage != Stage::kEdge2) continue;
+      const Stage from = rec.stage;
+      ++rec.attempt;  // invalidate the in-flight edge completion
+      rec.stage = Stage::kWait;
+      const int att = rec.attempt;
+      queue_.schedule(now + deg().detection_timeout, [this, id, from, att] {
+        if (!alive(id, att)) return;
+        failover(tasks_[id].device, id, from);
+      });
+    }
+  }
+
+  void on_edge_restart() {
+    edge_up_now_ = true;
+    for (auto& dev : devices_) dev->edge_share->restart(queue_.now());
+  }
+
+  void on_churn(std::size_t device, bool joined) {
+    present_[device] = joined ? 1 : 0;
+    ++churn_events_;
+    // Re-run the eq. 27 allocation over the devices actually present
+    // (absentees keep a floor share so a rejoin cannot divide by zero).
+    std::vector<double> k, fd;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      k.push_back(present_[i]
+                      ? std::max(1e-6, devices_[i]->spec->mean_rate *
+                                           cfg_.lyapunov.tau)
+                      : 1e-6);
+      fd.push_back(devices_[i]->spec->flops);
+    }
+    const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+      devices_[i]->edge_share->set_flops(shares[i] * cfg_.edge_flops);
+  }
+
+  /// Edge-side work for `id` was lost (crash) or refused (submitted while
+  /// down): fail the task back to its device after detection.
+  void failover(std::size_t i, std::size_t id, Stage from) {
+    auto& rec = tasks_[id];
+    ++fleet_faults_.failed_over;
+    ++dev_faults_[i].failed_over;
+    if (from == Stage::kEdge1) {
+      // Block-1 work re-runs on the device CPU (the device always holds
+      // the first partition); deeper blocks re-enter the edge path from
+      // there if the task survives past exit 1.
+      dispatch(i, id, /*offload=*/false);
+    } else {
+      // Block 2 only exists on the edge tier: wait for the restart.
+      resume_on_edge_when_up(i, id, &rec);
+    }
+  }
+
+  /// Schedules submit_edge_block2 at the first probe (exponential backoff
+  /// schedule) at/after the edge is back; parks the task when the timeline
+  /// says the edge never returns.
+  void resume_on_edge_when_up(std::size_t i, std::size_t id,
+                              TaskRecord* rec) {
+    const double now = queue_.now();
+    const double up = timeline_.next_edge_up(now);
+    if (!std::isfinite(up)) {
+      rec->parked = true;
+      rec->stage = Stage::kParked;
+      return;
+    }
+    double when = now + deg().probe_period;
+    double step = deg().probe_period;
+    for (int guard = 0; when < up && guard < 64; ++guard) {
+      step *= 2.0;
+      when += step;
+    }
+    rec->stage = Stage::kWait;
+    const int att = rec->attempt;
+    queue_.schedule(when, [this, i, id, att] {
+      if (!alive(id, att)) return;
+      submit_edge_block2(i, id);
+    });
+  }
+
+  /// Bounded-retry watchdog for offloaded dispatches (task_timeout > 0).
+  void schedule_task_timeout(std::size_t i, std::size_t id) {
+    const int att = tasks_[id].attempt;
+    queue_.schedule_in(deg().task_timeout, [this, i, id, att] {
+      auto& rec = tasks_[id];
+      if (!alive(id, att)) return;
+      // Too deep to claw back (cloud leg) or terminally parked: let it be.
+      if (rec.stage == Stage::kCloud || rec.stage == Stage::kReturn ||
+          rec.stage == Stage::kParked)
+        return;
+      ++rec.attempt;
+      ++rec.retries;
+      ++fleet_faults_.retries;
+      ++dev_faults_[i].retries;
+      if (rec.retries <= deg().max_retries) {
+        const double wait =
+            deg().retry_backoff * std::pow(2.0, rec.retries - 1);
+        rec.stage = Stage::kWait;
+        const int next = rec.attempt;
+        queue_.schedule_in(wait, [this, i, id, next] {
+          if (!alive(id, next)) return;
+          dispatch(i, id, /*offload=*/true);
+        });
+      } else {
+        ++local_fallbacks_;
+        dispatch(i, id, /*offload=*/false);
+      }
+    });
+  }
+
+  // ------------------------------------------------------------- task flow
 
   core::DeviceSlotState observe(std::size_t i) const {
     const auto& dev = *devices_[i];
@@ -188,13 +389,19 @@ class Simulation {
                                  ? dev.tx->backlog_bytes(queue_.now())
                                  : 0.0;
     s.arrivals = dev.arrival_estimate;
+    s.edge_available = !faults_on_ || (edge_up_now_ && link_up_now(i));
     s.config = cfg_.lyapunov;
     return s;
   }
 
   void decide(std::size_t i) {
     auto& dev = *devices_[i];
-    dev.x = policy_->decide(observe(i));
+    const auto state = observe(i);
+    dev.x = policy_->decide(state);
+    if (faults_on_ && !state.edge_available && dev.x <= 0.0) {
+      ++fleet_faults_.fallback_slots;
+      ++dev_faults_[i].fallback_slots;
+    }
     x_sum_ += dev.x;
     ++x_count_;
     x_sum_dev_[i] += dev.x;
@@ -250,6 +457,7 @@ class Simulation {
   }
 
   void on_arrival(std::size_t i) {
+    if (faults_on_ && !present_[i]) return;  // device has left the fleet
     auto& dev = *devices_[i];
     ++dev.arrived_this_slot;
     ++dev.arrived_this_window;
@@ -262,68 +470,125 @@ class Simulation {
     rec.offloaded = dev.rng.bernoulli(dev.x);
     rec.counted = rec.t_arrive >= cfg_.warmup;
     tasks_.push_back(rec);
+    dispatch(i, task_id, rec.offloaded);
+  }
 
+  /// Launches (or relaunches) a task: offloaded tasks cross the uplink and
+  /// start block 1 on the edge share; local tasks start it on the device.
+  void dispatch(std::size_t i, std::size_t id, bool offload) {
+    auto& dev = *devices_[i];
+    auto& rec = tasks_[id];
     const auto& p = cfg_.partition;
-    if (rec.offloaded) {
+    const int att = rec.attempt;
+    if (offload) {
+      rec.stage = Stage::kUplink;
       // Raw input crosses the uplink, then block 1 runs on the edge share.
-      dev.tx->transfer(p.d0, dev.tx_extra_latency, [this, i, task_id](double) {
-        devices_[i]->edge_share->submit(
-            cfg_.partition.mu1, JobClass::kBlock1,
-            [this, i, task_id](double t) { after_block1(i, task_id, t, true); });
+      dev.tx->transfer(p.d0, dev.tx_extra_latency, [this, i, id, att](double) {
+        if (!alive(id, att)) return;
+        submit_edge_block1(i, id);
       });
+      if (deg().task_timeout > 0.0) schedule_task_timeout(i, id);
     } else {
-      dev.cpu->submit(p.mu1, JobClass::kBlock1, [this, i, task_id](double t) {
-        after_block1(i, task_id, t, false);
+      rec.stage = Stage::kLocal;
+      dev.cpu->submit(p.mu1, JobClass::kBlock1, [this, i, id, att](double t) {
+        if (!alive(id, att)) return;
+        after_block1(i, id, t, false);
       });
     }
   }
 
-  void after_block1(std::size_t i, std::size_t task_id, double t,
-                    bool on_edge) {
-    auto& rec = tasks_[task_id];
+  void submit_edge_block1(std::size_t i, std::size_t id) {
+    auto& rec = tasks_[id];
+    if (faults_on_ && !edge_up_now_) {
+      // Refused at the dead edge's door: fail back after detection.
+      ++rec.attempt;
+      rec.stage = Stage::kWait;
+      const int att = rec.attempt;
+      queue_.schedule_in(deg().detection_timeout, [this, i, id, att] {
+        if (!alive(id, att)) return;
+        failover(i, id, Stage::kEdge1);
+      });
+      return;
+    }
+    rec.stage = Stage::kEdge1;
+    const int att = rec.attempt;
+    devices_[i]->edge_share->submit(
+        cfg_.partition.mu1, JobClass::kBlock1, [this, i, id, att](double t) {
+          if (!alive(id, att)) return;
+          after_block1(i, id, t, true);
+        });
+  }
+
+  void submit_edge_block2(std::size_t i, std::size_t id) {
+    auto& rec = tasks_[id];
+    if (faults_on_ && !edge_up_now_) {
+      ++rec.attempt;
+      rec.stage = Stage::kWait;
+      const int att = rec.attempt;
+      queue_.schedule_in(deg().detection_timeout, [this, i, id, att] {
+        if (!alive(id, att)) return;
+        failover(i, id, Stage::kEdge2);
+      });
+      return;
+    }
+    rec.stage = Stage::kEdge2;
+    const int att = rec.attempt;
+    devices_[i]->edge_share->submit(
+        cfg_.partition.mu2, JobClass::kBlock2, [this, i, id, att](double t) {
+          if (!alive(id, att)) return;
+          after_block2(i, id, t);
+        });
+  }
+
+  void after_block1(std::size_t i, std::size_t id, double t, bool on_edge) {
+    auto& rec = tasks_[id];
     if (rec.block == 1) {
       // Local completions hold the result already; edge ones return it.
       if (on_edge)
-        deliver_from_edge(i, task_id, t);
+        deliver_from_edge(i, id, t);
       else
-        complete(task_id, t);
+        complete(id, t);
       return;
     }
-    const auto& p = cfg_.partition;
     if (on_edge) {
       // Already at the edge: block 2 continues on the same share.
-      devices_[i]->edge_share->submit(
-          p.mu2, JobClass::kBlock2,
-          [this, i, task_id](double t2) { after_block2(i, task_id, t2); });
+      submit_edge_block2(i, id);
     } else {
       // Intermediate tensor crosses the uplink first.
+      rec.stage = Stage::kUplink;
+      const int att = rec.attempt;
       devices_[i]->tx->transfer(
-          p.d1, devices_[i]->tx_extra_latency, [this, i, task_id](double) {
-        devices_[i]->edge_share->submit(
-            cfg_.partition.mu2, JobClass::kBlock2,
-            [this, i, task_id](double t2) { after_block2(i, task_id, t2); });
-      });
+          cfg_.partition.d1, devices_[i]->tx_extra_latency,
+          [this, i, id, att](double) {
+            if (!alive(id, att)) return;
+            submit_edge_block2(i, id);
+          });
     }
   }
 
-  void after_block2(std::size_t i, std::size_t task_id, double t) {
-    auto& rec = tasks_[task_id];
+  void after_block2(std::size_t i, std::size_t id, double t) {
+    auto& rec = tasks_[id];
     if (rec.block == 2) {
-      deliver_from_edge(i, task_id, t);
+      deliver_from_edge(i, id, t);
       return;
     }
-    const auto& p = cfg_.partition;
-    edge_cloud_link_->transfer(p.d2, [this, i, task_id](double t2) {
+    rec.stage = Stage::kCloud;
+    const int att = rec.attempt;
+    edge_cloud_link_->transfer(cfg_.partition.d2, [this, i, id,
+                                                   att](double t2) {
+      if (!alive(id, att)) return;
       if (cloud_) {
         cloud_->submit(cfg_.partition.mu3, JobClass::kBlock3,
-                       [this, i, task_id](double t3) {
-                         deliver_from_cloud(i, task_id, t3);
+                       [this, i, id, att](double t3) {
+                         if (!alive(id, att)) return;
+                         deliver_from_cloud(i, id, t3);
                        });
       } else {
         // Uncontended cloud service.
         const double finish = t2 + cfg_.partition.mu3 / cfg_.cloud_flops;
-        queue_.schedule(finish, [this, i, task_id, finish] {
-          deliver_from_cloud(i, task_id, finish);
+        queue_.schedule(finish, [this, i, id, att, finish] {
+          if (!alive(id, att)) return;
+          deliver_from_cloud(i, id, finish);
         });
       }
     });
@@ -332,33 +597,42 @@ class Simulation {
 
   /// Result return from the edge tier (no-op transfer when results are
   /// modelled as free).
-  void deliver_from_edge(std::size_t i, std::size_t task_id, double t) {
+  void deliver_from_edge(std::size_t i, std::size_t id, double t) {
     if (cfg_.result_bytes <= 0.0) {
-      complete(task_id, t);
+      complete(id, t);
       return;
     }
+    tasks_[id].stage = Stage::kReturn;
+    const int att = tasks_[id].attempt;
     devices_[i]->downlink->transfer(
-        cfg_.result_bytes,
-        [this, task_id](double t2) { complete(task_id, t2); });
+        cfg_.result_bytes, [this, id, att](double t2) {
+          if (!alive(id, att)) return;
+          complete(id, t2);
+        });
   }
 
   /// Result return from the cloud: cloud -> edge, then edge -> device.
-  void deliver_from_cloud(std::size_t i, std::size_t task_id, double t) {
+  void deliver_from_cloud(std::size_t i, std::size_t id, double t) {
     if (cfg_.result_bytes <= 0.0) {
-      complete(task_id, t);
+      complete(id, t);
       return;
     }
-    cloud_return_link_->transfer(cfg_.result_bytes, [this, i,
-                                                     task_id](double) {
+    tasks_[id].stage = Stage::kReturn;
+    const int att = tasks_[id].attempt;
+    cloud_return_link_->transfer(cfg_.result_bytes, [this, i, id,
+                                                     att](double) {
+      if (!alive(id, att)) return;
       devices_[i]->downlink->transfer(
-          cfg_.result_bytes,
-          [this, task_id](double t2) { complete(task_id, t2); });
+          cfg_.result_bytes, [this, id, att](double t2) {
+            if (!alive(id, att)) return;
+            complete(id, t2);
+          });
     });
     (void)t;
   }
 
-  void complete(std::size_t task_id, double t) {
-    auto& rec = tasks_[task_id];
+  void complete(std::size_t id, double t) {
+    auto& rec = tasks_[id];
     LEIME_CHECK(rec.t_complete < 0.0);
     rec.t_complete = t;
   }
@@ -371,6 +645,11 @@ class Simulation {
     std::vector<std::vector<double>> device_tcts(devices_.size());
     for (const auto& rec : tasks_) {
       ++out.generated;
+      if (rec.t_complete >= 0.0)
+        ++out.total_completed;
+      else
+        ++out.in_flight;
+      if (rec.parked) ++out.faults.parked;
       if (!rec.counted) continue;
       if (rec.t_complete < 0.0) continue;  // still in flight at drain end
       ++out.completed;
@@ -392,6 +671,13 @@ class Simulation {
     out.mean_offload_ratio = x_count_ ? x_sum_ / x_count_ : 0.0;
     out.mean_device_queue = queue_samples_ ? q_sum_ / queue_samples_ : 0.0;
     out.mean_edge_queue = queue_samples_ ? h_sum_ / queue_samples_ : 0.0;
+    out.faults.link_outages = timeline_.link_outage_count();
+    out.faults.edge_crashes = edge_crashes_;
+    out.faults.churn_events = churn_events_;
+    out.faults.failed_over = fleet_faults_.failed_over;
+    out.faults.retries = fleet_faults_.retries;
+    out.faults.local_fallbacks = local_fallbacks_;
+    out.faults.fallback_slots = fleet_faults_.fallback_slots;
     for (const auto& [w, agg] : windows)
       out.timeline.push_back({(w + 0.5) * cfg_.timeline_window,
                               agg.first / agg.second, agg.second});
@@ -403,6 +689,9 @@ class Simulation {
       dr.mean_offload_ratio =
           x_count_dev_[i] ? x_sum_dev_[i] / static_cast<double>(x_count_dev_[i])
                           : 0.0;
+      dr.failed_over = dev_faults_[i].failed_over;
+      dr.retries = dev_faults_[i].retries;
+      dr.fallback_slots = dev_faults_[i].fallback_slots;
       out.per_device.push_back(dr);
     }
     return out;
@@ -441,6 +730,18 @@ class Simulation {
   std::size_t queue_samples_ = 0;
   std::vector<double> x_sum_dev_;
   std::vector<std::size_t> x_count_dev_;
+
+  // Fault-layer state.
+  bool faults_on_ = false;
+  FaultTimeline timeline_;
+  std::vector<FaultWindow> shared_windows_;  ///< merged, shared-AP mode
+  bool edge_up_now_ = true;
+  std::vector<char> present_;
+  FaultCounters fleet_faults_;
+  std::vector<FaultCounters> dev_faults_;
+  std::size_t edge_crashes_ = 0;
+  std::size_t churn_events_ = 0;
+  std::size_t local_fallbacks_ = 0;
 };
 
 }  // namespace

@@ -68,5 +68,29 @@ TEST(OffloadPolicy, Factory) {
   EXPECT_THROW(make_policy("nope"), std::invalid_argument);
 }
 
+TEST(OffloadPolicy, FallbackDegradesWhenEdgeUnavailable) {
+  const auto part = test_partition();
+  auto s = base_state(part);
+  FallbackPolicy fallback(std::make_unique<EdgeOnlyPolicy>());
+  s.edge_available = true;
+  EXPECT_DOUBLE_EQ(fallback.decide(s), 1.0);  // defers to the inner policy
+  s.edge_available = false;
+  EXPECT_DOUBLE_EQ(fallback.decide(s), 0.0);  // device-only while down
+  EXPECT_EQ(fallback.name(), "E-only+fallback");
+  EXPECT_THROW(FallbackPolicy{nullptr}, std::invalid_argument);
+}
+
+TEST(OffloadPolicy, FallbackFactorySuffix) {
+  for (const auto* base :
+       {"LEIME", "LEIME-balance", "D-only", "E-only", "cap_based"}) {
+    const auto policy = make_policy(std::string(base) + "+fallback");
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), std::string(base) + "+fallback");
+  }
+  // The suffix wraps, it does not excuse an unknown base policy.
+  EXPECT_THROW(make_policy("bogus+fallback"), std::invalid_argument);
+  EXPECT_THROW(make_policy("+fallback"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace leime::core

@@ -1,0 +1,177 @@
+// Property tests for the fault layer: task conservation must hold under
+// arbitrary fault schedules. Every generated task is either completed or
+// still pending (parked behind a never-healing edge outage) when the run
+// drains — nothing is lost, nothing is double-counted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/partition.h"
+#include "models/zoo.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace leime::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const core::MeDnnPartition& test_partition() {
+  static const core::MeDnnPartition partition = [] {
+    const auto profile = models::make_squeezenet();
+    return core::make_partition(profile, {4, 8, profile.num_units()});
+  }();
+  return partition;
+}
+
+ScenarioConfig base_scenario(const std::string& policy, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.partition = test_partition();
+  for (int i = 0; i < 2; ++i) {
+    DeviceSpec dev;
+    dev.flops = core::kRaspberryPiFlops;
+    dev.mean_rate = 0.8;
+    cfg.devices.push_back(dev);
+  }
+  cfg.policy = policy;
+  cfg.duration = 20.0;
+  cfg.warmup = 2.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A random but valid plan: scheduled windows, stochastic rates, churn and
+/// degradation knobs all drawn from `rng`. `never_heals` reports whether an
+/// open-ended edge window was included (the only way tasks can stay
+/// in-flight after the drain).
+FaultPlan random_plan(util::Rng& rng, int devices, double duration,
+                      bool* never_heals) {
+  FaultPlan plan;
+  plan.degradation.detection_timeout = rng.uniform(0.2, 1.0);
+  plan.degradation.probe_period = rng.uniform(0.2, 0.8);
+  if (rng.bernoulli(0.5)) {
+    plan.degradation.task_timeout = rng.uniform(0.5, 3.0);
+    plan.degradation.max_retries = static_cast<int>(rng.uniform_int(0, 3));
+    plan.degradation.retry_backoff = rng.uniform(0.1, 0.5);
+  }
+
+  const auto n_edge = rng.uniform_int(0, 2);
+  for (std::int64_t w = 0; w < n_edge; ++w) {
+    const double start = rng.uniform(0.0, duration);
+    plan.edge.windows.push_back({start, start + rng.uniform(1.0, 8.0)});
+  }
+  *never_heals = rng.bernoulli(0.15);
+  if (*never_heals)
+    plan.edge.windows.push_back({rng.uniform(0.3 * duration, duration), kInf});
+  if (rng.bernoulli(0.5)) {
+    plan.edge.rate = rng.uniform(0.0, 0.04);
+    plan.edge.mean_downtime = rng.uniform(1.0, 5.0);
+  }
+
+  const auto n_link = rng.uniform_int(0, 2);
+  for (std::int64_t w = 0; w < n_link; ++w) {
+    const double start = rng.uniform(0.0, duration);
+    plan.link.windows.push_back(
+        {start, start + rng.uniform(1.0, 6.0),
+         static_cast<int>(rng.uniform_int(-1, devices - 1))});
+  }
+  if (rng.bernoulli(0.5)) {
+    plan.link.rate = rng.uniform(0.0, 0.03);
+    plan.link.mean_duration = rng.uniform(0.5, 3.0);
+  }
+
+  if (rng.bernoulli(0.4)) {
+    ChurnEvent e;
+    e.device = static_cast<int>(rng.uniform_int(0, devices - 1));
+    e.leave = rng.uniform(0.0, duration);
+    e.rejoin = rng.bernoulli(0.5) ? e.leave + rng.uniform(1.0, 8.0) : -1.0;
+    plan.churn.events.push_back(e);
+  }
+  return plan;
+}
+
+void expect_invariants(const SimResult& r, bool never_heals,
+                       const std::string& label) {
+  SCOPED_TRACE(label);
+  // The conservation identity: every task is accounted for.
+  EXPECT_EQ(r.generated, r.total_completed + r.in_flight);
+  // The only legal way to stay in flight after the drain is to be parked
+  // behind an edge that never returns.
+  EXPECT_EQ(r.in_flight, r.faults.parked);
+  if (!never_heals) {
+    EXPECT_EQ(r.in_flight, 0u);
+  }
+  EXPECT_TRUE(r.generated == 0 || std::isfinite(r.tct.mean));
+  // Per-device counters roll up exactly into the fleet counters.
+  std::size_t failed = 0, retries = 0, slots = 0;
+  for (const auto& d : r.per_device) {
+    failed += d.failed_over;
+    retries += d.retries;
+    slots += d.fallback_slots;
+  }
+  EXPECT_EQ(failed, r.faults.failed_over);
+  EXPECT_EQ(retries, r.faults.retries);
+  EXPECT_EQ(slots, r.faults.fallback_slots);
+}
+
+TEST(FaultProperty, ConservationOver100RandomSchedules) {
+  const char* policies[] = {"LEIME+fallback", "E-only", "cap_based"};
+  for (int trial = 0; trial < 100; ++trial) {
+    util::Rng rng(0xFA017u + 31u * static_cast<std::uint64_t>(trial));
+    auto cfg = base_scenario(policies[trial % 3],
+                             1000u + static_cast<std::uint64_t>(trial));
+    bool never_heals = false;
+    cfg.faults =
+        random_plan(rng, static_cast<int>(cfg.devices.size()), cfg.duration,
+                    &never_heals);
+    const auto r = run_scenario(cfg);
+    expect_invariants(r, never_heals,
+                      "trial " + std::to_string(trial) + " policy " +
+                          cfg.policy +
+                          (never_heals ? " (edge never heals)" : ""));
+  }
+}
+
+TEST(FaultProperty, RareFaultsDrainCompletely) {
+  // With rare, always-healing faults the system stays stable: every task
+  // completes and the time-averaged queues stay small.
+  for (int trial = 0; trial < 10; ++trial) {
+    auto cfg = base_scenario("LEIME+fallback",
+                             500u + static_cast<std::uint64_t>(trial));
+    cfg.faults.edge.rate = 0.005;
+    cfg.faults.edge.mean_downtime = 2.0;
+    cfg.faults.link.rate = 0.005;
+    cfg.faults.link.mean_duration = 1.0;
+    cfg.faults.degradation.detection_timeout = 0.5;
+    cfg.faults.degradation.probe_period = 0.5;
+    const auto r = run_scenario(cfg);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    EXPECT_EQ(r.generated, r.total_completed);
+    EXPECT_EQ(r.in_flight, 0u);
+    EXPECT_TRUE(std::isfinite(r.tct.mean));
+    EXPECT_LT(r.mean_device_queue, 50.0);
+  }
+}
+
+TEST(FaultProperty, FaultRunsAreSeedDeterministic) {
+  auto make = [] {
+    auto cfg = base_scenario("LEIME+fallback", 77);
+    cfg.faults.edge.rate = 0.02;
+    cfg.faults.link.rate = 0.02;
+    cfg.faults.churn.events = {{1, 8.0, 14.0}};
+    return cfg;
+  };
+  const auto a = run_scenario(make());
+  const auto b = run_scenario(make());
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_DOUBLE_EQ(a.tct.mean, b.tct.mean);
+  EXPECT_EQ(a.faults.failed_over, b.faults.failed_over);
+  EXPECT_EQ(a.faults.link_outages, b.faults.link_outages);
+  EXPECT_EQ(a.faults.edge_crashes, b.faults.edge_crashes);
+}
+
+}  // namespace
+}  // namespace leime::sim

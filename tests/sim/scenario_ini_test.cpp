@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/simulation.h"
 
 namespace leime::sim {
@@ -114,6 +116,97 @@ TEST(ScenarioIni, Validation) {
                std::runtime_error);
   EXPECT_EQ(resolve_model_name("vgg16").name(), "VGG-16");
   EXPECT_EQ(resolve_model_name("resnet34").name(), "ResNet-34");
+}
+
+constexpr const char* kFleet =
+    "[scenario]\nmodel = squeezenet\npolicy = E-only\nduration = 20\n"
+    "seed = 5\n[edge]\ngflops = 50\n[device]\nrate = 1\n[device]\nrate = 1\n";
+
+TEST(ScenarioIni, FaultsSectionParses) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[faults]\n"
+      "link_outage_windows = d0:3-6\n"
+      "edge_down_windows = 5-12, 75-\n"
+      "edge_crash_rate = 0.002\n"
+      "churn = 1:8-15\n"
+      "detection_timeout_s = 1\n"
+      "task_timeout_s = 4\n"
+      "max_retries = 3\n"));
+  const auto& plan = s.config.faults;
+  EXPECT_TRUE(plan.enabled());
+  ASSERT_EQ(plan.link.windows.size(), 1u);
+  EXPECT_EQ(plan.link.windows[0].device, 0);
+  ASSERT_EQ(plan.edge.windows.size(), 2u);
+  EXPECT_FALSE(std::isfinite(plan.edge.windows[1].end));
+  EXPECT_DOUBLE_EQ(plan.edge.rate, 0.002);
+  ASSERT_EQ(plan.churn.events.size(), 1u);
+  EXPECT_EQ(plan.churn.events[0].device, 1);
+  EXPECT_DOUBLE_EQ(plan.degradation.detection_timeout, 1.0);
+  EXPECT_DOUBLE_EQ(plan.degradation.task_timeout, 4.0);
+  EXPECT_EQ(plan.degradation.max_retries, 3);
+  // The loaded scenario actually runs, with fault telemetry.
+  const auto r = run_scenario(s.config);
+  EXPECT_EQ(r.generated, r.total_completed + r.in_flight);
+  EXPECT_GT(r.faults.failed_over, 0u);
+}
+
+TEST(ScenarioIni, FaultsSectionValidation) {
+  const auto load = [](const std::string& faults) {
+    return load_scenario(
+        util::IniFile::parse_string(std::string(kFleet) + faults));
+  };
+  // Unknown keys name themselves and list the valid spelling.
+  try {
+    load("[faults]\nedge_crash_ratee = 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key 'edge_crash_ratee'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("edge_crash_rate"), std::string::npos) << what;
+  }
+  // Malformed windows, inverted ranges and out-of-fleet devices all throw.
+  EXPECT_THROW(load("[faults]\nedge_down_windows = 45-30\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[faults]\nlink_outage_windows = 40-\n"),
+               std::invalid_argument);  // links must heal
+  EXPECT_THROW(load("[faults]\nlink_outage_windows = d7:40-50\n"),
+               std::invalid_argument);  // fleet has 2 devices
+  EXPECT_THROW(load("[faults]\nchurn = 5:30-60\n"), std::invalid_argument);
+  EXPECT_THROW(load("[faults]\nchurn = 1:60-40\n"), std::invalid_argument);
+  EXPECT_THROW(load("[faults]\nedge_crash_rate = -1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[faults]\ndetection_timeout_s = 0\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIni, EmptyFaultsSectionIsBitIdenticalToNone) {
+  // Satellite contract: a present-but-empty [faults] section must not
+  // change a single bit of the result.
+  const auto bare = load_scenario(util::IniFile::parse_string(kFleet));
+  const auto empty = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) + "[faults]\nlink_outage_windows =\nchurn =\n"));
+  EXPECT_EQ(empty.config.faults, FaultPlan{});
+  EXPECT_FALSE(empty.config.faults.enabled());
+  const auto a = run_scenario(bare.config);
+  const auto b = run_scenario(empty.config);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_DOUBLE_EQ(a.tct.mean, b.tct.mean);
+  EXPECT_DOUBLE_EQ(a.tct.p95, b.tct.p95);
+  EXPECT_DOUBLE_EQ(a.mean_offload_ratio, b.mean_offload_ratio);
+}
+
+TEST(ScenarioIni, FaultsRoundTripThroughSerialize) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[faults]\nedge_down_windows = 30-45\nchurn = 1:60-95\n"
+      "task_timeout_s = 2.5\n"));
+  const auto text = serialize_faults_ini(s.config.faults);
+  const auto reparsed = parse_faults_section(
+      *util::IniFile::parse_string(text).find("faults"));
+  EXPECT_EQ(reparsed, s.config.faults);
 }
 
 }  // namespace
