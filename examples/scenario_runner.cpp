@@ -1,13 +1,22 @@
 // Scenario runner — drive the simulator from an INI file, no C++ required.
 //
 // Usage:
-//   scenario_runner <scenario.ini>
+//   scenario_runner <scenario.ini> [--metrics-out <file>] [--trace-out <file>]
 //   scenario_runner --template        # print an annotated template
 //
 // The file describes the model, environment, fleet and policy (format in
 // sim/scenario_ini.h); the runner designs the ME-DNN, simulates, and prints
 // the fleet summary. See configs/campus.ini for a complete example.
+//
+// --metrics-out / --trace-out mirror the [observability] metrics_out /
+// trace_out keys; a flag overrides the INI value (precedence: CLI > INI)
+// and implicitly enables the corresponding pillar. With replications > 1
+// the metrics file holds the deterministic plan-order merge of every
+// replication's snapshot, while the sim-time trace covers the first
+// replication only (one chrome trace per file).
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "runtime/executor.h"
@@ -80,10 +89,35 @@ task_timeout_s = 0       # >0 arms the per-task retry watchdog
 max_retries = 2
 retry_backoff_s = 0.25
 probe_period_s = 1
+
+# Optional: in-simulation observability (sim/observer.h). Omit the section
+# (all off) to keep the simulator on its zero-overhead path.
+[observability]
+metrics = false          # collect the leime_* metrics registry
+trace_sample = 0         # trace 1-in-N tasks (0 = off; 1 = every task)
+timeseries = false       # per-slot Q/H/x/drift/penalty samples
+metrics_out =            # Prometheus text file (implies metrics = true)
+metrics_jsonl =          # one JSON object per metric
+trace_out =              # sim-time chrome://tracing file (implies 1-in-1)
+timeseries_out =         # per-slot CSV
 )";
 
-int run(const std::string& path) {
-  const auto scenario = sim::load_scenario_file(path);
+void report_obs_outputs(const sim::ObsConfig& obs) {
+  if (!obs.metrics_out.empty())
+    std::cout << "(metrics: " << obs.metrics_out << ")\n";
+  if (!obs.metrics_jsonl.empty())
+    std::cout << "(metrics jsonl: " << obs.metrics_jsonl << ")\n";
+  if (!obs.trace_out.empty())
+    std::cout << "(sim trace: " << obs.trace_out << ")\n";
+  if (!obs.timeseries_out.empty())
+    std::cout << "(timeseries: " << obs.timeseries_out << ")\n";
+}
+
+int run(const std::string& path, const std::string& metrics_out,
+        const std::string& trace_out) {
+  auto scenario = sim::load_scenario_file(path);
+  // CLI flags override the [observability] keys (CLI > INI).
+  sim::apply_obs_overrides(scenario.config.obs, metrics_out, trace_out);
   std::cout << "designed exits for " << scenario.profile.name() << ": ("
             << scenario.designed_exits.e1 << ", " << scenario.designed_exits.e2
             << ", " << scenario.designed_exits.e3
@@ -104,7 +138,28 @@ int run(const std::string& path) {
     exec_opts.threads = scenario.threads;
     exec_opts.progress = scenario.progress;
     runtime::Executor executor(exec_opts);
-    const auto records = executor.run(plan);
+
+    // Per-cell output files would collide across replications, so the
+    // runner aggregates instead: every cell keeps its pillars on but loses
+    // its file paths (metrics snapshots ride in the records and merge in
+    // plan order below); the sim-time trace and time-series go to the
+    // first replication only.
+    const sim::ObsConfig obs = scenario.config.obs;
+    auto cells = plan.expand();
+    for (auto& cell : cells) {
+      cell.config.obs.metrics = obs.metrics_enabled();
+      cell.config.obs.trace_sample = obs.effective_trace_sample();
+      cell.config.obs.timeseries = obs.timeseries_enabled();
+      cell.config.obs.metrics_out.clear();
+      cell.config.obs.metrics_jsonl.clear();
+      cell.config.obs.trace_out.clear();
+      cell.config.obs.timeseries_out.clear();
+    }
+    if (!cells.empty()) {
+      cells[0].config.obs.trace_out = obs.trace_out;
+      cells[0].config.obs.timeseries_out = obs.timeseries_out;
+    }
+    const auto records = executor.run(std::move(cells));
 
     util::RunningStats means, p95s;
     for (const auto& rec : records) {
@@ -127,10 +182,32 @@ int run(const std::string& path) {
       runtime::write_chrome_trace(scenario.trace_path, records);
       std::cout << "(chrome trace: " << scenario.trace_path << ")\n";
     }
+    if (!obs.metrics_out.empty()) {
+      runtime::write_metrics_prometheus(obs.metrics_out, records);
+      std::cout << "(metrics, merged over " << records.size()
+                << " replications: " << obs.metrics_out << ")\n";
+    }
+    if (!obs.metrics_jsonl.empty()) {
+      std::ofstream mout(obs.metrics_jsonl);
+      if (!mout)
+        throw std::runtime_error("cannot open " + obs.metrics_jsonl);
+      runtime::merged_metrics(records).to_jsonl(mout);
+      mout.flush();
+      if (!mout.good())
+        throw std::runtime_error("write error on " + obs.metrics_jsonl);
+      std::cout << "(metrics jsonl, merged: " << obs.metrics_jsonl << ")\n";
+    }
+    if (!obs.trace_out.empty())
+      std::cout << "(sim trace, first replication: " << obs.trace_out
+                << ")\n";
+    if (!obs.timeseries_out.empty())
+      std::cout << "(timeseries, first replication: " << obs.timeseries_out
+                << ")\n";
     return 0;
   }
 
   const auto result = sim::run_scenario(scenario.config);
+  report_obs_outputs(scenario.config.obs);
   std::cout << "fleet: " << result.generated << " tasks, mean TCT "
             << util::fmt(result.tct.mean, 3) << " s (p50 "
             << util::fmt(result.tct.p50, 3) << ", p95 "
@@ -157,15 +234,42 @@ int run(const std::string& path) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc == 2 && std::string(argv[1]) == "--template") {
-      std::cout << kTemplate;
-      return 0;
+    std::string ini_path, metrics_out, trace_out;
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg == "--template") {
+        std::cout << kTemplate;
+        return 0;
+      }
+      auto flag_value = [&](const std::string& flag,
+                            std::string* value) -> bool {
+        if (arg == flag) {
+          if (a + 1 >= argc)
+            throw std::invalid_argument(flag + " needs a file argument");
+          *value = argv[++a];
+          return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+          *value = arg.substr(flag.size() + 1);
+          return true;
+        }
+        return false;
+      };
+      if (flag_value("--metrics-out", &metrics_out)) continue;
+      if (flag_value("--trace-out", &trace_out)) continue;
+      if (!arg.empty() && arg[0] == '-')
+        throw std::invalid_argument("unknown flag " + arg);
+      if (!ini_path.empty())
+        throw std::invalid_argument("more than one scenario file given");
+      ini_path = arg;
     }
-    if (argc != 2) {
-      std::cerr << "usage: scenario_runner <scenario.ini> | --template\n";
+    if (ini_path.empty()) {
+      std::cerr << "usage: scenario_runner <scenario.ini> "
+                   "[--metrics-out <file>] [--trace-out <file>] | "
+                   "--template\n";
       return 2;
     }
-    return run(argv[1]);
+    return run(ini_path, metrics_out, trace_out);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

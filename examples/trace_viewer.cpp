@@ -1,0 +1,117 @@
+// trace_viewer — replay a scenario with task tracing on and emit a
+// chrome://tracing timeline of the simulated fleet.
+//
+// Usage:
+//   trace_viewer <scenario.ini> [out.json] [--sample N]
+//
+//   trace_viewer configs/wild_faults.ini wild.json
+//   # then open chrome://tracing (or https://ui.perfetto.dev) and load
+//   # wild.json: one lane per simulated resource (device CPUs, uplinks,
+//   # the edge GPU, the cloud), one bar per task phase, instant markers
+//   # at fault events.
+//
+// The span timestamps are *simulated* seconds mapped to trace
+// microseconds, so a 120 s scenario renders as a 120 "ms" timeline —
+// zoom is free, the shapes are what matter. Fault windows read as gaps:
+// when wild_faults.ini crashes the edge at t=40 the edge/gpu lane goes
+// quiet, uplink bars stretch (retries), and the device CPU lanes thicken
+// as traffic falls back to local execution. docs/TUTORIAL.md walks
+// through reading one of these windows against the queue time-series.
+//
+// --sample N keeps 1-in-N tasks (deterministic by task id, default 1 =
+// every task) so traces of long runs stay loadable.
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "sim/observer.h"
+#include "sim/scenario_ini.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+int run(const std::string& ini_path, const std::string& out_path,
+        std::uint64_t sample) {
+  auto scenario = sim::load_scenario_file(ini_path);
+
+  // Attach our own recorder (rather than letting the simulation own one
+  // via [observability]) so the span buffer stays inspectable after the
+  // run and the INI's own output settings are left untouched.
+  sim::ObsConfig obs;
+  obs.trace_sample = sample;
+  sim::RecordingObserver recorder(obs, scenario.config.devices.size());
+  scenario.config.observer = &recorder;
+
+  const auto result = sim::run_scenario(scenario.config);
+  const auto& trace = recorder.trace();
+  trace.write_chrome_trace_file(out_path);
+
+  std::map<std::string, std::size_t> per_track;
+  for (const auto& s : trace.spans()) ++per_track[s.track];
+  std::map<std::string, std::size_t> per_kind;
+  for (const auto& m : trace.marks()) ++per_kind[m.name];
+
+  std::cout << scenario.profile.name() << " on " << ini_path << ": "
+            << result.generated << " tasks generated, "
+            << result.total_completed << " completed, mean TCT "
+            << util::fmt(result.tct.mean, 3) << " s\n"
+            << trace.spans().size() << " spans over " << per_track.size()
+            << " tracks (1-in-" << sample << " tasks), "
+            << trace.marks().size() << " fault marks\n\n";
+
+  util::TablePrinter lanes({"track", "spans"});
+  for (const auto& [track, n] : per_track)
+    lanes.add_row({track, std::to_string(n)});
+  lanes.print(std::cout);
+  if (!per_kind.empty()) {
+    std::cout << "\n";
+    util::TablePrinter marks({"fault mark", "count"});
+    for (const auto& [kind, n] : per_kind)
+      marks.add_row({kind, std::to_string(n)});
+    marks.print(std::cout);
+  }
+  std::cout << "\nwrote " << out_path
+            << " -- load it in chrome://tracing or ui.perfetto.dev\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string ini_path, out_path;
+    std::uint64_t sample = 1;
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg == "--sample") {
+        if (a + 1 >= argc)
+          throw std::invalid_argument("--sample needs a number");
+        const long long n = std::stoll(argv[++a]);
+        if (n < 1) throw std::invalid_argument("--sample must be >= 1");
+        sample = static_cast<std::uint64_t>(n);
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw std::invalid_argument("unknown flag " + arg);
+      } else if (ini_path.empty()) {
+        ini_path = arg;
+      } else if (out_path.empty()) {
+        out_path = arg;
+      } else {
+        throw std::invalid_argument("unexpected argument " + arg);
+      }
+    }
+    if (ini_path.empty()) {
+      std::cerr << "usage: trace_viewer <scenario.ini> [out.json] "
+                   "[--sample N]\n";
+      return 2;
+    }
+    if (out_path.empty()) out_path = "trace.json";
+    return run(ini_path, out_path, sample);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Lints every metric name registered in the source tree against the
+# naming contract enforced at runtime by obs::MetricsRegistry:
+#
+#     ^leime_[a-z0-9_]+$
+#
+# The registry throws on a bad name, but only on the code path that
+# registers it — a misnamed metric behind a rarely-taken branch would
+# ship. This lint catches them statically: every string literal passed
+# to counter(...) / gauge(...) / histogram(...) under src/, bench/ and
+# examples/ must match. tests/ is exempt (negative tests register bad
+# names on purpose). Run by CI (.github/workflows/ci.yml, obs job).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='^leime_[a-z0-9_]+$'
+fail=0
+found=0
+
+# Registration sites with a literal first argument, e.g.
+#   registry.counter("leime_tasks_generated_total")
+#   reg->histogram("leime_tct_seconds", {...})
+while IFS=: read -r file line name; do
+  found=$((found + 1))
+  if ! [[ "$name" =~ $pattern ]]; then
+    echo "BAD  $file:$line  '$name' does not match $pattern" >&2
+    fail=1
+  fi
+done < <(grep -rnoE '(counter|gauge|histogram)\s*\(\s*"[^"]*"' \
+           --include='*.cpp' --include='*.h' src bench examples \
+         | sed -E 's/\s*\((counter|gauge|histogram)\s*\(\s*"/:\1("/' \
+         | sed -E 's/:(counter|gauge|histogram)\("([^"]*)"$/:\2/')
+
+if [[ "$found" -eq 0 ]]; then
+  echo "lint_metric_names: no registration sites found — lint is broken" >&2
+  exit 2
+fi
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "lint_metric_names: $found registered names all match $pattern"

@@ -1,0 +1,92 @@
+// Time-series probes: per-slot samples of the Lyapunov control state
+// (Q_i, H_i, offload ratio x_i, drift and penalty terms) plus fault-state
+// flags, written to a pluggable sink.
+//
+// Third pillar of the observability layer (DESIGN.md §8). The simulator
+// emits one SlotSample per device per control slot — exactly the
+// granularity of the queue recursions in eqs. 10–11 of the paper, so a
+// plotted series shows the backlogs evolving slot by slot through fault
+// windows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace leime::obs {
+
+/// One device-slot observation, taken when the controller decides x_i(t).
+struct SlotSample {
+  double t = 0.0;          ///< slot start, sim seconds
+  int device = -1;
+  double q = 0.0;          ///< Q_i(t): device queue backlog (tasks), eq. 10
+  double h = 0.0;          ///< H_i(t): edge virtual queue (tasks), eq. 11
+  double x = 0.0;          ///< chosen offload ratio x_i(t) in [0, 1]
+  double drift = 0.0;      ///< Lyapunov drift term of eq. 20 at chosen x
+  double penalty = 0.0;    ///< V * y_i(t): penalty term of eq. 20 at chosen x
+  std::uint64_t kept_arrivals = 0;      ///< arrivals kept local this slot
+  std::uint64_t offloaded_arrivals = 0; ///< arrivals offloaded this slot
+  bool edge_up = true;     ///< edge server reachable & alive this slot
+  bool link_up = true;     ///< device uplink outside an outage window
+  double edge_share_flops = 0.0;  ///< f_i^e: edge FLOPS share (eq. 27)
+};
+
+/// Destination for slot samples. Implementations must tolerate samples
+/// arriving in nondecreasing time order with interleaved device ids.
+class TimeseriesSink {
+ public:
+  virtual ~TimeseriesSink() = default;
+  virtual void append(const SlotSample& sample) = 0;
+  /// Flushes buffered samples durably; throws std::runtime_error on
+  /// write failure. Called once at end of run.
+  virtual void close() {}
+};
+
+/// Keeps every sample in memory — the test and analysis sink.
+class MemoryTimeseriesSink : public TimeseriesSink {
+ public:
+  void append(const SlotSample& sample) override {
+    samples_.push_back(sample);
+  }
+  const std::vector<SlotSample>& samples() const { return samples_; }
+
+  /// Samples for one device, in time order.
+  std::vector<SlotSample> device_series(int device) const;
+
+ private:
+  std::vector<SlotSample> samples_;
+};
+
+/// Streams samples as CSV rows (header written on construction).
+class CsvTimeseriesSink : public TimeseriesSink {
+ public:
+  explicit CsvTimeseriesSink(const std::string& path);
+  ~CsvTimeseriesSink() override;
+  void append(const SlotSample& sample) override;
+  void close() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Streams samples as one JSON object per line.
+class JsonlTimeseriesSink : public TimeseriesSink {
+ public:
+  explicit JsonlTimeseriesSink(const std::string& path);
+  ~JsonlTimeseriesSink() override;
+  void append(const SlotSample& sample) override;
+  void close() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Serializes one sample as a JSON object (exposed for testing; used by
+/// JsonlTimeseriesSink).
+void slot_sample_to_json(const SlotSample& sample, std::ostream& out);
+
+}  // namespace leime::obs

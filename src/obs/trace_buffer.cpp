@@ -1,0 +1,109 @@
+#include "obs/trace_buffer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace leime::obs {
+
+namespace {
+
+// Shortest round-trip double formatting (same contract as the metrics and
+// JSONL sinks): equal values always serialize to equal bytes.
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+constexpr double kMicros = 1e6;  // sim seconds -> trace microseconds
+
+}  // namespace
+
+void TraceBuffer::add_span(SpanEvent span) {
+  if (span.t_end < span.t_begin)
+    throw std::invalid_argument("TraceBuffer: span ends before it begins");
+  spans_.push_back(std::move(span));
+}
+
+void TraceBuffer::add_mark(MarkEvent mark) { marks_.push_back(std::move(mark)); }
+
+void TraceBuffer::write_chrome_trace(std::ostream& out) const {
+  // Deterministic tid assignment: sorted track names, independent of the
+  // order events were emitted in.
+  std::map<std::string, int> tids;
+  for (const auto& s : spans_) tids.emplace(s.track, 0);
+  for (const auto& m : marks_) tids.emplace(m.track, 0);
+  int next_tid = 1;
+  for (auto& [track, tid] : tids) tid = next_tid++;
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  for (const auto& [track, tid] : tids) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(track) << "\"}}";
+  }
+  for (const auto& s : spans_) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids.at(s.track)
+        << ",\"name\":\"" << json_escape(s.phase) << "\",\"cat\":\"task\""
+        << ",\"ts\":" << num(s.t_begin * kMicros)
+        << ",\"dur\":" << num((s.t_end - s.t_begin) * kMicros)
+        << ",\"args\":{\"task\":" << s.task_id << ",\"device\":" << s.device
+        << ",\"attempt\":" << s.attempt << ",\"outcome\":\""
+        << json_escape(s.outcome) << "\"}}";
+  }
+  for (const auto& m : marks_) {
+    sep();
+    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tids.at(m.track)
+        << ",\"name\":\"" << json_escape(m.name) << "\",\"cat\":\"fault\""
+        << ",\"s\":\"t\",\"ts\":" << num(m.t * kMicros)
+        << ",\"args\":{\"task\":" << m.task_id << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceBuffer::write_chrome_trace_file(const std::string& path) const {
+  {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("trace: cannot open " + path);
+    write_chrome_trace(out);
+    out.flush();
+    if (!out.good()) throw std::runtime_error("trace: write error on " + path);
+  }
+  if (!util::fsync_path(path))
+    throw std::runtime_error("trace: fsync failed for " + path);
+}
+
+}  // namespace leime::obs

@@ -42,10 +42,20 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
   std::mutex report_mu;
   std::exception_ptr first_error;
 
+  // Per-worker metric shards: workers never share an instrument, and the
+  // shards fold into opts_.metrics in worker order after the join.
+  const int max_workers = std::max(1, std::min<int>(threads, static_cast<int>(
+                                                                 total)));
+  std::vector<obs::MetricsRegistry> shards(
+      opts_.metrics ? static_cast<std::size_t>(max_workers) : 0);
+
   // Each worker claims cells off the shared counter and writes its record
   // into the cell's own slot, so collection order never depends on the
   // schedule and no two threads touch the same element.
   auto worker_fn = [&](int worker_id) {
+    obs::MetricsRegistry* shard =
+        shards.empty() ? nullptr
+                       : &shards[static_cast<std::size_t>(worker_id)];
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= total) return;
@@ -60,12 +70,25 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
       try {
         rec.result = sim::run_scenario(cell.config);
       } catch (...) {
+        if (shard)
+          shard->counter("leime_runtime_cell_errors_total",
+                         "cells aborted by an exception")
+              .inc();
         std::lock_guard<std::mutex> lock(report_mu);
         if (!first_error) first_error = std::current_exception();
         next.store(total);  // drain the queue so the pool winds down
         return;
       }
       rec.end_s = seconds_since(t0);
+      if (shard) {
+        // Wall-clock phase timer for the cell's simulate phase.
+        shard->counter("leime_runtime_cells_total", "cells executed").inc();
+        shard
+            ->histogram("leime_runtime_cell_wall_seconds",
+                        "wall-clock seconds per cell (simulate phase)",
+                        obs::HistogramOptions{1e-4, 1e3, 42})
+            .observe(rec.end_s - rec.start_s);
+      }
       records[i] = std::move(rec);
 
       const std::size_t finished = done.fetch_add(1) + 1;
@@ -94,6 +117,13 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
   }
 
   last_wall_s_ = seconds_since(t0);
+  if (opts_.metrics) {
+    for (auto& shard : shards) opts_.metrics->absorb(shard.snapshot());
+    opts_.metrics
+        ->gauge("leime_runtime_wall_seconds",
+                "wall-clock seconds of the last executor run")
+        .set(last_wall_s_);
+  }
   if (first_error) std::rethrow_exception(first_error);
   return records;
 }

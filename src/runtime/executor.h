@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/experiment_plan.h"
 #include "runtime/run_record.h"
 
@@ -24,6 +25,14 @@ struct ExecutorOptions {
   /// Called after each cell completes (under an internal lock, so the
   /// callback needs no synchronisation of its own).
   std::function<void(std::size_t done, std::size_t total)> on_cell_done;
+
+  /// Caller-owned registry for pool telemetry (wall-clock cell timers,
+  /// error counts). Each worker updates a private shard; shards merge into
+  /// this registry in worker order after the pool joins — the registry is
+  /// never touched concurrently. The recorded values are wall-clock and
+  /// therefore nondeterministic: keep them out of determinism comparisons
+  /// (simulation metrics ride inside each RunRecord instead).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Executor {

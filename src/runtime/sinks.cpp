@@ -50,6 +50,50 @@ std::ofstream open_or_throw(const std::string& path) {
   return out;
 }
 
+/// Flush + close + fsync; throws on any failure so a full disk or revoked
+/// mount is reported instead of silently truncating the output.
+void close_or_throw(std::ofstream& out, const std::string& path) {
+  out.flush();
+  const bool ok = out.good();
+  out.close();
+  if (!ok || out.fail())
+    throw std::runtime_error("runtime sinks: write error on " + path);
+  if (!util::fsync_path(path))
+    throw std::runtime_error("runtime sinks: fsync failed for " + path);
+}
+
+/// Inline metrics object for a JSONL record: counters and gauges by name,
+/// histograms as summary objects. Only called for non-empty snapshots so
+/// disabled runs keep their exact pre-observability bytes.
+void metrics_to_json(const obs::Snapshot& snap, std::ostream& out) {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(c.name) << "\":" << c.value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(g.name) << "\":" << num(g.value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(h.name) << "\":{\"count\":" << h.stats.count()
+        << ",\"sum\":" << num(h.stats.sum())
+        << ",\"min\":" << num(h.stats.min())
+        << ",\"max\":" << num(h.stats.max()) << ",\"p50\":" << num(h.p50)
+        << ",\"p95\":" << num(h.p95) << ",\"p99\":" << num(h.p99) << "}";
+  }
+  out << "}}";
+}
+
 }  // namespace
 
 void write_csv(const std::string& path,
@@ -88,6 +132,7 @@ void write_csv(const std::string& path,
     row.push_back(std::to_string(rec.worker));
     csv.add_row(row);
   }
+  csv.close();  // flush + fsync; throws rather than dropping rows
 }
 
 void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
@@ -122,10 +167,16 @@ void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
         << ",\"local_fallbacks\":" << f.local_fallbacks
         << ",\"fallback_slots\":" << f.fallback_slots
         << ",\"parked\":" << f.parked << "}";
+    if (!rec.result.metrics.empty()) {
+      out << ",\"metrics\":";
+      metrics_to_json(rec.result.metrics, out);
+    }
     if (opts.include_timing)
       out << ",\"start_s\":" << num(rec.start_s)
           << ",\"end_s\":" << num(rec.end_s) << ",\"worker\":" << rec.worker;
     out << "}\n";
+    if (!out.good())
+      throw std::runtime_error("runtime sinks: JSONL stream write error");
   }
 }
 
@@ -135,6 +186,7 @@ void write_jsonl_file(const std::string& path,
                       const JsonlOptions& opts) {
   auto out = open_or_throw(path);
   write_jsonl(out, axis_names, records, opts);
+  close_or_throw(out, path);
 }
 
 void write_chrome_trace(const std::string& path,
@@ -156,6 +208,19 @@ void write_chrome_trace(const std::string& path,
         << ",\"mean_tct\":" << num(rec.result.tct.mean) << "}}";
   }
   out << "\n]}\n";
+  close_or_throw(out, path);
+}
+
+obs::Snapshot merged_metrics(const std::vector<RunRecord>& records) {
+  obs::Snapshot merged;
+  for (const auto& rec : records)
+    if (!rec.result.metrics.empty()) merged.merge(rec.result.metrics);
+  return merged;
+}
+
+void write_metrics_prometheus(const std::string& path,
+                              const std::vector<RunRecord>& records) {
+  obs::write_prometheus_file(path, merged_metrics(records));
 }
 
 }  // namespace leime::runtime

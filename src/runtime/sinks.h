@@ -7,12 +7,25 @@
 //   * chrome trace — "X" complete events per cell keyed by worker thread,
 //             loadable at chrome://tracing or ui.perfetto.dev to inspect
 //             pool utilisation and per-cell wall time.
+//
+// Durability and error reporting: every file-writing sink flushes, fsyncs
+// and throws std::runtime_error when any byte could not be written (full
+// disk, revoked mount) instead of silently dropping data; the stream
+// overload of write_jsonl throws as soon as the stream reports an error.
+//
+// Records whose SimResult carries a non-empty metrics snapshot (the
+// [observability] layer) get a "metrics" object in their JSONL line; for
+// disabled runs the emitted bytes are identical to pre-observability
+// builds (the golden-output contract). merged_metrics folds the per-cell
+// snapshots in record order — a deterministic merge for any executor
+// thread count.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/run_record.h"
 
 namespace leime::runtime {
@@ -44,5 +57,15 @@ void write_jsonl_file(const std::string& path,
 /// tid = worker, ts/dur in microseconds from executor start.
 void write_chrome_trace(const std::string& path,
                         const std::vector<RunRecord>& records);
+
+/// Folds every record's metrics snapshot into one, in record order (plan
+/// order when the records came from Executor::run — deterministic for any
+/// thread count). Records with empty snapshots contribute nothing.
+obs::Snapshot merged_metrics(const std::vector<RunRecord>& records);
+
+/// Writes merged_metrics(records) as Prometheus text exposition; throws
+/// std::runtime_error on write failure.
+void write_metrics_prometheus(const std::string& path,
+                              const std::vector<RunRecord>& records);
 
 }  // namespace leime::runtime

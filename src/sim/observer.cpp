@@ -1,0 +1,260 @@
+#include "sim/observer.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace leime::sim {
+
+namespace {
+
+// TCTs and phase durations span microseconds (cloud compute) to tens of
+// seconds (fault-window backlogs): ~2.6 buckets/decade over 9 decades.
+const obs::HistogramOptions kLatencyBuckets{1e-6, 1e3, 54};
+// Queue backlogs and per-slot drift/penalty magnitudes.
+const obs::HistogramOptions kQueueBuckets{1e-2, 1e4, 36};
+
+}  // namespace
+
+RecordingObserver::RecordingObserver(ObsConfig config, std::size_t num_devices)
+    : cfg_(std::move(config)),
+      metrics_on_(cfg_.metrics_enabled()),
+      series_on_(cfg_.timeseries_enabled()),
+      sampler_(cfg_.effective_trace_sample()),
+      kept_since_slot_(num_devices, 0),
+      offloaded_since_slot_(num_devices, 0) {
+  if (metrics_on_) {
+    // Register everything up front so exported snapshots always carry the
+    // full schema (zero-valued metrics included) and hot-path updates are
+    // map-free.
+    c_generated_ = &registry_.counter("leime_tasks_generated_total",
+                                      "tasks generated across the fleet");
+    c_completed_ = &registry_.counter("leime_tasks_completed_total",
+                                      "tasks completed (including warmup)");
+    c_offloaded_ = &registry_.counter(
+        "leime_tasks_offloaded_total",
+        "tasks whose first block was offloaded at dispatch");
+    c_parked_ = &registry_.counter(
+        "leime_tasks_parked_total",
+        "tasks terminally parked (edge never returned)");
+    c_failovers_ = &registry_.counter(
+        "leime_fault_failovers_total",
+        "edge-side work failed back to devices");
+    c_retries_ = &registry_.counter("leime_fault_retries_total",
+                                    "task-timeout re-dispatches");
+    c_local_fallbacks_ = &registry_.counter(
+        "leime_fault_local_fallbacks_total",
+        "retry budgets exhausted, task finished on device");
+    c_edge_crashes_ = &registry_.counter("leime_fault_edge_crashes_total",
+                                         "edge server crashes");
+    c_churn_ = &registry_.counter("leime_fault_churn_events_total",
+                                  "device leave/rejoin events");
+    c_decisions_ = &registry_.counter("leime_slot_decisions_total",
+                                      "per-device controller decisions");
+    h_tct_ = &registry_.histogram("leime_task_tct_seconds",
+                                  "task completion time of counted tasks",
+                                  kLatencyBuckets);
+    h_q_ = &registry_.histogram("leime_queue_device_tasks",
+                                "Q_i sampled at decision time (eq. 10)",
+                                kQueueBuckets);
+    h_h_ = &registry_.histogram("leime_queue_edge_tasks",
+                                "H_i sampled at decision time (eq. 11)",
+                                kQueueBuckets);
+    h_x_ = &registry_.histogram("leime_offload_ratio",
+                                "chosen x_i per decision",
+                                obs::HistogramOptions{1e-3, 1.0, 30});
+    h_penalty_ = &registry_.histogram(
+        "leime_slot_penalty_seconds",
+        "V*Y_i(t) penalty term at the chosen x (eq. 19)", kQueueBuckets);
+    g_edge_up_ =
+        &registry_.gauge("leime_edge_up", "1 while the edge server is up");
+    g_edge_up_->set(1.0);
+    g_absent_ = &registry_.gauge("leime_devices_absent",
+                                 "devices currently churned out of the fleet");
+    g_sim_time_ =
+        &registry_.gauge("leime_sim_time_seconds", "simulated clock at run end");
+  }
+}
+
+void RecordingObserver::on_task_generated(std::uint64_t task, int device,
+                                          double t, int block,
+                                          bool offloaded) {
+  (void)task;
+  (void)t;
+  (void)block;
+  if (metrics_on_) {
+    c_generated_->inc();
+    if (offloaded) c_offloaded_->inc();
+  }
+  if (series_on_ && device >= 0 &&
+      static_cast<std::size_t>(device) < kept_since_slot_.size()) {
+    auto& bucket = offloaded ? offloaded_since_slot_ : kept_since_slot_;
+    ++bucket[static_cast<std::size_t>(device)];
+  }
+}
+
+void RecordingObserver::on_phase_begin(std::uint64_t task, int device,
+                                       std::string_view phase,
+                                       std::string_view track, double t_queued,
+                                       double exec_start, int attempt) {
+  (void)exec_start;
+  if (!sampler_.sampled(task)) return;
+  // A task occupies one phase at a time; a begin while another span is
+  // open means the previous phase's end was skipped — close it defensively
+  // so the trace stays well-formed.
+  close_span(task, t_queued, "lost");
+  OpenSpan span;
+  span.phase.assign(phase.data(), phase.size());
+  span.track.assign(track.data(), track.size());
+  span.t_begin = t_queued;
+  span.device = device;
+  span.attempt = attempt;
+  open_[task] = std::move(span);
+}
+
+void RecordingObserver::close_span(std::uint64_t task, double t,
+                                   std::string_view outcome) {
+  auto it = open_.find(task);
+  if (it == open_.end()) return;
+  obs::SpanEvent ev;
+  ev.task_id = task;
+  ev.device = it->second.device;
+  ev.phase = std::move(it->second.phase);
+  ev.track = std::move(it->second.track);
+  ev.outcome.assign(outcome.data(), outcome.size());
+  ev.t_begin = it->second.t_begin;
+  ev.t_end = t;
+  ev.attempt = it->second.attempt;
+  open_.erase(it);
+  trace_.add_span(std::move(ev));
+}
+
+void RecordingObserver::on_phase_end(std::uint64_t task, double t) {
+  if (!sampler_.sampled(task)) return;
+  close_span(task, t, "ok");
+}
+
+void RecordingObserver::on_phase_abort(std::uint64_t task, double t,
+                                       std::string_view outcome) {
+  if (!sampler_.sampled(task)) return;
+  close_span(task, t, outcome);
+}
+
+void RecordingObserver::on_task_complete(std::uint64_t task, int device,
+                                         double t_arrive, double t_complete,
+                                         int block, int retries,
+                                         bool counted) {
+  (void)device;
+  (void)block;
+  (void)retries;
+  if (metrics_on_) {
+    c_completed_->inc();
+    if (counted) h_tct_->observe(t_complete - t_arrive);
+  }
+  if (sampler_.sampled(task)) close_span(task, t_complete, "ok");
+}
+
+void RecordingObserver::on_task_parked(std::uint64_t task, int device,
+                                       double t) {
+  if (metrics_on_) c_parked_->inc();
+  if (sampler_.sampled(task)) {
+    close_span(task, t, "parked");
+    obs::MarkEvent mark;
+    mark.name = "parked";
+    mark.track = "device" + std::to_string(device);
+    mark.t = t;
+    mark.task_id = task;
+    trace_.add_mark(std::move(mark));
+  }
+}
+
+void RecordingObserver::on_slot_decision(int device, double t,
+                                         const SlotTelemetry& s) {
+  if (metrics_on_) {
+    c_decisions_->inc();
+    h_q_->observe(s.q);
+    h_h_->observe(s.h);
+    h_x_->observe(s.x);
+    h_penalty_->observe(s.penalty);
+    g_edge_up_->set(s.edge_up ? 1.0 : 0.0);
+  }
+  if (series_on_) {
+    obs::SlotSample sample;
+    sample.t = t;
+    sample.device = device;
+    sample.q = s.q;
+    sample.h = s.h;
+    sample.x = s.x;
+    sample.drift = s.drift;
+    sample.penalty = s.penalty;
+    sample.edge_up = s.edge_up;
+    sample.link_up = s.link_up;
+    sample.edge_share_flops = s.edge_share_flops;
+    if (device >= 0 &&
+        static_cast<std::size_t>(device) < kept_since_slot_.size()) {
+      const auto d = static_cast<std::size_t>(device);
+      sample.kept_arrivals = kept_since_slot_[d];
+      sample.offloaded_arrivals = offloaded_since_slot_[d];
+      kept_since_slot_[d] = 0;
+      offloaded_since_slot_[d] = 0;
+    }
+    series_.append(sample);
+  }
+}
+
+void RecordingObserver::on_fault(std::string_view kind, int device, double t) {
+  if (metrics_on_) {
+    if (kind == "failover") c_failovers_->inc();
+    else if (kind == "task_timeout") c_retries_->inc();
+    else if (kind == "local_fallback") c_local_fallbacks_->inc();
+    else if (kind == "edge_crash") c_edge_crashes_->inc();
+    else if (kind == "churn_leave" || kind == "churn_join") c_churn_->inc();
+    if (kind == "edge_crash") g_edge_up_->set(0.0);
+    if (kind == "edge_restart") g_edge_up_->set(1.0);
+    if (kind == "churn_leave") g_absent_->set(g_absent_->value() + 1.0);
+    if (kind == "churn_join") g_absent_->set(g_absent_->value() - 1.0);
+  }
+  if (sampler_.every() > 0) {
+    obs::MarkEvent mark;
+    mark.name.assign(kind.data(), kind.size());
+    mark.track = device < 0 ? std::string("edge")
+                            : "device" + std::to_string(device);
+    mark.t = t;
+    trace_.add_mark(std::move(mark));
+  }
+}
+
+void RecordingObserver::on_run_end(double t) {
+  // Close any spans still open at the end of the drain (never-healing
+  // faults leave parked tasks mid-phase).
+  while (!open_.empty()) close_span(open_.begin()->first, t, "unfinished");
+  if (metrics_on_) g_sim_time_->set(t);
+}
+
+void RecordingObserver::export_outputs() const {
+  if (!cfg_.metrics_out.empty())
+    obs::write_prometheus_file(cfg_.metrics_out, registry_.snapshot());
+  if (!cfg_.metrics_jsonl.empty()) {
+    std::ofstream out(cfg_.metrics_jsonl);
+    if (!out)
+      throw std::runtime_error("metrics: cannot open " + cfg_.metrics_jsonl);
+    registry_.snapshot().to_jsonl(out);
+    out.flush();
+    if (!out.good())
+      throw std::runtime_error("metrics: write error on " +
+                               cfg_.metrics_jsonl);
+    out.close();
+    if (!util::fsync_path(cfg_.metrics_jsonl))
+      throw std::runtime_error("metrics: fsync failed for " +
+                               cfg_.metrics_jsonl);
+  }
+  if (!cfg_.trace_out.empty()) trace_.write_chrome_trace_file(cfg_.trace_out);
+  if (!cfg_.timeseries_out.empty()) {
+    obs::CsvTimeseriesSink sink(cfg_.timeseries_out);
+    for (const auto& sample : series_.samples()) sink.append(sample);
+    sink.close();
+  }
+}
+
+}  // namespace leime::sim

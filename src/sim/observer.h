@@ -1,0 +1,197 @@
+// Observability hooks for the discrete-event simulator.
+//
+// The simulator carries an optional Observer pointer and calls it at task
+// lifecycle transitions (generated, phase begin/end/abort, complete), at
+// each per-device slot decision (with the Lyapunov telemetry of eqs. 10-20)
+// and at fault events. When no observer is attached every hook site costs a
+// single branch on a null pointer; no hook consumes RNG, schedules events
+// or otherwise perturbs the run, so a disabled run is bit-identical to a
+// build without the layer (the golden-JSONL contract, DESIGN.md §8).
+//
+// RecordingObserver is the standard implementation: it composes the three
+// obs pillars — a metrics registry, a chrome-trace span buffer with a
+// deterministic 1-in-N task sampler, and a per-slot time-series sink — and
+// can export each to a file at the end of the run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace_buffer.h"
+
+namespace leime::sim {
+
+/// Per-device, per-slot control-loop telemetry captured at decision time.
+struct SlotTelemetry {
+  double x = 0.0;        ///< chosen offload ratio x_i(t)
+  double q = 0.0;        ///< Q_i(t), tasks (eq. 10 backlog)
+  double h = 0.0;        ///< H_i(t), tasks (eq. 11 backlog)
+  double drift = 0.0;    ///< Q·(A−b) + H·(D−c) at the chosen x (eq. 19)
+  double penalty = 0.0;  ///< V·Y_i(t) at the chosen x (eq. 19)
+  bool edge_up = true;
+  bool link_up = true;
+  double edge_share_flops = 0.0;  ///< p_i·F^e currently allocated
+};
+
+/// Hook interface. All methods have empty defaults so implementations
+/// override only what they record. Times are simulated seconds.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  virtual void on_task_generated(std::uint64_t /*task*/, int /*device*/,
+                                 double /*t*/, int /*block*/,
+                                 bool /*offloaded*/) {}
+  /// A task entered a phase on a resource. `t_queued` is when it was
+  /// enqueued; `exec_start` is when the resource actually starts it
+  /// (== t_queued for links, max(now, busy_until) for processors).
+  virtual void on_phase_begin(std::uint64_t /*task*/, int /*device*/,
+                              std::string_view /*phase*/,
+                              std::string_view /*track*/, double /*t_queued*/,
+                              double /*exec_start*/, int /*attempt*/) {}
+  /// The open phase of `task` finished normally at `t`.
+  virtual void on_phase_end(std::uint64_t /*task*/, double /*t*/) {}
+  /// The open phase of `task` (if any) was abandoned at `t` — crash
+  /// failover, timeout retry. Must tolerate tasks with no open phase.
+  virtual void on_phase_abort(std::uint64_t /*task*/, double /*t*/,
+                              std::string_view /*outcome*/) {}
+  virtual void on_task_complete(std::uint64_t /*task*/, int /*device*/,
+                                double /*t_arrive*/, double /*t_complete*/,
+                                int /*block*/, int /*retries*/,
+                                bool /*counted*/) {}
+  /// The task became terminal-pending (edge never returns).
+  virtual void on_task_parked(std::uint64_t /*task*/, int /*device*/,
+                              double /*t*/) {}
+  /// A controller decision was taken for `device` at slot time `t`.
+  virtual void on_slot_decision(int /*device*/, double /*t*/,
+                                const SlotTelemetry& /*telemetry*/) {}
+  /// A fault-layer event: "edge_crash", "edge_restart", "churn_leave",
+  /// "churn_join", "failover", "task_timeout", "local_fallback",
+  /// "edge_refused". `device` is -1 for fleet-wide events.
+  virtual void on_fault(std::string_view /*kind*/, int /*device*/,
+                        double /*t*/) {}
+  /// The drain finished at `t` (last hook of a run).
+  virtual void on_run_end(double /*t*/) {}
+};
+
+/// What to record and where to write it. All off by default — the default
+/// ScenarioConfig keeps the simulator on the zero-overhead path.
+struct ObsConfig {
+  bool metrics = false;           ///< collect the metrics registry
+  std::uint64_t trace_sample = 0; ///< trace 1-in-N tasks (0 = off)
+  bool timeseries = false;        ///< collect per-slot samples in memory
+
+  /// Output files, written at the end of the run. A non-empty path
+  /// implicitly enables the corresponding pillar (trace_out defaults the
+  /// sampler to 1-in-1 when trace_sample is 0).
+  std::string metrics_out;     ///< Prometheus text exposition
+  std::string metrics_jsonl;   ///< one JSON object per metric
+  std::string trace_out;       ///< chrome://tracing JSON
+  std::string timeseries_out;  ///< per-slot CSV
+
+  bool metrics_enabled() const {
+    return metrics || !metrics_out.empty() || !metrics_jsonl.empty();
+  }
+  std::uint64_t effective_trace_sample() const {
+    if (trace_sample > 0) return trace_sample;
+    return trace_out.empty() ? 0 : 1;
+  }
+  bool timeseries_enabled() const {
+    return timeseries || !timeseries_out.empty();
+  }
+  bool enabled() const {
+    return metrics_enabled() || effective_trace_sample() > 0 ||
+           timeseries_enabled();
+  }
+};
+
+/// The standard observer: metrics + task spans + slot time-series.
+///
+/// Not thread-safe and bound to a single run: when embedding one externally
+/// via ScenarioConfig::observer, use a fresh instance per run and do not
+/// share it across parallel runtime cells (each cell builds its own).
+class RecordingObserver : public Observer {
+ public:
+  RecordingObserver(ObsConfig config, std::size_t num_devices);
+
+  void on_task_generated(std::uint64_t task, int device, double t, int block,
+                         bool offloaded) override;
+  void on_phase_begin(std::uint64_t task, int device, std::string_view phase,
+                      std::string_view track, double t_queued,
+                      double exec_start, int attempt) override;
+  void on_phase_end(std::uint64_t task, double t) override;
+  void on_phase_abort(std::uint64_t task, double t,
+                      std::string_view outcome) override;
+  void on_task_complete(std::uint64_t task, int device, double t_arrive,
+                        double t_complete, int block, int retries,
+                        bool counted) override;
+  void on_task_parked(std::uint64_t task, int device, double t) override;
+  void on_slot_decision(int device, double t,
+                        const SlotTelemetry& telemetry) override;
+  void on_fault(std::string_view kind, int device, double t) override;
+  void on_run_end(double t) override;
+
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::TraceBuffer& trace() const { return trace_; }
+  const obs::MemoryTimeseriesSink& timeseries() const { return series_; }
+  const ObsConfig& config() const { return cfg_; }
+
+  /// Writes the configured output files (metrics_out/metrics_jsonl/
+  /// trace_out/timeseries_out). Throws std::runtime_error on write failure.
+  void export_outputs() const;
+
+ private:
+  struct OpenSpan {
+    std::string phase;
+    std::string track;
+    double t_begin = 0.0;
+    int device = -1;
+    int attempt = 0;
+  };
+
+  void close_span(std::uint64_t task, double t, std::string_view outcome);
+
+  ObsConfig cfg_;
+  bool metrics_on_;
+  bool series_on_;
+  obs::TaskSampler sampler_;
+  obs::MetricsRegistry registry_;
+
+  // Hot-path handles into registry_ (stable references; null when metrics
+  // are off). Lookups by name would re-register and must repeat the
+  // geometry, so the constructor resolves each instrument once.
+  obs::Counter* c_generated_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_offloaded_ = nullptr;
+  obs::Counter* c_parked_ = nullptr;
+  obs::Counter* c_failovers_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_local_fallbacks_ = nullptr;
+  obs::Counter* c_edge_crashes_ = nullptr;
+  obs::Counter* c_churn_ = nullptr;
+  obs::Counter* c_decisions_ = nullptr;
+  obs::Histogram* h_tct_ = nullptr;
+  obs::Histogram* h_q_ = nullptr;
+  obs::Histogram* h_h_ = nullptr;
+  obs::Histogram* h_x_ = nullptr;
+  obs::Histogram* h_penalty_ = nullptr;
+  obs::Gauge* g_edge_up_ = nullptr;
+  obs::Gauge* g_absent_ = nullptr;
+  obs::Gauge* g_sim_time_ = nullptr;
+  obs::TraceBuffer trace_;
+  obs::MemoryTimeseriesSink series_;
+  std::map<std::uint64_t, OpenSpan> open_;
+
+  /// Arrivals per device since its last slot sample (for eqs. 10-11:
+  /// the kept/offloaded split drives the queue recursions).
+  std::vector<std::uint64_t> kept_since_slot_;
+  std::vector<std::uint64_t> offloaded_since_slot_;
+};
+
+}  // namespace leime::sim

@@ -9,7 +9,9 @@
 #include "core/environment.h"
 #include "core/lyapunov.h"
 #include "core/partition.h"
+#include "obs/metrics.h"
 #include "sim/faults.h"
+#include "sim/observer.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
@@ -104,6 +106,21 @@ struct ScenarioConfig {
   /// build. In shared-uplink mode every link outage window applies to the
   /// shared AP.
   FaultPlan faults;
+
+  /// Observability: metrics registry, task-lifecycle tracing and per-slot
+  /// queue telemetry (sim/observer.h). The default keeps everything off —
+  /// a disabled run takes the zero-overhead path (one null-pointer branch
+  /// per hook site) and is bit-identical to a build without the layer.
+  /// When enabled, the simulator owns a RecordingObserver, attaches its
+  /// metrics snapshot to SimResult::metrics and writes the configured
+  /// output files at the end of the run.
+  ObsConfig obs;
+
+  /// Optional externally-owned observer (wins over `obs` when set). The
+  /// embedder keeps ownership, receives every hook, and handles its own
+  /// exporting; SimResult::metrics stays empty. One observer per run —
+  /// never share an instance across parallel runtime cells.
+  Observer* observer = nullptr;
 };
 
 /// Aggregated outcome of a run.
@@ -143,6 +160,13 @@ struct SimResult {
     std::size_t parked = 0;  ///< failed-over tasks still pending at end
   };
   FaultStats faults;
+
+  /// Metrics-registry snapshot of the run's owned RecordingObserver;
+  /// empty() unless ScenarioConfig::obs enabled metrics. Rides through the
+  /// runtime sinks (JSONL emits it only when non-empty, preserving the
+  /// golden-output bytes of disabled runs) and merges deterministically
+  /// across cells.
+  obs::Snapshot metrics;
 
   /// Per-device breakdown (index-aligned with ScenarioConfig::devices).
   struct DeviceResult {

@@ -1,5 +1,6 @@
 #include "sim/scenario_ini.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/exit_setting.h"
@@ -7,6 +8,43 @@
 #include "models/zoo.h"
 
 namespace leime::sim {
+
+ObsConfig parse_observability_section(const util::IniSection& section) {
+  static const char* kKnown[] = {"metrics",      "trace_sample",
+                                 "timeseries",   "metrics_out",
+                                 "metrics_jsonl", "trace_out",
+                                 "timeseries_out"};
+  for (const auto& [key, value] : section.values) {
+    (void)value;
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return key == k; }) ==
+        std::end(kKnown)) {
+      std::string valid;
+      for (const char* k : kKnown) valid += std::string(" ") + k;
+      throw std::invalid_argument("[observability] unknown key '" + key +
+                                  "' (valid keys:" + valid + ")");
+    }
+  }
+
+  ObsConfig obs;
+  obs.metrics = section.get_bool("metrics", false);
+  const long long sample = section.get_int("trace_sample", 0);
+  if (sample < 0)
+    throw std::invalid_argument("[observability] trace_sample must be >= 0");
+  obs.trace_sample = static_cast<std::uint64_t>(sample);
+  obs.timeseries = section.get_bool("timeseries", false);
+  obs.metrics_out = section.get("metrics_out", "");
+  obs.metrics_jsonl = section.get("metrics_jsonl", "");
+  obs.trace_out = section.get("trace_out", "");
+  obs.timeseries_out = section.get("timeseries_out", "");
+  return obs;
+}
+
+void apply_obs_overrides(ObsConfig& obs, const std::string& metrics_out,
+                         const std::string& trace_out) {
+  if (!metrics_out.empty()) obs.metrics_out = metrics_out;
+  if (!trace_out.empty()) obs.trace_out = trace_out;
+}
 
 models::ModelProfile resolve_model_name(const std::string& name) {
   if (name == "vgg16") return models::make_vgg16();
@@ -60,6 +98,9 @@ IniScenario load_scenario(const util::IniFile& ini) {
   if (const auto* faults = ini.find("faults"))
     cfg.faults = parse_faults_section(*faults);
   cfg.faults.validate(cfg.devices.size());
+
+  if (const auto* obs = ini.find("observability"))
+    cfg.obs = parse_observability_section(*obs);
 
   if (const auto* rt = ini.find("runtime")) {
     out.threads = static_cast<int>(rt->get_int("threads", 1));

@@ -14,6 +14,10 @@
 //               edge_down_windows / edge_crash_rate / churn /
 //               detection_timeout_s / task_timeout_s / max_retries / ... —
 //               fault injection + graceful degradation (sim/faults.h)
+//   [observability]  (optional) metrics / trace_sample / timeseries /
+//               metrics_out / metrics_jsonl / trace_out / timeseries_out —
+//               the in-simulation observability layer (sim/observer.h).
+//               Omitting the section keeps the zero-overhead path.
 #pragma once
 
 #include <string>
@@ -49,6 +53,16 @@ models::ModelProfile resolve_model_name(const std::string& name);
 /// Builds the full scenario from parsed INI data. Throws
 /// std::invalid_argument on missing sections/devices or bad values.
 IniScenario load_scenario(const util::IniFile& ini);
+
+/// Parses an [observability] section (throws on unknown keys).
+ObsConfig parse_observability_section(const util::IniSection& section);
+
+/// Applies command-line output-path overrides on top of an INI-derived
+/// ObsConfig: a non-empty `metrics_out` / `trace_out` replaces the INI
+/// value and implicitly enables the corresponding pillar (the precedence
+/// scenario_runner documents: CLI > INI).
+void apply_obs_overrides(ObsConfig& obs, const std::string& metrics_out,
+                         const std::string& trace_out);
 
 /// Convenience: parse + build from a file path.
 IniScenario load_scenario_file(const std::string& path);

@@ -7,10 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "core/lyapunov.h"
 #include "core/offload_policy.h"
 #include "core/resource_alloc.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
+#include "sim/observer.h"
 #include "sim/resources.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -76,6 +78,16 @@ class Simulation {
     cfg_.faults.validate(cfg_.devices.size());
     faults_on_ = cfg_.faults.enabled();
     build();
+    // Observer hooks are pure taps: they consume no RNG, schedule no events
+    // and never alter control flow, so a run with obs_ == nullptr and a run
+    // with any observer attached follow identical event sequences.
+    if (cfg_.observer) {
+      obs_ = cfg_.observer;
+    } else if (cfg_.obs.enabled()) {
+      owned_obs_ =
+          std::make_unique<RecordingObserver>(cfg_.obs, devices_.size());
+      obs_ = owned_obs_.get();
+    }
   }
 
   SimResult run() {
@@ -101,7 +113,13 @@ class Simulation {
 
     // Generation stops at duration; in-flight tasks drain afterwards.
     queue_.run_all();
-    return finalize();
+    if (obs_) obs_->on_run_end(queue_.now());
+    SimResult out = finalize();
+    if (owned_obs_) {
+      out.metrics = owned_obs_->registry().snapshot();
+      owned_obs_->export_outputs();
+    }
+    return out;
   }
 
  private:
@@ -256,6 +274,7 @@ class Simulation {
     edge_up_now_ = false;
     ++edge_crashes_;
     const double now = queue_.now();
+    if (obs_) obs_->on_fault("edge_crash", -1, now);
     // Every task resident on an edge share loses its work; the owning
     // device notices after the detection timeout and reclaims it.
     for (std::size_t id = 0; id < tasks_.size(); ++id) {
@@ -264,6 +283,7 @@ class Simulation {
       if (rec.stage != Stage::kEdge1 && rec.stage != Stage::kEdge2) continue;
       const Stage from = rec.stage;
       ++rec.attempt;  // invalidate the in-flight edge completion
+      if (obs_) obs_->on_phase_abort(id, now, "edge_crash");
       rec.stage = Stage::kWait;
       const int att = rec.attempt;
       queue_.schedule(now + deg().detection_timeout, [this, id, from, att] {
@@ -275,12 +295,16 @@ class Simulation {
 
   void on_edge_restart() {
     edge_up_now_ = true;
+    if (obs_) obs_->on_fault("edge_restart", -1, queue_.now());
     for (auto& dev : devices_) dev->edge_share->restart(queue_.now());
   }
 
   void on_churn(std::size_t device, bool joined) {
     present_[device] = joined ? 1 : 0;
     ++churn_events_;
+    if (obs_)
+      obs_->on_fault(joined ? "churn_join" : "churn_leave",
+                     static_cast<int>(device), queue_.now());
     // Re-run the eq. 27 allocation over the devices actually present
     // (absentees keep a floor share so a rejoin cannot divide by zero).
     std::vector<double> k, fd;
@@ -302,6 +326,7 @@ class Simulation {
     auto& rec = tasks_[id];
     ++fleet_faults_.failed_over;
     ++dev_faults_[i].failed_over;
+    if (obs_) obs_->on_fault("failover", static_cast<int>(i), queue_.now());
     if (from == Stage::kEdge1) {
       // Block-1 work re-runs on the device CPU (the device always holds
       // the first partition); deeper blocks re-enter the edge path from
@@ -323,6 +348,7 @@ class Simulation {
     if (!std::isfinite(up)) {
       rec->parked = true;
       rec->stage = Stage::kParked;
+      if (obs_) obs_->on_task_parked(id, static_cast<int>(i), now);
       return;
     }
     double when = now + deg().probe_period;
@@ -353,6 +379,10 @@ class Simulation {
       ++rec.retries;
       ++fleet_faults_.retries;
       ++dev_faults_[i].retries;
+      if (obs_) {
+        obs_->on_fault("task_timeout", static_cast<int>(i), queue_.now());
+        obs_->on_phase_abort(id, queue_.now(), "timeout");
+      }
       if (rec.retries <= deg().max_retries) {
         const double wait =
             deg().retry_backoff * std::pow(2.0, rec.retries - 1);
@@ -364,6 +394,8 @@ class Simulation {
         });
       } else {
         ++local_fallbacks_;
+        if (obs_)
+          obs_->on_fault("local_fallback", static_cast<int>(i), queue_.now());
         dispatch(i, id, /*offload=*/false);
       }
     });
@@ -406,6 +438,18 @@ class Simulation {
     ++x_count_;
     x_sum_dev_[i] += dev.x;
     ++x_count_dev_[i];
+    if (obs_) {
+      SlotTelemetry tel;
+      tel.x = dev.x;
+      tel.q = state.queue_device;
+      tel.h = state.queue_edge;
+      tel.penalty = state.config.V * core::slot_cost(state, dev.x);
+      tel.drift = core::drift_plus_penalty(state, dev.x) - tel.penalty;
+      tel.edge_up = !faults_on_ || edge_up_now_;
+      tel.link_up = link_up_now(i);
+      tel.edge_share_flops = dev.edge_share->flops();
+      obs_->on_slot_decision(static_cast<int>(i), queue_.now(), tel);
+    }
   }
 
   void slot_tick() {
@@ -470,6 +514,9 @@ class Simulation {
     rec.offloaded = dev.rng.bernoulli(dev.x);
     rec.counted = rec.t_arrive >= cfg_.warmup;
     tasks_.push_back(rec);
+    if (obs_)
+      obs_->on_task_generated(task_id, static_cast<int>(i), rec.t_arrive,
+                              rec.block, rec.offloaded);
     dispatch(i, task_id, rec.offloaded);
   }
 
@@ -482,16 +529,27 @@ class Simulation {
     const int att = rec.attempt;
     if (offload) {
       rec.stage = Stage::kUplink;
+      if (obs_)
+        obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
+                             dev.tx->name(), queue_.now(), queue_.now(), att);
       // Raw input crosses the uplink, then block 1 runs on the edge share.
-      dev.tx->transfer(p.d0, dev.tx_extra_latency, [this, i, id, att](double) {
+      dev.tx->transfer(p.d0, dev.tx_extra_latency,
+                       [this, i, id, att](double t) {
         if (!alive(id, att)) return;
+        if (obs_) obs_->on_phase_end(id, t);
         submit_edge_block1(i, id);
       });
       if (deg().task_timeout > 0.0) schedule_task_timeout(i, id);
     } else {
       rec.stage = Stage::kLocal;
+      if (obs_)
+        obs_->on_phase_begin(id, static_cast<int>(i), "local_block1",
+                             dev.cpu->name(), queue_.now(),
+                             std::max(queue_.now(), dev.cpu->busy_until()),
+                             att);
       dev.cpu->submit(p.mu1, JobClass::kBlock1, [this, i, id, att](double t) {
         if (!alive(id, att)) return;
+        if (obs_) obs_->on_phase_end(id, t);
         after_block1(i, id, t, false);
       });
     }
@@ -503,6 +561,8 @@ class Simulation {
       // Refused at the dead edge's door: fail back after detection.
       ++rec.attempt;
       rec.stage = Stage::kWait;
+      if (obs_)
+        obs_->on_fault("edge_refused", static_cast<int>(i), queue_.now());
       const int att = rec.attempt;
       queue_.schedule_in(deg().detection_timeout, [this, i, id, att] {
         if (!alive(id, att)) return;
@@ -512,9 +572,15 @@ class Simulation {
     }
     rec.stage = Stage::kEdge1;
     const int att = rec.attempt;
+    if (obs_)
+      obs_->on_phase_begin(
+          id, static_cast<int>(i), "edge_block1",
+          devices_[i]->edge_share->name(), queue_.now(),
+          std::max(queue_.now(), devices_[i]->edge_share->busy_until()), att);
     devices_[i]->edge_share->submit(
         cfg_.partition.mu1, JobClass::kBlock1, [this, i, id, att](double t) {
           if (!alive(id, att)) return;
+          if (obs_) obs_->on_phase_end(id, t);
           after_block1(i, id, t, true);
         });
   }
@@ -524,6 +590,8 @@ class Simulation {
     if (faults_on_ && !edge_up_now_) {
       ++rec.attempt;
       rec.stage = Stage::kWait;
+      if (obs_)
+        obs_->on_fault("edge_refused", static_cast<int>(i), queue_.now());
       const int att = rec.attempt;
       queue_.schedule_in(deg().detection_timeout, [this, i, id, att] {
         if (!alive(id, att)) return;
@@ -533,9 +601,15 @@ class Simulation {
     }
     rec.stage = Stage::kEdge2;
     const int att = rec.attempt;
+    if (obs_)
+      obs_->on_phase_begin(
+          id, static_cast<int>(i), "edge_block2",
+          devices_[i]->edge_share->name(), queue_.now(),
+          std::max(queue_.now(), devices_[i]->edge_share->busy_until()), att);
     devices_[i]->edge_share->submit(
         cfg_.partition.mu2, JobClass::kBlock2, [this, i, id, att](double t) {
           if (!alive(id, att)) return;
+          if (obs_) obs_->on_phase_end(id, t);
           after_block2(i, id, t);
         });
   }
@@ -557,10 +631,15 @@ class Simulation {
       // Intermediate tensor crosses the uplink first.
       rec.stage = Stage::kUplink;
       const int att = rec.attempt;
+      if (obs_)
+        obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
+                             devices_[i]->tx->name(), queue_.now(),
+                             queue_.now(), att);
       devices_[i]->tx->transfer(
           cfg_.partition.d1, devices_[i]->tx_extra_latency,
-          [this, i, id, att](double) {
+          [this, i, id, att](double t2) {
             if (!alive(id, att)) return;
+            if (obs_) obs_->on_phase_end(id, t2);
             submit_edge_block2(i, id);
           });
     }
@@ -574,20 +653,34 @@ class Simulation {
     }
     rec.stage = Stage::kCloud;
     const int att = rec.attempt;
+    if (obs_)
+      obs_->on_phase_begin(id, static_cast<int>(i), "edge_cloud_link",
+                           edge_cloud_link_->name(), queue_.now(),
+                           queue_.now(), att);
     edge_cloud_link_->transfer(cfg_.partition.d2, [this, i, id,
                                                    att](double t2) {
       if (!alive(id, att)) return;
+      if (obs_) obs_->on_phase_end(id, t2);
       if (cloud_) {
+        if (obs_)
+          obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
+                               cloud_->name(), t2,
+                               std::max(t2, cloud_->busy_until()), att);
         cloud_->submit(cfg_.partition.mu3, JobClass::kBlock3,
                        [this, i, id, att](double t3) {
                          if (!alive(id, att)) return;
+                         if (obs_) obs_->on_phase_end(id, t3);
                          deliver_from_cloud(i, id, t3);
                        });
       } else {
         // Uncontended cloud service.
         const double finish = t2 + cfg_.partition.mu3 / cfg_.cloud_flops;
+        if (obs_)
+          obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
+                               "cloud", t2, t2, att);
         queue_.schedule(finish, [this, i, id, att, finish] {
           if (!alive(id, att)) return;
+          if (obs_) obs_->on_phase_end(id, finish);
           deliver_from_cloud(i, id, finish);
         });
       }
@@ -604,9 +697,14 @@ class Simulation {
     }
     tasks_[id].stage = Stage::kReturn;
     const int att = tasks_[id].attempt;
+    if (obs_)
+      obs_->on_phase_begin(id, static_cast<int>(i), "return_link",
+                           devices_[i]->downlink->name(), queue_.now(),
+                           queue_.now(), att);
     devices_[i]->downlink->transfer(
         cfg_.result_bytes, [this, id, att](double t2) {
           if (!alive(id, att)) return;
+          if (obs_) obs_->on_phase_end(id, t2);
           complete(id, t2);
         });
   }
@@ -619,13 +717,24 @@ class Simulation {
     }
     tasks_[id].stage = Stage::kReturn;
     const int att = tasks_[id].attempt;
+    if (obs_)
+      obs_->on_phase_begin(id, static_cast<int>(i), "cloud_return_link",
+                           cloud_return_link_->name(), queue_.now(),
+                           queue_.now(), att);
     cloud_return_link_->transfer(cfg_.result_bytes, [this, i, id,
-                                                     att](double) {
+                                                     att](double t2) {
       if (!alive(id, att)) return;
+      if (obs_) {
+        obs_->on_phase_end(id, t2);
+        obs_->on_phase_begin(id, static_cast<int>(tasks_[id].device),
+                             "return_link", devices_[i]->downlink->name(),
+                             t2, t2, att);
+      }
       devices_[i]->downlink->transfer(
-          cfg_.result_bytes, [this, id, att](double t2) {
+          cfg_.result_bytes, [this, id, att](double t2b) {
             if (!alive(id, att)) return;
-            complete(id, t2);
+            if (obs_) obs_->on_phase_end(id, t2b);
+            complete(id, t2b);
           });
     });
     (void)t;
@@ -635,6 +744,9 @@ class Simulation {
     auto& rec = tasks_[id];
     LEIME_CHECK(rec.t_complete < 0.0);
     rec.t_complete = t;
+    if (obs_)
+      obs_->on_task_complete(id, static_cast<int>(rec.device), rec.t_arrive,
+                             t, rec.block, rec.retries, rec.counted);
   }
 
   SimResult finalize() const {
@@ -723,6 +835,8 @@ class Simulation {
   std::unique_ptr<FifoProcessor> cloud_;
   std::unique_ptr<core::OffloadPolicy> policy_;
   std::vector<TaskRecord> tasks_;
+  Observer* obs_ = nullptr;  ///< external (cfg_.observer) or owned_obs_
+  std::unique_ptr<RecordingObserver> owned_obs_;
   double x_sum_ = 0.0;
   std::size_t x_count_ = 0;
   double q_sum_ = 0.0;

@@ -1,6 +1,13 @@
 #include "util/csv.h"
 
+#include <iostream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define LEIME_HAVE_FSYNC 1
+#endif
 
 namespace leime::util {
 
@@ -17,9 +24,22 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
+bool fsync_path(const std::string& path) noexcept {
+#ifdef LEIME_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path), width_(header.size()) {
+    : path_(path), out_(path), width_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   if (header.empty())
     throw std::invalid_argument("CsvWriter: empty header");
@@ -27,11 +47,37 @@ CsvWriter::CsvWriter(const std::string& path,
   rows_written_ = 0;  // header does not count
 }
 
+CsvWriter::~CsvWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    // A destructor cannot throw; surface the data loss instead of
+    // swallowing it.
+    std::cerr << "CsvWriter: " << e.what() << "\n";
+  }
+}
+
 void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (closed_)
+    throw std::runtime_error("CsvWriter: add_row after close: " + path_);
   if (cells.size() != width_)
     throw std::invalid_argument("CsvWriter: row width mismatch");
   write_row(cells);
+  if (!out_.good())
+    throw std::runtime_error("CsvWriter: write error on " + path_);
   ++rows_written_;
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
+  const bool ok = out_.good();
+  out_.close();
+  if (!ok || out_.fail())
+    throw std::runtime_error("CsvWriter: write error on " + path_);
+  if (!fsync_path(path_))
+    throw std::runtime_error("CsvWriter: fsync failed for " + path_);
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {

@@ -7,6 +7,12 @@
 namespace leime::util {
 
 /// Numerically stable streaming mean/variance (Welford) with min/max.
+///
+/// Empty-accumulator contract: every accessor returns exactly 0.0 while
+/// count() == 0 — mean(), min(), max() and sum() alike. A 0.0 min of an
+/// all-positive sample therefore means "no observations", never an
+/// observed zero; check empty() when the distinction matters. The
+/// observability layer's histograms rely on these semantics.
 class RunningStats {
  public:
   void add(double x);
@@ -21,11 +27,20 @@ class RunningStats {
   double variance() const;
   double stddev() const;
 
+  /// Smallest/largest observation; 0 when empty (same convention as
+  /// mean(), NOT +/-infinity — see the class contract above).
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
   /// Merges another accumulator into this one (parallel Welford).
+  ///
+  /// Merge-with-empty contract (asserted in stats_test): merging an empty
+  /// accumulator is a bit-exact no-op, and merging into an empty
+  /// accumulator is a bit-exact copy — the empty side's zero-valued
+  /// min_/max_/mean_ placeholders never leak into the result. Merging
+  /// shards in a fixed order is therefore deterministic regardless of how
+  /// many shards stayed empty (the metrics-registry contract).
   void merge(const RunningStats& other);
 
  private:

@@ -1,0 +1,101 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace leime::obs {
+namespace {
+
+SlotSample make_sample(double t, int device, double q, double h) {
+  SlotSample s;
+  s.t = t;
+  s.device = device;
+  s.q = q;
+  s.h = h;
+  s.x = 0.5;
+  s.kept_arrivals = 2;
+  s.offloaded_arrivals = 1;
+  return s;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(MemorySink, DeviceSeriesFiltersInOrder) {
+  MemoryTimeseriesSink sink;
+  sink.append(make_sample(0.0, 0, 1.0, 0.0));
+  sink.append(make_sample(0.0, 1, 5.0, 0.0));
+  sink.append(make_sample(1.0, 0, 2.0, 0.0));
+  sink.append(make_sample(1.0, 1, 6.0, 0.0));
+  EXPECT_EQ(sink.samples().size(), 4u);
+  const auto d0 = sink.device_series(0);
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_DOUBLE_EQ(d0[0].q, 1.0);
+  EXPECT_DOUBLE_EQ(d0[1].q, 2.0);
+  EXPECT_TRUE(sink.device_series(7).empty());
+}
+
+TEST(SlotSampleJson, AllFieldsSerialized) {
+  SlotSample s = make_sample(2.5, 1, 3.0, 4.0);
+  s.drift = -0.25;
+  s.penalty = 1.5;
+  s.edge_up = false;
+  s.link_up = true;
+  s.edge_share_flops = 1e9;
+  std::ostringstream out;
+  slot_sample_to_json(s, out);
+  EXPECT_EQ(out.str(),
+            "{\"t\":2.5,\"device\":1,\"q\":3,\"h\":4,\"x\":0.5,"
+            "\"drift\":-0.25,\"penalty\":1.5,\"kept_arrivals\":2,"
+            "\"offloaded_arrivals\":1,\"edge_up\":false,\"link_up\":true,"
+            "\"edge_share_flops\":1000000000}");
+}
+
+TEST(CsvSink, HeaderRowsAndClose) {
+  const std::string path = ::testing::TempDir() + "obs_timeseries_test.csv";
+  {
+    CsvTimeseriesSink sink(path);
+    sink.append(make_sample(0.0, 0, 1.0, 2.0));
+    sink.append(make_sample(1.0, 1, 3.0, 4.0));
+    sink.close();
+  }
+  const auto text = read_file(path);
+  EXPECT_NE(text.find("t,device,q,h,x,drift,penalty,kept_arrivals,"
+                      "offloaded_arrivals,edge_up,link_up,edge_share_flops"),
+            std::string::npos);
+  EXPECT_NE(text.find("0,0,1,2,0.5"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, OneLinePerSampleAppendAfterCloseThrows) {
+  const std::string path = ::testing::TempDir() + "obs_timeseries_test.jsonl";
+  JsonlTimeseriesSink sink(path);
+  sink.append(make_sample(0.0, 0, 1.0, 2.0));
+  sink.append(make_sample(1.0, 0, 2.0, 2.0));
+  sink.close();
+  sink.close();  // idempotent
+  EXPECT_THROW(sink.append(make_sample(2.0, 0, 3.0, 2.0)),
+               std::runtime_error);
+  const auto text = read_file(path);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("{\"t\":0,\"device\":0,\"q\":1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, UnwritablePathThrows) {
+  EXPECT_THROW(JsonlTimeseriesSink("/nonexistent-dir/x.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace leime::obs

@@ -1,0 +1,112 @@
+// The acceptance contract for the metrics pillar in the parallel runtime:
+// per-cell snapshots merge in plan order, so the exported Prometheus text
+// is identical for any executor thread count, and the executor's own
+// wall-clock shard metrics land in a separate caller-owned registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+#include "obs/metrics.h"
+#include "runtime/executor.h"
+#include "runtime/experiment_plan.h"
+#include "runtime/sinks.h"
+
+namespace leime::runtime {
+namespace {
+
+sim::ScenarioConfig obs_config() {
+  const auto profile = models::make_squeezenet();
+  sim::ScenarioConfig cfg;
+  cfg.partition = core::make_partition(profile, {4, 8, profile.num_units()});
+  sim::DeviceSpec dev;
+  dev.mean_rate = 1.5;
+  cfg.devices.push_back(dev);
+  cfg.duration = 8.0;
+  cfg.warmup = 1.0;
+  cfg.obs.metrics = true;
+  return cfg;
+}
+
+ExperimentPlan obs_plan() {
+  ExperimentPlan plan(obs_config());
+  plan.replications(4).base_seed(11);
+  return plan;
+}
+
+std::string merged_prometheus(const std::vector<RunRecord>& records) {
+  std::ostringstream out;
+  merged_metrics(records).to_prometheus(out);
+  return out.str();
+}
+
+std::uint64_t counter_value(const obs::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  ADD_FAILURE() << "counter missing: " << name;
+  return 0;
+}
+
+TEST(MetricsMerge, FourThreadsExportSameTextAsOneThread) {
+  const auto plan = obs_plan();
+  ExecutorOptions one, four;
+  one.threads = 1;
+  four.threads = 4;
+  const auto a = Executor(one).run(plan);
+  const auto b = Executor(four).run(plan);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (const auto& rec : a) EXPECT_FALSE(rec.result.metrics.empty());
+  const auto text_a = merged_prometheus(a);
+  const auto text_b = merged_prometheus(b);
+  EXPECT_FALSE(text_a.empty());
+  EXPECT_EQ(text_a, text_b);
+}
+
+TEST(MetricsMerge, MergedCountersAreTheSumOverRecords) {
+  const auto records = Executor(ExecutorOptions{}).run(obs_plan());
+  const auto merged = merged_metrics(records);
+  std::uint64_t generated = 0;
+  std::size_t expected = 0;
+  for (const auto& rec : records) {
+    generated +=
+        counter_value(rec.result.metrics, "leime_tasks_generated_total");
+    expected += rec.result.generated;
+  }
+  EXPECT_EQ(counter_value(merged, "leime_tasks_generated_total"), generated);
+  EXPECT_EQ(generated, expected);
+}
+
+TEST(MetricsMerge, RecordsWithoutMetricsContributeNothing) {
+  auto cfg = obs_config();
+  cfg.obs.metrics = false;
+  ExperimentPlan plan(cfg);
+  plan.replications(2).base_seed(11);
+  const auto records = Executor(ExecutorOptions{}).run(plan);
+  for (const auto& rec : records) EXPECT_TRUE(rec.result.metrics.empty());
+  EXPECT_TRUE(merged_metrics(records).empty());
+}
+
+TEST(MetricsMerge, ExecutorShardMetricsGoToCallerRegistry) {
+  obs::MetricsRegistry runtime_metrics;
+  ExecutorOptions opts;
+  opts.threads = 2;
+  opts.metrics = &runtime_metrics;
+  const auto records = Executor(opts).run(obs_plan());
+  ASSERT_EQ(records.size(), 4u);
+  const auto snap = runtime_metrics.snapshot();
+  EXPECT_EQ(counter_value(snap, "leime_runtime_cells_total"), 4u);
+  bool found_hist = false;
+  for (const auto& h : snap.histograms)
+    if (h.name == "leime_runtime_cell_wall_seconds") {
+      EXPECT_EQ(h.stats.count(), 4u);
+      found_hist = true;
+    }
+  EXPECT_TRUE(found_hist);
+}
+
+}  // namespace
+}  // namespace leime::runtime

@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace leime::runtime {
 namespace {
@@ -88,6 +91,62 @@ TEST(Sinks, ChromeTraceShape) {
   // 1.25 s cell duration -> 1.25e6 us.
   EXPECT_NE(text.find("\"dur\":1250000"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(Sinks, JsonlEmitsMetricsOnlyWhenNonEmpty) {
+  auto records = sample_records();
+  std::ostringstream without;
+  write_jsonl(without, kAxes, records);
+  // Disabled-observability runs keep the golden byte shape: no metrics key.
+  EXPECT_EQ(without.str().find("\"metrics\""), std::string::npos);
+
+  obs::MetricsRegistry reg;
+  reg.counter("leime_tasks_generated_total").inc(40);
+  records[0].result.metrics = reg.snapshot();
+  std::ostringstream with;
+  write_jsonl(with, kAxes, records);
+  const auto text = with.str();
+  const auto first_nl = text.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  EXPECT_NE(text.find("\"metrics\":{\"counters\":"
+                      "{\"leime_tasks_generated_total\":40}"),
+            std::string::npos);
+  // Only the record that carries a snapshot gets the key.
+  EXPECT_EQ(text.find("\"metrics\"", first_nl), std::string::npos);
+}
+
+TEST(Sinks, FailingStreamReportsWriteError) {
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);  // shim for a full disk / closed pipe
+  EXPECT_THROW(write_jsonl(out, kAxes, sample_records()),
+               std::runtime_error);
+}
+
+TEST(Sinks, FileSinksThrowOnUnwritablePath) {
+  EXPECT_THROW(
+      write_jsonl_file("/nonexistent-dir/x.jsonl", kAxes, sample_records()),
+      std::runtime_error);
+  EXPECT_THROW(write_csv("/nonexistent-dir/x.csv", kAxes, sample_records()),
+               std::runtime_error);
+  EXPECT_THROW(
+      write_metrics_prometheus("/nonexistent-dir/x.prom", sample_records()),
+      std::runtime_error);
+}
+
+TEST(Sinks, MergedMetricsFoldsRecordsInOrder) {
+  auto records = sample_records();
+  obs::MetricsRegistry a, b;
+  a.counter("leime_c").inc(3);
+  a.gauge("leime_g").set(1.0);
+  b.counter("leime_c").inc(4);
+  b.gauge("leime_g").set(2.0);
+  records[0].result.metrics = a.snapshot();
+  records[1].result.metrics = b.snapshot();
+  const auto merged = merged_metrics(records);
+  ASSERT_EQ(merged.counters.size(), 1u);
+  EXPECT_EQ(merged.counters[0].value, 7u);
+  // Record order is the merge order: the later record's gauge wins.
+  EXPECT_DOUBLE_EQ(merged.gauges[0].value, 2.0);
 }
 
 TEST(Sinks, MismatchedLabelWidthThrows) {

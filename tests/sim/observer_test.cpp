@@ -1,0 +1,316 @@
+#include "sim/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/exit_setting.h"
+#include "models/zoo.h"
+#include "sim/scenario_ini.h"
+#include "sim/simulation.h"
+
+#ifndef LEIME_CONFIG_DIR
+#error "sim_test must be compiled with LEIME_CONFIG_DIR"
+#endif
+
+namespace leime::sim {
+namespace {
+
+ScenarioConfig base_scenario(int devices = 2) {
+  const auto profile = models::make_inception_v3();
+  ScenarioConfig cfg;
+  cfg.partition = core::make_partition(profile, {3, 10, profile.num_units()});
+  for (int i = 0; i < devices; ++i) {
+    DeviceSpec d;
+    d.mean_rate = 2.0;
+    cfg.devices.push_back(d);
+  }
+  cfg.duration = 30.0;
+  cfg.warmup = 2.0;
+  return cfg;
+}
+
+const obs::Snapshot::CounterSample& find_counter(const obs::Snapshot& snap,
+                                                 const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c;
+  throw std::runtime_error("counter not in snapshot: " + name);
+}
+
+const obs::Snapshot::GaugeSample& find_gauge(const obs::Snapshot& snap,
+                                             const std::string& name) {
+  for (const auto& g : snap.gauges)
+    if (g.name == name) return g;
+  throw std::runtime_error("gauge not in snapshot: " + name);
+}
+
+const obs::Snapshot::HistogramSample& find_histogram(
+    const obs::Snapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return h;
+  throw std::runtime_error("histogram not in snapshot: " + name);
+}
+
+// RecordingObserver plus per-task ground truth straight from the hooks, so
+// the trace spans can be checked against an independent record of each
+// task's lifetime.
+class GroundTruthObserver : public RecordingObserver {
+ public:
+  using RecordingObserver::RecordingObserver;
+
+  struct TaskTruth {
+    double t_arrive = 0.0;
+    double t_complete = -1.0;
+    bool counted = false;
+  };
+
+  void on_task_generated(std::uint64_t task, int device, double t, int block,
+                         bool offloaded) override {
+    truth_[task].t_arrive = t;
+    RecordingObserver::on_task_generated(task, device, t, block, offloaded);
+  }
+  void on_task_complete(std::uint64_t task, int device, double t_arrive,
+                        double t_complete, int block, int retries,
+                        bool counted) override {
+    truth_[task].t_complete = t_complete;
+    truth_[task].counted = counted;
+    EXPECT_DOUBLE_EQ(truth_[task].t_arrive, t_arrive);
+    RecordingObserver::on_task_complete(task, device, t_arrive, t_complete,
+                                        block, retries, counted);
+  }
+
+  const std::map<std::uint64_t, TaskTruth>& truth() const { return truth_; }
+
+ private:
+  std::map<std::uint64_t, TaskTruth> truth_;
+};
+
+TEST(Observer, EnabledRunMatchesDisabledRun) {
+  auto cfg = base_scenario();
+  const auto off = run_scenario(cfg);
+  cfg.obs.metrics = true;
+  cfg.obs.trace_sample = 1;
+  cfg.obs.timeseries = true;
+  const auto on = run_scenario(cfg);
+  // Observation must not perturb the simulation: every aggregate is
+  // bit-identical, only the metrics snapshot differs.
+  EXPECT_EQ(on.generated, off.generated);
+  EXPECT_EQ(on.total_completed, off.total_completed);
+  EXPECT_DOUBLE_EQ(on.tct.mean, off.tct.mean);
+  EXPECT_DOUBLE_EQ(on.tct.p95, off.tct.p95);
+  EXPECT_DOUBLE_EQ(on.mean_offload_ratio, off.mean_offload_ratio);
+  EXPECT_DOUBLE_EQ(on.mean_device_queue, off.mean_device_queue);
+  EXPECT_TRUE(off.metrics.empty());
+  EXPECT_FALSE(on.metrics.empty());
+}
+
+TEST(Observer, MetricsMatchSimResult) {
+  auto cfg = base_scenario();
+  cfg.obs.metrics = true;
+  const auto r = run_scenario(cfg);
+  const auto& snap = r.metrics;
+  EXPECT_EQ(find_counter(snap, "leime_tasks_generated_total").value,
+            r.generated);
+  EXPECT_EQ(find_counter(snap, "leime_tasks_completed_total").value,
+            r.total_completed);
+  const auto& tct = find_histogram(snap, "leime_task_tct_seconds");
+  EXPECT_EQ(tct.stats.count(), r.completed);
+  EXPECT_NEAR(tct.stats.mean(), r.tct.mean, 1e-9);
+  EXPECT_DOUBLE_EQ(tct.stats.max(), r.tct.max);
+  EXPECT_DOUBLE_EQ(find_gauge(snap, "leime_edge_up").value, 1.0);
+  EXPECT_GT(find_counter(snap, "leime_slot_decisions_total").value, 0u);
+}
+
+// The acceptance contract of the tracing pillar: running wild_faults.ini
+// with every task traced, each task's span window reconstructs its TCT —
+// first span opens at the arrival time, last span closes at the completion
+// time — and the reconstructed population reproduces SimResult::tct.
+TEST(Observer, WildFaultsTraceReconstructsTct) {
+  auto scenario =
+      load_scenario_file(std::string(LEIME_CONFIG_DIR) + "/wild_faults.ini");
+  auto cfg = scenario.config;
+  ObsConfig obs_cfg;
+  obs_cfg.trace_sample = 1;
+  GroundTruthObserver obs(obs_cfg, cfg.devices.size());
+  cfg.observer = &obs;
+  const auto r = run_scenario(cfg);
+  ASSERT_GT(r.generated, 100u);
+
+  // Group spans per task.
+  std::map<std::uint64_t, std::pair<double, double>> window;  // begin, end
+  for (const auto& span : obs.trace().spans()) {
+    auto [it, inserted] = window.emplace(
+        span.task_id, std::make_pair(span.t_begin, span.t_end));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, span.t_begin);
+      it->second.second = std::max(it->second.second, span.t_end);
+    }
+  }
+
+  util::RunningStats reconstructed;
+  std::vector<double> tcts;
+  for (const auto& [task, truth] : obs.truth()) {
+    if (truth.t_complete < 0.0) continue;  // parked / still in flight
+    auto it = window.find(task);
+    ASSERT_NE(it, window.end()) << "completed task " << task << " untraced";
+    EXPECT_NEAR(it->second.first, truth.t_arrive, 1e-9);
+    EXPECT_NEAR(it->second.second, truth.t_complete, 1e-9);
+    const double tct = it->second.second - it->second.first;
+    EXPECT_NEAR(tct, truth.t_complete - truth.t_arrive, 1e-9);
+    if (truth.counted) {
+      reconstructed.add(tct);
+      tcts.push_back(tct);
+    }
+  }
+  // The reconstructed population reproduces the SimResult latency summary.
+  ASSERT_EQ(reconstructed.count(), r.tct.count);
+  EXPECT_NEAR(reconstructed.mean(), r.tct.mean, 1e-9);
+  EXPECT_NEAR(reconstructed.min(), r.tct.min, 1e-9);
+  EXPECT_NEAR(reconstructed.max(), r.tct.max, 1e-9);
+}
+
+TEST(Observer, TraceSamplerTracesExactlyOneInN) {
+  auto cfg = base_scenario(1);
+  ObsConfig obs_cfg;
+  obs_cfg.trace_sample = 4;
+  RecordingObserver obs(obs_cfg, cfg.devices.size());
+  cfg.observer = &obs;
+  run_scenario(cfg);
+  ASSERT_FALSE(obs.trace().spans().empty());
+  for (const auto& span : obs.trace().spans())
+    EXPECT_EQ(span.task_id % 4, 0u);
+}
+
+// The time-series pillar samples Q_i/H_i at exactly the slot granularity
+// of the eq. 10-11 queue recursions: between consecutive samples the
+// backlog can grow by at most the slot's kept arrivals and shrink by at
+// most the service capacity of one slot.
+TEST(Observer, SlotSeriesObeysQueueRecursionBounds) {
+  auto cfg = base_scenario(2);
+  cfg.duration = 40.0;
+  cfg.devices[0].mean_rate = 3.0;  // enough load to build a queue
+  ObsConfig obs_cfg;
+  obs_cfg.timeseries = true;
+  RecordingObserver obs(obs_cfg, cfg.devices.size());
+  cfg.observer = &obs;
+  const auto r = run_scenario(cfg);
+
+  const double tau = cfg.lyapunov.tau;
+  std::uint64_t sampled_arrivals = 0;
+  for (int d = 0; d < 2; ++d) {
+    const auto series = obs.timeseries().device_series(d);
+    ASSERT_GT(series.size(), 30u);
+    // eq. 10: at most floor(tau F_d / mu1) block-1 jobs finish on the
+    // device per slot (+1 for the one in service across the boundary).
+    const double b_max =
+        std::floor(tau * cfg.devices[d].flops / cfg.partition.mu1) + 1.0;
+    std::uint64_t cum_offloaded = 0;
+    for (std::size_t k = 0; k < series.size(); ++k) {
+      const auto& s = series[k];
+      EXPECT_EQ(s.device, d);
+      EXPECT_GE(s.x, 0.0);
+      EXPECT_LE(s.x, 1.0);
+      EXPECT_GE(s.penalty, 0.0);
+      sampled_arrivals += s.kept_arrivals + s.offloaded_arrivals;
+      cum_offloaded += s.offloaded_arrivals;
+      // eq. 11 upper bound: the edge backlog for this device can never
+      // exceed what has been offloaded so far.
+      EXPECT_LE(s.h, static_cast<double>(cum_offloaded));
+      if (k == 0) continue;
+      const auto& prev = series[k - 1];
+      EXPECT_NEAR(s.t - prev.t, tau, 1e-9);  // slot granularity
+      // Q_i(t+1) <= Q_i(t) + kept arrivals (service only removes) ...
+      EXPECT_LE(s.q, prev.q + static_cast<double>(s.kept_arrivals) + 1e-9);
+      // ... and >= Q_i(t) + kept - b_i (eq. 10 max-service drain).
+      EXPECT_GE(s.q, prev.q + static_cast<double>(s.kept_arrivals) - b_max -
+                         1e-9);
+      // Edge drain bound: block-1 and block-2 jobs share the edge slice,
+      // so at most floor(tau f_i^e / mu_min) + 1 jobs finish per slot.
+      const double mu_min = std::min(cfg.partition.mu1, cfg.partition.mu2);
+      const double c_max =
+          std::floor(tau * s.edge_share_flops / mu_min) + 1.0;
+      EXPECT_GE(s.h + c_max + 1e-9, prev.h);
+    }
+  }
+  // Every sampled arrival is a generated task (the trailing partial slot
+  // after the last tick is the only part of the run never sampled).
+  EXPECT_LE(sampled_arrivals, r.generated);
+  EXPECT_GT(sampled_arrivals, r.generated * 9 / 10);
+}
+
+TEST(Observer, FaultHooksDriveCountersGaugesAndMarks) {
+  auto cfg = base_scenario(2);
+  cfg.duration = 40.0;
+  cfg.faults.edge.windows = {{10.0, 18.0, -1}};
+  cfg.faults.churn.events = {{1, 12.0, 25.0}};
+  cfg.obs.metrics = true;
+  cfg.obs.trace_sample = 1;
+
+  ObsConfig obs_cfg = cfg.obs;
+  RecordingObserver obs(obs_cfg, cfg.devices.size());
+  cfg.observer = &obs;
+  const auto r = run_scenario(cfg);
+
+  const auto snap = obs.registry().snapshot();
+  EXPECT_EQ(find_counter(snap, "leime_fault_edge_crashes_total").value,
+            r.faults.edge_crashes);
+  EXPECT_EQ(find_counter(snap, "leime_fault_churn_events_total").value,
+            r.faults.churn_events);
+  EXPECT_GE(r.faults.churn_events, 2u);
+  // Both the crash window and the churn healed before the end of the run.
+  EXPECT_DOUBLE_EQ(find_gauge(snap, "leime_edge_up").value, 1.0);
+  EXPECT_DOUBLE_EQ(find_gauge(snap, "leime_devices_absent").value, 0.0);
+
+  std::size_t crash_marks = 0, restart_marks = 0;
+  for (const auto& m : obs.trace().marks()) {
+    if (m.name == "edge_crash") ++crash_marks;
+    if (m.name == "edge_restart") ++restart_marks;
+  }
+  EXPECT_EQ(crash_marks, r.faults.edge_crashes);
+  EXPECT_EQ(restart_marks, crash_marks);
+}
+
+TEST(Observer, OwnedObserverExportsConfiguredFiles) {
+  const std::string dir = ::testing::TempDir();
+  auto cfg = base_scenario(1);
+  cfg.duration = 10.0;
+  cfg.obs.metrics_out = dir + "observer_test.prom";
+  cfg.obs.trace_out = dir + "observer_test_trace.json";
+  cfg.obs.timeseries_out = dir + "observer_test_series.csv";
+  const auto r = run_scenario(cfg);
+  EXPECT_FALSE(r.metrics.empty());  // metrics_out implies the registry
+
+  std::ifstream prom(cfg.obs.metrics_out);
+  ASSERT_TRUE(prom.good());
+  std::string text((std::istreambuf_iterator<char>(prom)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("leime_tasks_generated_total"), std::string::npos);
+  EXPECT_TRUE(std::ifstream(cfg.obs.trace_out).good());
+  EXPECT_TRUE(std::ifstream(cfg.obs.timeseries_out).good());
+  std::remove(cfg.obs.metrics_out.c_str());
+  std::remove(cfg.obs.trace_out.c_str());
+  std::remove(cfg.obs.timeseries_out.c_str());
+}
+
+TEST(ObsConfig, EnablementRules) {
+  ObsConfig off;
+  EXPECT_FALSE(off.enabled());
+  ObsConfig path_only;
+  path_only.metrics_out = "x.prom";
+  EXPECT_TRUE(path_only.metrics_enabled());
+  EXPECT_TRUE(path_only.enabled());
+  ObsConfig trace_only;
+  trace_only.trace_out = "x.json";
+  EXPECT_EQ(trace_only.effective_trace_sample(), 1u);
+  trace_only.trace_sample = 8;
+  EXPECT_EQ(trace_only.effective_trace_sample(), 8u);
+}
+
+}  // namespace
+}  // namespace leime::sim

@@ -198,6 +198,61 @@ TEST(ScenarioIni, EmptyFaultsSectionIsBitIdenticalToNone) {
   EXPECT_DOUBLE_EQ(a.mean_offload_ratio, b.mean_offload_ratio);
 }
 
+TEST(ScenarioIni, ObservabilitySectionParses) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[observability]\n"
+      "metrics = true\n"
+      "trace_sample = 8\n"
+      "timeseries = true\n"
+      "metrics_out = out/run.prom\n"
+      "metrics_jsonl = out/run.metrics.jsonl\n"
+      "trace_out = out/run.trace.json\n"
+      "timeseries_out = out/run.series.csv\n"));
+  const auto& obs = s.config.obs;
+  EXPECT_TRUE(obs.metrics);
+  EXPECT_EQ(obs.trace_sample, 8u);
+  EXPECT_TRUE(obs.timeseries);
+  EXPECT_EQ(obs.metrics_out, "out/run.prom");
+  EXPECT_EQ(obs.metrics_jsonl, "out/run.metrics.jsonl");
+  EXPECT_EQ(obs.trace_out, "out/run.trace.json");
+  EXPECT_EQ(obs.timeseries_out, "out/run.series.csv");
+  EXPECT_TRUE(obs.enabled());
+}
+
+TEST(ScenarioIni, ObservabilityOmittedOrEmptyStaysDisabled) {
+  const auto bare = load_scenario(util::IniFile::parse_string(kFleet));
+  EXPECT_FALSE(bare.config.obs.enabled());
+  const auto empty = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) + "[observability]\nmetrics_out =\n"));
+  EXPECT_FALSE(empty.config.obs.enabled());
+}
+
+TEST(ScenarioIni, ObservabilityValidation) {
+  EXPECT_THROW(load_scenario(util::IniFile::parse_string(
+                   std::string(kFleet) + "[observability]\ntypo_key = 1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      load_scenario(util::IniFile::parse_string(
+          std::string(kFleet) + "[observability]\ntrace_sample = -1\n")),
+      std::invalid_argument);
+}
+
+TEST(ScenarioIni, CliObsOverridesBeatIniValues) {
+  auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[observability]\nmetrics_out = ini.prom\ntrace_out = ini.json\n"
+      "timeseries_out = ini.csv\n"));
+  // Non-empty CLI values win; empty CLI values keep the INI ones.
+  apply_obs_overrides(s.config.obs, "cli.prom", "");
+  EXPECT_EQ(s.config.obs.metrics_out, "cli.prom");
+  EXPECT_EQ(s.config.obs.trace_out, "ini.json");
+  EXPECT_EQ(s.config.obs.timeseries_out, "ini.csv");
+  apply_obs_overrides(s.config.obs, "", "cli.json");
+  EXPECT_EQ(s.config.obs.metrics_out, "cli.prom");
+  EXPECT_EQ(s.config.obs.trace_out, "cli.json");
+}
+
 TEST(ScenarioIni, FaultsRoundTripThroughSerialize) {
   const auto s = load_scenario(util::IniFile::parse_string(
       std::string(kFleet) +

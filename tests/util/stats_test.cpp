@@ -57,6 +57,69 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+// The empty-accumulator contract documented in stats.h: every accessor —
+// including min()/max(), which otherwise would want +/-infinity sentinels —
+// returns exactly 0.0 while count() == 0.
+TEST(RunningStats, EmptyAccessorsAllReturnExactZero) {
+  const RunningStats s;
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+// Min/max after observations must never echo the empty-state 0.0: an
+// all-negative stream has a negative max, an all-positive one a positive
+// min.
+TEST(RunningStats, MinMaxTrackSignedExtremes) {
+  RunningStats neg;
+  neg.add(-5.0);
+  neg.add(-1.0);
+  EXPECT_DOUBLE_EQ(neg.min(), -5.0);
+  EXPECT_DOUBLE_EQ(neg.max(), -1.0);
+  RunningStats pos;
+  pos.add(3.0);
+  EXPECT_DOUBLE_EQ(pos.min(), 3.0);
+  EXPECT_DOUBLE_EQ(pos.max(), 3.0);
+}
+
+// The merge-with-empty contract from stats.h: merging an empty shard is a
+// bit-exact no-op, and merging into an empty accumulator is a bit-exact
+// copy — no tolerance, the doubles must be identical. The snapshot-merge
+// determinism of the metrics registry rests on this.
+TEST(RunningStats, MergeWithEmptyIsBitExact) {
+  RunningStats a;
+  for (double v : {0.1, -2.7, 3.14159, 8.0}) a.add(v);
+  const RunningStats before = a;
+  RunningStats empty;
+  a.merge(empty);  // no-op direction
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_EQ(a.mean(), before.mean());
+  EXPECT_EQ(a.variance(), before.variance());
+  EXPECT_EQ(a.min(), before.min());
+  EXPECT_EQ(a.max(), before.max());
+  EXPECT_EQ(a.sum(), before.sum());
+
+  RunningStats into;
+  into.merge(a);  // copy direction
+  EXPECT_EQ(into.count(), a.count());
+  EXPECT_EQ(into.mean(), a.mean());
+  EXPECT_EQ(into.variance(), a.variance());
+  EXPECT_EQ(into.min(), a.min());
+  EXPECT_EQ(into.max(), a.max());
+  EXPECT_EQ(into.sum(), a.sum());
+}
+
+TEST(RunningStats, MergeTwoEmptiesStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
 TEST(Percentile, InterpolatesBetweenRanks) {
   std::vector<double> v{1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);

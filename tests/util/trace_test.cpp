@@ -65,5 +65,32 @@ TEST(PiecewiseConstant, ZeroShiftEquivalent) {
     EXPECT_DOUBLE_EQ(s.value_at(x), t.value_at(x));
 }
 
+// Composition with slot-grid probe sampling (how the observability layer
+// reads traces): sampling the shifted trace on the slot grid must equal
+// sampling the original at grid + offset, including when slot boundaries
+// land exactly on (shifted) breakpoints.
+TEST(PiecewiseConstant, ShiftedComposesWithSlotSampling) {
+  PiecewiseConstant t({{0.0, 1.0}, {2.5, 4.0}, {7.0, 0.5}, {13.0, 9.0}});
+  const double tau = 0.5;  // probe period; 2.5 and 7.0 land on the grid
+  for (double offset : {0.0, 0.5, 2.5, 3.75, 7.0, 20.0}) {
+    const auto s = t.shifted(offset);
+    for (int k = 0; k < 40; ++k) {
+      const double slot = k * tau;
+      EXPECT_DOUBLE_EQ(s.value_at(slot), t.value_at(slot + offset))
+          << "offset " << offset << " slot " << slot;
+    }
+  }
+}
+
+TEST(PiecewiseConstant, ShiftedTwiceEqualsSingleShiftOnGrid) {
+  PiecewiseConstant t({{0.0, 2.0}, {3.0, 6.0}, {9.0, 1.0}});
+  const auto twice = t.shifted(2.0).shifted(4.5);
+  const auto once = t.shifted(6.5);
+  for (int k = 0; k < 30; ++k) {
+    const double slot = k * 0.25;
+    EXPECT_DOUBLE_EQ(twice.value_at(slot), once.value_at(slot));
+  }
+}
+
 }  // namespace
 }  // namespace leime::util
