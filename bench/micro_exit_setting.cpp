@@ -1,12 +1,22 @@
 // Microbenchmark (Theorem 2) — exit-setting search cost: exhaustive O(m^2)
 // vs branch-and-bound O(m ln m) average, on random monotone-σ profiles.
-#include <benchmark/benchmark.h>
-
+//
+// Emits BENCH_micro_exit_setting.json (bench::Reporter schema). The
+// evaluation/round counters are pure functions of the fixed RNG seed, so
+// scripts/bench_compare.py gates them strictly — an algorithmic regression
+// in the §III-C pruning (more cost-model evaluations) fails the perf job
+// on any host, independent of wall-clock noise.
+//
+// Usage:
+//   micro_exit_setting [--repeats N] [--warmup N] [--out FILE] [--no-json]
+#include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/exit_setting.h"
 #include "models/profile.h"
+#include "reporter.h"
 #include "util/rng.h"
 
 namespace {
@@ -40,35 +50,67 @@ core::Environment random_env(util::Rng& rng) {
   return env;
 }
 
-void BM_ExhaustiveExitSetting(benchmark::State& state) {
-  util::Rng rng(42);
-  const int m = static_cast<int>(state.range(0));
-  const auto profile = random_profile(m, rng);
-  core::CostModel cm(profile, random_env(rng));
-  std::size_t evals = 0;
-  for (auto _ : state) {
-    auto r = core::exhaustive_exit_setting(cm);
-    evals = r.evaluations;
-    benchmark::DoNotOptimize(r);
-  }
-  state.counters["evaluations"] = static_cast<double>(evals);
-}
-
-void BM_BranchAndBoundExitSetting(benchmark::State& state) {
-  util::Rng rng(42);
-  const int m = static_cast<int>(state.range(0));
-  const auto profile = random_profile(m, rng);
-  core::CostModel cm(profile, random_env(rng));
-  std::size_t evals = 0;
-  for (auto _ : state) {
-    auto r = core::branch_and_bound_exit_setting(cm);
-    evals = r.evaluations;
-    benchmark::DoNotOptimize(r);
-  }
-  state.counters["evaluations"] = static_cast<double>(evals);
-}
-
 }  // namespace
 
-BENCHMARK(BM_ExhaustiveExitSetting)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
-BENCHMARK(BM_BranchAndBoundExitSetting)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+int main(int argc, char** argv) {
+  bench::Reporter::Options opts;
+  std::string out_path;
+  bool json = true;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--repeats" && a + 1 < argc)
+      opts.repeats = std::atoi(argv[++a]);
+    else if (arg == "--warmup" && a + 1 < argc)
+      opts.warmup = std::atoi(argv[++a]);
+    else if (arg == "--out" && a + 1 < argc)
+      out_path = argv[++a];
+    else if (arg == "--no-json")
+      json = false;
+    else {
+      std::cerr << "usage: micro_exit_setting [--repeats N] [--warmup N] "
+                   "[--out FILE] [--no-json]\n";
+      return 2;
+    }
+  }
+
+  bench::Reporter reporter("micro_exit_setting", opts);
+
+  // Same profile per m for both algorithms (fixed seed), so the counters
+  // are comparable and the exhaustive result stays the B&B oracle.
+  // Exhaustive stops at m=256: its m^2 cost at 1024 would dominate the
+  // bench's run time without adding information (B&B covers 1024).
+  for (const int m : {16, 64, 256, 1024}) {
+    util::Rng rng(42);
+    const auto profile = random_profile(m, rng);
+    const core::CostModel cm(profile, random_env(rng));
+
+    if (m <= 256) {
+      core::ExitSettingResult r;
+      auto& c = reporter.run_case("exhaustive/m=" + std::to_string(m),
+                                  [&] { r = core::exhaustive_exit_setting(cm); });
+      c.counters["evaluations"] = r.evaluations;
+      if (c.wall.median > 0.0)
+        c.rates["evals_per_s"] =
+            static_cast<double>(r.evaluations) / c.wall.median;
+    }
+
+    core::ExitSettingResult r;
+    auto& c = reporter.run_case(
+        "bb/m=" + std::to_string(m),
+        [&] { r = core::branch_and_bound_exit_setting(cm); });
+    c.counters["evaluations"] = r.evaluations;
+    c.counters["rounds"] = static_cast<std::uint64_t>(r.rounds);
+    if (c.wall.median > 0.0)
+      c.rates["evals_per_s"] =
+          static_cast<double>(r.evaluations) / c.wall.median;
+  }
+
+  reporter.print_table(std::cout);
+  if (json) {
+    const std::string path =
+        out_path.empty() ? reporter.default_path() : out_path;
+    reporter.write_json(path);
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

@@ -1,11 +1,31 @@
 // Microbenchmark — simulator throughput: DES tasks/second of wall time and
 // slotted-model slots/second, to document the cost of large-scale sweeps.
-#include <benchmark/benchmark.h>
+//
+// Emits BENCH_micro_sim.json (bench::Reporter schema) for the regression
+// gate in scripts/bench_compare.py. The task/slot counts are deterministic
+// for the fixed seeds, so they gate strictly even across hosts; wall-clock
+// medians gate only against a same-host baseline.
+//
+// Usage:
+//   micro_sim [--repeats N] [--warmup N] [--out FILE] [--no-json]
+//             [--profile]
+//
+// --profile runs one extra (untimed) DES pass with the self-profiler
+// enabled and writes micro_sim.trace.json (chrome://tracing) and
+// micro_sim.folded.txt (flamegraph collapsed stacks), then prints how much
+// of the event-loop wall time the per-event sections account for.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/exit_setting.h"
 #include "models/zoo.h"
+#include "prof/profiler.h"
+#include "reporter.h"
 #include "sim/simulation.h"
 #include "sim/slotted.h"
+#include "util/table.h"
 
 namespace {
 
@@ -18,50 +38,145 @@ core::MeDnnPartition bench_partition() {
                               core::branch_and_bound_exit_setting(cm).combo);
 }
 
-void BM_DiscreteEventScenario(benchmark::State& state) {
-  const auto partition = bench_partition();
-  const int n_devices = static_cast<int>(state.range(0));
-  std::size_t tasks = 0;
-  for (auto _ : state) {
-    sim::ScenarioConfig cfg;
-    cfg.partition = partition;
-    for (int i = 0; i < n_devices; ++i) {
-      sim::DeviceSpec dev;
-      dev.mean_rate = 2.0;
-      cfg.devices.push_back(dev);
-    }
-    cfg.duration = 30.0;
-    cfg.warmup = 2.0;
-    const auto result = sim::run_scenario(cfg);
-    tasks += result.generated;
-    benchmark::DoNotOptimize(result);
+sim::ScenarioConfig des_config(const core::MeDnnPartition& partition,
+                               int n_devices) {
+  sim::ScenarioConfig cfg;
+  cfg.partition = partition;
+  for (int i = 0; i < n_devices; ++i) {
+    sim::DeviceSpec dev;
+    dev.mean_rate = 2.0;
+    cfg.devices.push_back(dev);
   }
-  state.counters["tasks/s"] = benchmark::Counter(
-      static_cast<double>(tasks), benchmark::Counter::kIsRate);
+  cfg.duration = 30.0;
+  cfg.warmup = 2.0;
+  return cfg;
 }
 
-void BM_SlottedModel(benchmark::State& state) {
-  const auto partition = bench_partition();
+sim::SlottedConfig slotted_config(const core::MeDnnPartition& partition,
+                                  int num_slots) {
   sim::SlottedConfig cfg;
   cfg.partition = partition;
   cfg.device_flops = core::kRaspberryPiFlops;
   cfg.edge_share_flops = core::kEdgeDesktopFlops;
   cfg.bandwidth = util::mbps(10.0);
   cfg.latency = util::ms(20.0);
-  cfg.num_slots = static_cast<int>(state.range(0));
-  const core::LeimePolicy policy;
-  std::size_t slots = 0;
-  for (auto _ : state) {
-    workload::PoissonSlotArrivals arrivals(4.0);
-    const auto result = sim::run_slotted_policy(cfg, arrivals, policy);
-    slots += result.per_slot_cost.size();
-    benchmark::DoNotOptimize(result);
+  cfg.num_slots = num_slots;
+  return cfg;
+}
+
+#if !defined(LEIME_PROF_DISABLED)
+/// Finds `name` among `nodes`; null when absent.
+const prof::ReportNode* find_node(const std::vector<prof::ReportNode>& nodes,
+                                  const std::string& name) {
+  for (const auto& n : nodes)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+#endif
+
+/// One profiled (untimed) DES pass; exports trace + flamegraph files and
+/// prints what fraction of the event-loop wall time the per-event sections
+/// explain — the instrumentation-coverage figure DESIGN.md §9 tracks.
+int run_profile_pass(const sim::ScenarioConfig& cfg) {
+#if defined(LEIME_PROF_DISABLED)
+  static_cast<void>(cfg);
+  std::cerr << "micro_sim: built with -DLEIME_PROF=OFF; --profile "
+               "needs the instrumented build\n";
+  return 1;
+#else
+  prof::reset();
+  prof::set_enabled(true);
+  const auto result = sim::run_scenario(cfg);
+  prof::set_enabled(false);
+  const prof::Report rep = prof::report();
+  prof::write_chrome_trace_file("micro_sim.trace.json", rep);
+  prof::write_collapsed_file("micro_sim.folded.txt", rep);
+  rep.to_text(std::cout);
+
+  const prof::ReportNode* run = find_node(rep.roots, "leime.sim.run");
+  const prof::ReportNode* loop =
+      run ? find_node(run->children, "leime.sim.event_loop") : nullptr;
+  if (!loop || loop->total_ns == 0) {
+    std::cerr << "micro_sim: no leime.sim.event_loop section recorded\n";
+    return 1;
   }
-  state.counters["slots/s"] = benchmark::Counter(
-      static_cast<double>(slots), benchmark::Counter::kIsRate);
+  std::uint64_t explained = 0;
+  for (const auto& child : loop->children) explained += child.total_ns;
+  const double coverage =
+      static_cast<double>(explained) / static_cast<double>(loop->total_ns);
+  std::cout << "event-loop coverage: " << util::fmt(100.0 * coverage, 2)
+            << "% of " << loop->total_ns << " ns explained by per-event "
+            << "sections (" << result.total_completed << " tasks)\n"
+            << "wrote micro_sim.trace.json, micro_sim.folded.txt\n";
+  return 0;
+#endif
 }
 
 }  // namespace
 
-BENCHMARK(BM_DiscreteEventScenario)->Arg(1)->Arg(4)->Arg(16);
-BENCHMARK(BM_SlottedModel)->Arg(100)->Arg(1000);
+int main(int argc, char** argv) {
+  bench::Reporter::Options opts;
+  std::string out_path;
+  bool json = true;
+  bool profile = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--repeats" && a + 1 < argc)
+      opts.repeats = std::atoi(argv[++a]);
+    else if (arg == "--warmup" && a + 1 < argc)
+      opts.warmup = std::atoi(argv[++a]);
+    else if (arg == "--out" && a + 1 < argc)
+      out_path = argv[++a];
+    else if (arg == "--no-json")
+      json = false;
+    else if (arg == "--profile")
+      profile = true;
+    else {
+      std::cerr << "usage: micro_sim [--repeats N] [--warmup N] "
+                   "[--out FILE] [--no-json] [--profile]\n";
+      return 2;
+    }
+  }
+
+  const auto partition = bench_partition();
+  bench::Reporter reporter("micro_sim", opts);
+
+  for (const int n_devices : {1, 4, 16}) {
+    const auto cfg = des_config(partition, n_devices);
+    std::size_t tasks = 0;
+    auto& c = reporter.run_case(
+        "des/devices=" + std::to_string(n_devices), [&] {
+          const auto result = sim::run_scenario(cfg);
+          tasks = result.generated;  // deterministic for the fixed seed
+        });
+    c.counters["tasks"] = tasks;
+    if (c.wall.median > 0.0)
+      c.rates["tasks_per_s"] = static_cast<double>(tasks) / c.wall.median;
+  }
+
+  for (const int num_slots : {100, 1000}) {
+    const auto cfg = slotted_config(partition, num_slots);
+    const core::LeimePolicy policy;
+    std::size_t slots = 0;
+    auto& c = reporter.run_case(
+        "slotted/slots=" + std::to_string(num_slots), [&] {
+          workload::PoissonSlotArrivals arrivals(4.0);
+          const auto result = sim::run_slotted_policy(cfg, arrivals, policy);
+          slots = result.per_slot_cost.size();
+        });
+    c.counters["slots"] = slots;
+    if (c.wall.median > 0.0)
+      c.rates["slots_per_s"] = static_cast<double>(slots) / c.wall.median;
+  }
+
+  reporter.print_table(std::cout);
+  if (json) {
+    const std::string path =
+        out_path.empty() ? reporter.default_path() : out_path;
+    reporter.write_json(path);
+    std::cout << "wrote " << path << "\n";
+  }
+
+  if (profile) return run_profile_pass(des_config(partition, 4));
+  return 0;
+}

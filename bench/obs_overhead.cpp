@@ -14,30 +14,34 @@
 //               time-series, for context (this one is allowed to cost).
 //
 // Usage:
-//   obs_overhead [--check] [--rounds N] [--duration S]
+//   obs_overhead [--check] [--rounds N] [--duration S] [--out FILE]
+//                [--no-json]
 //
 // --check exits non-zero when the noop-vs-disabled overhead exceeds 2%
 // (the CI gate; see .github/workflows/ci.yml). Wall-clock noise on shared
-// runners is real, so the gate compares the best (minimum) round of each
-// variant — noise is additive, so the minimum estimates the noise-free
-// time — and the default duration keeps each run long enough (tens of
-// ms) that timer granularity does not dominate the ratio.
-#include <algorithm>
-#include <chrono>
+// runners is real, so the gate compares the *median* round of each variant
+// with outlier-immune MAD statistics (util::robust_summarize) — the
+// earlier min-of-rounds gate was flaky because a single lucky round of
+// either variant could push the ratio past the budget in both directions.
+// The default duration keeps each run long enough (tens of ms) that timer
+// granularity does not dominate the ratio. Results are also exported as
+// BENCH_obs_overhead.json via bench::Reporter.
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/exit_setting.h"
 #include "models/zoo.h"
+#include "reporter.h"
 #include "sim/observer.h"
 #include "sim/simulation.h"
+#include "util/clock.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace leime;
-using Clock = std::chrono::steady_clock;
 
 sim::ScenarioConfig make_scenario(double duration) {
   const auto profile = models::make_squeezenet();
@@ -54,35 +58,32 @@ sim::ScenarioConfig make_scenario(double duration) {
 }
 
 double time_run(const sim::ScenarioConfig& cfg, std::size_t* completed) {
-  const auto t0 = Clock::now();
+  const auto t0 = util::WallClock::now();
   const auto r = sim::run_scenario(cfg);
-  const auto t1 = Clock::now();
+  const double wall = util::seconds_since(t0);
   *completed += r.total_completed;  // defeat dead-code elimination
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-// Noise on a shared runner is strictly additive (preemption, cache
-// pollution), so the minimum over rounds is the best estimate of the
-// noise-free run time — medians still carry several percent of jitter.
-double best(const std::vector<double>& v) {
-  return *std::min_element(v.begin(), v.end());
+  return wall;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool check = false;
+  bool json = true;
   int rounds = 7;
   double duration = 20000.0;  // ~300ms/run: long enough to swamp jitter
+  std::string out_path;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--check") check = true;
     else if (arg == "--rounds" && a + 1 < argc) rounds = std::stoi(argv[++a]);
     else if (arg == "--duration" && a + 1 < argc)
       duration = std::stod(argv[++a]);
+    else if (arg == "--out" && a + 1 < argc) out_path = argv[++a];
+    else if (arg == "--no-json") json = false;
     else {
       std::cerr << "usage: obs_overhead [--check] [--rounds N] "
-                   "[--duration S]\n";
+                   "[--duration S] [--out FILE] [--no-json]\n";
       return 2;
     }
   }
@@ -103,6 +104,8 @@ int main(int argc, char** argv) {
   // first variant measured.
   time_run(base, &sink);
 
+  // Rounds stay interleaved (the whole point of the harness), so the
+  // variants are timed by hand and adopted via add_case afterwards.
   std::vector<double> disabled, noop_s, recording;
   for (int r = 0; r < rounds; ++r) {
     disabled.push_back(time_run(base, &sink));
@@ -110,34 +113,62 @@ int main(int argc, char** argv) {
     recording.push_back(time_run(recording_cfg, &sink));
   }
 
-  const double best_disabled = best(disabled);
-  const double best_noop = best(noop_s);
-  const double best_recording = best(recording);
-  const double overhead = best_noop / best_disabled - 1.0;
+  bench::Reporter reporter("obs_overhead", {1, rounds});
+  const auto& c_disabled = reporter.add_case("disabled", disabled, 1);
+  const auto& c_noop = reporter.add_case("noop_observer", noop_s);
+  const auto& c_recording = reporter.add_case("recording", recording);
+  const double overhead =
+      c_noop.wall.median / c_disabled.wall.median - 1.0;
 
-  util::TablePrinter t({"variant", "best wall (s)", "vs disabled"});
+  util::TablePrinter t({"variant", "median wall (s)", "cv", "vs disabled"});
   auto pct = [&](double v) {
-    return util::fmt(100.0 * (v / best_disabled - 1.0), 2) + "%";
+    return util::fmt(100.0 * (v / c_disabled.wall.median - 1.0), 2) + "%";
   };
-  t.add_row({"disabled", util::fmt(best_disabled, 4), "-"});
-  t.add_row({"noop observer", util::fmt(best_noop, 4), pct(best_noop)});
-  t.add_row({"recording", util::fmt(best_recording, 4), pct(best_recording)});
+  t.add_row({"disabled", util::fmt(c_disabled.wall.median, 4),
+             util::fmt(c_disabled.wall.cv, 3), "-"});
+  t.add_row({"noop observer", util::fmt(c_noop.wall.median, 4),
+             util::fmt(c_noop.wall.cv, 3), pct(c_noop.wall.median)});
+  t.add_row({"recording", util::fmt(c_recording.wall.median, 4),
+             util::fmt(c_recording.wall.cv, 3),
+             pct(c_recording.wall.median)});
   t.print(std::cout);
-  std::cout << "noop overhead (ratio of best rounds): "
+  std::cout << "noop overhead (ratio of median rounds): "
             << util::fmt(100.0 * overhead, 2) << "% over " << rounds
             << " rounds (" << sink << " tasks)\n";
 
+  if (json) {
+    const std::string path =
+        out_path.empty() ? reporter.default_path() : out_path;
+    reporter.write_json(path);
+    std::cout << "wrote " << path << "\n";
+  }
+
   if (check) {
+    // The 2% budget plus a noise allowance derived from the measured
+    // round-to-round variation: the standard error of a median over n
+    // rounds is ~1.2533·σ/√n, the ratio of two medians combines both CVs
+    // in quadrature, and the 2× keeps the false-positive rate negligible.
+    // On a quiet runner the allowance is well under 1%; on a preempted one
+    // it widens instead of flaking the build.
     constexpr double kGate = 0.02;
-    if (overhead > kGate) {
+    const double noise =
+        1.2533 *
+        std::sqrt(c_disabled.wall.cv * c_disabled.wall.cv +
+                  c_noop.wall.cv * c_noop.wall.cv) /
+        std::sqrt(static_cast<double>(rounds));
+    const double gate = kGate + 2.0 * noise;
+    if (overhead > gate) {
       std::cerr << "FAIL: noop-observer overhead "
                 << util::fmt(100.0 * overhead, 2) << "% exceeds the "
-                << util::fmt(100.0 * kGate, 0)
-                << "% disabled-path budget\n";
+                << util::fmt(100.0 * kGate, 0) << "% budget + "
+                << util::fmt(100.0 * (gate - kGate), 2)
+                << "% noise allowance\n";
       return 1;
     }
     std::cout << "OK: within the " << util::fmt(100.0 * kGate, 0)
-              << "% disabled-path budget\n";
+              << "% disabled-path budget (+"
+              << util::fmt(100.0 * (gate - kGate), 2)
+              << "% noise allowance)\n";
   }
   return 0;
 }

@@ -35,7 +35,39 @@ if [[ "$found" -eq 0 ]]; then
   echo "lint_metric_names: no registration sites found — lint is broken" >&2
   exit 2
 fi
+
+# Second pass: profiler section/counter names (src/prof, DESIGN.md §9).
+# Dot-separated so they can never collide with the underscore-only metric
+# namespace above, and each name must be unique across instrumentation
+# sites — two sites sharing a name would merge into one node and make the
+# flamegraph lie about where time went. Comment lines are skipped (the
+# profiler header quotes example names in its docs).
+prof_pattern='^leime\.[a-z0-9_.]+$'
+prof_found=0
+declare -A prof_seen
+while IFS=: read -r file line name; do
+  prof_found=$((prof_found + 1))
+  if ! [[ "$name" =~ $prof_pattern ]]; then
+    echo "BAD  $file:$line  '$name' does not match $prof_pattern" >&2
+    fail=1
+  fi
+  if [[ -n "${prof_seen[$name]:-}" ]]; then
+    echo "DUP  $file:$line  '$name' already used at ${prof_seen[$name]}" >&2
+    fail=1
+  else
+    prof_seen[$name]="$file:$line"
+  fi
+done < <(grep -rn --include='*.cpp' --include='*.h' \
+           -E 'LEIME_PROF_(SCOPE|COUNT)\(\s*"' src bench examples \
+         | grep -vE '^[^:]+:[0-9]+:\s*//' \
+         | sed -E 's/^([^:]+):([0-9]+):.*LEIME_PROF_(SCOPE|COUNT)\(\s*"([^"]*)".*/\1:\2:\4/')
+
+if [[ "$prof_found" -eq 0 ]]; then
+  echo "lint_metric_names: no profiler sites found — lint is broken" >&2
+  exit 2
+fi
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
 echo "lint_metric_names: $found registered names all match $pattern"
+echo "lint_metric_names: $prof_found profiler names all match $prof_pattern, no duplicates"

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "prof/profiler.h"
 #include "util/check.h"
 
 namespace leime::core {
@@ -18,6 +19,7 @@ void require_searchable(const CostModel& model) {
 }  // namespace
 
 ExitSettingResult exhaustive_exit_setting(const CostModel& model) {
+  LEIME_PROF_SCOPE("leime.core.exit_setting.exhaustive");
   require_searchable(model);
   const int m = model.num_exits();
   ExitSettingResult best;
@@ -34,11 +36,14 @@ ExitSettingResult exhaustive_exit_setting(const CostModel& model) {
       }
     }
   }
+  LEIME_PROF_COUNT("leime.core.exit_setting.exhaustive.evals",
+                   best.evaluations);
   LEIME_CHECK(best.cost < std::numeric_limits<double>::infinity());
   return best;
 }
 
 ExitSettingResult branch_and_bound_exit_setting(const CostModel& model) {
+  LEIME_PROF_SCOPE("leime.core.exit_setting.bb");
   require_searchable(model);
   const int m = model.num_exits();
   ExitSettingResult best;
@@ -70,9 +75,16 @@ ExitSettingResult branch_and_bound_exit_setting(const CostModel& model) {
     }
     ++best.rounds;
     // Theorem 1: any deeper First-exit with a worse two-exit cost is
-    // dominated, so only shallower candidates remain.
+    // dominated, so only shallower candidates remain. Everything in
+    // (i_k, upbound] is pruned without its Second-exit range ever being
+    // scanned.
+    LEIME_PROF_COUNT("leime.core.exit_setting.bb.pruned",
+                     static_cast<std::uint64_t>(upbound - i_k));
     upbound = i_k - 1;
   }
+  LEIME_PROF_COUNT("leime.core.exit_setting.bb.rounds",
+                   static_cast<std::uint64_t>(best.rounds));
+  LEIME_PROF_COUNT("leime.core.exit_setting.bb.evals", best.evaluations);
   LEIME_CHECK(best.cost < std::numeric_limits<double>::infinity());
   return best;
 }

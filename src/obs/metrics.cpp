@@ -39,6 +39,36 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Prometheus text-exposition escaping. HELP lines escape backslash and
+// newline; label values additionally escape double quotes (the `le` bounds
+// we emit are numeric, but the writer stays correct for any value).
+std::string prom_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 void require_valid_name(const std::string& name) {
   if (!valid_metric_name(name))
     throw std::invalid_argument(
@@ -196,19 +226,19 @@ void Snapshot::merge(const Snapshot& other) {
 void Snapshot::to_prometheus(std::ostream& out) const {
   for (const auto& c : counters) {
     if (!c.help.empty())
-      out << "# HELP " << c.name << " " << c.help << "\n";
+      out << "# HELP " << c.name << " " << prom_escape_help(c.help) << "\n";
     out << "# TYPE " << c.name << " counter\n";
     out << c.name << " " << c.value << "\n";
   }
   for (const auto& g : gauges) {
     if (!g.help.empty())
-      out << "# HELP " << g.name << " " << g.help << "\n";
+      out << "# HELP " << g.name << " " << prom_escape_help(g.help) << "\n";
     out << "# TYPE " << g.name << " gauge\n";
     out << g.name << " " << num(g.value) << "\n";
   }
   for (const auto& h : histograms) {
     if (!h.help.empty())
-      out << "# HELP " << h.name << " " << h.help << "\n";
+      out << "# HELP " << h.name << " " << prom_escape_help(h.help) << "\n";
     out << "# TYPE " << h.name << " histogram\n";
     // Cumulative buckets: underflow folds into the first bound.
     std::uint64_t cum = 0;
@@ -217,7 +247,8 @@ void Snapshot::to_prometheus(std::ostream& out) const {
       cum += h.counts[static_cast<std::size_t>(b + 1)];
       const double le =
           b < 0 ? h.options.min_bound : geometry.upper_bound(b);
-      out << h.name << "_bucket{le=\"" << num(le) << "\"} " << cum << "\n";
+      out << h.name << "_bucket{le=\"" << prom_escape_label(num(le))
+          << "\"} " << cum << "\n";
     }
     cum += h.counts.back();
     out << h.name << "_bucket{le=\"+Inf\"} " << cum << "\n";

@@ -1,25 +1,19 @@
 #include "runtime/executor.h"
 
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <iostream>
 #include <mutex>
 #include <thread>
 
+#include "prof/profiler.h"
 #include "sim/simulation.h"
+#include "util/clock.h"
 #include "util/table.h"
 
 namespace leime::runtime {
 
-namespace {
-
-double seconds_since(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
+using util::seconds_since;
 
 int Executor::resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -35,7 +29,7 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
   const std::size_t total = cells.size();
   std::vector<RunRecord> records(total);
   const int threads = resolve_threads(opts_.threads);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = util::WallClock::now();
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
@@ -53,6 +47,7 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
   // into the cell's own slot, so collection order never depends on the
   // schedule and no two threads touch the same element.
   auto worker_fn = [&](int worker_id) {
+    LEIME_PROF_SCOPE("leime.runtime.worker");
     obs::MetricsRegistry* shard =
         shards.empty() ? nullptr
                        : &shards[static_cast<std::size_t>(worker_id)];
@@ -68,6 +63,7 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
       rec.worker = worker_id;
       rec.start_s = seconds_since(t0);
       try {
+        LEIME_PROF_SCOPE("leime.runtime.cell");
         rec.result = sim::run_scenario(cell.config);
       } catch (...) {
         if (shard)

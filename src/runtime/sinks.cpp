@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "prof/profiler.h"
 #include "util/csv.h"
 
 namespace leime::runtime {
@@ -99,6 +100,7 @@ void metrics_to_json(const obs::Snapshot& snap, std::ostream& out) {
 void write_csv(const std::string& path,
                const std::vector<std::string>& axis_names,
                const std::vector<RunRecord>& records) {
+  LEIME_PROF_SCOPE("leime.runtime.sink.csv");
   check_widths(axis_names, records);
   std::vector<std::string> header = axis_names;
   for (const char* col :
@@ -184,6 +186,7 @@ void write_jsonl_file(const std::string& path,
                       const std::vector<std::string>& axis_names,
                       const std::vector<RunRecord>& records,
                       const JsonlOptions& opts) {
+  LEIME_PROF_SCOPE("leime.runtime.sink.jsonl");
   auto out = open_or_throw(path);
   write_jsonl(out, axis_names, records, opts);
   close_or_throw(out, path);
@@ -191,6 +194,7 @@ void write_jsonl_file(const std::string& path,
 
 void write_chrome_trace(const std::string& path,
                         const std::vector<RunRecord>& records) {
+  LEIME_PROF_SCOPE("leime.runtime.sink.chrome_trace");
   auto out = open_or_throw(path);
   out << "{\"traceEvents\":[";
   bool first = true;
@@ -220,6 +224,7 @@ obs::Snapshot merged_metrics(const std::vector<RunRecord>& records) {
 
 void write_metrics_prometheus(const std::string& path,
                               const std::vector<RunRecord>& records) {
+  LEIME_PROF_SCOPE("leime.runtime.sink.prometheus");
   obs::write_prometheus_file(path, merged_metrics(records));
 }
 

@@ -10,6 +10,7 @@
 #include "core/lyapunov.h"
 #include "core/offload_policy.h"
 #include "core/resource_alloc.h"
+#include "prof/profiler.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/observer.h"
@@ -91,6 +92,7 @@ class Simulation {
   }
 
   SimResult run() {
+    LEIME_PROF_SCOPE("leime.sim.run");
     util::Rng master(cfg_.seed);
     for (auto& dev : devices_) dev->rng = master.fork();
     if (faults_on_) {
@@ -112,7 +114,10 @@ class Simulation {
       queue_.schedule(cfg_.reallocation_period, [this] { reallocate(); });
 
     // Generation stops at duration; in-flight tasks drain afterwards.
-    queue_.run_all();
+    {
+      LEIME_PROF_SCOPE("leime.sim.event_loop");
+      queue_.run_all();
+    }
     if (obs_) obs_->on_run_end(queue_.now());
     SimResult out = finalize();
     if (owned_obs_) {
@@ -153,6 +158,7 @@ class Simulation {
   };
 
   void build() {
+    LEIME_PROF_SCOPE("leime.sim.build");
     const auto& p = cfg_.partition;
     if (p.mu1 <= 0.0 || p.mu2 <= 0.0 || p.mu3 <= 0.0)
       throw std::invalid_argument("ScenarioConfig: invalid partition");
@@ -271,6 +277,7 @@ class Simulation {
   }
 
   void on_edge_crash() {
+    LEIME_PROF_SCOPE("leime.sim.ev.edge_crash");
     edge_up_now_ = false;
     ++edge_crashes_;
     const double now = queue_.now();
@@ -294,12 +301,14 @@ class Simulation {
   }
 
   void on_edge_restart() {
+    LEIME_PROF_SCOPE("leime.sim.ev.edge_restart");
     edge_up_now_ = true;
     if (obs_) obs_->on_fault("edge_restart", -1, queue_.now());
     for (auto& dev : devices_) dev->edge_share->restart(queue_.now());
   }
 
   void on_churn(std::size_t device, bool joined) {
+    LEIME_PROF_SCOPE("leime.sim.ev.churn");
     present_[device] = joined ? 1 : 0;
     ++churn_events_;
     if (obs_)
@@ -323,6 +332,7 @@ class Simulation {
   /// Edge-side work for `id` was lost (crash) or refused (submitted while
   /// down): fail the task back to its device after detection.
   void failover(std::size_t i, std::size_t id, Stage from) {
+    LEIME_PROF_SCOPE("leime.sim.ev.failover");
     auto& rec = tasks_[id];
     ++fleet_faults_.failed_over;
     ++dev_faults_[i].failed_over;
@@ -427,6 +437,7 @@ class Simulation {
   }
 
   void decide(std::size_t i) {
+    LEIME_PROF_SCOPE("leime.sim.decide");
     auto& dev = *devices_[i];
     const auto state = observe(i);
     dev.x = policy_->decide(state);
@@ -453,6 +464,7 @@ class Simulation {
   }
 
   void slot_tick() {
+    LEIME_PROF_SCOPE("leime.sim.ev.slot_tick");
     for (std::size_t i = 0; i < devices_.size(); ++i) {
       auto& dev = *devices_[i];
       // Blend observation with the process's nominal rate: reacts to bursts
@@ -483,6 +495,7 @@ class Simulation {
   }
 
   void reallocate() {
+    LEIME_PROF_SCOPE("leime.sim.ev.reallocate");
     // Re-run the eq. 27 allocation on observed per-window rates; a floor
     // keeps idle devices from being starved out entirely.
     std::vector<double> k, fd;
@@ -501,6 +514,7 @@ class Simulation {
   }
 
   void on_arrival(std::size_t i) {
+    LEIME_PROF_SCOPE("leime.sim.ev.arrival");
     if (faults_on_ && !present_[i]) return;  // device has left the fleet
     auto& dev = *devices_[i];
     ++dev.arrived_this_slot;
@@ -523,6 +537,7 @@ class Simulation {
   /// Launches (or relaunches) a task: offloaded tasks cross the uplink and
   /// start block 1 on the edge share; local tasks start it on the device.
   void dispatch(std::size_t i, std::size_t id, bool offload) {
+    LEIME_PROF_SCOPE("leime.sim.ev.dispatch");
     auto& dev = *devices_[i];
     auto& rec = tasks_[id];
     const auto& p = cfg_.partition;
@@ -556,6 +571,7 @@ class Simulation {
   }
 
   void submit_edge_block1(std::size_t i, std::size_t id) {
+    LEIME_PROF_SCOPE("leime.sim.ev.edge_block1");
     auto& rec = tasks_[id];
     if (faults_on_ && !edge_up_now_) {
       // Refused at the dead edge's door: fail back after detection.
@@ -586,6 +602,7 @@ class Simulation {
   }
 
   void submit_edge_block2(std::size_t i, std::size_t id) {
+    LEIME_PROF_SCOPE("leime.sim.ev.edge_block2");
     auto& rec = tasks_[id];
     if (faults_on_ && !edge_up_now_) {
       ++rec.attempt;
@@ -615,6 +632,7 @@ class Simulation {
   }
 
   void after_block1(std::size_t i, std::size_t id, double t, bool on_edge) {
+    LEIME_PROF_SCOPE("leime.sim.ev.after_block1");
     auto& rec = tasks_[id];
     if (rec.block == 1) {
       // Local completions hold the result already; edge ones return it.
@@ -646,6 +664,7 @@ class Simulation {
   }
 
   void after_block2(std::size_t i, std::size_t id, double t) {
+    LEIME_PROF_SCOPE("leime.sim.ev.after_block2");
     auto& rec = tasks_[id];
     if (rec.block == 2) {
       deliver_from_edge(i, id, t);
@@ -691,6 +710,7 @@ class Simulation {
   /// Result return from the edge tier (no-op transfer when results are
   /// modelled as free).
   void deliver_from_edge(std::size_t i, std::size_t id, double t) {
+    LEIME_PROF_SCOPE("leime.sim.ev.deliver_edge");
     if (cfg_.result_bytes <= 0.0) {
       complete(id, t);
       return;
@@ -711,6 +731,7 @@ class Simulation {
 
   /// Result return from the cloud: cloud -> edge, then edge -> device.
   void deliver_from_cloud(std::size_t i, std::size_t id, double t) {
+    LEIME_PROF_SCOPE("leime.sim.ev.deliver_cloud");
     if (cfg_.result_bytes <= 0.0) {
       complete(id, t);
       return;
@@ -741,6 +762,7 @@ class Simulation {
   }
 
   void complete(std::size_t id, double t) {
+    LEIME_PROF_SCOPE("leime.sim.ev.complete");
     auto& rec = tasks_[id];
     LEIME_CHECK(rec.t_complete < 0.0);
     rec.t_complete = t;
@@ -750,6 +772,7 @@ class Simulation {
   }
 
   SimResult finalize() const {
+    LEIME_PROF_SCOPE("leime.sim.finalize");
     SimResult out;
     std::vector<double> tcts;
     std::map<long long, std::pair<double, std::size_t>> windows;

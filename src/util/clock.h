@@ -1,0 +1,34 @@
+// Shared wall-clock helpers.
+//
+// Everything in the repo that measures *host* time (the runtime executor's
+// telemetry, the bench harnesses, the src/prof self-profiler) goes through
+// this one alias so "wall clock" always means the same monotonic clock.
+// Simulated time never touches these — the DES keeps its own double-seconds
+// timeline (sim::EventQueue::now).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace leime::util {
+
+/// The repo-wide monotonic wall clock.
+using WallClock = std::chrono::steady_clock;
+
+/// Nanoseconds on the monotonic clock (arbitrary epoch; only differences
+/// are meaningful). The profiler stores these as integers so aggregation
+/// and cross-thread merges stay exact.
+inline std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          WallClock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds elapsed since `t0` (hoisted from runtime/executor.cpp and the
+/// bench harnesses, which each grew a private copy).
+inline double seconds_since(const WallClock::time_point& t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+}  // namespace leime::util

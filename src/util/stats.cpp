@@ -61,6 +61,29 @@ double mean_of(const std::vector<double>& values) {
   return s.mean();
 }
 
+double median_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return percentile(values, 0.5);
+}
+
+RobustSummary robust_summarize(const std::vector<double>& values) {
+  RobustSummary out;
+  if (values.empty()) return out;
+  out.count = values.size();
+  out.median = median_of(values);
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (double v : values) dev.push_back(std::abs(v - out.median));
+  out.mad = median_of(dev);
+  out.cv = out.median != 0.0 ? 1.4826 * out.mad / std::abs(out.median) : 0.0;
+  RunningStats s;
+  for (double v : values) s.add(v);
+  out.min = s.min();
+  out.max = s.max();
+  out.mean = s.mean();
+  return out;
+}
+
 Summary summarize(const std::vector<double>& values) {
   Summary out;
   if (values.empty()) return out;

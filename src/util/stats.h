@@ -74,4 +74,27 @@ struct Summary {
 /// Computes a Summary; all fields zero for an empty sample.
 Summary summarize(const std::vector<double>& values);
 
+/// Median with linear interpolation; 0 on empty input (no throw — timing
+/// code treats "no rounds" as a degenerate measurement, not an error).
+double median_of(const std::vector<double>& values);
+
+/// Robust location/scale summary for repeated timing rounds, where a
+/// single preempted round must not move the estimate: median for location,
+/// MAD (median absolute deviation) for scale. `cv` is the robust
+/// coefficient of variation 1.4826·MAD/median — the 1.4826 factor makes
+/// MAD a consistent estimator of σ under normal noise — and is what the
+/// bench regression gate scales its thresholds by.
+struct RobustSummary {
+  std::size_t count = 0;
+  double median = 0.0;
+  double mad = 0.0;  ///< raw median absolute deviation (same unit as data)
+  double cv = 0.0;   ///< 1.4826 * mad / median; 0 when median == 0
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Computes a RobustSummary; all fields zero for an empty sample.
+RobustSummary robust_summarize(const std::vector<double>& values);
+
 }  // namespace leime::util

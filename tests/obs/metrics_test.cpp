@@ -285,6 +285,89 @@ TEST(Snapshot, PrometheusFileRoundTrip) {
                std::runtime_error);
 }
 
+// Exposition-format escaping: HELP text must escape backslash and newline,
+// label values additionally double quotes — otherwise a single odd help
+// string corrupts every line that follows it in the scrape.
+TEST(Snapshot, PrometheusHelpEscaping) {
+  MetricsRegistry reg;
+  reg.counter("leime_weird", "line1\nline2 with \\backslash").inc(1);
+  std::ostringstream out;
+  reg.snapshot().to_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP leime_weird line1\\nline2 with "
+                      "\\\\backslash\n"),
+            std::string::npos);
+  // The raw newline must not survive: every line stays parseable.
+  EXPECT_EQ(text.find("line1\nline2"), std::string::npos);
+}
+
+TEST(Snapshot, PrometheusHistogramHelpEscaping) {
+  MetricsRegistry reg;
+  reg.histogram("leime_h", "p95\nover\\all", {1.0, 10.0, 2}).observe(2.0);
+  std::ostringstream out;
+  reg.snapshot().to_prometheus(out);
+  EXPECT_NE(out.str().find("# HELP leime_h p95\\nover\\\\all\n"),
+            std::string::npos);
+}
+
+TEST(Snapshot, JsonlEscapesMetricNameField) {
+  // Registered names can never contain quotes, but to_jsonl must stay
+  // safe for snapshots built by hand (merge tooling, tests).
+  Snapshot snap;
+  snap.counters.push_back({"leime_ok", "h", 1});
+  snap.counters[0].name = "leime_\"quoted\"";
+  std::ostringstream out;
+  snap.to_jsonl(out);
+  EXPECT_NE(out.str().find("\"metric\":\"leime_\\\"quoted\\\"\""),
+            std::string::npos);
+}
+
+// Edge cases of the log-bucket histogram exposition: empty, single-sample
+// and overflow-only histograms must all emit self-consistent buckets.
+TEST(Snapshot, PrometheusEmptyHistogram) {
+  MetricsRegistry reg;
+  reg.histogram("leime_empty", "", {1.0, 100.0, 2});
+  std::ostringstream out;
+  reg.snapshot().to_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("leime_empty_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("leime_empty_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("leime_empty_count 0"), std::string::npos);
+}
+
+TEST(Histogram, SingleSampleQuantilesCollapseToSample) {
+  Histogram h({1.0, 100.0, 4});
+  h.observe(7.0);
+  // Every quantile of a one-sample distribution is the sample; the bucket
+  // interpolation must not wander outside the containing bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, h.upper_bound(0));      // 7.0 sits in bucket 1 of [1,100)
+  EXPECT_LE(p50, h.upper_bound(1));
+}
+
+TEST(Histogram, OverflowOnlyQuantilesUseExactExtremes) {
+  Histogram h({1.0, 10.0, 2});
+  h.observe(500.0);
+  h.observe(900.0);
+  // All mass in the overflow bucket: quantiles fall back to the exact
+  // RunningStats extremes instead of the (meaningless) bucket bounds.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 900.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 500.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 900.0);
+}
+
+TEST(Histogram, UnderflowOnlyQuantilesClampToMinBound) {
+  Histogram h({1.0, 10.0, 2});
+  h.observe(0.25);
+  h.observe(0.5);
+  const double p50 = h.quantile(0.5);
+  EXPECT_LE(p50, 1.0);  // never reports above the underflow bound
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);
+}
+
 TEST(HistogramQuantileFree, MatchesLiveHistogram) {
   Histogram h({1e-2, 1e2, 12});
   for (int i = 1; i <= 37; ++i) h.observe(0.3 * i);

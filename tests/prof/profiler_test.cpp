@@ -1,0 +1,243 @@
+// This TU tests the instrumented macro expansion, so it opts back in even
+// under a global -DLEIME_PROF=OFF build (the library itself is always
+// compiled; only instrumentation sites are gated per-TU).
+#undef LEIME_PROF_DISABLED
+#include "prof/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace leime::prof {
+namespace {
+
+// The profiler state is process-global; every test starts from a clean,
+// disabled slate and leaves the gate off for whoever runs next.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+void nested_work(int inner_reps) {
+  LEIME_PROF_SCOPE("leime.test.outer");
+  for (int i = 0; i < inner_reps; ++i) {
+    LEIME_PROF_SCOPE("leime.test.inner");
+    volatile int sink = 0;
+    for (int j = 0; j < 100; ++j) sink = sink + j;
+  }
+}
+
+const ReportNode* find_root(const Report& rep, const std::string& name) {
+  for (const auto& r : rep.roots)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+TEST(SectionNames, DotSeparatedLeimePrefixEnforced) {
+  EXPECT_TRUE(valid_section_name("leime.sim.event_loop"));
+  EXPECT_TRUE(valid_section_name("leime.core.exit_setting.bb.pruned"));
+  EXPECT_TRUE(valid_section_name("leime.x2"));
+  EXPECT_FALSE(valid_section_name("leime."));          // bare prefix
+  EXPECT_FALSE(valid_section_name("leime_sim_run"));   // metric namespace
+  EXPECT_FALSE(valid_section_name("sim.event_loop"));  // missing prefix
+  EXPECT_FALSE(valid_section_name("leime.Sim"));       // uppercase
+  EXPECT_FALSE(valid_section_name("leime.a-b"));       // dash
+  EXPECT_FALSE(valid_section_name(""));
+}
+
+TEST(SectionNames, InternRejectsInvalidAndIsIdempotent) {
+  EXPECT_THROW(intern_section("not.leime"), std::invalid_argument);
+  EXPECT_THROW(intern_counter("leime_metric_style"), std::invalid_argument);
+  const SectionId a = intern_section("leime.test.intern_twice");
+  const SectionId b = intern_section("leime.test.intern_twice");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ProfilerTest, DisabledGateRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  nested_work(3);
+  LEIME_PROF_COUNT("leime.test.disabled_counter", 5);
+  const Report rep = report();
+  EXPECT_TRUE(rep.empty());
+  EXPECT_EQ(rep.dropped_spans, 0u);
+}
+
+TEST_F(ProfilerTest, NestedSectionsAggregateIntoTree) {
+  set_enabled(true);
+  nested_work(3);
+  nested_work(3);
+  set_enabled(false);
+
+  const Report rep = report();
+  const ReportNode* outer = find_root(rep, "leime.test.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  const ReportNode& inner = outer->children[0];
+  EXPECT_EQ(inner.name, "leime.test.inner");
+  EXPECT_EQ(inner.count, 6u);
+  EXPECT_TRUE(inner.children.empty());
+
+  // Inclusive time nests: the outer section contains all inner time, and
+  // self is exactly the difference (integer arithmetic, no estimation).
+  EXPECT_GE(outer->total_ns, inner.total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner.total_ns);
+  EXPECT_EQ(inner.self_ns, inner.total_ns);
+  EXPECT_GE(inner.p95_ns, 0.0);
+
+  // Every close pushed a span; nothing dropped at this volume.
+  EXPECT_EQ(rep.spans.size(), 8u);
+  EXPECT_EQ(rep.dropped_spans, 0u);
+  // Spans sort by begin time, so the first one is an outer invocation that
+  // encloses the spans that follow it.
+  EXPECT_EQ(rep.spans.front().name, "leime.test.outer");
+  EXPECT_LE(rep.spans.front().t_begin_ns, rep.spans[1].t_begin_ns);
+  EXPECT_GE(rep.spans.front().t_end_ns, rep.spans[1].t_end_ns);
+}
+
+TEST_F(ProfilerTest, CountersSumAcrossSites) {
+  set_enabled(true);
+  for (int i = 0; i < 4; ++i) LEIME_PROF_COUNT("leime.test.work_items", 10);
+  LEIME_PROF_COUNT("leime.test.work_items", 2);
+  set_enabled(false);
+
+  const Report rep = report();
+  ASSERT_EQ(rep.counters.size(), 1u);
+  EXPECT_EQ(rep.counters[0].first, "leime.test.work_items");
+  EXPECT_EQ(rep.counters[0].second, 42u);
+}
+
+TEST_F(ProfilerTest, CrossThreadMergeIsDeterministic) {
+  set_enabled(true);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 2; ++t)
+    pool.emplace_back([] {
+      nested_work(5);
+      LEIME_PROF_COUNT("leime.test.thread_items", 7);
+    });
+  for (auto& t : pool) t.join();
+  set_enabled(false);
+
+  // Counts fold across threads by section name.
+  const Report rep = report();
+  const ReportNode* outer = find_root(rep, "leime.test.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0].count, 10u);
+  ASSERT_EQ(rep.counters.size(), 1u);
+  EXPECT_EQ(rep.counters[0].second, 14u);
+
+  // Freezing the same quiescent state twice yields identical bytes in
+  // every export, regardless of how the OS interleaved the two threads.
+  const Report again = report();
+  std::ostringstream a1, a2, b1, b2, c1, c2;
+  rep.to_text(a1);
+  again.to_text(a2);
+  rep.to_collapsed(b1);
+  again.to_collapsed(b2);
+  rep.to_chrome_trace(c1);
+  again.to_chrome_trace(c2);
+  EXPECT_EQ(a1.str(), a2.str());
+  EXPECT_EQ(b1.str(), b2.str());
+  EXPECT_EQ(c1.str(), c2.str());
+
+  // Each thread's spans carry that thread's registration id.
+  for (const auto& s : rep.spans)
+    EXPECT_TRUE(s.name == "leime.test.outer" || s.name == "leime.test.inner");
+}
+
+TEST_F(ProfilerTest, CollapsedStackEmitsFullPaths) {
+  set_enabled(true);
+  nested_work(2);
+  set_enabled(false);
+
+  std::ostringstream out;
+  report().to_collapsed(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("leime.test.outer "), std::string::npos);
+  EXPECT_NE(text.find("leime.test.outer;leime.test.inner "),
+            std::string::npos);
+  // Every line is "path <self_ns>": last token parses as a number.
+  std::istringstream lines(text);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stoull(line.substr(space + 1))) << line;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+TEST_F(ProfilerTest, ChromeTraceIsWellFormed) {
+  set_enabled(true);
+  nested_work(1);
+  set_enabled(false);
+
+  std::ostringstream out;
+  report().to_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);  // thread names
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // complete spans
+  EXPECT_NE(text.find("\"name\":\"leime.test.outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":0.000"), std::string::npos);  // relative t0
+  EXPECT_NE(text.rfind("]\n"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetDropsRecordingsButKeepsNames) {
+  set_enabled(true);
+  nested_work(1);
+  LEIME_PROF_COUNT("leime.test.reset_counter", 1);
+  set_enabled(false);
+  ASSERT_FALSE(report().empty());
+
+  reset();
+  EXPECT_TRUE(report().empty());
+  // Interned ids survive a reset, so instrumented sites stay valid.
+  EXPECT_EQ(intern_section("leime.test.outer"),
+            intern_section("leime.test.outer"));
+}
+
+TEST_F(ProfilerTest, ExportFilesWriteAndFailLoudly) {
+  set_enabled(true);
+  nested_work(1);
+  set_enabled(false);
+  const Report rep = report();
+
+  const std::string trace = ::testing::TempDir() + "prof_test.trace.json";
+  const std::string folded = ::testing::TempDir() + "prof_test.folded.txt";
+  write_chrome_trace_file(trace, rep);
+  write_collapsed_file(folded, rep);
+  std::ifstream tin(trace), fin(folded);
+  std::ostringstream tgot, fgot;
+  tgot << tin.rdbuf();
+  fgot << fin.rdbuf();
+  EXPECT_NE(tgot.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(fgot.str().find("leime.test.outer"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(folded.c_str());
+
+  EXPECT_THROW(write_chrome_trace_file("/nonexistent-dir/x.json", rep),
+               std::runtime_error);
+  EXPECT_THROW(write_collapsed_file("/nonexistent-dir/x.txt", rep),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace leime::prof

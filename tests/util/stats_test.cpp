@@ -163,5 +163,45 @@ TEST(MeanOf, Basics) {
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
 }
 
+TEST(MedianOf, InterpolatesAndHandlesEmpty) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(RobustSummarize, MedianAndMad) {
+  const RobustSummary r = robust_summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(r.count, 5u);
+  EXPECT_DOUBLE_EQ(r.median, 3.0);
+  EXPECT_DOUBLE_EQ(r.mad, 1.0);  // deviations {2,1,0,1,2} -> median 1
+  EXPECT_DOUBLE_EQ(r.cv, 1.4826 / 3.0);
+  EXPECT_DOUBLE_EQ(r.min, 1.0);
+  EXPECT_DOUBLE_EQ(r.max, 5.0);
+  EXPECT_DOUBLE_EQ(r.mean, 3.0);
+}
+
+// The property the bench gate depends on: one wild outlier round moves
+// neither the median nor the MAD materially, while it would drag the mean
+// (and a min-of-rounds estimate ignores the spread entirely).
+TEST(RobustSummarize, SingleOutlierDoesNotMoveLocationOrScale) {
+  const RobustSummary clean = robust_summarize({10.0, 10.1, 9.9, 10.05, 9.95});
+  const RobustSummary noisy =
+      robust_summarize({10.0, 10.1, 9.9, 10.05, 50.0});
+  EXPECT_NEAR(noisy.median, clean.median, 0.11);
+  EXPECT_LT(noisy.cv, 0.05);
+  EXPECT_GT(noisy.mean, 17.0);  // the mean is the one that blows up
+}
+
+TEST(RobustSummarize, EmptyAndZeroMedian) {
+  const RobustSummary empty = robust_summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+  EXPECT_DOUBLE_EQ(empty.cv, 0.0);
+  const RobustSummary zero = robust_summarize({-1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(zero.median, 0.0);
+  EXPECT_DOUBLE_EQ(zero.cv, 0.0);  // undefined CV degrades to 0, not inf
+}
+
 }  // namespace
 }  // namespace leime::util
