@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -61,19 +62,23 @@ class Reporter {
   Reporter(std::string bench_name, Options opts);
 
   /// Calls `fn` warmup + repeats times, timing the measured rounds.
-  /// Returns the case so the caller can attach counters/rates.
+  /// Returns the case so the caller can attach counters/rates. The
+  /// reference stays valid for the Reporter's lifetime — cases are stored
+  /// in a std::deque precisely so later run_case/add_case calls cannot
+  /// invalidate it.
   BenchCase& run_case(const std::string& name,
                       const std::function<void()>& fn);
 
   /// Adopts rounds the caller timed itself (e.g. obs_overhead's
   /// interleaved round-robin, where variants must alternate within one
-  /// loop and a per-case run_case would serialise them).
+  /// loop and a per-case run_case would serialise them). Same reference
+  /// stability as run_case.
   BenchCase& add_case(const std::string& name, std::vector<double> rounds_s,
                       int warmup = 0);
 
   const std::string& name() const { return name_; }
   const Options& options() const { return opts_; }
-  const std::vector<BenchCase>& cases() const { return cases_; }
+  const std::deque<BenchCase>& cases() const { return cases_; }
 
   /// Human summary table: case, median, MAD, CV, counters.
   void print_table(std::ostream& out) const;
@@ -91,7 +96,9 @@ class Reporter {
  private:
   std::string name_;
   Options opts_;
-  std::vector<BenchCase> cases_;
+  // Deque, not vector: growth never moves existing elements, so the
+  // BenchCase& handed out by run_case/add_case survives later calls.
+  std::deque<BenchCase> cases_;
 };
 
 }  // namespace leime::bench

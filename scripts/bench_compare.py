@@ -97,10 +97,11 @@ def compare(current: dict, baseline: dict, *, wall: str, threshold: float,
                 failures.append(f"{name}: counter '{counter}' disappeared "
                                 f"(baseline {base_value})")
             elif cur_value > base_value:
+                delta = (f"+{100.0 * (cur_value / base_value - 1):.1f}%"
+                         if base_value else f"+{cur_value} from zero")
                 failures.append(
                     f"{name}: counter '{counter}' regressed "
-                    f"{base_value} -> {cur_value} "
-                    f"(+{100.0 * (cur_value / base_value - 1):.1f}%)")
+                    f"{base_value} -> {cur_value} ({delta})")
             elif cur_value < base_value:
                 notes.append(
                     f"{name}: counter '{counter}' improved "

@@ -175,6 +175,11 @@ ScopedSection::ScopedSection(SectionId id) : live_(false) {
 ScopedSection::~ScopedSection() {
   if (!live_) return;
   ThreadLog& log = local_log();
+  // A reset() issued while this section was open has already cleared the
+  // stack (reset() documents that callers must not do this); bail out
+  // instead of popping an empty vector so the mistake stays a dropped
+  // section rather than memory corruption.
+  if (log.stack.empty()) return;
   const auto [node, t0] = log.stack.back();
   // Two timestamps on close: the first feeds the per-invocation duration
   // histogram (pure section time); the second — taken after the histogram

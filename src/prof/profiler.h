@@ -66,7 +66,9 @@ void set_enabled(bool on);
 bool enabled();
 
 /// Drops all recorded sections, spans and counters (interned names stay).
-/// Call only while no instrumented code is running on other threads.
+/// Call only while no instrumented code is running on other threads. A
+/// section that is open across a reset() is dropped — its destructor sees
+/// the cleared stack and records nothing — rather than corrupting state.
 void reset();
 
 /// RAII section. Construct through LEIME_PROF_SCOPE, not directly.

@@ -214,6 +214,25 @@ TEST_F(ProfilerTest, ResetDropsRecordingsButKeepsNames) {
             intern_section("leime.test.outer"));
 }
 
+TEST_F(ProfilerTest, ResetWhileSectionOpenDropsItSafely) {
+  // reset() documents that no instrumented code may be running, but a
+  // misplaced call must degrade to a dropped section, not an empty-vector
+  // pop in ~ScopedSection (REVIEW: UB guarded only by the doc comment).
+  set_enabled(true);
+  {
+    LEIME_PROF_SCOPE("leime.test.reset_victim");
+    reset();  // clears this thread's stack under the open section
+  }           // destructor must notice the cleared stack and bail
+  set_enabled(false);
+  EXPECT_TRUE(report().empty());
+
+  // The profiler still records normally afterwards.
+  set_enabled(true);
+  nested_work(1);
+  set_enabled(false);
+  EXPECT_NE(find_root(report(), "leime.test.outer"), nullptr);
+}
+
 TEST_F(ProfilerTest, ExportFilesWriteAndFailLoudly) {
   set_enabled(true);
   nested_work(1);

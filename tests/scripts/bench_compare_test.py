@@ -99,6 +99,20 @@ class BenchCompareTest(unittest.TestCase):
         cur2 = self.write("cur2.json", regressed)
         self.assertEqual(self.run_compare(cur2, ref), 1)
 
+    def test_zero_baseline_counter_regression_fails_cleanly(self):
+        # A 0 -> N counter increase must produce the normal FAIL list, not
+        # a ZeroDivisionError traceback from the percentage formatting.
+        base = record(cases=[case(counters={"pruned": 0})])
+        worse = record(cases=[case(counters={"pruned": 7})])
+        cur = self.write("cur.json", worse)
+        ref = self.write("base.json", base)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, cur, ref],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("regressed 0 -> 7", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
     def test_counter_decrease_is_not_a_failure(self):
         base = record()
         better = copy.deepcopy(base)
