@@ -1,5 +1,6 @@
-// Microbenchmark — simulator throughput: DES tasks/second of wall time and
-// slotted-model slots/second, to document the cost of large-scale sweeps.
+// Microbenchmark — simulator throughput: DES tasks/second of wall time,
+// slotted-model slots/second, and raw EventQueue schedule/pop throughput
+// at fixed queue depths, to document the cost of large-scale sweeps.
 //
 // Emits BENCH_micro_sim.json (bench::Reporter schema) for the regression
 // gate in scripts/bench_compare.py. The task/slot counts are deterministic
@@ -14,6 +15,7 @@
 // enabled and writes micro_sim.trace.json (chrome://tracing) and
 // micro_sim.folded.txt (flamegraph collapsed stacks), then prints how much
 // of the event-loop wall time the per-event sections account for.
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -23,6 +25,7 @@
 #include "models/zoo.h"
 #include "prof/profiler.h"
 #include "reporter.h"
+#include "sim/event_queue.h"
 #include "sim/simulation.h"
 #include "sim/slotted.h"
 #include "util/table.h"
@@ -152,6 +155,35 @@ int main(int argc, char** argv) {
     c.counters["tasks"] = tasks;
     if (c.wall.median > 0.0)
       c.rates["tasks_per_s"] = static_cast<double>(tasks) / c.wall.median;
+  }
+
+  // Raw event-queue throughput: hold the heap at a fixed depth and run a
+  // schedule-on-pop churn — the DES's dominant access pattern — so the
+  // hot path (4-ary heap sift + pooled slot recycle + inline handler
+  // dispatch) is measured without any simulation logic on top. The depth
+  // sweep separates cache-resident (64) from sift-bound (4096) regimes.
+  for (const int depth : {64, 4096}) {
+    constexpr int kChurn = 200000;
+    std::uint64_t executed = 0;
+    auto& c = reporter.run_case(
+        "queue/depth=" + std::to_string(depth), [&] {
+          sim::EventQueue q;
+          executed = 0;
+          double t = 0.0;
+          for (int i = 0; i < depth; ++i)
+            q.schedule(t += 0.25, sim::EventKind::kGeneric,
+                       [&executed] { ++executed; });
+          for (int i = 0; i < kChurn; ++i) {
+            q.run_one();
+            q.schedule(t += 0.25, sim::EventKind::kGeneric,
+                       [&executed] { ++executed; });
+          }
+          q.run_all();
+        });
+    c.counters["events"] = executed;  // deterministic: depth + kChurn
+    if (c.wall.median > 0.0)
+      c.rates["events_per_s"] =
+          static_cast<double>(executed) / c.wall.median;
   }
 
   for (const int num_slots : {100, 1000}) {

@@ -2,13 +2,20 @@
 # Repo verification gate.
 #
 #   1. Tier-1: configure + build + full ctest suite (ROADMAP.md contract).
-#   2. TSan:   rebuild the parallel-runtime tests with
+#   2. Zero-alloc: the EventQueue steady-state allocation gate, run
+#      explicitly so the DESIGN.md §10 property shows up by name even
+#      though it also rides inside sim_test.
+#   3. Bench: re-measure micro_sim and gate it against bench/baselines/
+#      with scripts/bench_compare.py (counters strict everywhere, wall
+#      medians same-host only). Skipped when python3 is unavailable.
+#   4. TSan:   rebuild the parallel-runtime tests with
 #              -DLEIME_SANITIZE=thread and re-run them, guarding the
 #              executor thread pool against data races. Skipped (with a
 #              notice) when the toolchain lacks libtsan.
 #
 # Env knobs: JOBS (parallel build jobs, default nproc),
-#            LEIME_SKIP_TSAN=1 to run only the tier-1 pass.
+#            LEIME_SKIP_TSAN=1 to run only the earlier passes,
+#            LEIME_SKIP_BENCH=1 to skip the micro_sim bench gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +25,19 @@ echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== zero-alloc: EventQueue steady-state gate =="
+./build/tests/sim_test --gtest_filter='EventQueueAlloc.*'
+
+if [[ "${LEIME_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "== bench gate skipped (LEIME_SKIP_BENCH=1) =="
+elif command -v python3 >/dev/null 2>&1; then
+  echo "== bench gate: micro_sim vs bench/baselines =="
+  (cd build && ./bench/micro_sim --out BENCH_micro_sim.json >/dev/null)
+  python3 scripts/bench_compare.py build/BENCH_micro_sim.json bench/baselines/
+else
+  echo "== bench gate skipped: python3 unavailable =="
+fi
 
 if [[ "${LEIME_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== tsan pass skipped (LEIME_SKIP_TSAN=1) =="

@@ -1,26 +1,119 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "prof/profiler.h"
 
 namespace leime::sim {
 
-void EventQueue::schedule(double when, Handler fn) {
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGeneric: return "generic";
+    case EventKind::kSlotTick: return "slot_tick";
+    case EventKind::kReallocate: return "reallocate";
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kComputeDone: return "compute_done";
+    case EventKind::kTransferDone: return "transfer_done";
+    case EventKind::kCloudService: return "cloud_service";
+    case EventKind::kFailoverProbe: return "failover_probe";
+    case EventKind::kTaskTimeout: return "task_timeout";
+    case EventKind::kRetryLaunch: return "retry_launch";
+    case EventKind::kFaultWindow: return "fault_window";
+    case EventKind::kChurn: return "churn";
+  }
+  return "unknown";
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn.reset();
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::schedule(double when, EventKind kind, Handler fn) {
+  // NaN would satisfy neither `when < now_` nor any heap comparison and
+  // silently corrupt the ordering invariant; reject all non-finite times.
+  if (!std::isfinite(when))
+    throw std::invalid_argument(
+        "EventQueue: event time must be finite (got NaN or infinity)");
   if (when < now_)
     throw std::invalid_argument("EventQueue: scheduling into the past");
-  heap_.push({when, next_seq_++, std::move(fn)});
+  const std::uint32_t idx = acquire_slot();
+  {
+    Slot& s = slots_[idx];
+    s.fn = std::move(fn);
+    s.kind = kind;
+  }
+  try {
+    heap_.push_back({when, next_seq_, idx});
+  } catch (...) {
+    release_slot(idx);
+    throw;
+  }
+  ++next_seq_;
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry item = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
 }
 
 bool EventQueue::run_one() {
   if (heap_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent,
-  // so copy the handler (closures here are small).
-  Event ev = heap_.top();
-  heap_.pop();
-  now_ = ev.when;
+  const HeapEntry top = heap_.front();
+  // Move the last entry into the root and restore the heap; the handler
+  // itself never moves — only 24-byte entries do.
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  // Move the handler out of its pool slot and recycle the slot *before*
+  // dispatch, so a handler that schedules new events reuses it.
+  Slot& s = slots_[top.slot];
+  Handler fn = std::move(s.fn);
+  const EventKind kind = s.kind;
+  release_slot(top.slot);
+  now_ = top.when;
   ++executed_;
-  ev.fn();
+  ++executed_by_kind_[static_cast<std::size_t>(kind)];
+  fn();
   return true;
 }
 
@@ -31,10 +124,10 @@ bool EventQueue::run_one() {
 // queue machinery (heap pop, clock advance, handler dispatch) to the
 // queue instead of to the caller's unexplained self time.
 void EventQueue::run_until(double until) {
-  while (!heap_.empty() && heap_.top().when <= until) {
+  while (!heap_.empty() && heap_.front().when <= until) {
     LEIME_PROF_SCOPE("leime.sim.queue.batch_until");
-    for (int i = 0; i < 64 && !heap_.empty() && heap_.top().when <= until;
-         ++i)
+    for (int i = 0;
+         i < 64 && !heap_.empty() && heap_.front().when <= until; ++i)
       run_one();
   }
   if (now_ < until) now_ = until;

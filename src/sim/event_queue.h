@@ -1,27 +1,76 @@
 // Deterministic discrete-event core.
 //
-// Events are (time, sequence, closure); ties on time break by insertion
+// Events are (time, sequence, handler); ties on time break by insertion
 // order, so a run is bit-reproducible for a fixed seed. Single-threaded by
 // design — the edge scenarios here are small enough that determinism is
 // worth far more than parallel speed.
+//
+// The hot path is allocation-free in steady state (DESIGN.md §10):
+//   * handlers are util::InlineFn — fixed-capacity in-object storage sized
+//     for the largest capture in simulation.cpp/resources.cpp and
+//     static-asserted at every bind site, so no std::function mallocs;
+//   * the ready set is an in-repo 4-ary min-heap over a flat vector of
+//     16-byte-ish entries; popping *moves* the handler out (the old
+//     std::priority_queue forced a copy because top() is const);
+//   * handler storage lives in pooled slots recycled through an intrusive
+//     free list, so after warmup a schedule/run cycle reuses memory
+//     instead of allocating it.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/inline_fn.h"
 
 namespace leime::sim {
 
+/// Typed tags for the known event kinds. Purely observational: kinds never
+/// influence ordering or dispatch (that stays (when, seq) + the handler),
+/// they label events for per-kind executed() telemetry and debugging.
+enum class EventKind : std::uint8_t {
+  kGeneric = 0,    ///< untagged (tests, ad-hoc callers)
+  kSlotTick,       ///< per-slot Lyapunov decision tick (eq. 16–20 cadence)
+  kReallocate,     ///< periodic eq. 27 edge re-allocation
+  kArrival,        ///< task arrival at a device
+  kComputeDone,    ///< FifoProcessor job completion (device/edge/cloud)
+  kTransferDone,   ///< Link delivery (uplink/downlink/backhaul)
+  kCloudService,   ///< uncontended cloud service completion
+  kFailoverProbe,  ///< crash detection timeout / edge re-probe
+  kTaskTimeout,    ///< per-task watchdog expiry
+  kRetryLaunch,    ///< backoff redispatch after a timeout
+  kFaultWindow,    ///< edge crash/restart window boundary
+  kChurn,          ///< device leave/rejoin
+};
+inline constexpr std::size_t kNumEventKinds = 12;
+
+/// Stable lowercase name for logs and tests.
+const char* to_string(EventKind kind);
+
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  /// Inline handler storage, in bytes. Sized for the largest schedule-site
+  /// capture: Link::transfer's completion-forwarding lambda (this + a
+  /// 56-byte inline Completion + a double, 80 bytes with padding) plus
+  /// headroom. Every bind static-asserts against this, so growing a
+  /// capture past it is a compile error, never a hidden allocation.
+  static constexpr std::size_t kHandlerCapacity = 96;
+  using Handler = util::InlineFn<void(), kHandlerCapacity>;
 
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
-  void schedule(double when, Handler fn);
+  /// Schedules `fn` at absolute time `when` (finite, >= now()).
+  void schedule(double when, Handler fn) {
+    schedule(when, EventKind::kGeneric, std::move(fn));
+  }
+  void schedule(double when, EventKind kind, Handler fn);
 
   /// Schedules `fn` `delay` seconds from now (delay >= 0).
-  void schedule_in(double delay, Handler fn) { schedule(now_ + delay, std::move(fn)); }
+  void schedule_in(double delay, Handler fn) {
+    schedule(now_ + delay, EventKind::kGeneric, std::move(fn));
+  }
+  void schedule_in(double delay, EventKind kind, Handler fn) {
+    schedule(now_ + delay, kind, std::move(fn));
+  }
 
   /// Pops and runs the earliest event; returns false when empty.
   bool run_one();
@@ -37,24 +86,45 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
+  std::uint64_t executed(EventKind kind) const {
+    return executed_by_kind_[static_cast<std::size_t>(kind)];
+  }
+
+  /// High-water mark of pooled handler slots (monotone; steady state keeps
+  /// it flat — the zero-allocation test pins this).
+  std::size_t pool_capacity() const { return slots_.size(); }
 
  private:
-  struct Event {
+  /// Heap entries carry only the ordering key + a slot index; the (big)
+  /// handler stays put in the pool while sift operations shuffle entries.
+  struct HeapEntry {
     double when;
     std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Slot {
     Handler fn;
+    EventKind kind = EventKind::kGeneric;
+    std::uint32_t next_free = kNoFreeSlot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap, root at 0
+  std::vector<Slot> slots_;      ///< handler pool, grows only at high water
+  std::uint32_t free_head_ = kNoFreeSlot;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::array<std::uint64_t, kNumEventKinds> executed_by_kind_{};
 };
 
 }  // namespace leime::sim

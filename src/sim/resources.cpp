@@ -32,7 +32,8 @@ void FifoProcessor::submit(double work, JobClass cls, Completion done) {
   busy_until_ = finish;
   total_work_ += work;
   ++pending_[static_cast<int>(cls)];
-  queue_->schedule(finish, [this, cls, done = std::move(done), finish] {
+  queue_->schedule(finish, EventKind::kComputeDone,
+                   [this, cls, done = std::move(done), finish]() mutable {
     --pending_[static_cast<int>(cls)];
     LEIME_CHECK(pending_[static_cast<int>(cls)] >= 0);
     done(finish);
@@ -122,7 +123,8 @@ void Link::transfer(double bytes, double extra_latency, Completion done) {
   total_bytes_ += bytes;
   const double delivery = busy_until_ + latency_at(start) + extra_latency;
   ++pending_;
-  queue_->schedule(delivery, [this, done = std::move(done), delivery] {
+  queue_->schedule(delivery, EventKind::kTransferDone,
+                   [this, done = std::move(done), delivery]() mutable {
     --pending_;
     LEIME_CHECK(pending_ >= 0);
     done(delivery);

@@ -8,13 +8,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "util/inline_fn.h"
 #include "util/trace.h"
 
 namespace leime::sim {
@@ -23,9 +23,16 @@ namespace leime::sim {
 /// per-type backlogs (Q_i / H_i count first-block tasks only).
 enum class JobClass : std::uint8_t { kBlock1 = 0, kBlock2 = 1, kBlock3 = 2 };
 
+/// Completion callbacks ride inside EventQueue handlers, so they use the
+/// same never-allocating inline storage. 48 bytes fits the largest
+/// completion capture in simulation.cpp ([this, i, id, att] plus padding)
+/// with headroom; the InlineFn bind static-asserts any overflow.
+inline constexpr std::size_t kCompletionCapacity = 48;
+using Completion = util::InlineFn<void(double), kCompletionCapacity>;
+
 class FifoProcessor {
  public:
-  using Completion = std::function<void(double finish_time)>;
+  using Completion = sim::Completion;  ///< fires with the finish time
 
   /// `flops` must be > 0. The queue+EventQueue must outlive the processor.
   FifoProcessor(EventQueue& queue, std::string name, double flops);
@@ -70,7 +77,7 @@ class FifoProcessor {
 
 class Link {
  public:
-  using Completion = std::function<void(double delivery_time)>;
+  using Completion = sim::Completion;  ///< fires with the delivery time
 
   /// Fixed-parameter link. Bandwidth in bytes/s (> 0), latency in s (>= 0).
   Link(EventQueue& queue, std::string name, double bandwidth_bytes_per_s,

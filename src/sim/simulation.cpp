@@ -109,9 +109,11 @@ class Simulation {
       decide(i);
       schedule_next_arrival(i);
     }
-    queue_.schedule(cfg_.lyapunov.tau, [this] { slot_tick(); });
+    queue_.schedule(cfg_.lyapunov.tau, EventKind::kSlotTick,
+                    [this] { slot_tick(); });
     if (cfg_.reallocation_period > 0.0)
-      queue_.schedule(cfg_.reallocation_period, [this] { reallocate(); });
+      queue_.schedule(cfg_.reallocation_period, EventKind::kReallocate,
+                      [this] { reallocate(); });
 
     // Generation stops at duration; in-flight tasks drain afterwards.
     {
@@ -258,15 +260,19 @@ class Simulation {
             to_pairs(timeline_.link_down[i]));
     }
     for (const auto& w : timeline_.edge_down) {
-      queue_.schedule(w.start, [this] { on_edge_crash(); });
+      queue_.schedule(w.start, EventKind::kFaultWindow,
+                      [this] { on_edge_crash(); });
       if (std::isfinite(w.end))
-        queue_.schedule(w.end, [this] { on_edge_restart(); });
+        queue_.schedule(w.end, EventKind::kFaultWindow,
+                        [this] { on_edge_restart(); });
     }
     for (const auto& e : timeline_.churn) {
       const auto d = static_cast<std::size_t>(e.device);
-      queue_.schedule(e.leave, [this, d] { on_churn(d, false); });
+      queue_.schedule(e.leave, EventKind::kChurn,
+                      [this, d] { on_churn(d, false); });
       if (e.rejoin >= 0.0)
-        queue_.schedule(e.rejoin, [this, d] { on_churn(d, true); });
+        queue_.schedule(e.rejoin, EventKind::kChurn,
+                        [this, d] { on_churn(d, true); });
     }
   }
 
@@ -293,7 +299,8 @@ class Simulation {
       if (obs_) obs_->on_phase_abort(id, now, "edge_crash");
       rec.stage = Stage::kWait;
       const int att = rec.attempt;
-      queue_.schedule(now + deg().detection_timeout, [this, id, from, att] {
+      queue_.schedule(now + deg().detection_timeout,
+                      EventKind::kFailoverProbe, [this, id, from, att] {
         if (!alive(id, att)) return;
         failover(tasks_[id].device, id, from);
       });
@@ -316,15 +323,17 @@ class Simulation {
                      static_cast<int>(device), queue_.now());
     // Re-run the eq. 27 allocation over the devices actually present
     // (absentees keep a floor share so a rejoin cannot divide by zero).
-    std::vector<double> k, fd;
+    scratch_k_.clear();
+    scratch_fd_.clear();
     for (std::size_t i = 0; i < devices_.size(); ++i) {
-      k.push_back(present_[i]
-                      ? std::max(1e-6, devices_[i]->spec->mean_rate *
-                                           cfg_.lyapunov.tau)
-                      : 1e-6);
-      fd.push_back(devices_[i]->spec->flops);
+      scratch_k_.push_back(present_[i]
+                               ? std::max(1e-6, devices_[i]->spec->mean_rate *
+                                                    cfg_.lyapunov.tau)
+                               : 1e-6);
+      scratch_fd_.push_back(devices_[i]->spec->flops);
     }
-    const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
+    const auto shares =
+        core::kkt_edge_allocation(scratch_k_, scratch_fd_, cfg_.edge_flops);
     for (std::size_t i = 0; i < devices_.size(); ++i)
       devices_[i]->edge_share->set_flops(shares[i] * cfg_.edge_flops);
   }
@@ -369,7 +378,7 @@ class Simulation {
     }
     rec->stage = Stage::kWait;
     const int att = rec->attempt;
-    queue_.schedule(when, [this, i, id, att] {
+    queue_.schedule(when, EventKind::kFailoverProbe, [this, i, id, att] {
       if (!alive(id, att)) return;
       submit_edge_block2(i, id);
     });
@@ -378,7 +387,8 @@ class Simulation {
   /// Bounded-retry watchdog for offloaded dispatches (task_timeout > 0).
   void schedule_task_timeout(std::size_t i, std::size_t id) {
     const int att = tasks_[id].attempt;
-    queue_.schedule_in(deg().task_timeout, [this, i, id, att] {
+    queue_.schedule_in(deg().task_timeout, EventKind::kTaskTimeout,
+                       [this, i, id, att] {
       auto& rec = tasks_[id];
       if (!alive(id, att)) return;
       // Too deep to claw back (cloud leg) or terminally parked: let it be.
@@ -398,7 +408,8 @@ class Simulation {
             deg().retry_backoff * std::pow(2.0, rec.retries - 1);
         rec.stage = Stage::kWait;
         const int next = rec.attempt;
-        queue_.schedule_in(wait, [this, i, id, next] {
+        queue_.schedule_in(wait, EventKind::kRetryLaunch,
+                           [this, i, id, next] {
           if (!alive(id, next)) return;
           dispatch(i, id, /*offload=*/true);
         });
@@ -480,7 +491,8 @@ class Simulation {
       ++queue_samples_;
     }
     if (queue_.now() + cfg_.lyapunov.tau <= cfg_.duration)
-      queue_.schedule_in(cfg_.lyapunov.tau, [this] { slot_tick(); });
+      queue_.schedule_in(cfg_.lyapunov.tau, EventKind::kSlotTick,
+                         [this] { slot_tick(); });
   }
 
   void schedule_next_arrival(std::size_t i) {
@@ -488,7 +500,7 @@ class Simulation {
     const double gap = dev.arrivals->next_interarrival(queue_.now(), dev.rng);
     const double when = queue_.now() + gap;
     if (when > cfg_.duration) return;  // generation window closed
-    queue_.schedule(when, [this, i] {
+    queue_.schedule(when, EventKind::kArrival, [this, i] {
       on_arrival(i);
       schedule_next_arrival(i);
     });
@@ -498,19 +510,22 @@ class Simulation {
     LEIME_PROF_SCOPE("leime.sim.ev.reallocate");
     // Re-run the eq. 27 allocation on observed per-window rates; a floor
     // keeps idle devices from being starved out entirely.
-    std::vector<double> k, fd;
+    scratch_k_.clear();
+    scratch_fd_.clear();
     for (auto& dev : devices_) {
-      k.push_back(std::max(0.25, static_cast<double>(dev->arrived_this_window) *
-                                     cfg_.lyapunov.tau /
-                                     cfg_.reallocation_period));
-      fd.push_back(dev->spec->flops);
+      scratch_k_.push_back(
+          std::max(0.25, static_cast<double>(dev->arrived_this_window) *
+                             cfg_.lyapunov.tau / cfg_.reallocation_period));
+      scratch_fd_.push_back(dev->spec->flops);
       dev->arrived_this_window = 0;
     }
-    const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
+    const auto shares =
+        core::kkt_edge_allocation(scratch_k_, scratch_fd_, cfg_.edge_flops);
     for (std::size_t i = 0; i < devices_.size(); ++i)
       devices_[i]->edge_share->set_flops(shares[i] * cfg_.edge_flops);
     if (queue_.now() + cfg_.reallocation_period <= cfg_.duration)
-      queue_.schedule_in(cfg_.reallocation_period, [this] { reallocate(); });
+      queue_.schedule_in(cfg_.reallocation_period, EventKind::kReallocate,
+                         [this] { reallocate(); });
   }
 
   void on_arrival(std::size_t i) {
@@ -580,7 +595,8 @@ class Simulation {
       if (obs_)
         obs_->on_fault("edge_refused", static_cast<int>(i), queue_.now());
       const int att = rec.attempt;
-      queue_.schedule_in(deg().detection_timeout, [this, i, id, att] {
+      queue_.schedule_in(deg().detection_timeout, EventKind::kFailoverProbe,
+                         [this, i, id, att] {
         if (!alive(id, att)) return;
         failover(i, id, Stage::kEdge1);
       });
@@ -610,7 +626,8 @@ class Simulation {
       if (obs_)
         obs_->on_fault("edge_refused", static_cast<int>(i), queue_.now());
       const int att = rec.attempt;
-      queue_.schedule_in(deg().detection_timeout, [this, i, id, att] {
+      queue_.schedule_in(deg().detection_timeout, EventKind::kFailoverProbe,
+                         [this, i, id, att] {
         if (!alive(id, att)) return;
         failover(i, id, Stage::kEdge2);
       });
@@ -697,7 +714,8 @@ class Simulation {
         if (obs_)
           obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
                                "cloud", t2, t2, att);
-        queue_.schedule(finish, [this, i, id, att, finish] {
+        queue_.schedule(finish, EventKind::kCloudService,
+                        [this, i, id, att, finish] {
           if (!alive(id, att)) return;
           if (obs_) obs_->on_phase_end(id, finish);
           deliver_from_cloud(i, id, finish);
@@ -867,6 +885,10 @@ class Simulation {
   std::size_t queue_samples_ = 0;
   std::vector<double> x_sum_dev_;
   std::vector<std::size_t> x_count_dev_;
+  // Reused by reallocate()/on_churn() so periodic re-allocations stop
+  // re-growing fresh k/F^d vectors every window.
+  std::vector<double> scratch_k_;
+  std::vector<double> scratch_fd_;
 
   // Fault-layer state.
   bool faults_on_ = false;

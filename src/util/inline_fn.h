@@ -1,0 +1,114 @@
+// InlineFn — a fixed-capacity, never-allocating move-only callable.
+//
+// std::function heap-allocates any capture larger than its small-buffer
+// (16 bytes on libstdc++), which made every DES event schedule/dispatch
+// cycle cost one or two mallocs. InlineFn stores the callable directly in
+// an in-object buffer of `Capacity` bytes and *statically rejects* anything
+// that does not fit, so binding and invoking can never touch the heap. The
+// capacity is part of the type: pick it from the largest capture at the
+// call sites (the DES sizes EventQueue::Handler off the biggest lambda in
+// simulation.cpp / resources.cpp) and the static_assert keeps it honest
+// when someone grows a capture later.
+//
+// Deliberate non-goals: no copy (handlers run once, then die back into the
+// event pool), no allocator fallback (a too-big capture is a compile
+// error, not a silent malloc), no target_type/RTTI.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace leime::util {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFn<R(Args...), Capacity> {
+ public:
+  /// Empty; operator bool() is false and invoking is undefined.
+  InlineFn() noexcept = default;
+
+  /// Binds any callable that fits the buffer. Compile-time contract:
+  /// sizeof <= Capacity, pointer alignment, nothrow-move-constructible
+  /// (the event pool relocates handlers when recycling slots).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "InlineFn: capture too large for the inline buffer — "
+                  "shrink the capture or grow the capacity at the owner");
+    static_assert(alignof(Fn) <= alignof(void*),
+                  "InlineFn: over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InlineFn: callables must be nothrow-move-constructible");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  InlineFn(InlineFn&& other) noexcept { take_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroys the bound callable (if any); leaves the fn empty.
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  ///< move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor = {
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* s) { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  void take_from(InlineFn& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(void*) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace leime::util

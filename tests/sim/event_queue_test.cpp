@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace leime::sim {
@@ -64,6 +68,137 @@ TEST(EventQueue, RejectsPastScheduling) {
 TEST(EventQueue, RunOneOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.run_one());
+}
+
+// Regression: `when < now_` is false for NaN, so a NaN timestamp used to
+// slip into the heap and corrupt its ordering. All non-finite times must
+// be rejected up front, leaving the queue untouched.
+TEST(EventQueue, RejectsNonFiniteTimes) {
+  EventQueue q;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(q.schedule(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(-inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(nan, [] {}), std::invalid_argument);
+  EXPECT_EQ(q.pending(), 0u);
+  // The queue stays fully usable after the rejections.
+  int ran = 0;
+  q.schedule(1.0, [&] { ++ran; });
+  q.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+// FIFO among ties must hold at scale, where the 4-ary heap actually
+// exercises multi-level sifts, not just the tiny 5-event case above.
+TEST(EventQueue, ThousandSameTimestampTiesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  order.reserve(1000);
+  for (int i = 0; i < 1000; ++i)
+    q.schedule(7.0, [&order, i] { order.push_back(i); });
+  // Interleave an earlier and a later event so ties sift around them.
+  q.schedule(1.0, [] {});
+  q.schedule(9.0, [] {});
+  q.run_all();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i) << "position " << i;
+}
+
+// run_until(t) is inclusive: an event at exactly t runs, one just after
+// stays queued, and now() lands on t either way.
+TEST(EventQueue, RunUntilBoundaryEquality) {
+  EventQueue q;
+  int at_boundary = 0, after = 0;
+  q.schedule(2.0, [&] { ++at_boundary; });
+  q.schedule(std::nextafter(2.0, 3.0), [&] { ++after; });
+  q.run_until(2.0);
+  EXPECT_EQ(at_boundary, 1);
+  EXPECT_EQ(after, 0);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(after, 1);
+}
+
+// After a full drain the pool must recycle slots instead of growing: a
+// second wave of the same depth keeps pool_capacity() at its high water.
+TEST(EventQueue, PoolSlotsAreReusedAfterRunAll) {
+  EventQueue q;
+  int ran = 0;
+  for (int i = 0; i < 50; ++i) q.schedule(1.0 + i, [&] { ++ran; });
+  q.run_all();
+  const std::size_t high_water = q.pool_capacity();
+  EXPECT_GE(high_water, 50u);
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 50; ++i) q.schedule(q.now() + 1.0 + i, [&] { ++ran; });
+    q.run_all();
+    EXPECT_EQ(q.pool_capacity(), high_water) << "wave " << wave;
+  }
+  EXPECT_EQ(ran, 200);
+}
+
+// Handlers scheduling during dispatch (the dominant DES pattern: a
+// completion submits the next hop) must interleave deterministically with
+// pre-queued events, including same-timestamp ties landing after existing
+// ones.
+TEST(EventQueue, ScheduleDuringDispatchInterleavesDeterministically) {
+  EventQueue q;
+  std::vector<std::string> log;
+  q.schedule(1.0, [&] {
+    log.push_back("a@1");
+    q.schedule(2.0, [&] { log.push_back("a2@2"); });  // ties with b, later seq
+    q.schedule_in(0.5, [&] { log.push_back("a1@1.5"); });
+  });
+  q.schedule(2.0, [&] {
+    log.push_back("b@2");
+    q.schedule(2.0, [&] { log.push_back("b1@2"); });  // same-time follow-on
+  });
+  q.run_all();
+  EXPECT_EQ(log, (std::vector<std::string>{"a@1", "a1@1.5", "b@2", "a2@2",
+                                           "b1@2"}));
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueue, PerKindExecutedCounters) {
+  EventQueue q;
+  q.schedule(1.0, EventKind::kSlotTick, [] {});
+  q.schedule(2.0, EventKind::kSlotTick, [] {});
+  q.schedule_in(3.0, EventKind::kChurn, [] {});
+  q.schedule(4.0, [] {});  // untagged -> kGeneric
+  q.run_all();
+  EXPECT_EQ(q.executed(EventKind::kSlotTick), 2u);
+  EXPECT_EQ(q.executed(EventKind::kChurn), 1u);
+  EXPECT_EQ(q.executed(EventKind::kGeneric), 1u);
+  EXPECT_EQ(q.executed(EventKind::kArrival), 0u);
+  EXPECT_EQ(q.executed(), 4u);
+}
+
+TEST(EventQueue, EventKindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::kSlotTick), "slot_tick");
+  EXPECT_STREQ(to_string(EventKind::kFailoverProbe), "failover_probe");
+  EXPECT_STREQ(to_string(EventKind::kGeneric), "generic");
+}
+
+// Every handler's capture must be constructed/destroyed in balance across
+// the pool's move-out-and-recycle path (no double destruction, no leak).
+TEST(EventQueue, HandlerLifetimesBalanceThroughThePool) {
+  struct Probe {
+    int* balance;
+    explicit Probe(int* b) : balance(b) { ++*balance; }
+    Probe(const Probe& o) : balance(o.balance) { ++*balance; }
+    Probe(Probe&& o) noexcept : balance(o.balance) { ++*balance; }
+    ~Probe() { --*balance; }
+    void operator()() const {}
+  };
+  int balance = 0;
+  {
+    EventQueue q;
+    for (int i = 0; i < 32; ++i) q.schedule(1.0 + i, Probe(&balance));
+    q.run_until(16.0);        // half run...
+    EXPECT_GT(q.pending(), 0u);
+  }                           // ...half destroyed with the queue
+  EXPECT_EQ(balance, 0);
 }
 
 }  // namespace

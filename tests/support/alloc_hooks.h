@@ -1,0 +1,25 @@
+// Test-only global allocation counters.
+//
+// Linking alloc_hooks.cpp into a test binary replaces the global
+// operator new/delete family with malloc/free wrappers that bump an atomic
+// counter per allocation. Tests then assert a region of code allocates
+// exactly zero times by diffing allocation_count() around it — the gate
+// that keeps the DES hot path's zero-allocation steady state (DESIGN.md
+// §10) from silently regressing.
+//
+// The counters are process-global and include gtest's own allocations, so
+// only ever compare *deltas* across a region that runs nothing but the
+// code under test.
+#pragma once
+
+#include <cstdint>
+
+namespace leime::testsupport {
+
+/// Number of global operator new invocations (all forms) since start.
+std::uint64_t allocation_count();
+
+/// Number of global operator delete invocations (all forms) since start.
+std::uint64_t deallocation_count();
+
+}  // namespace leime::testsupport

@@ -1,0 +1,79 @@
+#include "util/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace leime::util {
+namespace {
+
+TEST(InlineFn, DefaultIsEmptyAndBoundIsTruthy) {
+  InlineFn<int(), 16> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] { return 7; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFn, CapturesStateAndForwardsArguments) {
+  int sum = 0;
+  InlineFn<void(int, int), 16> add = [&sum](int a, int b) { sum += a + b; };
+  add(2, 3);
+  add(10, 20);
+  EXPECT_EQ(sum, 35);
+}
+
+TEST(InlineFn, MoveTransfersOwnershipAndEmptiesSource) {
+  int calls = 0;
+  InlineFn<void(), 16> a = [&calls] { ++calls; };
+  InlineFn<void(), 16> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  struct Probe {
+    int* balance;
+    explicit Probe(int* b) : balance(b) { ++*balance; }
+    Probe(Probe&& o) noexcept : balance(o.balance) { ++*balance; }
+    Probe(const Probe& o) : balance(o.balance) { ++*balance; }
+    ~Probe() { --*balance; }
+    void operator()() const {}
+  };
+  int balance = 0;
+  {
+    InlineFn<void(), 16> fn = Probe(&balance);
+    EXPECT_EQ(balance, 1);
+    fn = Probe(&balance);  // old target destroyed, new one adopted
+    EXPECT_EQ(balance, 1);
+    fn.reset();
+    EXPECT_EQ(balance, 0);
+    fn.reset();  // idempotent on empty
+  }
+  EXPECT_EQ(balance, 0);
+}
+
+TEST(InlineFn, MutableCallablesKeepTheirState) {
+  InlineFn<std::uint64_t(), 16> counter = [n = std::uint64_t{0}]() mutable {
+    return ++n;
+  };
+  EXPECT_EQ(counter(), 1u);
+  EXPECT_EQ(counter(), 2u);
+  EXPECT_EQ(counter(), 3u);
+}
+
+TEST(InlineFn, FitsExactlyAtCapacity) {
+  struct Exact {
+    unsigned char pad[32];
+    int operator()() const { return pad[0]; }
+  };
+  static_assert(sizeof(Exact) == 32);
+  InlineFn<int(), 32> fn = Exact{};
+  EXPECT_EQ(fn(), 0);
+}
+
+}  // namespace
+}  // namespace leime::util
