@@ -5,9 +5,10 @@
 #   2. Zero-alloc: the EventQueue steady-state allocation gate, run
 #      explicitly so the DESIGN.md §10 property shows up by name even
 #      though it also rides inside sim_test.
-#   3. Bench: re-measure micro_sim and gate it against bench/baselines/
-#      with scripts/bench_compare.py (counters strict everywhere, wall
-#      medians same-host only). Skipped when python3 is unavailable.
+#   3. Bench: re-measure micro_sim and tab_topology and gate them against
+#      bench/baselines/ with scripts/bench_compare.py (counters strict
+#      everywhere, wall medians same-host only). Skipped when python3 is
+#      unavailable.
 #   4. TSan:   rebuild the parallel-runtime tests with
 #              -DLEIME_SANITIZE=thread and re-run them, guarding the
 #              executor thread pool against data races. Skipped (with a
@@ -32,9 +33,12 @@ echo "== zero-alloc: EventQueue steady-state gate =="
 if [[ "${LEIME_SKIP_BENCH:-0}" == "1" ]]; then
   echo "== bench gate skipped (LEIME_SKIP_BENCH=1) =="
 elif command -v python3 >/dev/null 2>&1; then
-  echo "== bench gate: micro_sim vs bench/baselines =="
+  echo "== bench gate: micro_sim + tab_topology vs bench/baselines =="
   (cd build && ./bench/micro_sim --out BENCH_micro_sim.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_micro_sim.json bench/baselines/
+  (cd build && ./bench/tab_topology --out BENCH_tab_topology.json >/dev/null)
+  python3 scripts/bench_compare.py build/BENCH_tab_topology.json \
+    bench/baselines/
 else
   echo "== bench gate skipped: python3 unavailable =="
 fi

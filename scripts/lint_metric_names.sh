@@ -66,8 +66,42 @@ if [[ "$prof_found" -eq 0 ]]; then
   echo "lint_metric_names: no profiler sites found — lint is broken" >&2
   exit 2
 fi
+
+# Third pass: the leime_net_* namespace (src/net). The fabric composes
+# per-port names at runtime (prefix + port name + suffix), so the
+# registration-site pass above only ever sees the literal fragments —
+# lint those instead: every "leime_net_..." prefix literal and every
+# "_..." suffix concatenated onto one must stay inside the registry
+# alphabet. The dynamic middle is a Topology node name ("dev3", "ap0"),
+# lowercase-alnum by construction (net/topology_test covers it).
+net_prefix_pattern='^leime_net_[a-z0-9_]*$'
+net_suffix_pattern='^_[a-z0-9_]+$'
+net_found=0
+while IFS=: read -r file line name; do
+  net_found=$((net_found + 1))
+  if ! [[ "$name" =~ $net_prefix_pattern ]]; then
+    echo "BAD  $file:$line  '$name' does not match $net_prefix_pattern" >&2
+    fail=1
+  fi
+done < <(grep -rnoE '"leime_net_[^"]*"' --include='*.cpp' --include='*.h' \
+           src bench examples | sed -E 's/"([^"]*)"$/\1/')
+while IFS=: read -r file line name; do
+  net_found=$((net_found + 1))
+  if ! [[ "$name" =~ $net_suffix_pattern ]]; then
+    echo "BAD  $file:$line  suffix '$name' does not match $net_suffix_pattern" >&2
+    fail=1
+  fi
+done < <(grep -rnoE '(prefix|name)\s*\+\s*"_[^"]*"' \
+           --include='*.cpp' --include='*.h' src/net \
+         | sed -E 's/(prefix|name)\s*\+\s*"([^"]*)"$/\2/')
+
+if [[ "$net_found" -eq 0 ]]; then
+  echo "lint_metric_names: no leime_net_* fragments found — lint is broken" >&2
+  exit 2
+fi
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
 echo "lint_metric_names: $found registered names all match $pattern"
 echo "lint_metric_names: $prof_found profiler names all match $prof_pattern, no duplicates"
+echo "lint_metric_names: $net_found leime_net_* fragments stay inside the registry alphabet"

@@ -1,0 +1,262 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace leime::net {
+namespace {
+
+std::uint32_t pack_node(NodeId node) {
+  return (static_cast<std::uint32_t>(node.tier) << 24) |
+         (static_cast<std::uint32_t>(node.index) & 0x00ffffffu);
+}
+
+std::uint64_t route_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(pack_node(src)) << 32) |
+         static_cast<std::uint64_t>(pack_node(dst));
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::EventQueue& queue, Topology topology, Options options)
+    : queue_(&queue), topology_(std::move(topology)), options_(options) {
+  topology_.validate();
+  if (options_.queue_limit_bytes < 0.0)
+    throw std::invalid_argument("net: queue limit must be >= 0");
+
+  const int n = topology_.num_devices();
+  const int a = topology_.num_aps();
+  const int e = topology_.num_edges();
+  routers_.reserve(static_cast<std::size_t>(n + a + e + 1));
+  for (int i = 0; i < n; ++i) routers_.emplace_back(*queue_, NodeId::device(i));
+  for (int i = 0; i < a; ++i) routers_.emplace_back(*queue_, NodeId::ap(i));
+  for (int i = 0; i < e; ++i) routers_.emplace_back(*queue_, NodeId::edge(i));
+  routers_.emplace_back(*queue_, NodeId::cloud());
+
+  const auto connect = [&](NodeId child, NodeId parent, const LinkSpec& up) {
+    router(child).add_port(parent, up, options_.queue_limit_bytes);
+    if (options_.duplex)
+      router(parent).add_port(child, up, options_.queue_limit_bytes);
+  };
+  for (int i = 0; i < n; ++i)
+    connect(NodeId::device(i), NodeId::ap(topology_.ap_of(i)),
+            topology_.device_up(i));
+  for (int i = 0; i < a; ++i)
+    connect(NodeId::ap(i), NodeId::edge(topology_.edge_of(i)),
+            topology_.ap_up(i));
+  for (int i = 0; i < e; ++i)
+    connect(NodeId::edge(i), NodeId::cloud(), topology_.edge_up(i));
+}
+
+Router& Fabric::router(NodeId node) {
+  const int n = topology_.num_devices();
+  const int a = topology_.num_aps();
+  const int e = topology_.num_edges();
+  std::size_t index = 0;
+  switch (node.tier) {
+    case Tier::kDevice:
+      LEIME_CHECK(node.index >= 0 && node.index < n);
+      index = static_cast<std::size_t>(node.index);
+      break;
+    case Tier::kAp:
+      LEIME_CHECK(node.index >= 0 && node.index < a);
+      index = static_cast<std::size_t>(n + node.index);
+      break;
+    case Tier::kEdge:
+      LEIME_CHECK(node.index >= 0 && node.index < e);
+      index = static_cast<std::size_t>(n + a + node.index);
+      break;
+    case Tier::kCloud:
+      index = static_cast<std::size_t>(n + a + e);
+      break;
+  }
+  return routers_[index];
+}
+
+const Router& Fabric::router(NodeId node) const {
+  return const_cast<Fabric*>(this)->router(node);
+}
+
+sim::Link* Fabric::link(NodeId src, NodeId dst) {
+  Router::Port* port = router(src).find_port(dst);
+  return port ? port->link.get() : nullptr;
+}
+
+const sim::Link* Fabric::link(NodeId src, NodeId dst) const {
+  return const_cast<Fabric*>(this)->link(src, dst);
+}
+
+const Fabric::CachedRoute& Fabric::resolve(NodeId src, NodeId dst) {
+  const std::uint64_t key = route_key(src, dst);
+  const auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+
+  const Topology::Route route = topology_.route(src, dst);
+  CachedRoute cached;
+  cached.count = route.count;
+  for (int i = 0; i < route.count; ++i) {
+    const auto& [hop_src, hop_dst] = route.hops[static_cast<std::size_t>(i)];
+    Router& hop_router = router(hop_src);
+    Router::Port* port = hop_router.find_port(hop_dst);
+    if (!port)
+      throw std::invalid_argument(
+          "net: route " + to_string(src) + " -> " + to_string(dst) +
+          " needs the downlink port " + to_string(hop_src) + " -> " +
+          to_string(hop_dst) + " (build the fabric with duplex ports)");
+    cached.hops[static_cast<std::size_t>(i)] = {&hop_router, port};
+  }
+  return route_cache_.emplace(key, cached).first->second;
+}
+
+std::uint32_t Fabric::acquire_flow() {
+  if (free_head_ != kNoFlow) {
+    const std::uint32_t id = free_head_;
+    free_head_ = flows_[id].next_free;
+    return id;
+  }
+  flows_.emplace_back();
+  return static_cast<std::uint32_t>(flows_.size() - 1);
+}
+
+void Fabric::release_flow(std::uint32_t id) {
+  Flow& flow = flows_[id];
+  flow.done.reset();
+  flow.route = nullptr;
+  flow.next_free = free_head_;
+  free_head_ = id;
+}
+
+void Fabric::transfer(NodeId src, NodeId dst, double bytes, Completion done) {
+  if (bytes < 0.0) throw std::invalid_argument("net: negative bytes");
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+
+  const CachedRoute& route = resolve(src, dst);
+  if (route.count == 0) {
+    ++stats_.delivered;
+    done(queue_->now());
+    return;
+  }
+
+  const std::uint32_t id = acquire_flow();
+  Flow& flow = flows_[id];
+  flow.bytes = bytes;
+  flow.done = std::move(done);
+  flow.route = &route;
+  flow.next_hop = 0;
+  advance(id, queue_->now());
+}
+
+void Fabric::advance(std::uint32_t id, double t) {
+  Flow& flow = flows_[id];
+  if (flow.next_hop == flow.route->count) {
+    ++stats_.delivered;
+    Completion done = std::move(flow.done);
+    release_flow(id);  // before invoking: the completion may start new flows
+    done(t);
+    return;
+  }
+
+  const Hop& hop =
+      flow.route->hops[static_cast<std::size_t>(flow.next_hop)];
+  ++flow.next_hop;
+  const bool sent = hop.router->send(
+      *hop.port, flow.bytes,
+      [this, id](double when) { advance(id, when); });
+  if (!sent) {
+    ++stats_.drops;
+    Completion done = std::move(flow.done);
+    release_flow(id);
+    done(kDropped);
+    return;
+  }
+  ++stats_.hops;
+}
+
+double Fabric::route_bandwidth_at(NodeId src, NodeId dst, double t) const {
+  const auto& route = const_cast<Fabric*>(this)->resolve(src, dst);
+  double bw = 0.0;
+  for (int i = 0; i < route.count; ++i) {
+    const double hop_bw =
+        route.hops[static_cast<std::size_t>(i)].port->link->bandwidth_at(t);
+    bw = (i == 0) ? hop_bw : std::min(bw, hop_bw);
+  }
+  return bw;
+}
+
+double Fabric::route_latency_at(NodeId src, NodeId dst, double t) const {
+  const auto& route = const_cast<Fabric*>(this)->resolve(src, dst);
+  double lat = 0.0;
+  for (int i = 0; i < route.count; ++i)
+    lat += route.hops[static_cast<std::size_t>(i)].port->link->latency_at(t);
+  return lat;
+}
+
+double Fabric::route_backlog_bytes(NodeId src, NodeId dst, double t) const {
+  const auto& route = const_cast<Fabric*>(this)->resolve(src, dst);
+  double backlog = 0.0;
+  for (int i = 0; i < route.count; ++i)
+    backlog +=
+        route.hops[static_cast<std::size_t>(i)].port->link->backlog_bytes(t);
+  return backlog;
+}
+
+bool Fabric::route_up_at(NodeId src, NodeId dst, double t) const {
+  const auto& route = const_cast<Fabric*>(this)->resolve(src, dst);
+  for (int i = 0; i < route.count; ++i)
+    if (!route.hops[static_cast<std::size_t>(i)].port->link->up_at(t))
+      return false;
+  return true;
+}
+
+double Fabric::max_backlog_bytes() const {
+  double peak = 0.0;
+  for (const Router& r : routers_)
+    for (const auto& port : r.ports())
+      peak = std::max(peak, port.stats.peak_backlog_bytes);
+  return peak;
+}
+
+void Fabric::export_metrics(obs::MetricsRegistry& registry,
+                            double horizon) const {
+  registry
+      .counter("leime_net_transfers_total", "fabric flows started")
+      .inc(stats_.transfers);
+  registry
+      .counter("leime_net_delivered_total", "fabric flows delivered")
+      .inc(stats_.delivered);
+  registry.counter("leime_net_drops_total", "fabric flows dropped").inc(
+      stats_.drops);
+  registry.counter("leime_net_hops_total", "fabric hop transfers").inc(
+      stats_.hops);
+  registry.gauge("leime_net_bytes_total", "fabric payload bytes")
+      .set(stats_.bytes);
+  registry.gauge("leime_net_max_backlog_bytes", "peak port backlog")
+      .set(max_backlog_bytes());
+
+  // Per-port series only for the shared tiers (AP/edge/cloud endpoints):
+  // device ports would blow up metric cardinality with fleet size, and
+  // their state already reaches the controller via the route aggregates.
+  for (const Router& r : routers_) {
+    if (r.node().tier == Tier::kDevice) continue;
+    for (const auto& port : r.ports()) {
+      if (port.dst.tier == Tier::kDevice) continue;
+      const std::string prefix = "leime_net_port_" + port.name;
+      registry.counter(prefix + "_transfers_total", "port transfers")
+          .inc(port.stats.transfers);
+      registry.counter(prefix + "_drops_total", "port drops")
+          .inc(port.stats.drops);
+      registry.gauge(prefix + "_bytes_total", "port payload bytes")
+          .set(port.stats.bytes);
+      registry.gauge(prefix + "_peak_backlog_bytes", "port backlog high water")
+          .set(port.stats.peak_backlog_bytes);
+      registry.gauge(prefix + "_utilization", "busy time / horizon")
+          .set(horizon > 0.0 ? port.stats.busy_time / horizon : 0.0);
+    }
+  }
+}
+
+}  // namespace leime::net

@@ -169,6 +169,16 @@ void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
         << ",\"local_fallbacks\":" << f.local_fallbacks
         << ",\"fallback_slots\":" << f.fallback_slots
         << ",\"parked\":" << f.parked << "}";
+    // Emitted only in topology mode so flat-link runs keep their exact
+    // pre-fabric bytes (the golden-JSONL contract).
+    if (rec.result.net.active) {
+      const auto& nstat = rec.result.net;
+      out << ",\"net\":{\"transfers\":" << nstat.transfers
+          << ",\"delivered\":" << nstat.delivered
+          << ",\"hops\":" << nstat.hops << ",\"drops\":" << nstat.drops
+          << ",\"bytes\":" << num(nstat.bytes)
+          << ",\"max_backlog_bytes\":" << num(nstat.max_backlog_bytes) << "}";
+    }
     if (!rec.result.metrics.empty()) {
       out << ",\"metrics\":";
       metrics_to_json(rec.result.metrics, out);

@@ -64,11 +64,13 @@ std::vector<std::string> split(const std::string& text, char sep) {
   return out;
 }
 
-// "10-20" or "40-" (open end) with an optional "d<idx>:" device scope.
-FaultWindow parse_window(const std::string& item, const std::string& key) {
+// "10-20" or "40-" (open end) with an optional "<prefix><idx>:" scope
+// ('d' for device-scoped windows, 'a' for AP-scoped ones).
+FaultWindow parse_window(const std::string& item, const std::string& key,
+                         char scope_prefix = 'd') {
   FaultWindow w;
   std::string body = item;
-  if (body.size() > 1 && body[0] == 'd') {
+  if (body.size() > 1 && body[0] == scope_prefix) {
     const auto colon = body.find(':');
     if (colon != std::string::npos) {
       const auto idx = body.substr(1, colon - 1);
@@ -87,10 +89,11 @@ FaultWindow parse_window(const std::string& item, const std::string& key) {
 }
 
 std::vector<FaultWindow> parse_windows(const std::string& text,
-                                       const std::string& key) {
+                                       const std::string& key,
+                                       char scope_prefix = 'd') {
   std::vector<FaultWindow> out;
   for (const auto& item : split(text, ','))
-    out.push_back(parse_window(item, key));
+    out.push_back(parse_window(item, key, scope_prefix));
   return out;
 }
 
@@ -114,9 +117,9 @@ ChurnEvent parse_churn_event(const std::string& item) {
   return e;
 }
 
-std::string window_to_string(const FaultWindow& w) {
+std::string window_to_string(const FaultWindow& w, char scope_prefix = 'd') {
   std::string out;
-  if (w.device >= 0) out += "d" + std::to_string(w.device) + ":";
+  if (w.device >= 0) out += scope_prefix + std::to_string(w.device) + ":";
   out += num(w.start) + "-";
   if (std::isfinite(w.end)) out += num(w.end);
   return out;
@@ -126,7 +129,8 @@ std::string window_to_string(const FaultWindow& w) {
 
 bool FaultPlan::enabled() const {
   return link.rate > 0.0 || !link.windows.empty() || edge.rate > 0.0 ||
-         !edge.windows.empty() || !churn.events.empty();
+         !edge.windows.empty() || !churn.events.empty() ||
+         !ap_windows.empty();
 }
 
 void FaultPlan::validate(std::size_t num_devices) const {
@@ -151,6 +155,13 @@ void FaultPlan::validate(std::size_t num_devices) const {
   }
   for (const auto& w : edge.windows)
     check_window(w, "faults: edge_down_windows", /*allow_open=*/true);
+  for (const auto& w : ap_windows) {
+    check_window(w, "faults: ap_outage_windows", /*allow_open=*/false);
+    if (w.device < -1)
+      throw std::invalid_argument(
+          "faults: ap_outage_windows AP index must be >= 0 (or omit the "
+          "a<idx>: scope for every AP)");
+  }
   for (const auto& e : churn.events) {
     if (e.device < 0 || e.device >= static_cast<int>(num_devices))
       throw std::invalid_argument("faults: churn names device " +
@@ -253,6 +264,8 @@ FaultTimeline materialize_faults(const FaultPlan& plan,
   }
   tl.edge_down = merge_windows(std::move(tl.edge_down));
 
+  tl.ap_down = plan.ap_windows;
+
   tl.churn = plan.churn.events;
   std::sort(tl.churn.begin(), tl.churn.end(),
             [](const ChurnEvent& a, const ChurnEvent& b) {
@@ -265,8 +278,9 @@ FaultPlan parse_faults_section(const util::IniSection& section) {
   static const char* kKnown[] = {
       "link_outage_windows", "link_outage_rate",    "link_outage_mean_s",
       "edge_down_windows",   "edge_crash_rate",     "edge_downtime_mean_s",
-      "churn",               "detection_timeout_s", "task_timeout_s",
-      "max_retries",         "retry_backoff_s",     "probe_period_s"};
+      "ap_outage_windows",   "churn",               "detection_timeout_s",
+      "task_timeout_s",      "max_retries",         "retry_backoff_s",
+      "probe_period_s"};
   for (const auto& [key, value] : section.values) {
     (void)value;
     if (std::find_if(std::begin(kKnown), std::end(kKnown),
@@ -292,6 +306,9 @@ FaultPlan parse_faults_section(const util::IniSection& section) {
   plan.edge.rate = section.get_double("edge_crash_rate", plan.edge.rate);
   plan.edge.mean_downtime =
       section.get_double("edge_downtime_mean_s", plan.edge.mean_downtime);
+  if (section.has("ap_outage_windows"))
+    plan.ap_windows = parse_windows(section.get("ap_outage_windows"),
+                                    "ap_outage_windows", 'a');
   if (section.has("churn"))
     for (const auto& item : split(section.get("churn"), ','))
       plan.churn.events.push_back(parse_churn_event(item));
@@ -324,6 +341,12 @@ std::string serialize_faults_ini(const FaultPlan& plan) {
   windows_line("edge_down_windows", plan.edge.windows);
   os << "edge_crash_rate = " << num(plan.edge.rate) << "\n"
      << "edge_downtime_mean_s = " << num(plan.edge.mean_downtime) << "\n";
+  if (!plan.ap_windows.empty()) {
+    os << "ap_outage_windows = ";
+    for (std::size_t i = 0; i < plan.ap_windows.size(); ++i)
+      os << (i ? "," : "") << window_to_string(plan.ap_windows[i], 'a');
+    os << "\n";
+  }
   if (!plan.churn.events.empty()) {
     os << "churn = ";
     for (std::size_t i = 0; i < plan.churn.events.size(); ++i) {

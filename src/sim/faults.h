@@ -109,6 +109,12 @@ struct FaultPlan {
   ChurnConfig churn;
   DegradationConfig degradation;
 
+  /// Access-point outages (topology mode only): scheduled windows during
+  /// which one router's backhaul holds its queued bytes. The window's
+  /// `device` field scopes the AP index (-1 = every AP); the AP count is
+  /// only known to the simulation, which range-checks at build time.
+  std::vector<FaultWindow> ap_windows;
+
   /// True when any fault source is configured (degradation knobs alone do
   /// not count: task_timeout engages independently).
   bool enabled() const;
@@ -128,6 +134,10 @@ struct FaultTimeline {
   std::vector<std::vector<FaultWindow>> link_down;  ///< per device
   std::vector<FaultWindow> edge_down;
   std::vector<ChurnEvent> churn;  ///< sorted by leave time
+  /// AP outage windows, still scoped by the window's device field (= AP
+  /// index, -1 = all); the simulation groups them per AP once it knows the
+  /// topology. Scheduled-only: no stochastic AP source.
+  std::vector<FaultWindow> ap_down;
 
   std::size_t link_outage_count() const;
   bool edge_up_at(double t) const;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "net/fabric.h"
 #include "util/csv.h"
 
 namespace leime::sim {
@@ -223,6 +224,10 @@ void RecordingObserver::on_fault(std::string_view kind, int device, double t) {
     mark.t = t;
     trace_.add_mark(std::move(mark));
   }
+}
+
+void RecordingObserver::on_net_fabric(const net::Fabric& fabric, double t) {
+  if (metrics_on_) fabric.export_metrics(registry_, t);
 }
 
 void RecordingObserver::on_run_end(double t) {

@@ -24,6 +24,10 @@
 #include "obs/timeseries.h"
 #include "obs/trace_buffer.h"
 
+namespace leime::net {
+class Fabric;
+}
+
 namespace leime::sim {
 
 /// Per-device, per-slot control-loop telemetry captured at decision time.
@@ -75,6 +79,9 @@ class Observer {
   /// "edge_refused". `device` is -1 for fleet-wide events.
   virtual void on_fault(std::string_view /*kind*/, int /*device*/,
                         double /*t*/) {}
+  /// Topology mode only: the fabric's final state, fired once right before
+  /// on_run_end so implementations can export per-port counters.
+  virtual void on_net_fabric(const net::Fabric& /*fabric*/, double /*t*/) {}
   /// The drain finished at `t` (last hook of a run).
   virtual void on_run_end(double /*t*/) {}
 };
@@ -134,6 +141,7 @@ class RecordingObserver : public Observer {
   void on_slot_decision(int device, double t,
                         const SlotTelemetry& telemetry) override;
   void on_fault(std::string_view kind, int device, double t) override;
+  void on_net_fabric(const net::Fabric& fabric, double t) override;
   void on_run_end(double t) override;
 
   const obs::MetricsRegistry& registry() const { return registry_; }

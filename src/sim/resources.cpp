@@ -24,6 +24,12 @@ int FifoProcessor::pending_total() const {
   return pending_[0] + pending_[1] + pending_[2];
 }
 
+void FifoProcessor::restart(double now) {
+  busy_until_ = now;
+  pending_[0] = pending_[1] = pending_[2] = 0;
+  ++epoch_;
+}
+
 void FifoProcessor::submit(double work, JobClass cls, Completion done) {
   if (work < 0.0)
     throw std::invalid_argument("FifoProcessor: negative work");
@@ -33,9 +39,15 @@ void FifoProcessor::submit(double work, JobClass cls, Completion done) {
   total_work_ += work;
   ++pending_[static_cast<int>(cls)];
   queue_->schedule(finish, EventKind::kComputeDone,
-                   [this, cls, done = std::move(done), finish]() mutable {
-    --pending_[static_cast<int>(cls)];
-    LEIME_CHECK(pending_[static_cast<int>(cls)] >= 0);
+                   [this, cls, done = std::move(done), finish,
+                    epoch = epoch_]() mutable {
+    // restart() zeroes the counters; a pre-crash completion must not
+    // decrement them again (the completion itself still fires — the
+    // caller's staleness guard decides what to do with it).
+    if (epoch == epoch_) {
+      --pending_[static_cast<int>(cls)];
+      LEIME_CHECK(pending_[static_cast<int>(cls)] >= 0);
+    }
     done(finish);
   });
 }
@@ -67,11 +79,25 @@ void Link::set_latency_trace(util::PiecewiseConstant trace) {
 }
 
 void Link::set_outage_windows(std::vector<std::pair<double, double>> windows) {
+  // A mis-ordered or NaN window would not throw here but silently
+  // mis-serialize transfers (the hold loop in transfer() assumes sorted
+  // disjoint windows), so the preconditions are enforced as invariants.
+  // Note NaN fails every comparison: each condition is written so that a
+  // NaN endpoint trips the check instead of slipping through.
   double prev_end = 0.0;
   for (const auto& [start, end] : windows) {
-    if (start < prev_end || end <= start || !std::isfinite(end))
-      throw std::invalid_argument(
-          "Link: outage windows must be sorted, disjoint and finite");
+    LEIME_CHECK_MSG(std::isfinite(start) && std::isfinite(end),
+                    "outage window [" << start << ", " << end
+                                      << ") on '" << name_
+                                      << "' has a non-finite endpoint");
+    LEIME_CHECK_MSG(end > start, "outage window [" << start << ", " << end
+                                                   << ") on '" << name_
+                                                   << "' is empty or inverted");
+    LEIME_CHECK_MSG(start >= prev_end,
+                    "outage windows on '"
+                        << name_ << "' must be sorted and disjoint; ["
+                        << start << ", " << end << ") starts before "
+                        << prev_end);
     prev_end = end;
   }
   outages_ = std::move(windows);

@@ -52,11 +52,13 @@ class FifoProcessor {
   /// reallocation. Must be > 0.
   void set_flops(double flops);
 
-  /// Crash-recovery reset: the server comes back empty at time `now`
-  /// (queued work evaporates; the fault layer reschedules it elsewhere).
-  /// Completions of pre-crash jobs still fire but are ignored by their
-  /// (now stale) callbacks; the pending counters drain through them.
-  void restart(double now) { busy_until_ = now; }
+  /// Crash-recovery reset: the server comes back empty at time `now` —
+  /// queued work evaporates, the per-class pending counters drop to zero
+  /// and busy_until resets (the fault layer reschedules the lost work
+  /// elsewhere). Completions of pre-crash jobs still fire (their callers'
+  /// staleness guards ignore them) but no longer touch the counters, so a
+  /// post-crash backlog observation can never go negative.
+  void restart(double now);
 
   /// Total FLOPs ever submitted (for utilisation accounting).
   double total_work() const { return total_work_; }
@@ -73,6 +75,9 @@ class FifoProcessor {
   double busy_until_ = 0.0;
   double total_work_ = 0.0;
   int pending_[3] = {0, 0, 0};
+  /// Bumped by restart(); completions from an earlier epoch skip the
+  /// pending_ bookkeeping (the counters were already zeroed).
+  std::uint32_t epoch_ = 0;
 };
 
 class Link {

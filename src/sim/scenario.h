@@ -9,6 +9,7 @@
 #include "core/environment.h"
 #include "core/lyapunov.h"
 #include "core/partition.h"
+#include "net/topology.h"
 #include "obs/metrics.h"
 #include "sim/faults.h"
 #include "sim/observer.h"
@@ -100,6 +101,14 @@ struct ScenarioConfig {
   /// ignored in this mode.
   double shared_uplink_bw = 0.0;
 
+  /// Routed multi-hop network mode (the `[topology]` INI section): when
+  /// enabled(), device <-> edge <-> cloud traffic flows over a net::Fabric
+  /// of per-hop FIFO routers (device -> AP -> edge -> cloud) and congestion
+  /// emerges from contention on the shared AP backhaul. Disabled (the
+  /// default) keeps the flat point-to-point links — the golden-output
+  /// baseline. Mutually exclusive with shared_uplink_bw.
+  net::TopologyConfig topology;
+
   /// Fault injection: link outages, edge crashes, device churn, and the
   /// graceful-degradation knobs (sim/faults.h). The default (empty) plan
   /// injects nothing and leaves the run bit-identical to a fault-free
@@ -160,6 +169,19 @@ struct SimResult {
     std::size_t parked = 0;  ///< failed-over tasks still pending at end
   };
   FaultStats faults;
+
+  /// Fabric telemetry (topology mode only; `active` is false — and the
+  /// JSONL sink omits the record — on the flat-link path).
+  struct NetStats {
+    bool active = false;
+    std::size_t transfers = 0;  ///< flows started
+    std::size_t delivered = 0;  ///< flows that reached their destination
+    std::size_t hops = 0;       ///< hop transfers admitted
+    std::size_t drops = 0;      ///< flows dropped at a full port queue
+    double bytes = 0.0;         ///< payload bytes across started flows
+    double max_backlog_bytes = 0.0;  ///< peak port backlog at admission
+  };
+  NetStats net;
 
   /// Metrics-registry snapshot of the run's owned RecordingObserver;
   /// empty() unless ScenarioConfig::obs enabled metrics. Rides through the

@@ -1,6 +1,7 @@
 #include "sim/scenario_ini.h"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 #include "core/exit_setting.h"
@@ -38,6 +39,55 @@ ObsConfig parse_observability_section(const util::IniSection& section) {
   obs.trace_out = section.get("trace_out", "");
   obs.timeseries_out = section.get("timeseries_out", "");
   return obs;
+}
+
+net::TopologyConfig parse_topology_section(const util::IniSection& section) {
+  static const char* kKnown[] = {"aps", "ap_mbps", "ap_latency_ms",
+                                 "device_map", "queue_limit_kb"};
+  for (const auto& [key, value] : section.values) {
+    (void)value;
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return key == k; }) ==
+        std::end(kKnown)) {
+      std::string valid;
+      for (const char* k : kKnown) valid += std::string(" ") + k;
+      throw std::invalid_argument("[topology] unknown key '" + key +
+                                  "' (valid keys:" + valid + ")");
+    }
+  }
+
+  net::TopologyConfig topo;
+  topo.aps = static_cast<int>(section.get_int("aps", 0));
+  // aps = 0 (or unset) disables the fabric; the remaining keys are ignored
+  // so a disabled section stays byte-identical to no section at all.
+  if (topo.aps <= 0) return topo;
+  topo.ap_bandwidth = util::mbps(section.get_double("ap_mbps", 100.0));
+  topo.ap_latency = util::ms(section.get_double("ap_latency_ms", 0.0));
+  topo.queue_limit_bytes =
+      1024.0 * section.get_double("queue_limit_kb", 0.0);
+  if (section.has("device_map")) {
+    std::string cur;
+    auto flush = [&] {
+      if (cur.empty()) return;
+      try {
+        std::size_t used = 0;
+        topo.device_map.push_back(std::stoi(cur, &used));
+        if (used != cur.size()) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        throw std::invalid_argument("[topology] device_map entry '" + cur +
+                                    "' is not an AP index");
+      }
+      cur.clear();
+    };
+    for (char c : section.get("device_map")) {
+      if (c == ',')
+        flush();
+      else if (!std::isspace(static_cast<unsigned char>(c)))
+        cur += c;
+    }
+    flush();
+  }
+  return topo;
 }
 
 void apply_obs_overrides(ObsConfig& obs, const std::string& metrics_out,
@@ -99,6 +149,14 @@ IniScenario load_scenario(const util::IniFile& ini) {
     cfg.faults = parse_faults_section(*faults);
   cfg.faults.validate(cfg.devices.size());
 
+  if (const auto* topo = ini.find("topology"))
+    cfg.topology = parse_topology_section(*topo);
+  cfg.topology.validate(cfg.devices.size());
+  if (cfg.topology.enabled() && cfg.shared_uplink_bw > 0.0)
+    throw std::invalid_argument(
+        "scenario: [topology] and shared_uplink_mbps are mutually exclusive "
+        "network modes");
+
   if (const auto* obs = ini.find("observability"))
     cfg.obs = parse_observability_section(*obs);
 
@@ -122,9 +180,20 @@ IniScenario load_scenario(const util::IniFile& ini) {
   env.caps.device_flops = flops_sum / n;
   env.caps.edge_flops = cfg.edge_flops / n;
   env.caps.cloud_flops = cfg.cloud_flops;
-  env.net.dev_edge_bw =
-      cfg.shared_uplink_bw > 0.0 ? cfg.shared_uplink_bw / n : bw_sum / n;
-  env.net.dev_edge_lat = lat_sum / n;
+  if (cfg.topology.enabled()) {
+    // Each device's effective device->edge bandwidth is capped by its fair
+    // share of the AP backhaul; the AP hop adds its propagation latency.
+    const double ap_share = cfg.topology.ap_bandwidth * cfg.topology.aps / n;
+    double eff_sum = 0.0;
+    for (const auto& dev : cfg.devices)
+      eff_sum += std::min(dev.uplink_bw, ap_share);
+    env.net.dev_edge_bw = eff_sum / n;
+    env.net.dev_edge_lat = lat_sum / n + cfg.topology.ap_latency;
+  } else {
+    env.net.dev_edge_bw =
+        cfg.shared_uplink_bw > 0.0 ? cfg.shared_uplink_bw / n : bw_sum / n;
+    env.net.dev_edge_lat = lat_sum / n;
+  }
   env.net.edge_cloud_bw = cfg.edge_cloud_bw;
   env.net.edge_cloud_lat = cfg.edge_cloud_lat;
   core::CostModel cm(out.profile, env);

@@ -18,6 +18,10 @@
 //               metrics_out / metrics_jsonl / trace_out / timeseries_out —
 //               the in-simulation observability layer (sim/observer.h).
 //               Omitting the section keeps the zero-overhead path.
+//   [topology]  (optional) aps / ap_mbps / ap_latency_ms / device_map /
+//               queue_limit_kb — the routed multi-hop network fabric
+//               (net/topology.h). Omitting the section (or aps = 0) keeps
+//               the flat point-to-point links.
 #pragma once
 
 #include <string>
@@ -56,6 +60,10 @@ IniScenario load_scenario(const util::IniFile& ini);
 
 /// Parses an [observability] section (throws on unknown keys).
 ObsConfig parse_observability_section(const util::IniSection& section);
+
+/// Parses a [topology] section (throws on unknown keys; range validation
+/// against the device count happens later via TopologyConfig::validate).
+net::TopologyConfig parse_topology_section(const util::IniSection& section);
 
 /// Applies command-line output-path overrides on top of an INI-derived
 /// ObsConfig: a non-empty `metrics_out` / `trace_out` replaces the INI

@@ -10,6 +10,7 @@
 #include "core/lyapunov.h"
 #include "core/offload_policy.h"
 #include "core/resource_alloc.h"
+#include "net/fabric.h"
 #include "prof/profiler.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
@@ -77,6 +78,22 @@ class Simulation {
     if (cfg_.timeline_window <= 0.0)
       throw std::invalid_argument("ScenarioConfig: bad timeline_window");
     cfg_.faults.validate(cfg_.devices.size());
+    cfg_.topology.validate(cfg_.devices.size());
+    if (cfg_.topology.enabled() && cfg_.shared_uplink_bw > 0.0)
+      throw std::invalid_argument(
+          "ScenarioConfig: topology and shared_uplink_bw are mutually "
+          "exclusive network modes");
+    if (!cfg_.faults.ap_windows.empty()) {
+      if (!cfg_.topology.enabled())
+        throw std::invalid_argument(
+            "ScenarioConfig: ap_outage_windows need an enabled [topology]");
+      for (const auto& w : cfg_.faults.ap_windows)
+        if (w.device >= cfg_.topology.aps)
+          throw std::invalid_argument(
+              "ScenarioConfig: ap_outage_windows names AP " +
+              std::to_string(w.device) + " but the topology has " +
+              std::to_string(cfg_.topology.aps) + " APs");
+    }
     faults_on_ = cfg_.faults.enabled();
     build();
     // Observer hooks are pure taps: they consume no RNG, schedule no events
@@ -120,6 +137,7 @@ class Simulation {
       LEIME_PROF_SCOPE("leime.sim.event_loop");
       queue_.run_all();
     }
+    if (obs_ && fabric_) obs_->on_net_fabric(*fabric_, queue_.now());
     if (obs_) obs_->on_run_end(queue_.now());
     SimResult out = finalize();
     if (owned_obs_) {
@@ -165,6 +183,21 @@ class Simulation {
     if (p.mu1 <= 0.0 || p.mu2 <= 0.0 || p.mu3 <= 0.0)
       throw std::invalid_argument("ScenarioConfig: invalid partition");
 
+    if (cfg_.topology.enabled()) {
+      std::vector<net::LinkSpec> uplinks;
+      for (const auto& spec : cfg_.devices)
+        uplinks.push_back({spec.uplink_bw, spec.uplink_lat});
+      net::FabricOptions fopts;
+      fopts.duplex = cfg_.result_bytes > 0.0;
+      fopts.queue_limit_bytes = cfg_.topology.queue_limit_bytes;
+      fabric_ = std::make_unique<net::Fabric>(
+          queue_,
+          net::Topology::from_config(
+              cfg_.topology, uplinks,
+              {cfg_.edge_cloud_bw, cfg_.edge_cloud_lat}),
+          fopts);
+    }
+
     // Edge shares from expected per-slot load (paper eq. 27).
     std::vector<double> k, fd;
     for (const auto& spec : cfg_.devices) {
@@ -173,14 +206,16 @@ class Simulation {
     }
     const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
 
-    edge_cloud_link_ = std::make_unique<Link>(
-        queue_, "edge-cloud", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
-    if (cfg_.shared_uplink_bw > 0.0)
-      shared_ap_ = std::make_unique<Link>(queue_, "shared-ap",
-                                          cfg_.shared_uplink_bw, 0.0);
-    if (cfg_.result_bytes > 0.0)
-      cloud_return_link_ = std::make_unique<Link>(
-          queue_, "cloud-return", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
+    if (!fabric_) {
+      edge_cloud_link_ = std::make_unique<Link>(
+          queue_, "edge-cloud", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
+      if (cfg_.shared_uplink_bw > 0.0)
+        shared_ap_ = std::make_unique<Link>(queue_, "shared-ap",
+                                            cfg_.shared_uplink_bw, 0.0);
+      if (cfg_.result_bytes > 0.0)
+        cloud_return_link_ = std::make_unique<Link>(
+            queue_, "cloud-return", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
+    }
     if (cfg_.cloud_fifo)
       cloud_ = std::make_unique<FifoProcessor>(queue_, "cloud",
                                                cfg_.cloud_flops);
@@ -191,25 +226,35 @@ class Simulation {
       dev->spec = &spec;
       dev->cpu = std::make_unique<FifoProcessor>(
           queue_, "device" + std::to_string(i), spec.flops);
-      dev->uplink = std::make_unique<Link>(
-          queue_, "uplink" + std::to_string(i), spec.uplink_bw,
-          spec.uplink_lat);
-      if (spec.uplink_bw_trace)
-        dev->uplink->set_bandwidth_trace(*spec.uplink_bw_trace);
-      if (spec.uplink_lat_trace)
-        dev->uplink->set_latency_trace(*spec.uplink_lat_trace);
+      if (fabric_) {
+        // The fabric owns every link; traces shape the device's wireless
+        // hop exactly as they would the flat uplink.
+        Link* wireless = fabric_->link(dev_node(i), ap_node(i));
+        if (spec.uplink_bw_trace)
+          wireless->set_bandwidth_trace(*spec.uplink_bw_trace);
+        if (spec.uplink_lat_trace)
+          wireless->set_latency_trace(*spec.uplink_lat_trace);
+      } else {
+        dev->uplink = std::make_unique<Link>(
+            queue_, "uplink" + std::to_string(i), spec.uplink_bw,
+            spec.uplink_lat);
+        if (spec.uplink_bw_trace)
+          dev->uplink->set_bandwidth_trace(*spec.uplink_bw_trace);
+        if (spec.uplink_lat_trace)
+          dev->uplink->set_latency_trace(*spec.uplink_lat_trace);
+        if (cfg_.result_bytes > 0.0)
+          dev->downlink = std::make_unique<Link>(
+              queue_, "downlink" + std::to_string(i), spec.uplink_bw,
+              spec.uplink_lat);
+      }
       dev->edge_share = std::make_unique<FifoProcessor>(
           queue_, "edge-share" + std::to_string(i),
           shares[i] * cfg_.edge_flops);
-      if (cfg_.result_bytes > 0.0)
-        dev->downlink = std::make_unique<Link>(
-            queue_, "downlink" + std::to_string(i), spec.uplink_bw,
-            spec.uplink_lat);
       dev->arrivals = make_arrivals(spec);
       if (shared_ap_) {
         dev->tx = shared_ap_.get();
         dev->tx_extra_latency = spec.uplink_lat;
-      } else {
+      } else if (!fabric_) {
         dev->tx = dev->uplink.get();
       }
       dev->complexity = workload::ComplexityModel(spec.difficulty);
@@ -229,6 +274,26 @@ class Simulation {
     dev_faults_.assign(devices_.size(), {});
   }
 
+  // -------------------------------------------------------------- topology
+
+  static net::NodeId dev_node(std::size_t i) {
+    return net::NodeId::device(static_cast<int>(i));
+  }
+  net::NodeId ap_node(std::size_t i) const {
+    return net::NodeId::ap(fabric_->topology().ap_of(static_cast<int>(i)));
+  }
+  static net::NodeId edge_node() { return net::NodeId::edge(0); }
+
+  /// Which network leg a fabric flow was carrying — a dropped flow is
+  /// retried on the same leg (bounded by max_retries, like timeouts).
+  enum class NetLeg : std::uint8_t {
+    kRaw,         ///< d0 raw input, device -> edge
+    kTensor,      ///< d1 intermediate tensor, device -> edge
+    kEdgeCloud,   ///< d2 tensor, edge -> cloud
+    kEdgeReturn,  ///< result, edge -> device
+    kCloudReturn  ///< result, cloud -> device
+  };
+
   // ---------------------------------------------------------------- faults
 
   const DegradationConfig& deg() const { return cfg_.faults.degradation; }
@@ -247,7 +312,36 @@ class Simulation {
       for (const auto& w : windows) out.push_back({w.start, w.end});
       return out;
     };
-    if (shared_ap_) {
+    if (fabric_) {
+      // Per-device wireless outages land on the device's own port; AP
+      // outages hold the backhaul port's queued bytes. Duplex mirrors get
+      // the same windows (the radio/backhaul is down in both directions).
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const auto windows = to_pairs(timeline_.link_down[i]);
+        fabric_->link(dev_node(i), ap_node(i))->set_outage_windows(windows);
+        if (Link* down = fabric_->link(ap_node(i), dev_node(i)))
+          down->set_outage_windows(windows);
+      }
+      ap_windows_.assign(
+          static_cast<std::size_t>(fabric_->topology().num_aps()), {});
+      for (const auto& w : timeline_.ap_down) {
+        if (w.device < 0)
+          for (auto& lane : ap_windows_) lane.push_back(w);
+        else
+          ap_windows_[static_cast<std::size_t>(w.device)].push_back(w);
+      }
+      for (std::size_t a = 0; a < ap_windows_.size(); ++a) {
+        ap_windows_[a] = merge_windows(std::move(ap_windows_[a]));
+        if (ap_windows_[a].empty()) continue;
+        const auto windows = to_pairs(ap_windows_[a]);
+        const auto ap = net::NodeId::ap(static_cast<int>(a));
+        const auto edge = net::NodeId::edge(
+            fabric_->topology().edge_of(static_cast<int>(a)));
+        fabric_->link(ap, edge)->set_outage_windows(windows);
+        if (Link* down = fabric_->link(edge, ap))
+          down->set_outage_windows(windows);
+      }
+    } else if (shared_ap_) {
       // Shared medium: every outage window silences the one AP.
       std::vector<FaultWindow> all;
       for (const auto& lane : timeline_.link_down)
@@ -278,6 +372,11 @@ class Simulation {
 
   bool link_up_now(std::size_t i) const {
     if (!faults_on_) return true;
+    if (fabric_)
+      return !down_at(timeline_.link_down[i], queue_.now()) &&
+             !down_at(ap_windows_[static_cast<std::size_t>(
+                          fabric_->topology().ap_of(static_cast<int>(i)))],
+                      queue_.now());
     if (shared_ap_) return !down_at(shared_windows_, queue_.now());
     return !down_at(timeline_.link_down[i], queue_.now());
   }
@@ -422,6 +521,53 @@ class Simulation {
     });
   }
 
+  /// A fabric flow for this task was dropped at a full port queue. The leg
+  /// is retried with the same bounded backoff as a timeout; an exhausted
+  /// raw upload falls back to the device CPU, while deeper legs park (their
+  /// partial state lives on tiers the device cannot resume from).
+  void handle_net_drop(std::size_t i, std::size_t id, NetLeg leg) {
+    LEIME_PROF_SCOPE("leime.sim.ev.net_drop");
+    auto& rec = tasks_[id];
+    ++rec.attempt;
+    ++rec.retries;
+    ++fleet_faults_.retries;
+    ++dev_faults_[i].retries;
+    if (obs_) {
+      obs_->on_fault("net_drop", static_cast<int>(i), queue_.now());
+      obs_->on_phase_abort(id, queue_.now(), "net_drop");
+    }
+    if (rec.retries <= deg().max_retries) {
+      const double wait = deg().retry_backoff * std::pow(2.0, rec.retries - 1);
+      rec.stage = Stage::kWait;
+      const int att = rec.attempt;
+      queue_.schedule_in(wait, EventKind::kRetryLaunch,
+                         [this, i, id, att, leg] {
+        if (!alive(id, att)) return;
+        relaunch_leg(i, id, leg);
+      });
+    } else if (leg == NetLeg::kRaw) {
+      ++local_fallbacks_;
+      if (obs_)
+        obs_->on_fault("local_fallback", static_cast<int>(i), queue_.now());
+      dispatch(i, id, /*offload=*/false);
+    } else {
+      rec.parked = true;
+      rec.stage = Stage::kParked;
+      if (obs_) obs_->on_task_parked(id, static_cast<int>(i), queue_.now());
+    }
+  }
+
+  void relaunch_leg(std::size_t i, std::size_t id, NetLeg leg) {
+    switch (leg) {
+      case NetLeg::kRaw: return dispatch(i, id, /*offload=*/true);
+      case NetLeg::kTensor: return send_tensor_uplink(i, id);
+      case NetLeg::kEdgeCloud: return send_edge_cloud(i, id);
+      case NetLeg::kEdgeReturn: return deliver_from_edge(i, id, queue_.now());
+      case NetLeg::kCloudReturn:
+        return deliver_from_cloud(i, id, queue_.now());
+    }
+  }
+
   // ------------------------------------------------------------- task flow
 
   core::DeviceSlotState observe(std::size_t i) const {
@@ -430,17 +576,35 @@ class Simulation {
     s.partition = &cfg_.partition;
     s.device_flops = dev.spec->flops;
     s.edge_share_flops = dev.edge_share->flops();
-    s.bandwidth = dev.tx->bandwidth_at(queue_.now());
-    // Clamp so tau > latency always holds for the decision model even under
-    // extreme shaping traces.
-    s.latency =
-        std::min(dev.tx->latency_at(queue_.now()) + dev.tx_extra_latency,
-                 0.9 * cfg_.lyapunov.tau);
+    if (fabric_) {
+      // Route aggregates stand in for the single-link observation: the
+      // bottleneck bandwidth (min over hops), total propagation latency
+      // and total queued backlog along device -> edge. A crowded AP
+      // backhaul thus feeds straight into the eq. 8 budget and steers the
+      // controller exactly like a shaped flat uplink would.
+      const double now = queue_.now();
+      s.bandwidth = fabric_->route_bandwidth_at(dev_node(i), edge_node(), now);
+      s.latency =
+          std::min(fabric_->route_latency_at(dev_node(i), edge_node(), now),
+                   0.9 * cfg_.lyapunov.tau);
+    } else {
+      s.bandwidth = dev.tx->bandwidth_at(queue_.now());
+      // Clamp so tau > latency always holds for the decision model even
+      // under extreme shaping traces.
+      s.latency =
+          std::min(dev.tx->latency_at(queue_.now()) + dev.tx_extra_latency,
+                   0.9 * cfg_.lyapunov.tau);
+    }
     s.queue_device = dev.cpu->pending(JobClass::kBlock1);
     s.queue_edge = dev.edge_share->pending(JobClass::kBlock1);
-    s.uplink_backlog_bytes = cfg_.uplink_backlog_feedback
-                                 ? dev.tx->backlog_bytes(queue_.now())
-                                 : 0.0;
+    if (!cfg_.uplink_backlog_feedback)
+      s.uplink_backlog_bytes = 0.0;
+    else
+      s.uplink_backlog_bytes =
+          fabric_
+              ? fabric_->route_backlog_bytes(dev_node(i), edge_node(),
+                                             queue_.now())
+              : dev.tx->backlog_bytes(queue_.now());
     s.arrivals = dev.arrival_estimate;
     s.edge_available = !faults_on_ || (edge_up_now_ && link_up_now(i));
     s.config = cfg_.lyapunov;
@@ -561,14 +725,25 @@ class Simulation {
       rec.stage = Stage::kUplink;
       if (obs_)
         obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
-                             dev.tx->name(), queue_.now(), queue_.now(), att);
+                             fabric_ ? "fabric" : dev.tx->name(),
+                             queue_.now(), queue_.now(), att);
       // Raw input crosses the uplink, then block 1 runs on the edge share.
-      dev.tx->transfer(p.d0, dev.tx_extra_latency,
-                       [this, i, id, att](double t) {
-        if (!alive(id, att)) return;
-        if (obs_) obs_->on_phase_end(id, t);
-        submit_edge_block1(i, id);
-      });
+      if (fabric_) {
+        fabric_->transfer(dev_node(i), edge_node(), p.d0,
+                          [this, i, id, att](double t) {
+          if (!alive(id, att)) return;
+          if (t < 0.0) return handle_net_drop(i, id, NetLeg::kRaw);
+          if (obs_) obs_->on_phase_end(id, t);
+          submit_edge_block1(i, id);
+        });
+      } else {
+        dev.tx->transfer(p.d0, dev.tx_extra_latency,
+                         [this, i, id, att](double t) {
+          if (!alive(id, att)) return;
+          if (obs_) obs_->on_phase_end(id, t);
+          submit_edge_block1(i, id);
+        });
+      }
       if (deg().task_timeout > 0.0) schedule_task_timeout(i, id);
     } else {
       rec.stage = Stage::kLocal;
@@ -663,13 +838,28 @@ class Simulation {
       // Already at the edge: block 2 continues on the same share.
       submit_edge_block2(i, id);
     } else {
-      // Intermediate tensor crosses the uplink first.
-      rec.stage = Stage::kUplink;
-      const int att = rec.attempt;
-      if (obs_)
-        obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
-                             devices_[i]->tx->name(), queue_.now(),
-                             queue_.now(), att);
+      send_tensor_uplink(i, id);
+    }
+  }
+
+  /// The intermediate d1 tensor crosses to the edge before block 2.
+  void send_tensor_uplink(std::size_t i, std::size_t id) {
+    auto& rec = tasks_[id];
+    rec.stage = Stage::kUplink;
+    const int att = rec.attempt;
+    if (obs_)
+      obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
+                           fabric_ ? "fabric" : devices_[i]->tx->name(),
+                           queue_.now(), queue_.now(), att);
+    if (fabric_) {
+      fabric_->transfer(dev_node(i), edge_node(), cfg_.partition.d1,
+                        [this, i, id, att](double t2) {
+        if (!alive(id, att)) return;
+        if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kTensor);
+        if (obs_) obs_->on_phase_end(id, t2);
+        submit_edge_block2(i, id);
+      });
+    } else {
       devices_[i]->tx->transfer(
           cfg_.partition.d1, devices_[i]->tx_extra_latency,
           [this, i, id, att](double t2) {
@@ -682,47 +872,67 @@ class Simulation {
 
   void after_block2(std::size_t i, std::size_t id, double t) {
     LEIME_PROF_SCOPE("leime.sim.ev.after_block2");
-    auto& rec = tasks_[id];
-    if (rec.block == 2) {
+    if (tasks_[id].block == 2) {
       deliver_from_edge(i, id, t);
       return;
     }
+    send_edge_cloud(i, id);
+  }
+
+  /// The d2 tensor crosses to the cloud, then block 3 runs there.
+  void send_edge_cloud(std::size_t i, std::size_t id) {
+    auto& rec = tasks_[id];
     rec.stage = Stage::kCloud;
     const int att = rec.attempt;
     if (obs_)
       obs_->on_phase_begin(id, static_cast<int>(i), "edge_cloud_link",
-                           edge_cloud_link_->name(), queue_.now(),
-                           queue_.now(), att);
-    edge_cloud_link_->transfer(cfg_.partition.d2, [this, i, id,
-                                                   att](double t2) {
-      if (!alive(id, att)) return;
-      if (obs_) obs_->on_phase_end(id, t2);
-      if (cloud_) {
-        if (obs_)
-          obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
-                               cloud_->name(), t2,
-                               std::max(t2, cloud_->busy_until()), att);
-        cloud_->submit(cfg_.partition.mu3, JobClass::kBlock3,
-                       [this, i, id, att](double t3) {
-                         if (!alive(id, att)) return;
-                         if (obs_) obs_->on_phase_end(id, t3);
-                         deliver_from_cloud(i, id, t3);
-                       });
-      } else {
-        // Uncontended cloud service.
-        const double finish = t2 + cfg_.partition.mu3 / cfg_.cloud_flops;
-        if (obs_)
-          obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
-                               "cloud", t2, t2, att);
-        queue_.schedule(finish, EventKind::kCloudService,
-                        [this, i, id, att, finish] {
-          if (!alive(id, att)) return;
-          if (obs_) obs_->on_phase_end(id, finish);
-          deliver_from_cloud(i, id, finish);
-        });
-      }
-    });
-    (void)t;
+                           fabric_ ? "fabric" : edge_cloud_link_->name(),
+                           queue_.now(), queue_.now(), att);
+    if (fabric_) {
+      fabric_->transfer(edge_node(), net::NodeId::cloud(), cfg_.partition.d2,
+                        [this, i, id, att](double t2) {
+        if (!alive(id, att)) return;
+        if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kEdgeCloud);
+        if (obs_) obs_->on_phase_end(id, t2);
+        cloud_service(i, id, t2);
+      });
+    } else {
+      edge_cloud_link_->transfer(cfg_.partition.d2,
+                                 [this, i, id, att](double t2) {
+        if (!alive(id, att)) return;
+        if (obs_) obs_->on_phase_end(id, t2);
+        cloud_service(i, id, t2);
+      });
+    }
+  }
+
+  /// Block 3 on the cloud tier (FIFO server or uncontended service).
+  void cloud_service(std::size_t i, std::size_t id, double t2) {
+    const int att = tasks_[id].attempt;
+    if (cloud_) {
+      if (obs_)
+        obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
+                             cloud_->name(), t2,
+                             std::max(t2, cloud_->busy_until()), att);
+      cloud_->submit(cfg_.partition.mu3, JobClass::kBlock3,
+                     [this, i, id, att](double t3) {
+                       if (!alive(id, att)) return;
+                       if (obs_) obs_->on_phase_end(id, t3);
+                       deliver_from_cloud(i, id, t3);
+                     });
+    } else {
+      // Uncontended cloud service.
+      const double finish = t2 + cfg_.partition.mu3 / cfg_.cloud_flops;
+      if (obs_)
+        obs_->on_phase_begin(id, static_cast<int>(i), "cloud_block3",
+                             "cloud", t2, t2, att);
+      queue_.schedule(finish, EventKind::kCloudService,
+                      [this, i, id, att, finish] {
+        if (!alive(id, att)) return;
+        if (obs_) obs_->on_phase_end(id, finish);
+        deliver_from_cloud(i, id, finish);
+      });
+    }
   }
 
   /// Result return from the edge tier (no-op transfer when results are
@@ -736,9 +946,20 @@ class Simulation {
     tasks_[id].stage = Stage::kReturn;
     const int att = tasks_[id].attempt;
     if (obs_)
-      obs_->on_phase_begin(id, static_cast<int>(i), "return_link",
-                           devices_[i]->downlink->name(), queue_.now(),
-                           queue_.now(), att);
+      obs_->on_phase_begin(
+          id, static_cast<int>(i), "return_link",
+          fabric_ ? "fabric" : devices_[i]->downlink->name(), queue_.now(),
+          queue_.now(), att);
+    if (fabric_) {
+      fabric_->transfer(edge_node(), dev_node(i), cfg_.result_bytes,
+                        [this, i, id, att](double t2) {
+        if (!alive(id, att)) return;
+        if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kEdgeReturn);
+        if (obs_) obs_->on_phase_end(id, t2);
+        complete(id, t2);
+      });
+      return;
+    }
     devices_[i]->downlink->transfer(
         cfg_.result_bytes, [this, id, att](double t2) {
           if (!alive(id, att)) return;
@@ -756,6 +977,22 @@ class Simulation {
     }
     tasks_[id].stage = Stage::kReturn;
     const int att = tasks_[id].attempt;
+    if (fabric_) {
+      // One routed flow cloud -> edge -> AP -> device replaces the flat
+      // path's two-stage return.
+      if (obs_)
+        obs_->on_phase_begin(id, static_cast<int>(i), "cloud_return_link",
+                             "fabric", queue_.now(), queue_.now(), att);
+      fabric_->transfer(net::NodeId::cloud(), dev_node(i), cfg_.result_bytes,
+                        [this, i, id, att](double t2) {
+        if (!alive(id, att)) return;
+        if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kCloudReturn);
+        if (obs_) obs_->on_phase_end(id, t2);
+        complete(id, t2);
+      });
+      (void)t;
+      return;
+    }
     if (obs_)
       obs_->on_phase_begin(id, static_cast<int>(i), "cloud_return_link",
                            cloud_return_link_->name(), queue_.now(),
@@ -831,6 +1068,16 @@ class Simulation {
     out.faults.retries = fleet_faults_.retries;
     out.faults.local_fallbacks = local_fallbacks_;
     out.faults.fallback_slots = fleet_faults_.fallback_slots;
+    if (fabric_) {
+      out.net.active = true;
+      const auto& ns = fabric_->stats();
+      out.net.transfers = ns.transfers;
+      out.net.delivered = ns.delivered;
+      out.net.hops = ns.hops;
+      out.net.drops = ns.drops;
+      out.net.bytes = ns.bytes;
+      out.net.max_backlog_bytes = fabric_->max_backlog_bytes();
+    }
     for (const auto& [w, agg] : windows)
       out.timeline.push_back({(w + 0.5) * cfg_.timeline_window,
                               agg.first / agg.second, agg.second});
@@ -873,6 +1120,7 @@ class Simulation {
   std::unique_ptr<Link> edge_cloud_link_;
   std::unique_ptr<Link> cloud_return_link_;
   std::unique_ptr<Link> shared_ap_;
+  std::unique_ptr<net::Fabric> fabric_;  ///< topology mode; else nullptr
   std::unique_ptr<FifoProcessor> cloud_;
   std::unique_ptr<core::OffloadPolicy> policy_;
   std::vector<TaskRecord> tasks_;
@@ -894,6 +1142,7 @@ class Simulation {
   bool faults_on_ = false;
   FaultTimeline timeline_;
   std::vector<FaultWindow> shared_windows_;  ///< merged, shared-AP mode
+  std::vector<std::vector<FaultWindow>> ap_windows_;  ///< merged, per AP
   bool edge_up_now_ = true;
   std::vector<char> present_;
   FaultCounters fleet_faults_;

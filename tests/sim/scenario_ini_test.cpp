@@ -264,5 +264,103 @@ TEST(ScenarioIni, FaultsRoundTripThroughSerialize) {
   EXPECT_EQ(reparsed, s.config.faults);
 }
 
+TEST(ScenarioIni, ApOutageWindowsParseAndRoundTrip) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[topology]\naps = 2\nap_mbps = 40\n"
+      "[faults]\nap_outage_windows = a0:10-20, a1:30-35\n"));
+  const auto& plan = s.config.faults;
+  EXPECT_TRUE(plan.enabled());
+  ASSERT_EQ(plan.ap_windows.size(), 2u);
+  EXPECT_EQ(plan.ap_windows[0].device, 0);  // device field = AP index
+  EXPECT_DOUBLE_EQ(plan.ap_windows[0].start, 10.0);
+  EXPECT_EQ(plan.ap_windows[1].device, 1);
+  EXPECT_DOUBLE_EQ(plan.ap_windows[1].end, 35.0);
+
+  const auto text = serialize_faults_ini(plan);
+  EXPECT_NE(text.find("ap_outage_windows"), std::string::npos);
+  const auto reparsed = parse_faults_section(
+      *util::IniFile::parse_string(text).find("faults"));
+  EXPECT_EQ(reparsed, plan);
+}
+
+TEST(ScenarioIni, TopologySectionParses) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[topology]\n"
+      "aps = 2\n"
+      "ap_mbps = 40\n"
+      "ap_latency_ms = 3\n"
+      "device_map = 1, 0\n"
+      "queue_limit_kb = 4096\n"));
+  const auto& topo = s.config.topology;
+  EXPECT_TRUE(topo.enabled());
+  EXPECT_EQ(topo.aps, 2);
+  EXPECT_DOUBLE_EQ(topo.ap_bandwidth, util::mbps(40.0));
+  EXPECT_DOUBLE_EQ(topo.ap_latency, util::ms(3.0));
+  EXPECT_EQ(topo.device_map, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(topo.queue_limit_bytes, 4096.0 * 1024.0);
+  // The loaded scenario runs in fabric mode and reports fabric stats.
+  const auto r = run_scenario(s.config);
+  EXPECT_TRUE(r.net.active);
+  EXPECT_GT(r.net.delivered, 0u);
+}
+
+TEST(ScenarioIni, TopologyOmittedOrDisabledKeepsTheFlatPath) {
+  const auto bare = load_scenario(util::IniFile::parse_string(kFleet));
+  EXPECT_FALSE(bare.config.topology.enabled());
+  const auto off = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) + "[topology]\naps = 0\n"));
+  EXPECT_FALSE(off.config.topology.enabled());
+  EXPECT_EQ(off.config.topology, net::TopologyConfig{});
+  const auto a = run_scenario(bare.config);
+  const auto b = run_scenario(off.config);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_DOUBLE_EQ(a.tct.mean, b.tct.mean);
+  EXPECT_FALSE(b.net.active);
+}
+
+TEST(ScenarioIni, TopologySectionValidation) {
+  const auto load = [](const std::string& extra) {
+    return load_scenario(
+        util::IniFile::parse_string(std::string(kFleet) + extra));
+  };
+  try {
+    load("[topology]\naps = 1\nap_mpbs = 10\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key 'ap_mpbs'"), std::string::npos) << what;
+    EXPECT_NE(what.find("ap_mbps"), std::string::npos) << what;
+  }
+  EXPECT_THROW(load("[topology]\naps = -1\n"), std::invalid_argument);
+  EXPECT_THROW(load("[topology]\naps = 1\nap_mbps = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[topology]\naps = 1\nap_latency_ms = -2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[topology]\naps = 2\ndevice_map = 0\n"),
+               std::invalid_argument);  // fleet has 2 devices
+  EXPECT_THROW(load("[topology]\naps = 2\ndevice_map = 0, 5\n"),
+               std::invalid_argument);  // AP 5 out of range
+  EXPECT_THROW(load("[topology]\naps = 2\ndevice_map = 0, x\n"),
+               std::invalid_argument);  // not an index
+  // The two shared-medium modes cannot be combined.
+  EXPECT_THROW(
+      load_scenario(util::IniFile::parse_string(
+          "[scenario]\nmodel = squeezenet\nshared_uplink_mbps = 10\n"
+          "[edge]\ngflops = 50\n[device]\nrate = 1\n[device]\nrate = 1\n"
+          "[topology]\naps = 1\n")),
+      std::invalid_argument);
+  // AP outage windows need an enabled topology and an in-range AP.
+  EXPECT_THROW(run_scenario(
+                   load("[faults]\nap_outage_windows = a0:5-10\n").config),
+               std::invalid_argument);
+  EXPECT_THROW(
+      run_scenario(load("[topology]\naps = 1\n"
+                        "[faults]\nap_outage_windows = a3:5-10\n")
+                       .config),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace leime::sim

@@ -1,0 +1,193 @@
+// Fabric-backed simulation mode (the [topology] section): degenerate
+// equivalence with the flat link model, emergent congestion behind shared
+// APs, drop-driven retries, AP-outage composition with the fault layer,
+// and byte-stable JSONL at any executor thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "core/partition.h"
+#include "models/zoo.h"
+#include "runtime/executor.h"
+#include "runtime/experiment_plan.h"
+#include "runtime/sinks.h"
+#include "sim/simulation.h"
+
+namespace leime::sim {
+namespace {
+
+ScenarioConfig fleet(int devices, double rate) {
+  const auto profile = models::make_squeezenet();
+  ScenarioConfig cfg;
+  cfg.partition = core::make_partition(profile, {4, 8, profile.num_units()});
+  for (int i = 0; i < devices; ++i) {
+    DeviceSpec dev;
+    dev.flops = core::kRaspberryPiFlops;
+    dev.mean_rate = rate;
+    cfg.devices.push_back(dev);
+  }
+  cfg.policy = "LEIME";
+  cfg.duration = 25.0;
+  cfg.warmup = 2.0;
+  return cfg;
+}
+
+net::TopologyConfig aps(int count, double mbps, double latency_ms = 0.0) {
+  net::TopologyConfig topo;
+  topo.aps = count;
+  topo.ap_bandwidth = util::mbps(mbps);
+  topo.ap_latency = util::ms(latency_ms);
+  return topo;
+}
+
+TEST(TopologySim, DegenerateTopologyMatchesFlatWithinTolerance) {
+  // One device per AP with an effectively infinite, zero-latency backhaul:
+  // the only difference from the flat model is the AP's store-and-forward
+  // hop, whose serialization time at 1e9 Mbps is ~1e-8 s per task.
+  const auto cfg_flat = fleet(3, 0.8);
+  auto cfg_topo = cfg_flat;
+  cfg_topo.topology = aps(3, 1e9);
+
+  const auto a = run_scenario(cfg_flat);
+  const auto b = run_scenario(cfg_topo);
+  EXPECT_EQ(a.generated, b.generated);  // arrivals don't touch the network
+  EXPECT_NEAR(static_cast<double>(a.total_completed),
+              static_cast<double>(b.total_completed), 1.0);
+  EXPECT_NEAR(a.tct.mean, b.tct.mean, 1e-6);
+  EXPECT_NEAR(a.tct.p95, b.tct.p95, 1e-6);
+  EXPECT_NEAR(a.mean_offload_ratio, b.mean_offload_ratio, 1e-6);
+  EXPECT_FALSE(a.net.active);
+  EXPECT_TRUE(b.net.active);
+  EXPECT_GT(b.net.delivered, 0u);
+  EXPECT_GE(b.net.hops, b.net.delivered);  // >= 2 hops per delivered flow
+  EXPECT_EQ(b.net.drops, 0u);              // unbounded queues never drop
+}
+
+TEST(TopologySim, CongestionEmergesBehindOneSharedAp) {
+  // Same fleet, same total backhaul capacity, different sharing: 6 devices
+  // crowded behind one AP queue against each other; spread over 3 APs the
+  // same flows barely interact.
+  auto crowded = fleet(6, 1.0);
+  crowded.topology = aps(1, 20.0);
+  auto spread = fleet(6, 1.0);
+  spread.topology = aps(3, 20.0);
+
+  const auto a = run_scenario(crowded);
+  const auto b = run_scenario(spread);
+  EXPECT_TRUE(a.net.active);
+  EXPECT_TRUE(b.net.active);
+  EXPECT_GT(a.net.max_backlog_bytes, b.net.max_backlog_bytes);
+  // Congestion is visible end to end, not just in the port counters.
+  EXPECT_GT(a.tct.p95, b.tct.p95);
+}
+
+TEST(TopologySim, QueueLimitDropsFeedTheRetryPath) {
+  auto cfg = fleet(6, 1.2);
+  cfg.topology = aps(1, 10.0);
+  // Room for ~2 queued uploads (the raw input is ~0.7 MB): under the
+  // 6-device crowd some flows get through and the excess is dropped.
+  cfg.topology.queue_limit_bytes = 1.5e6;
+
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.net.active);
+  EXPECT_GT(r.net.drops, 0u);
+  EXPECT_GT(r.net.delivered, 0u);
+  // Every drop surfaces as a net_drop fault and re-enters via the retry
+  // machinery (exhausted raw-input retries finish on the device).
+  EXPECT_GT(r.faults.retries, 0u);
+  EXPECT_EQ(r.generated, r.total_completed + r.in_flight);
+}
+
+TEST(TopologySim, ApOutageDegradesOnlyThatApsDevices) {
+  // Devices 0..2 on AP 0 (down 6-14 s), 3..5 on AP 1 (clean). With the
+  // fallback policy the affected devices keep working device-only.
+  auto cfg = fleet(6, 0.8);
+  cfg.policy = "LEIME+fallback";
+  cfg.topology = aps(2, 20.0);
+  cfg.topology.device_map = {0, 0, 0, 1, 1, 1};
+  cfg.faults.ap_windows = {{6.0, 14.0, /*ap=*/0}};
+  cfg.faults.degradation.detection_timeout = 0.5;
+
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.net.active);
+  EXPECT_GT(r.faults.fallback_slots, 0u);
+  EXPECT_EQ(r.generated, r.total_completed + r.in_flight);
+
+  auto clean = cfg;
+  clean.faults = FaultPlan{};
+  const auto c = run_scenario(clean);
+  EXPECT_EQ(c.faults.fallback_slots, 0u);
+  EXPECT_GE(r.tct.p95, c.tct.p95);  // held bytes stretch the tail
+}
+
+TEST(TopologySim, ApWindowsValidatedAgainstTopology) {
+  auto no_topo = fleet(2, 0.5);
+  no_topo.faults.ap_windows = {{5.0, 10.0, 0}};
+  EXPECT_THROW(run_scenario(no_topo), std::invalid_argument);
+
+  auto bad_index = fleet(2, 0.5);
+  bad_index.topology = aps(2, 20.0);
+  bad_index.faults.ap_windows = {{5.0, 10.0, /*ap=*/2}};
+  EXPECT_THROW(run_scenario(bad_index), std::invalid_argument);
+
+  auto both_modes = fleet(2, 0.5);
+  both_modes.topology = aps(1, 20.0);
+  both_modes.shared_uplink_bw = util::mbps(10.0);
+  EXPECT_THROW(run_scenario(both_modes), std::invalid_argument);
+}
+
+TEST(TopologySim, ResultBytesRideTheDuplexFabric) {
+  auto cfg = fleet(3, 0.8);
+  cfg.topology = aps(1, 20.0);
+  cfg.result_bytes = 2000.0;
+  cfg.cloud_fifo = true;
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.net.active);
+  EXPECT_GT(r.total_completed, 0u);
+  EXPECT_EQ(r.generated, r.total_completed + r.in_flight);
+}
+
+TEST(TopologySim, JsonlBytesStableAcrossExecutorThreads) {
+  auto base = fleet(4, 0.9);
+  base.duration = 15.0;
+  runtime::ExperimentPlan plan(base);
+  plan.add_axis("net",
+                {{"flat", [](ScenarioConfig&) {}},
+                 {"one_ap",
+                  [](ScenarioConfig& cfg) {
+                    cfg.topology.aps = 1;
+                    cfg.topology.ap_bandwidth = util::mbps(15.0);
+                    cfg.topology.ap_latency = util::ms(2.0);
+                  }},
+                 {"crowded", [](ScenarioConfig& cfg) {
+                    cfg.topology.aps = 1;
+                    cfg.topology.ap_bandwidth = util::mbps(15.0);
+                    cfg.topology.queue_limit_bytes = 40e3;
+                  }}});
+  plan.replications(2).base_seed(20260807);
+
+  const auto render = [&](int threads) {
+    runtime::ExecutorOptions opts;
+    opts.threads = threads;
+    const auto records = runtime::Executor(opts).run(plan);
+    runtime::JsonlOptions jopts;
+    jopts.include_timing = false;
+    std::ostringstream out;
+    runtime::write_jsonl(out, {"net"}, records, jopts);
+    return out.str();
+  };
+  const auto serial = render(1);
+  EXPECT_EQ(serial, render(4))
+      << "fabric mode broke executor thread determinism";
+  // Fabric cells carry the net object; the flat cells must not.
+  EXPECT_NE(serial.find("\"net\":\"one_ap\""), std::string::npos);
+  EXPECT_NE(serial.find(",\"net\":{\"transfers\":"), std::string::npos);
+  const auto flat_line = serial.substr(0, serial.find('\n'));
+  EXPECT_NE(flat_line.find("\"net\":\"flat\""), std::string::npos);
+  EXPECT_EQ(flat_line.find("\"net\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leime::sim
