@@ -16,6 +16,7 @@
 
 #include "core/exit_setting.h"
 #include "models/profile.h"
+#include "policy/engine.h"
 #include "reporter.h"
 #include "util/rng.h"
 
@@ -103,6 +104,80 @@ int main(int argc, char** argv) {
     if (c.wall.median > 0.0)
       c.rates["evals_per_s"] =
           static_cast<double>(r.evaluations) / c.wall.median;
+  }
+
+  // Policy-core fast paths on a churn trace: 64 slots over one m=256
+  // profile, slot-to-slot drift plus a full environment jump every 8
+  // slots. Cold runs the reference B&B per slot; warm carries the previous
+  // slot's incumbent through policy::Engine. The evaluation counters are
+  // seed-deterministic, so bench_compare.py gates the warm/cold ratio
+  // strictly on any host (wall medians gate same-host only).
+  {
+    const int m = 256, steps = 64;
+    util::Rng rng(4242);
+    const auto profile = random_profile(m, rng);
+    std::vector<core::Environment> trace;
+    core::Environment env = random_env(rng);
+    for (int s = 0; s < steps; ++s) {
+      if (s % 8 == 0) {
+        env = random_env(rng);
+      } else {
+        env.net.dev_edge_bw *= rng.uniform(0.9, 1.1);
+        env.net.dev_edge_lat *= rng.uniform(0.95, 1.05);
+        env.caps.edge_flops *= rng.uniform(0.95, 1.05);
+      }
+      trace.push_back(env);
+    }
+
+    std::uint64_t cold_evals = 0;
+    auto& cold = reporter.run_case("bb_cold/churn=64", [&] {
+      cold_evals = 0;
+      for (const auto& e : trace) {
+        const core::CostModel cm(profile, e);
+        cold_evals += core::branch_and_bound_exit_setting(cm).evaluations;
+      }
+    });
+    cold.counters["evaluations"] = cold_evals;
+
+    std::uint64_t warm_evals = 0;
+    auto& warm = reporter.run_case("bb_warm/churn=64", [&] {
+      // Fresh engine + incumbent per repeat so every timed pass replays
+      // the same warm/cold decision sequence.
+      warm_evals = 0;
+      leime::policy::Config config;
+      config.warm_start = true;
+      leime::policy::Engine engine(config);
+      leime::policy::Incumbent incumbent;
+      for (const auto& e : trace) {
+        const core::CostModel cm(profile, e);
+        warm_evals += engine.exit_setting(cm, &incumbent).evaluations;
+      }
+    });
+    warm.counters["evaluations"] = warm_evals;
+    if (cold_evals > 0)
+      warm.rates["evals_pct_of_cold"] =
+          100.0 * static_cast<double>(warm_evals) /
+          static_cast<double>(cold_evals);
+
+    // Memo cache on environment revisits: 8 distinct environments cycled
+    // 8 times each — the multi-edge association pattern. Only the 8 first
+    // visits pay a search; the remaining 56 replay cached results.
+    std::uint64_t hits = 0, misses = 0;
+    auto& cache = reporter.run_case("cache/repeat=64", [&] {
+      leime::policy::Config config;
+      config.memo_cache = true;
+      leime::policy::Engine engine(config);
+      for (int pass = 0; pass < 8; ++pass)
+        for (int i = 0; i < 8; ++i) {
+          const core::CostModel cm(profile,
+                                   trace[static_cast<std::size_t>(i) * 8]);
+          engine.exit_setting(cm);
+        }
+      hits = engine.stats().cache_hits;
+      misses = engine.stats().cache_misses;
+    });
+    cache.counters["cache_hits"] = hits;
+    cache.counters["cache_misses"] = misses;
   }
 
   reporter.print_table(std::cout);

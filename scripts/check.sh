@@ -5,14 +5,20 @@
 #   2. Zero-alloc: the EventQueue steady-state allocation gate, run
 #      explicitly so the DESIGN.md §10 property shows up by name even
 #      though it also rides inside sim_test.
-#   3. Bench: re-measure micro_sim and tab_topology and gate them against
-#      bench/baselines/ with scripts/bench_compare.py (counters strict
-#      everywhere, wall medians same-host only). Skipped when python3 is
-#      unavailable.
-#   4. TSan:   rebuild the parallel-runtime tests with
-#              -DLEIME_SANITIZE=thread and re-run them, guarding the
-#              executor thread pool against data races. Skipped (with a
-#              notice) when the toolchain lacks libtsan.
+#   3. Policy: the differential/property suite proving the [policy] fast
+#      paths (memo cache, warm-started B&B, batched eq. 20) result-
+#      identical to the reference searches (DESIGN.md §12), run explicitly
+#      even though it also rides inside ctest.
+#   4. Bench: re-measure micro_sim, micro_exit_setting and tab_topology
+#      and gate them against bench/baselines/ with scripts/bench_compare.py
+#      (counters strict everywhere — including the warm-vs-cold B&B
+#      evaluation ratio — wall medians same-host only). Skipped when
+#      python3 is unavailable.
+#   5. TSan:   rebuild the parallel-runtime and shared-policy-engine tests
+#              with -DLEIME_SANITIZE=thread and re-run them, guarding the
+#              executor thread pool and policy::Engine locking against
+#              data races. Skipped (with a notice) when the toolchain
+#              lacks libtsan.
 #
 # Env knobs: JOBS (parallel build jobs, default nproc),
 #            LEIME_SKIP_TSAN=1 to run only the earlier passes,
@@ -30,12 +36,19 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== zero-alloc: EventQueue steady-state gate =="
 ./build/tests/sim_test --gtest_filter='EventQueueAlloc.*'
 
+echo "== policy: differential equivalence suite =="
+./build/tests/policy_test
+
 if [[ "${LEIME_SKIP_BENCH:-0}" == "1" ]]; then
   echo "== bench gate skipped (LEIME_SKIP_BENCH=1) =="
 elif command -v python3 >/dev/null 2>&1; then
-  echo "== bench gate: micro_sim + tab_topology vs bench/baselines =="
+  echo "== bench gate: micro_sim + micro_exit_setting + tab_topology =="
   (cd build && ./bench/micro_sim --out BENCH_micro_sim.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_micro_sim.json bench/baselines/
+  (cd build && ./bench/micro_exit_setting \
+    --out BENCH_micro_exit_setting.json >/dev/null)
+  python3 scripts/bench_compare.py build/BENCH_micro_exit_setting.json \
+    bench/baselines/
   (cd build && ./bench/tab_topology --out BENCH_tab_topology.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_tab_topology.json \
     bench/baselines/
@@ -52,10 +65,11 @@ probe="$(mktemp)"
 if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "$probe" \
     2>/dev/null; then
   rm -f "$probe"
-  echo "== tsan: runtime + sim tests under -fsanitize=thread =="
+  echo "== tsan: runtime + sim + policy tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DLEIME_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target runtime_test sim_test
-  ctest --test-dir build-tsan --output-on-failure -R '^(runtime_test|sim_test)$'
+  cmake --build build-tsan -j "$JOBS" --target runtime_test sim_test policy_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R '^(runtime_test|sim_test|policy_test)$'
 else
   rm -f "$probe"
   echo "== tsan pass skipped: ThreadSanitizer unavailable on this toolchain =="

@@ -99,9 +99,33 @@ if [[ "$net_found" -eq 0 ]]; then
   echo "lint_metric_names: no leime_net_* fragments found — lint is broken" >&2
   exit 2
 fi
+
+# Fourth pass: the leime_policy_* namespace (src/policy, DESIGN.md §12).
+# Engine::publish_metrics registers every counter as a plain literal, so
+# pass 1 already checks the alphabet; this pass additionally pins the
+# namespace convention — policy counters are monotone tallies, so each
+# must carry the Prometheus _total suffix — and fails loudly if the
+# registration block disappears (a refactor that silently drops the
+# counters would otherwise pass the lint).
+policy_pattern='^leime_policy_[a-z0-9_]+_total$'
+policy_found=0
+while IFS=: read -r file line name; do
+  policy_found=$((policy_found + 1))
+  if ! [[ "$name" =~ $policy_pattern ]]; then
+    echo "BAD  $file:$line  '$name' does not match $policy_pattern" >&2
+    fail=1
+  fi
+done < <(grep -rnoE '"leime_policy_[^"]*"' --include='*.cpp' --include='*.h' \
+           src bench examples | sed -E 's/"([^"]*)"$/\1/')
+
+if [[ "$policy_found" -eq 0 ]]; then
+  echo "lint_metric_names: no leime_policy_* counters found — lint is broken" >&2
+  exit 2
+fi
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
 echo "lint_metric_names: $found registered names all match $pattern"
 echo "lint_metric_names: $prof_found profiler names all match $prof_pattern, no duplicates"
 echo "lint_metric_names: $net_found leime_net_* fragments stay inside the registry alphabet"
+echo "lint_metric_names: $policy_found leime_policy_* counters all carry _total"

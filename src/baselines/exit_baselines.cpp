@@ -131,4 +131,13 @@ core::ExitCombo select_exits(ExitStrategy strategy,
   throw std::invalid_argument("select_exits: unknown ExitStrategy");
 }
 
+core::ExitCombo select_exits(ExitStrategy strategy,
+                             const core::CostModel& cost_model,
+                             policy::Engine& engine,
+                             policy::Incumbent* incumbent) {
+  if (strategy == ExitStrategy::kLeime)
+    return engine.exit_setting(cost_model, incumbent).combo;
+  return select_exits(strategy, cost_model);
+}
+
 }  // namespace leime::baselines

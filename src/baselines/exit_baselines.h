@@ -14,6 +14,7 @@
 
 #include "core/cost_model.h"
 #include "models/profile.h"
+#include "policy/engine.h"
 
 namespace leime::baselines {
 
@@ -62,5 +63,14 @@ std::string to_string(ExitStrategy strategy);
 /// heuristics ignore it.
 core::ExitCombo select_exits(ExitStrategy strategy,
                              const core::CostModel& cost_model);
+
+/// Engine-routed selector for callers that sweep many environments: kLeime
+/// goes through `engine` (memo cache / warm start via `incumbent` when the
+/// engine's knobs enable them; identical result either way), the heuristics
+/// are unchanged.
+core::ExitCombo select_exits(ExitStrategy strategy,
+                             const core::CostModel& cost_model,
+                             policy::Engine& engine,
+                             policy::Incumbent* incumbent = nullptr);
 
 }  // namespace leime::baselines

@@ -30,7 +30,7 @@ ExitSettingResult exhaustive_exit_setting(const CostModel& model) {
       const ExitCombo combo{e1, e2, m};
       const double cost = model.expected_tct(combo);
       ++best.evaluations;
-      if (cost < best.cost) {
+      if (exit_setting_improves(cost, combo, best.cost, best.combo)) {
         best.cost = cost;
         best.combo = combo;
       }
@@ -63,12 +63,15 @@ ExitSettingResult branch_and_bound_exit_setting(const CostModel& model) {
         i_k = i;
       }
     }
-    // Scan the candidate's Second-exit range R_{i_k}.
+    // Scan the candidate's Second-exit range R_{i_k}. Rounds visit First-
+    // exits in non-lexicographic order (i_k strictly decreases), so the
+    // tie-breaking predicate — not first-visited-wins — is what keeps the
+    // result aligned with the exhaustive scan on exact cost ties.
     for (int j = i_k + 1; j <= m - 1; ++j) {
       const ExitCombo combo{i_k, j, m};
       const double cost = model.expected_tct(combo);
       ++best.evaluations;
-      if (cost < best.cost) {
+      if (exit_setting_improves(cost, combo, best.cost, best.combo)) {
         best.cost = cost;
         best.combo = combo;
       }

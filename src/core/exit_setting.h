@@ -26,13 +26,30 @@ struct ExitSettingResult {
   std::size_t rounds = 0;
 };
 
+/// The deterministic total order every exit-setting search minimises:
+/// lower cost wins; exact cost ties break lexicographically on (e1, e2).
+/// Keeping the tie rule in one predicate means the exhaustive scan, the
+/// branch-and-bound search and the policy core's warm-started variant all
+/// agree on the *same* combo whenever two exit sets cost exactly the same
+/// — which is what lets the differential tests assert strict equality.
+inline bool exit_setting_improves(double cost, const ExitCombo& combo,
+                                  double best_cost, const ExitCombo& best) {
+  if (cost != best_cost) return cost < best_cost;
+  if (combo.e1 != best.e1) return combo.e1 < best.e1;
+  return combo.e2 < best.e2;
+}
+
 /// Scans all (e1, e2) pairs; O(m^2). Ground truth for tests and the
-/// comparison baseline in the complexity bench.
+/// comparison baseline in the complexity bench. Cost ties resolve to the
+/// lexicographically smallest (e1, e2) per exit_setting_improves.
 ExitSettingResult exhaustive_exit_setting(const CostModel& model);
 
 /// The paper's branch-and-bound search. Optimal whenever the profile's
 /// cumulative exit rates are monotone non-decreasing in depth (enforced by
-/// ModelProfile), per Theorem 1.
+/// ModelProfile), per Theorem 1. Returns the same combo as the exhaustive
+/// scan even on exact cost ties: both minimise exit_setting_improves's
+/// total order, and any combo Theorem 1 prunes at the optimal cost has a
+/// visited dominator with the same cost and a strictly smaller e1.
 ExitSettingResult branch_and_bound_exit_setting(const CostModel& model);
 
 }  // namespace leime::core

@@ -1,0 +1,91 @@
+#include "policy/batch.h"
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+
+#include "prof/profiler.h"
+
+namespace leime::policy {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+}  // namespace
+
+bool slot_state_bits_equal(const core::DeviceSlotState& a,
+                           const core::DeviceSlotState& b) {
+  return a.partition == b.partition &&
+         bits(a.device_flops) == bits(b.device_flops) &&
+         bits(a.edge_share_flops) == bits(b.edge_share_flops) &&
+         bits(a.bandwidth) == bits(b.bandwidth) &&
+         bits(a.latency) == bits(b.latency) &&
+         bits(a.queue_device) == bits(b.queue_device) &&
+         bits(a.queue_edge) == bits(b.queue_edge) &&
+         bits(a.arrivals) == bits(b.arrivals) &&
+         bits(a.uplink_backlog_bytes) == bits(b.uplink_backlog_bytes) &&
+         a.edge_available == b.edge_available &&
+         bits(a.config.V) == bits(b.config.V) &&
+         bits(a.config.tau) == bits(b.config.tau);
+}
+
+std::uint64_t slot_state_hash(const core::DeviceSlotState& s) {
+  std::uint64_t h = kFnvOffset;
+  h = mix(h, reinterpret_cast<std::uintptr_t>(s.partition));
+  h = mix(h, bits(s.device_flops));
+  h = mix(h, bits(s.edge_share_flops));
+  h = mix(h, bits(s.bandwidth));
+  h = mix(h, bits(s.latency));
+  h = mix(h, bits(s.queue_device));
+  h = mix(h, bits(s.queue_edge));
+  h = mix(h, bits(s.arrivals));
+  h = mix(h, bits(s.uplink_backlog_bytes));
+  h = mix(h, s.edge_available ? 1u : 0u);
+  h = mix(h, bits(s.config.V));
+  h = mix(h, bits(s.config.tau));
+  return h;
+}
+
+BatchStats decide_fleet(const core::OffloadPolicy& policy,
+                        const std::vector<core::DeviceSlotState>& states,
+                        std::vector<double>& out) {
+  LEIME_PROF_SCOPE("leime.policy.decide_fleet");
+  BatchStats stats;
+  out.resize(states.size());
+  // hash -> representative indices (chained on exact comparison, so a hash
+  // collision costs one extra compare, never a wrong dedup).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> reps;
+  reps.reserve(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    auto& chain = reps[slot_state_hash(states[i])];
+    bool found = false;
+    for (const std::size_t r : chain) {
+      if (slot_state_bits_equal(states[r], states[i])) {
+        out[i] = out[r];
+        ++stats.reused;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      out[i] = policy.decide(states[i]);
+      chain.push_back(i);
+      ++stats.groups;
+    }
+  }
+  return stats;
+}
+
+}  // namespace leime::policy

@@ -1,0 +1,120 @@
+// The policy core: a standalone, thread-safe facade over the exit-setting
+// search (§III-C) and the per-slot Lyapunov offload update (§III-D), with
+// three opt-in fast paths proven result-identical to the reference
+// implementations they shortcut (DESIGN.md §12):
+//
+//   memo_cache  — exit settings memoized under quantized (model, env)
+//                 buckets with an exact-match guard (exit_cache.h);
+//   warm_start  — B&B seeded from the previous slot's incumbent
+//                 (warm_start.h);
+//   batch_eq20  — fleet offload decisions deduplicated across
+//                 bit-identical device states (batch.h).
+//
+// Streaming interface: each control stream — one simulation, one adaptive
+// epoch loop, one shard of a future sharded DES — owns an Incumbent and
+// feeds (bandwidth, load, sigma-profile) observations in as CostModels /
+// DeviceSlotStates; exit sets and offload ratios come out. The Engine owns
+// only cross-stream state (the shared memo cache and statistics) and may
+// be called from many threads concurrently; with all knobs off every entry
+// point degenerates to exactly the core:: reference call, which is why
+// sim-facing code routes through the Engine unconditionally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "core/cost_model.h"
+#include "core/exit_setting.h"
+#include "obs/metrics.h"
+#include "policy/batch.h"
+#include "policy/exit_cache.h"
+
+namespace leime::policy {
+
+/// The `[policy]` INI section. Defaults keep every fast path off — the
+/// byte-identical golden configuration.
+struct Config {
+  bool memo_cache = false;   ///< exit-setting memo cache
+  bool warm_start = false;   ///< warm-started B&B
+  bool batch_eq20 = false;   ///< batched fleet offload decisions
+  std::size_t cache_capacity = 4096;  ///< LRU entries (memo_cache)
+  int quant_per_octave = 4;           ///< cache-key buckets per octave
+
+  bool enabled() const { return memo_cache || warm_start || batch_eq20; }
+
+  /// Throws std::invalid_argument on a zero capacity or a per-octave
+  /// resolution outside [1, 64].
+  void validate() const;
+};
+
+/// Per-stream warm-start state: the last exit setting this control stream
+/// deployed. One Incumbent per stream/thread — never shared — so result
+/// streams stay independent of how many threads hammer the Engine.
+struct Incumbent {
+  core::ExitCombo combo{};
+  bool valid = false;
+};
+
+/// Monotone counters, snapshot via Engine::stats().
+struct Stats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t warm_starts = 0;        ///< searches seeded from an incumbent
+  std::uint64_t warm_pruned_scans = 0;  ///< Second-exit scans skipped
+  std::uint64_t cold_starts = 0;        ///< reference B&B invocations
+  std::uint64_t batch_groups = 0;       ///< distinct states solved
+  std::uint64_t batch_reused = 0;       ///< devices served by a dedup
+};
+
+class Engine {
+ public:
+  /// Validates the config (Config::validate).
+  explicit Engine(Config config = {});
+
+  const Config& config() const { return config_; }
+
+  /// One exit-setting observation in, one exit set out. Fast-path order:
+  /// memo cache (exact hits replay a previous computation), then
+  /// warm-started B&B when `incumbent` holds a compatible previous combo,
+  /// else the cold core:: search. Always updates *incumbent (when given)
+  /// with the returned combo. Thread-safe; the (combo, cost) pair is
+  /// bit-identical to core::branch_and_bound_exit_setting for every knob
+  /// combination (`evaluations`/`rounds` reflect the work actually done,
+  /// or the original work for a cache hit).
+  core::ExitSettingResult exit_setting(const core::CostModel& model,
+                                       Incumbent* incumbent = nullptr);
+
+  /// Per-slot offload ratios for a whole fleet: out[i] =
+  /// policy.decide(states[i]) within 0 ULP. With batch_eq20 bit-identical
+  /// states are solved once (batch.h); off, it is literally the sequential
+  /// loop. Thread-safe (only local scratch plus atomic counters).
+  void decide_fleet(const core::OffloadPolicy& policy,
+                    const std::vector<core::DeviceSlotState>& states,
+                    std::vector<double>& out) const;
+
+  Stats stats() const;
+
+  /// Registers the leime_policy_* counters with their current values.
+  /// Call after a run (the registry is not thread-safe; the Engine's own
+  /// counters are atomics and may be read any time via stats()).
+  void publish_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  Config config_;
+
+  mutable std::mutex mu_;      ///< guards cache_
+  ExitSettingCache cache_;
+
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  mutable std::atomic<std::uint64_t> cache_evictions_{0};
+  mutable std::atomic<std::uint64_t> warm_starts_{0};
+  mutable std::atomic<std::uint64_t> warm_pruned_scans_{0};
+  mutable std::atomic<std::uint64_t> cold_starts_{0};
+  mutable std::atomic<std::uint64_t> batch_groups_{0};
+  mutable std::atomic<std::uint64_t> batch_reused_{0};
+};
+
+}  // namespace leime::policy

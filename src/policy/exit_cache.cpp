@@ -1,0 +1,50 @@
+#include "policy/exit_cache.h"
+
+#include <stdexcept>
+
+namespace leime::policy {
+
+ExitSettingCache::ExitSettingCache(std::size_t capacity, int per_octave)
+    : capacity_(capacity), per_octave_(per_octave) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("ExitSettingCache: capacity must be >= 1");
+  if (per_octave_ < 1)
+    throw std::invalid_argument("ExitSettingCache: per_octave must be >= 1");
+}
+
+void ExitSettingCache::touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+const core::ExitSettingResult* ExitSettingCache::lookup(
+    std::uint64_t profile_fp, const core::Environment& env) {
+  const auto key = make_cache_key(profile_fp, env, per_octave_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  if (!env_bits_equal(it->second.env, env)) return nullptr;
+  touch(it->second);
+  return &it->second.result;
+}
+
+bool ExitSettingCache::insert(std::uint64_t profile_fp,
+                              const core::Environment& env,
+                              const core::ExitSettingResult& result) {
+  const auto key = make_cache_key(profile_fp, env, per_octave_);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second.env = env;
+    it->second.result = result;
+    touch(it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    evicted = true;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{env, result, lru_.begin()});
+  return evicted;
+}
+
+}  // namespace leime::policy

@@ -1,0 +1,69 @@
+// Exit-setting memo cache with an exact-match guard.
+//
+// The quantized CacheKey only *addresses* a bucket; each entry stores the
+// exact Environment (all seven IEEE bit patterns) and the profile
+// fingerprint its result was computed from. A lookup hits only when the
+// stored environment equals the query bit for bit, so a hit is literally a
+// replay of a previous computation — "cache-hit ≡ recompute" holds by
+// construction at any quantization resolution, and coarsening the buckets
+// can only lower the hit rate, never change a result.
+//
+// Capacity/eviction contract (the explicit part of the tentpole):
+//   - at most `capacity` entries live at once;
+//   - both a lookup hit and an insert refresh the entry's recency;
+//   - inserting a new key into a full cache evicts the least-recently-used
+//     entry (deterministic given the call sequence);
+//   - re-inserting an existing key overwrites it in place (no eviction);
+//   - eviction affects only future hit rates, never any returned result.
+//
+// Not thread-safe: policy::Engine serializes access behind its mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/environment.h"
+#include "core/exit_setting.h"
+#include "policy/quantize.h"
+
+namespace leime::policy {
+
+class ExitSettingCache {
+ public:
+  /// Throws std::invalid_argument on capacity == 0 or per_octave < 1.
+  ExitSettingCache(std::size_t capacity, int per_octave);
+
+  /// The stored result iff the bucket exists AND its exact environment
+  /// matches `env` bit for bit; nullptr otherwise (quantization collisions
+  /// are misses, not wrong answers). A hit refreshes recency. The pointer
+  /// is invalidated by the next insert.
+  const core::ExitSettingResult* lookup(std::uint64_t profile_fp,
+                                        const core::Environment& env);
+
+  /// Stores (or overwrites) the bucket for (profile_fp, env). Returns true
+  /// iff a least-recently-used entry was evicted to make room.
+  bool insert(std::uint64_t profile_fp, const core::Environment& env,
+              const core::ExitSettingResult& result);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  int per_octave() const { return per_octave_; }
+
+ private:
+  struct Entry {
+    core::Environment env;
+    core::ExitSettingResult result;
+    std::list<CacheKey>::iterator lru_it;  ///< position in lru_
+  };
+
+  void touch(Entry& entry);
+
+  std::size_t capacity_;
+  int per_octave_;
+  std::list<CacheKey> lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+};
+
+}  // namespace leime::policy

@@ -1,0 +1,102 @@
+#include "policy/quantize.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace leime::policy {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, double v) {
+  return fnv1a(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  // Length terminator so ("ab", "c") never collides with ("a", "bc").
+  return fnv1a(h, static_cast<std::uint64_t>(s.size()));
+}
+
+}  // namespace
+
+std::int32_t quantize_log(double v, int per_octave) {
+  if (per_octave < 1)
+    throw std::invalid_argument("quantize_log: per_octave must be >= 1");
+  if (!(v > 0.0) || !std::isfinite(v))
+    return std::numeric_limits<std::int32_t>::min();
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // mant in [0.5, 1)
+  const auto sub = static_cast<std::int32_t>((mant - 0.5) * 2.0 *
+                                             static_cast<double>(per_octave));
+  return static_cast<std::int32_t>(exp) * per_octave + sub;
+}
+
+std::uint64_t profile_fingerprint(const models::ModelProfile& profile) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, profile.name());
+  h = fnv1a(h, profile.input_bytes());
+  h = fnv1a(h, static_cast<std::uint64_t>(profile.num_units()));
+  for (int i = 1; i <= profile.num_units(); ++i) {
+    const auto& unit = profile.unit(i);
+    const auto& exit = profile.exit(i);
+    h = fnv1a(h, unit.flops);
+    h = fnv1a(h, unit.out_bytes);
+    h = fnv1a(h, exit.classifier_flops);
+    h = fnv1a(h, exit.exit_rate);
+    h = fnv1a(h, exit.exit_accuracy);
+  }
+  return h;
+}
+
+CacheKey make_cache_key(std::uint64_t profile_fp,
+                        const core::Environment& env, int per_octave) {
+  CacheKey key;
+  key.profile_fp = profile_fp;
+  key.env_buckets = {quantize_log(env.caps.device_flops, per_octave),
+                     quantize_log(env.caps.edge_flops, per_octave),
+                     quantize_log(env.caps.cloud_flops, per_octave),
+                     quantize_log(env.net.dev_edge_bw, per_octave),
+                     quantize_log(env.net.dev_edge_lat, per_octave),
+                     quantize_log(env.net.edge_cloud_bw, per_octave),
+                     quantize_log(env.net.edge_cloud_lat, per_octave)};
+  return key;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::uint64_t h = fnv1a(kFnvOffset, key.profile_fp);
+  for (const std::int32_t b : key.env_buckets)
+    h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(b)));
+  return static_cast<std::size_t>(h);
+}
+
+bool env_bits_equal(const core::Environment& a, const core::Environment& b) {
+  const auto eq = [](double x, double y) {
+    return std::bit_cast<std::uint64_t>(x) == std::bit_cast<std::uint64_t>(y);
+  };
+  return eq(a.caps.device_flops, b.caps.device_flops) &&
+         eq(a.caps.edge_flops, b.caps.edge_flops) &&
+         eq(a.caps.cloud_flops, b.caps.cloud_flops) &&
+         eq(a.net.dev_edge_bw, b.net.dev_edge_bw) &&
+         eq(a.net.dev_edge_lat, b.net.dev_edge_lat) &&
+         eq(a.net.edge_cloud_bw, b.net.edge_cloud_bw) &&
+         eq(a.net.edge_cloud_lat, b.net.edge_cloud_lat);
+}
+
+}  // namespace leime::policy

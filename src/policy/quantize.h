@@ -1,0 +1,54 @@
+// Deterministic observation quantization for the policy memo cache.
+//
+// quantize_log maps a positive double onto an integer bucket derived purely
+// from its IEEE-754 decomposition (frexp exponent plus a fixed number of
+// mantissa sub-buckets per octave), so bucketing is bit-deterministic and
+// platform-independent. Buckets only pick the cache *address*; correctness
+// never depends on the resolution because every cache entry carries the
+// exact environment it was computed from (see exit_cache.h).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/environment.h"
+#include "models/profile.h"
+
+namespace leime::policy {
+
+/// Log2 bucket index of v with `per_octave` sub-buckets per power of two.
+/// Pure integer/IEEE arithmetic (std::frexp), no rounding-mode dependence.
+/// Non-positive and non-finite values collapse to a sentinel bucket.
+std::int32_t quantize_log(double v, int per_octave);
+
+/// 64-bit FNV-1a content fingerprint of a profile: name, input bytes and
+/// the bit patterns of every unit/exit field (FLOPs, tensor bytes,
+/// classifier FLOPs, sigma, accuracy). Two profiles with equal fingerprints
+/// are treated as the same model by the memo cache — a deliberate 2^-64
+/// collision risk, documented in DESIGN.md §12.
+std::uint64_t profile_fingerprint(const models::ModelProfile& profile);
+
+/// Cache address: model fingerprint + the seven environment fields
+/// quantized into log buckets. Equality is exact integer equality.
+struct CacheKey {
+  std::uint64_t profile_fp = 0;
+  std::array<std::int32_t, 7> env_buckets{};
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+CacheKey make_cache_key(std::uint64_t profile_fp,
+                        const core::Environment& env, int per_octave);
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+/// Bit-exact equality of two environments: compares the IEEE bit patterns
+/// of all seven fields, so +0.0 != -0.0 and NaN never equals anything —
+/// exactly the conditions under which replaying a cached result could
+/// diverge from recomputing it.
+bool env_bits_equal(const core::Environment& a, const core::Environment& b);
+
+}  // namespace leime::policy

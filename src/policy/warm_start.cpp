@@ -1,0 +1,128 @@
+#include "policy/warm_start.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "prof/profiler.h"
+#include "util/check.h"
+
+namespace leime::policy {
+
+bool incumbent_compatible(const core::ExitCombo& combo, int num_exits) {
+  return 1 <= combo.e1 && combo.e1 < combo.e2 && combo.e2 < combo.e3 &&
+         combo.e3 == num_exits;
+}
+
+WarmStartOutcome warm_start_branch_and_bound(const core::CostModel& model,
+                                             const core::ExitCombo& incumbent,
+                                             std::vector<double>& scratch) {
+  LEIME_PROF_SCOPE("leime.policy.warm_start_bb");
+  if (model.num_exits() < 3)
+    throw std::invalid_argument(
+        "warm_start_branch_and_bound: need at least 3 candidate exits");
+  if (!incumbent_compatible(incumbent, model.num_exits()))
+    throw std::invalid_argument(
+        "warm_start_branch_and_bound: incumbent invalid for this model");
+  const int m = model.num_exits();
+
+  WarmStartOutcome out;
+  auto& best = out.result;
+  // Seed: the previous slot's incumbent, re-costed under the *current*
+  // environment with the same expected_tct the cold search uses, so a
+  // winning incumbent carries bit-identical cost.
+  best.combo = incumbent;
+  best.cost = model.expected_tct(incumbent);
+  best.evaluations = 1;
+
+  // Per-call two-exit memo: rounds scan the nested ranges [1, upbound_k],
+  // so the cold search re-evaluates the same indices every round; here
+  // each index is costed once. NaN marks "not yet evaluated" (two-exit
+  // costs are finite by construction: valid environments have positive
+  // capacities and bandwidths).
+  scratch.assign(static_cast<std::size_t>(m),
+                 std::numeric_limits<double>::quiet_NaN());
+  const auto two_exit = [&](int i) {
+    double& slot = scratch[static_cast<std::size_t>(i - 1)];
+    if (std::isnan(slot)) {
+      slot = model.two_exit_cost(i);
+      ++best.evaluations;
+    }
+    return slot;
+  };
+
+  const auto& profile = model.profile();
+  const auto& net = model.environment().net;
+  int upbound = m - 2;
+  while (upbound >= 1) {
+    // Identical round structure to the cold search: i_k is the two-exit
+    // argmin over [1, upbound], smallest index on ties.
+    int i_k = 1;
+    double best_two = std::numeric_limits<double>::infinity();
+    for (int i = 1; i <= upbound; ++i) {
+      const double c = two_exit(i);
+      if (c < best_two) {
+        best_two = c;
+        i_k = i;
+      }
+    }
+    // Monotone lower bound over the round's Second-exit range: every
+    // {i_k, j, m} pays at least the device time plus the miss-weighted
+    // transfer and miss-weighted edge compute of units i_k+1..j —
+    //   bound(j) = t_d(i_k) + (1-sigma_{i_k}) *
+    //              (transfer(i_k) + (prefix(j)-prefix(i_k)) / F_e)
+    // — because the exit-head FLOPs and the cloud term are >= 0. bound(j)
+    // is non-decreasing in j (prefix FLOPs are cumulative), so the scan
+    // can stop at the largest j with bound(j) <= best: everything beyond
+    // is *strictly* worse than an already-evaluated combo, hence skipping
+    // it cannot drop a cost tie and the tie-broken result is unchanged.
+    // The cutoff is found by binary search on the prefix-FLOPs array —
+    // O(log m) plain arithmetic, no cost-model evaluations.
+    const double transfer =
+        profile.out_bytes_after(i_k) / net.dev_edge_bw + net.dev_edge_lat;
+    const double miss = 1.0 - profile.exit(i_k).exit_rate;
+    const double base = model.device_time(i_k) + miss * transfer;
+    ++best.evaluations;
+    int j_max = m - 1;
+    if (base > best.cost) {
+      j_max = i_k;  // even the transfer alone is too expensive
+    } else if (miss > 0.0) {
+      // Largest j with prefix(j) <= prefix(i_k) + slack * F_e; the edge
+      // capacity is positive for any valid environment.
+      const double slack = (best.cost - base) / miss;
+      const double prefix_limit =
+          profile.prefix_flops(i_k) +
+          slack * model.environment().caps.edge_flops;
+      int lo = i_k + 1, hi = m - 1;
+      j_max = i_k;
+      while (lo <= hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (profile.prefix_flops(mid) <= prefix_limit) {
+          j_max = mid;
+          lo = mid + 1;
+        } else {
+          hi = mid - 1;
+        }
+      }
+    }
+    if (j_max <= i_k) ++out.pruned_scans;
+    for (int j = i_k + 1; j <= j_max; ++j) {
+      const core::ExitCombo combo{i_k, j, m};
+      const double cost = model.expected_tct(combo);
+      ++best.evaluations;
+      if (core::exit_setting_improves(cost, combo, best.cost, best.combo)) {
+        best.cost = cost;
+        best.combo = combo;
+      }
+    }
+    ++best.rounds;
+    upbound = i_k - 1;
+  }
+  LEIME_PROF_COUNT("leime.policy.warm_start_bb.evals", best.evaluations);
+  LEIME_PROF_COUNT("leime.policy.warm_start_bb.pruned_scans",
+                   static_cast<std::uint64_t>(out.pruned_scans));
+  LEIME_CHECK(best.cost < std::numeric_limits<double>::infinity());
+  return out;
+}
+
+}  // namespace leime::policy

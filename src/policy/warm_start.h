@@ -1,0 +1,60 @@
+// Warm-started branch-and-bound exit setting.
+//
+// Identical round structure to core::branch_and_bound_exit_setting — the
+// i_k / upbound sequence depends only on the two-exit costs, never on the
+// incumbent — with three sources of saved work:
+//   1. the search is seeded with the previous slot's incumbent combo (one
+//      expected_tct evaluation) instead of +infinity;
+//   2. the two-exit costs are memoized per call: the cold search re-scans
+//      the overlapping ranges [1, upbound_k] every round, the warm search
+//      evaluates each two_exit_cost(i) exactly once;
+//   3. every round's Second-exit scan is truncated at a monotone lower
+//      bound: cost({i, j, m}) >= t_d(i) + (1-sigma_i) * (transfer(i) +
+//      (prefix(j) - prefix(i)) / F_edge), non-decreasing in j, because
+//      the exit-head FLOPs and the cloud term are non-negative and the
+//      prefix FLOPs are cumulative. The largest admissible j is found by
+//      binary search on the prefix-FLOPs array (O(log m) arithmetic, no
+//      cost-model evaluations); a round whose entire range is cut counts
+//      as a pruned scan.
+//
+// Result equality with the cold search (both searches minimise the
+// exit_setting_improves total order; proof sketch in DESIGN.md §12): the
+// warm search visits a superset of the cost-optimal combos the cold search
+// visits — a combo is skipped only when its lower bound *strictly*
+// exceeds an already-evaluated cost, so cuts never remove a tie —
+// plus the incumbent, which is either itself visited or lex-dominated by a
+// visited combo of equal cost (Theorem 1). Hence min over the warm visit
+// set equals min over the cold visit set. Enforced across randomized churn
+// traces by tests/policy/policy_diff_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/exit_setting.h"
+
+namespace leime::policy {
+
+/// True iff `combo` is a valid search outcome for an m-exit model
+/// (1 <= e1 < e2 < e3 == m) and hence usable as a warm-start seed.
+bool incumbent_compatible(const core::ExitCombo& combo, int num_exits);
+
+struct WarmStartOutcome {
+  core::ExitSettingResult result;
+  std::size_t pruned_scans = 0;  ///< rounds whose Second-exit scan was cut
+};
+
+/// Runs the warm-started search. `incumbent` must satisfy
+/// incumbent_compatible (throws std::invalid_argument otherwise — the
+/// Engine falls back to the cold search instead of calling in). `scratch`
+/// is the caller-owned two-exit memo buffer (resized to m; reusing it
+/// across calls avoids re-allocation on the per-slot path).
+/// `result.evaluations` counts actual cost-model evaluations — memo
+/// lookups are free — which is what the micro_exit_setting warm-vs-cold
+/// counter gate measures; `result.rounds` matches the cold search.
+WarmStartOutcome warm_start_branch_and_bound(const core::CostModel& model,
+                                             const core::ExitCombo& incumbent,
+                                             std::vector<double>& scratch);
+
+}  // namespace leime::policy

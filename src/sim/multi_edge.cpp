@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/exit_setting.h"
+#include "policy/engine.h"
 #include "sim/simulation.h"
 #include "util/check.h"
 
@@ -28,9 +29,14 @@ void validate(const MultiEdgeConfig& cfg) {
 
 /// Expected TCT of device d on edge e under the LEIME cost model, with the
 /// edge's capacity discounted by the FLOP load already assigned to it.
+/// Routed through the policy engine: same-class devices probing the same
+/// edge repeat exact environments, so the memo cache answers most of the
+/// association loop's searches; with default knobs the call is the plain
+/// cold branch-and-bound.
 double expected_tct_on_edge(const MultiEdgeConfig& cfg,
                             const models::ModelProfile& profile, int d, int e,
-                            double assigned_rate) {
+                            double assigned_rate, policy::Engine& engine,
+                            policy::Incumbent& incumbent) {
   core::Environment env;
   env.caps.device_flops = cfg.devices[static_cast<std::size_t>(d)].flops;
   // Heuristic capacity discount: each already-assigned task/s of load takes
@@ -49,7 +55,7 @@ double expected_tct_on_edge(const MultiEdgeConfig& cfg,
   env.net.edge_cloud_bw = cfg.edges[static_cast<std::size_t>(e)].cloud_bw;
   env.net.edge_cloud_lat = cfg.edges[static_cast<std::size_t>(e)].cloud_lat;
   core::CostModel cm(profile, env);
-  return core::branch_and_bound_exit_setting(cm).cost;
+  return engine.exit_setting(cm, &incumbent).cost;
 }
 
 }  // namespace
@@ -117,13 +123,15 @@ std::vector<int> associate(const MultiEdgeConfig& config,
         return config.devices[a].mean_rate > config.devices[b].mean_rate;
       });
       std::vector<double> load(n_edge, 0.0);
+      policy::Engine engine(config.policy_core);
+      policy::Incumbent incumbent;
       for (std::size_t d : order) {
         std::size_t best = 0;
         double best_tct = std::numeric_limits<double>::infinity();
         for (std::size_t e = 0; e < n_edge; ++e) {
           const double tct = expected_tct_on_edge(
               config, profile, static_cast<int>(d), static_cast<int>(e),
-              load[e]);
+              load[e], engine, incumbent);
           if (tct < best_tct) {
             best_tct = tct;
             best = e;
@@ -145,6 +153,10 @@ MultiEdgeResult run_multi_edge(const MultiEdgeConfig& config,
   out.assignment = associate(config, profile, policy);
   const auto n_edge = config.edges.size();
 
+  // Per-cell ME-DNN designs share one engine: similar cells hit the memo
+  // cache, and the previous cell's combo warm-starts the next search.
+  policy::Engine engine(config.policy_core);
+  policy::Incumbent incumbent;
   double tct_weighted = 0.0;
   for (std::size_t e = 0; e < n_edge; ++e) {
     // Gather this cell's devices with their cell-specific links.
@@ -177,7 +189,8 @@ MultiEdgeResult run_multi_edge(const MultiEdgeConfig& config,
     env.net.edge_cloud_lat = config.edges[e].cloud_lat;
     core::CostModel cm(profile, env);
     cell.partition = core::make_partition(
-        profile, core::branch_and_bound_exit_setting(cm).combo);
+        profile, engine.exit_setting(cm, &incumbent).combo);
+    cell.policy_core = config.policy_core;
 
     cell.edge_flops = config.edges[e].flops;
     cell.cloud_flops = config.cloud_flops;

@@ -43,6 +43,14 @@ struct MultiEdgeConfig {
   double duration = 60.0;
   double warmup = 5.0;
   std::uint64_t seed = 42;
+
+  /// Policy-core fast paths for the association/design B&B loops — the
+  /// LEIME-aware association runs one exit-setting search per (device,
+  /// edge) pair, and devices of the same class probing the same edge
+  /// repeat exact environments, so the memo cache collapses them. Defaults
+  /// off (reference behaviour); results are identical either way
+  /// (tests/policy/policy_diff_test.cpp).
+  policy::Config policy_core;
 };
 
 enum class AssociationPolicy {

@@ -7,6 +7,7 @@
 #include "core/exit_setting.h"
 #include "models/profile_io.h"
 #include "models/zoo.h"
+#include "policy/engine.h"
 
 namespace leime::sim {
 
@@ -90,6 +91,42 @@ net::TopologyConfig parse_topology_section(const util::IniSection& section) {
   return topo;
 }
 
+policy::Config parse_policy_section(const util::IniSection& section) {
+  static const char* kKnown[] = {"memo_cache", "warm_start", "batch_eq20",
+                                 "cache_capacity", "quant_per_octave"};
+  for (const auto& [key, value] : section.values) {
+    (void)value;
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return key == k; }) ==
+        std::end(kKnown)) {
+      std::string valid;
+      for (const char* k : kKnown) valid += std::string(" ") + k;
+      throw std::invalid_argument("[policy] unknown key '" + key +
+                                  "' (valid keys:" + valid + ")");
+    }
+  }
+
+  policy::Config pol;
+  pol.memo_cache = section.get_bool("memo_cache", false);
+  pol.warm_start = section.get_bool("warm_start", false);
+  pol.batch_eq20 = section.get_bool("batch_eq20", false);
+  const long long capacity =
+      section.get_int("cache_capacity",
+                      static_cast<long long>(pol.cache_capacity));
+  if (capacity < 1)
+    throw std::invalid_argument("[policy] cache_capacity must be >= 1");
+  pol.cache_capacity = static_cast<std::size_t>(capacity);
+  pol.quant_per_octave =
+      static_cast<int>(section.get_int("quant_per_octave",
+                                       pol.quant_per_octave));
+  try {
+    pol.validate();
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("[policy] ") + e.what());
+  }
+  return pol;
+}
+
 void apply_obs_overrides(ObsConfig& obs, const std::string& metrics_out,
                          const std::string& trace_out) {
   if (!metrics_out.empty()) obs.metrics_out = metrics_out;
@@ -160,6 +197,9 @@ IniScenario load_scenario(const util::IniFile& ini) {
   if (const auto* obs = ini.find("observability"))
     cfg.obs = parse_observability_section(*obs);
 
+  if (const auto* pol = ini.find("policy"))
+    cfg.policy_core = parse_policy_section(*pol);
+
   if (const auto* rt = ini.find("runtime")) {
     out.threads = static_cast<int>(rt->get_int("threads", 1));
     if (out.threads < 0)
@@ -197,7 +237,10 @@ IniScenario load_scenario(const util::IniFile& ini) {
   env.net.edge_cloud_bw = cfg.edge_cloud_bw;
   env.net.edge_cloud_lat = cfg.edge_cloud_lat;
   core::CostModel cm(out.profile, env);
-  const auto setting = core::branch_and_bound_exit_setting(cm);
+  // Routed through the policy engine so [policy] fast paths also cover the
+  // design-time search; with the section absent this is the plain cold B&B.
+  policy::Engine design_engine(cfg.policy_core);
+  const auto setting = design_engine.exit_setting(cm);
   cfg.partition = core::make_partition(out.profile, setting.combo);
 
   out.config = std::move(cfg);

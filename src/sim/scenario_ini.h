@@ -22,6 +22,10 @@
 //               queue_limit_kb — the routed multi-hop network fabric
 //               (net/topology.h). Omitting the section (or aps = 0) keeps
 //               the flat point-to-point links.
+//   [policy]    (optional) memo_cache / warm_start / batch_eq20 /
+//               cache_capacity / quant_per_octave — the policy core's
+//               opt-in fast paths (policy/engine.h). Omitting the section
+//               keeps the reference algorithms and byte-identical output.
 #pragma once
 
 #include <string>
@@ -64,6 +68,10 @@ ObsConfig parse_observability_section(const util::IniSection& section);
 /// Parses a [topology] section (throws on unknown keys; range validation
 /// against the device count happens later via TopologyConfig::validate).
 net::TopologyConfig parse_topology_section(const util::IniSection& section);
+
+/// Parses a [policy] section (throws on unknown keys or out-of-range
+/// values via policy::Config::validate).
+policy::Config parse_policy_section(const util::IniSection& section);
 
 /// Applies command-line output-path overrides on top of an INI-derived
 /// ObsConfig: a non-empty `metrics_out` / `trace_out` replaces the INI

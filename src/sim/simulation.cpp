@@ -11,6 +11,7 @@
 #include "core/offload_policy.h"
 #include "core/resource_alloc.h"
 #include "net/fabric.h"
+#include "policy/engine.h"
 #include "prof/profiler.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
@@ -121,11 +122,13 @@ class Simulation {
       apply_fault_timeline();
     }
 
-    // Initial decisions + arrival streams + slot ticks.
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
-      decide(i);
+    // Initial decisions + arrival streams + slot ticks. Decisions consume
+    // no RNG and schedule no events, so batching them ahead of the arrival
+    // scheduling keeps the event sequence identical to the interleaved
+    // per-device order.
+    decide_all();
+    for (std::size_t i = 0; i < devices_.size(); ++i)
       schedule_next_arrival(i);
-    }
     queue_.schedule(cfg_.lyapunov.tau, EventKind::kSlotTick,
                     [this] { slot_tick(); });
     if (cfg_.reallocation_period > 0.0)
@@ -141,6 +144,10 @@ class Simulation {
     if (obs_) obs_->on_run_end(queue_.now());
     SimResult out = finalize();
     if (owned_obs_) {
+      // Policy-core telemetry rides the metrics snapshot only when both
+      // layers are opted in; with the engine off no leime_policy_* names
+      // register, keeping policy-off output byte-identical.
+      if (policy_engine_) policy_engine_->publish_metrics(owned_obs_->registry());
       out.metrics = owned_obs_->registry().snapshot();
       owned_obs_->export_outputs();
     }
@@ -267,6 +274,11 @@ class Simulation {
       policy_ = std::make_unique<core::FixedRatioPolicy>(cfg_.fixed_ratio);
     else
       policy_ = core::make_policy(cfg_.policy);
+    // The engine is only instantiated for the batched fleet path; the
+    // exit-setting fast paths act at design time (scenario_ini, adaptive,
+    // multi_edge), before a Simulation exists.
+    if (cfg_.policy_core.batch_eq20)
+      policy_engine_ = std::make_unique<policy::Engine>(cfg_.policy_core);
 
     x_sum_dev_.assign(devices_.size(), 0.0);
     x_count_dev_.assign(devices_.size(), 0);
@@ -613,9 +625,33 @@ class Simulation {
 
   void decide(std::size_t i) {
     LEIME_PROF_SCOPE("leime.sim.decide");
-    auto& dev = *devices_[i];
     const auto state = observe(i);
-    dev.x = policy_->decide(state);
+    apply_decision(i, state, policy_->decide(state));
+  }
+
+  /// Slot decisions for the whole fleet. The default path is the
+  /// sequential per-device loop; with [policy] batch_eq20 the engine
+  /// dedups bit-identical states and calls the policy once per group —
+  /// result-identical within 0 ULP (src/policy/batch.h), proven by the
+  /// golden invariance test.
+  void decide_all() {
+    if (!policy_engine_) {
+      for (std::size_t i = 0; i < devices_.size(); ++i) decide(i);
+      return;
+    }
+    scratch_states_.clear();
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+      scratch_states_.push_back(observe(i));
+    policy_engine_->decide_fleet(*policy_, scratch_states_, scratch_x_);
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+      apply_decision(i, scratch_states_[i], scratch_x_[i]);
+  }
+
+  /// Decision bookkeeping shared by the sequential and batched paths.
+  void apply_decision(std::size_t i, const core::DeviceSlotState& state,
+                      double x) {
+    auto& dev = *devices_[i];
+    dev.x = x;
     if (faults_on_ && !state.edge_available && dev.x <= 0.0) {
       ++fleet_faults_.fallback_slots;
       ++dev_faults_[i].fallback_slots;
@@ -640,6 +676,10 @@ class Simulation {
 
   void slot_tick() {
     LEIME_PROF_SCOPE("leime.sim.ev.slot_tick");
+    // Estimates, decisions and queue sampling are per-device independent
+    // (decisions touch no queues, consume no RNG and schedule no events),
+    // so splitting the single loop into phases — required for the batched
+    // decision path — leaves every value and the event sequence unchanged.
     for (std::size_t i = 0; i < devices_.size(); ++i) {
       auto& dev = *devices_[i];
       // Blend observation with the process's nominal rate: reacts to bursts
@@ -649,7 +689,10 @@ class Simulation {
           dev.arrivals->rate_at(queue_.now()) * cfg_.lyapunov.tau;
       dev.arrival_estimate = std::max(0.5 * (observed + nominal), 0.25);
       dev.arrived_this_slot = 0;
-      decide(i);
+    }
+    decide_all();
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      auto& dev = *devices_[i];
       q_sum_ += dev.cpu->pending(JobClass::kBlock1);
       h_sum_ += dev.edge_share->pending(JobClass::kBlock1);
       ++queue_samples_;
@@ -1123,6 +1166,11 @@ class Simulation {
   std::unique_ptr<net::Fabric> fabric_;  ///< topology mode; else nullptr
   std::unique_ptr<FifoProcessor> cloud_;
   std::unique_ptr<core::OffloadPolicy> policy_;
+  /// Set iff cfg_.policy_core.batch_eq20; scratch vectors reused across
+  /// slots so the batched path allocates nothing in steady state.
+  std::unique_ptr<policy::Engine> policy_engine_;
+  std::vector<core::DeviceSlotState> scratch_states_;
+  std::vector<double> scratch_x_;
   std::vector<TaskRecord> tasks_;
   Observer* obs_ = nullptr;  ///< external (cfg_.observer) or owned_obs_
   std::unique_ptr<RecordingObserver> owned_obs_;

@@ -154,6 +154,64 @@ TEST(ExitSetting, LoadedEdgePullsSecondExitShallower) {
 namespace leime::core {
 namespace {
 
+TEST(ExitSetting, ImprovesPredicateIsAStrictTotalOrderTieBreak) {
+  const ExitCombo a{2, 5, 16}, b{2, 6, 16}, c{3, 4, 16};
+  EXPECT_TRUE(exit_setting_improves(1.0, b, 2.0, a));  // lower cost wins
+  EXPECT_FALSE(exit_setting_improves(2.0, a, 1.0, b));
+  EXPECT_TRUE(exit_setting_improves(1.0, a, 1.0, b));  // cost tie: e2
+  EXPECT_FALSE(exit_setting_improves(1.0, b, 1.0, a));
+  EXPECT_TRUE(exit_setting_improves(1.0, a, 1.0, c));  // cost tie: e1 first
+  EXPECT_FALSE(exit_setting_improves(1.0, c, 1.0, a));
+  EXPECT_FALSE(exit_setting_improves(1.0, a, 1.0, a));  // irreflexive
+}
+
+TEST(ExitSetting, TiedOptimaResolveToTheLexSmallestCombo) {
+  // Regression for the latent tie-breaking bug: exits fire with certainty
+  // (sigma = 1) from unit 4 onward, so for e1 = 4 every Second-exit j > 4
+  // yields the bitwise-identical cost t_d(4) — the edge and cloud terms
+  // vanish exactly — while a ~100 KB/s uplink makes every e1 < 4 pay a
+  // multi-second transfer and every e1 > 4 pay more device compute. Both
+  // searches must deterministically report the lex-smallest tied optimum
+  // {4, 5, m}, not whichever tied combo their visit order found first.
+  const int m = 10;
+  std::vector<models::UnitSpec> units;
+  std::vector<models::ExitSpec> exits;
+  for (int i = 0; i < m; ++i) {
+    units.push_back({"u" + std::to_string(i), 1e8, 4e6});
+    exits.push_back({1e5, i + 1 >= 4 ? 1.0 : 0.01 * (i + 1)});
+  }
+  models::ModelProfile profile("ties", 4e6, std::move(units),
+                               std::move(exits));
+  Environment env;
+  env.caps = {1e10, 1e11, 1e12};
+  env.net = {1e5, 0.05, 1e6, 0.05};
+  CostModel cm(profile, env);
+  const auto ex = exhaustive_exit_setting(cm);
+  const auto bb = branch_and_bound_exit_setting(cm);
+  EXPECT_EQ(ex.combo, (ExitCombo{4, 5, m}));
+  EXPECT_EQ(bb.combo, ex.combo);
+  EXPECT_EQ(bb.cost, ex.cost);
+  // The tie is real: every Second-exit shares the winning cost bit for bit.
+  for (int j = 5; j <= m - 1; ++j)
+    EXPECT_EQ(cm.expected_tct({4, j, m}), ex.cost) << "j=" << j;
+}
+
+TEST(ExitSetting, BranchAndBoundReportsExhaustivesExactCombo) {
+  // Stronger than the cost-only property above: with the lexicographic
+  // tie-break the two searches agree on the *combo* as well, whatever
+  // order B&B's rounds visit First-exit candidates in.
+  util::Rng rng(0x7EB4EA4ull);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(3, 48));
+    const auto profile = random_profile(m, rng);
+    CostModel cm(profile, random_env(rng));
+    const auto ex = exhaustive_exit_setting(cm);
+    const auto bb = branch_and_bound_exit_setting(cm);
+    ASSERT_EQ(bb.combo, ex.combo) << "trial " << trial << " m=" << m;
+    ASSERT_EQ(bb.cost, ex.cost) << "trial " << trial;
+  }
+}
+
 TEST(ExitSetting, Theorem1DominanceHoldsOnMonotoneInstances) {
   // Direct statement of Theorem 1: with monotone cumulative exit rates, a
   // First-exit candidate i1 < i2 with two-exit cost T2(i1) <= T2(i2)

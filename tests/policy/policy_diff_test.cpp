@@ -1,0 +1,289 @@
+// Differential/property suite for the policy core's fast paths: across
+// randomized churn traces the engine with memo cache + warm start enabled
+// returns the *identical* (combo, cost) the cold reference search returns
+// — exact integer equality on the combo and bit-for-bit equality on the
+// cost double — and the batched fleet path reproduces the sequential
+// per-device loop within 0 ULP. Trace substreams are addressed via
+// util::Rng::split so every trace replays bit-for-bit on any platform.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/exit_setting.h"
+#include "core/offload_policy.h"
+#include "core/partition.h"
+#include "models/profile.h"
+#include "policy/batch.h"
+#include "policy/engine.h"
+#include "policy/warm_start.h"
+#include "util/rng.h"
+
+namespace leime::policy {
+namespace {
+
+/// Random chain profile with monotone exit rates (Theorem 1's assumption;
+/// same construction as tests/core/exit_setting_test.cpp).
+models::ModelProfile random_profile(int m, util::Rng& rng) {
+  std::vector<models::UnitSpec> units;
+  std::vector<models::ExitSpec> exits;
+  std::vector<double> rates;
+  for (int i = 0; i < m; ++i) {
+    units.push_back({"u" + std::to_string(i), rng.uniform(1e6, 5e8),
+                     rng.uniform(1e3, 5e6)});
+    exits.push_back({rng.uniform(1e4, 1e6), 0.0});
+    rates.push_back(i + 1 == m ? 1.0 : rng.uniform());
+  }
+  std::sort(rates.begin(), rates.end());
+  rates.back() = 1.0;
+  for (int i = 0; i < m; ++i)
+    exits[static_cast<std::size_t>(i)].exit_rate =
+        rates[static_cast<std::size_t>(i)];
+  return models::ModelProfile("rand", 1e5, std::move(units),
+                              std::move(exits));
+}
+
+core::Environment random_env(util::Rng& rng) {
+  core::Environment env;
+  env.caps = {rng.uniform(1e9, 4e10), rng.uniform(5e10, 4e11),
+              rng.uniform(1e12, 1e13)};
+  env.net = {rng.uniform(1e5, 2e7), rng.uniform(0.005, 0.2),
+             rng.uniform(1e6, 5e7), rng.uniform(0.01, 0.1)};
+  return env;
+}
+
+/// Small multiplicative drift: the kind of slot-to-slot bandwidth/load
+/// wobble that keeps an incumbent near-optimal.
+void drift_env(core::Environment& env, util::Rng& rng) {
+  env.net.dev_edge_bw *= rng.uniform(0.9, 1.1);
+  env.net.dev_edge_lat *= rng.uniform(0.95, 1.05);
+  env.caps.edge_flops *= rng.uniform(0.9, 1.1);
+}
+
+// The tentpole property: 1000 randomized churn traces, every step's
+// engine result identical to the cold reference. Churn comes in three
+// strengths — drift (incumbent stays useful), environment jumps
+// (incumbent becomes far from optimal) and model swaps (incumbent becomes
+// *incompatible*: different m) — plus replays of earlier environments so
+// the memo cache serves exact hits mid-trace.
+TEST(PolicyDiff, WarmCacheEngineMatchesColdSearchOnChurnTraces) {
+  const util::Rng base(0xD1FFull);
+  const int kTraces = 1000;
+  const int kSteps = 8;
+
+  std::uint64_t warm_hits = 0, cache_hits = 0, swaps = 0;
+  for (int trace = 0; trace < kTraces; ++trace) {
+    util::Rng rng = base.split(static_cast<std::uint64_t>(trace));
+    Config config;
+    config.memo_cache = true;
+    config.warm_start = true;
+    // Tiny capacities on some traces exercise eviction mid-trace.
+    config.cache_capacity = trace % 7 == 0 ? 2 : 64;
+    config.quant_per_octave = trace % 3 == 0 ? 1 : 4;
+    Engine engine(config);
+    Incumbent incumbent;
+
+    int m = static_cast<int>(rng.uniform_int(8, 32));
+    models::ModelProfile profile = random_profile(m, rng);
+    core::Environment env = random_env(rng);
+    std::vector<core::Environment> history;
+
+    for (int step = 0; step < kSteps; ++step) {
+      const double roll = rng.uniform();
+      if (roll < 0.15) {
+        // Model swap: new unit count invalidates the incumbent entirely.
+        m = static_cast<int>(rng.uniform_int(8, 32));
+        profile = random_profile(m, rng);
+        ++swaps;
+      } else if (roll < 0.35) {
+        env = random_env(rng);  // jump
+      } else if (roll < 0.55 && !history.empty()) {
+        // Replay an earlier environment bit-for-bit: an exact cache hit.
+        env = history[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(history.size()) - 1))];
+      } else {
+        drift_env(env, rng);
+      }
+      history.push_back(env);
+
+      const core::CostModel cm(profile, env);
+      const auto before = engine.stats();
+      const auto fast = engine.exit_setting(cm, &incumbent);
+      const auto after = engine.stats();
+      const auto cold = core::branch_and_bound_exit_setting(cm);
+
+      ASSERT_EQ(fast.combo, cold.combo)
+          << "trace " << trace << " step " << step << " m=" << m;
+      // Bit-for-bit: both paths evaluate expected_tct on the same combo.
+      ASSERT_EQ(fast.cost, cold.cost)
+          << "trace " << trace << " step " << step;
+      warm_hits += after.warm_starts - before.warm_starts;
+      cache_hits += after.cache_hits - before.cache_hits;
+    }
+  }
+  // The trace mix must actually exercise every path or the property is
+  // vacuous.
+  EXPECT_GT(warm_hits, 1000u);
+  EXPECT_GT(cache_hits, 500u);
+  EXPECT_GT(swaps, 300u);
+}
+
+// Warm-start in isolation (no cache in front): seeded from last step's
+// combo — or a deliberately stale-but-compatible one — the warm search
+// returns the cold result on every instance, and its round structure
+// matches the cold search exactly.
+TEST(PolicyDiff, WarmStartMatchesColdForAnyCompatibleIncumbent) {
+  const util::Rng base(0xBB5EEDull);
+  std::vector<double> scratch;
+  for (int trial = 0; trial < 1000; ++trial) {
+    util::Rng rng = base.split(static_cast<std::uint64_t>(trial));
+    const int m = static_cast<int>(rng.uniform_int(8, 40));
+    const auto profile = random_profile(m, rng);
+    core::Environment env = random_env(rng);
+    core::ExitCombo seed{1, 2, m};
+    for (int step = 0; step < 3; ++step) {
+      const core::CostModel cm(profile, env);
+      const auto cold = core::branch_and_bound_exit_setting(cm);
+      const auto warm = warm_start_branch_and_bound(cm, seed, scratch);
+      ASSERT_EQ(warm.result.combo, cold.combo)
+          << "trial " << trial << " step " << step << " seed {" << seed.e1
+          << "," << seed.e2 << "}";
+      ASSERT_EQ(warm.result.cost, cold.cost)
+          << "trial " << trial << " step " << step;
+      ASSERT_EQ(warm.result.rounds, cold.rounds)
+          << "trial " << trial << " step " << step;
+      // Next step: genuine incumbent (the optimum) under a drifted env, or
+      // an adversarial random compatible seed.
+      if (rng.uniform() < 0.5) {
+        seed = warm.result.combo;
+      } else {
+        const int e1 = static_cast<int>(rng.uniform_int(1, m - 2));
+        const int e2 = static_cast<int>(rng.uniform_int(e1 + 1, m - 1));
+        seed = {e1, e2, m};
+      }
+      drift_env(env, rng);
+    }
+  }
+}
+
+// Cache-hit ≡ recompute, stated directly: serve a hit, then recompute the
+// same observation cold; every field of the replayed result (including
+// the original search's work counters) is identical.
+TEST(PolicyDiff, CacheHitReplaysTheOriginalComputation) {
+  const util::Rng base(0xCACE ^ 0x5EEDull);
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Rng rng = base.split(static_cast<std::uint64_t>(trial));
+    const auto profile =
+        random_profile(static_cast<int>(rng.uniform_int(8, 32)), rng);
+    const auto env = random_env(rng);
+    const core::CostModel cm(profile, env);
+
+    Config config;
+    config.memo_cache = true;
+    Engine engine(config);
+    const auto miss = engine.exit_setting(cm);
+    const auto hit = engine.exit_setting(cm);
+    const auto cold = core::branch_and_bound_exit_setting(cm);
+    ASSERT_EQ(hit.combo, miss.combo);
+    ASSERT_EQ(hit.cost, miss.cost);
+    ASSERT_EQ(hit.evaluations, miss.evaluations);
+    ASSERT_EQ(hit.rounds, miss.rounds);
+    ASSERT_EQ(miss.combo, cold.combo);
+    ASSERT_EQ(miss.cost, cold.cost);
+    ASSERT_EQ(engine.stats().cache_hits, 1u);
+  }
+}
+
+/// Random but feasible per-slot device state over a shared partition.
+core::DeviceSlotState random_state(const core::MeDnnPartition* partition,
+                                   util::Rng& rng) {
+  core::DeviceSlotState s;
+  s.partition = partition;
+  s.device_flops = rng.uniform(1e9, 4e10);
+  s.edge_share_flops = rng.uniform(1e9, 1e11);
+  s.bandwidth = rng.uniform(1e5, 2e7);
+  s.latency = rng.uniform(0.001, 0.1);
+  s.queue_device = rng.uniform(0.0, 20.0);
+  s.queue_edge = rng.uniform(0.0, 20.0);
+  s.arrivals = rng.uniform(0.0, 5.0);
+  s.uplink_backlog_bytes = rng.uniform(0.0, 1e5);
+  s.edge_available = rng.uniform() < 0.9;
+  s.config.V = rng.uniform(1.0, 200.0);
+  s.config.tau = 1.0;
+  return s;
+}
+
+// Batched ≡ sequential within 0 ULP, across random fleets with deliberate
+// duplicate states (the dedup's bread and butter) under both the exact
+// solver and the closed balance rule.
+TEST(PolicyDiff, BatchedFleetDecisionsMatchSequentialBitForBit) {
+  util::Rng profile_rng(7);
+  const auto profile = random_profile(16, profile_rng);
+  const auto partition = core::make_partition(profile, {4, 9, 16});
+  const core::LeimePolicy leime;
+  const core::BalancePolicy balance;
+  const util::Rng base(0xBA7C4ull);
+
+  std::uint64_t total_reused = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    util::Rng rng = base.split(static_cast<std::uint64_t>(trial));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 32));
+    std::vector<core::DeviceSlotState> states;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!states.empty() && rng.uniform() < 0.4) {
+        // Duplicate an earlier device bit-for-bit (homogeneous class).
+        states.push_back(states[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(states.size()) - 1))]);
+      } else {
+        states.push_back(random_state(&partition, rng));
+      }
+    }
+    const core::OffloadPolicy& policy =
+        trial % 2 == 0 ? static_cast<const core::OffloadPolicy&>(leime)
+                       : balance;
+
+    std::vector<double> batched;
+    const auto stats = decide_fleet(policy, states, batched);
+    ASSERT_EQ(batched.size(), states.size());
+    ASSERT_EQ(stats.groups + stats.reused, states.size());
+    total_reused += stats.reused;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const double sequential = policy.decide(states[i]);
+      ASSERT_EQ(batched[i], sequential) << "trial " << trial << " dev " << i;
+    }
+  }
+  EXPECT_GT(total_reused, 1000u);  // the dedup path was genuinely hit
+}
+
+// The Engine's decide_fleet with batch_eq20 off must be *literally* the
+// sequential loop, and with it on must match (same 0-ULP property, one
+// layer up, including the stats plumbing).
+TEST(PolicyDiff, EngineDecideFleetMatchesAtBothKnobSettings) {
+  util::Rng rng(0xF1EE7ull);
+  const auto profile = random_profile(12, rng);
+  const auto partition = core::make_partition(profile, {3, 7, 12});
+  const core::LeimePolicy policy;
+  std::vector<core::DeviceSlotState> states;
+  for (int i = 0; i < 24; ++i)
+    states.push_back(random_state(&partition, rng));
+  states[5] = states[2];
+  states[20] = states[2];
+
+  Config on;
+  on.batch_eq20 = true;
+  Engine batched_engine(on);
+  Engine plain_engine;  // defaults: sequential
+  std::vector<double> batched, plain;
+  batched_engine.decide_fleet(policy, states, batched);
+  plain_engine.decide_fleet(policy, states, plain);
+  ASSERT_EQ(batched.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    ASSERT_EQ(batched[i], plain[i]) << i;
+  EXPECT_EQ(batched_engine.stats().batch_reused, 2u);
+  EXPECT_EQ(batched_engine.stats().batch_groups, 22u);
+  EXPECT_EQ(plain_engine.stats().batch_groups, 0u);
+}
+
+}  // namespace
+}  // namespace leime::policy

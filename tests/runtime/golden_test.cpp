@@ -49,8 +49,8 @@ sim::ScenarioConfig golden_base() {
   return cfg;
 }
 
-ExperimentPlan golden_plan() {
-  ExperimentPlan plan(golden_base());
+ExperimentPlan golden_plan(const sim::ScenarioConfig& base) {
+  ExperimentPlan plan(base);
   plan.add_axis(
       "injection",
       {{"off", [](sim::ScenarioConfig&) {}},
@@ -67,16 +67,18 @@ ExperimentPlan golden_plan() {
   return plan;
 }
 
-std::string render(int threads) {
+std::string render(int threads, const sim::ScenarioConfig& base) {
   ExecutorOptions opts;
   opts.threads = threads;
-  const auto records = Executor(opts).run(golden_plan());
+  const auto records = Executor(opts).run(golden_plan(base));
   JsonlOptions jopts;
   jopts.include_timing = false;
   std::ostringstream out;
   write_jsonl(out, {"injection"}, records, jopts);
   return out.str();
 }
+
+std::string render(int threads) { return render(threads, golden_base()); }
 
 TEST(Golden, JsonlSnapshotIsByteStableAtAnyThreadCount) {
   const std::string path =
@@ -101,6 +103,22 @@ TEST(Golden, JsonlSnapshotIsByteStableAtAnyThreadCount) {
       << "simulator output drifted from the committed snapshot; if the "
          "change is intentional, rerun with LEIME_REGEN_GOLDEN=1 and commit "
          "the new file";
+}
+
+TEST(Golden, PolicyFastPathsAreObservationallyInvisible) {
+  // The [policy] fast paths are proven result-identical (src/policy, the
+  // policy_diff suite); this pins the end-to-end consequence: enabling
+  // every knob leaves the rendered JSONL byte-identical to default-off —
+  // including under the fault axis's churn — at any thread count.
+  sim::ScenarioConfig policy_on = golden_base();
+  policy_on.policy_core.memo_cache = true;
+  policy_on.policy_core.warm_start = true;
+  policy_on.policy_core.batch_eq20 = true;
+  const auto fast = render(1, policy_on);
+  EXPECT_EQ(fast, render(1))
+      << "[policy] fast paths changed the simulator's bytes";
+  EXPECT_EQ(fast, render(3, policy_on))
+      << "policy-on rendering depends on the executor thread count";
 }
 
 TEST(Golden, SnapshotCoversFaultsOnAndOff) {

@@ -362,5 +362,68 @@ TEST(ScenarioIni, TopologySectionValidation) {
       std::invalid_argument);
 }
 
+TEST(ScenarioIni, PolicySectionParses) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[policy]\n"
+      "memo_cache = true\n"
+      "warm_start = true\n"
+      "batch_eq20 = true\n"
+      "cache_capacity = 128\n"
+      "quant_per_octave = 8\n"));
+  const auto& pol = s.config.policy_core;
+  EXPECT_TRUE(pol.memo_cache);
+  EXPECT_TRUE(pol.warm_start);
+  EXPECT_TRUE(pol.batch_eq20);
+  EXPECT_EQ(pol.cache_capacity, 128u);
+  EXPECT_EQ(pol.quant_per_octave, 8);
+  EXPECT_TRUE(pol.enabled());
+}
+
+TEST(ScenarioIni, PolicyOmittedOrEmptyStaysOff) {
+  const auto bare = load_scenario(util::IniFile::parse_string(kFleet));
+  EXPECT_FALSE(bare.config.policy_core.enabled());
+  const auto empty = load_scenario(
+      util::IniFile::parse_string(std::string(kFleet) + "[policy]\n"));
+  EXPECT_FALSE(empty.config.policy_core.enabled());
+  EXPECT_EQ(empty.config.policy_core.cache_capacity,
+            policy::Config{}.cache_capacity);
+}
+
+TEST(ScenarioIni, PolicySectionValidation) {
+  auto load = [](const std::string& extra) {
+    return load_scenario(
+        util::IniFile::parse_string(std::string(kFleet) + extra));
+  };
+  EXPECT_THROW(load("[policy]\ntypo_key = 1\n"), std::invalid_argument);
+  EXPECT_THROW(load("[policy]\ncache_capacity = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[policy]\nquant_per_octave = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[policy]\nquant_per_octave = 65\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIni, PolicyFastPathsLeaveDesignAndRunIdentical) {
+  // The design-time search routes through policy::Engine either way; with
+  // every knob on, the designed exits, the cost estimate and the simulated
+  // results must match the default-off load exactly (the INI-level face of
+  // the policy_diff equivalence suite).
+  const auto off = load_scenario(util::IniFile::parse_string(kFleet));
+  const auto on = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[policy]\nmemo_cache = true\nwarm_start = true\nbatch_eq20 = "
+      "true\n"));
+  EXPECT_EQ(on.designed_exits, off.designed_exits);
+  EXPECT_EQ(on.expected_tct, off.expected_tct);
+  const auto a = run_scenario(off.config);
+  const auto b = run_scenario(on.config);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_DOUBLE_EQ(a.tct.mean, b.tct.mean);
+  EXPECT_DOUBLE_EQ(a.tct.p95, b.tct.p95);
+  EXPECT_DOUBLE_EQ(a.mean_offload_ratio, b.mean_offload_ratio);
+}
+
 }  // namespace
 }  // namespace leime::sim
