@@ -12,6 +12,9 @@
 //               recorded. Upper-bounds the cost of the hook *sites*.
 //   recording — RecordingObserver with metrics + 1-in-1 tracing +
 //               time-series, for context (this one is allowed to cost).
+//   attribution — recording plus per-task latency waterfalls and the SLO
+//               monitor (DESIGN.md §13), so the ledger's cost is visible
+//               next to the pillar it extends (also allowed to cost).
 //
 // Usage:
 //   obs_overhead [--check] [--rounds N] [--duration S] [--out FILE]
@@ -99,6 +102,10 @@ int main(int argc, char** argv) {
   recording_cfg.obs.trace_sample = 1;
   recording_cfg.obs.timeseries = true;
 
+  auto attribution_cfg = recording_cfg;
+  attribution_cfg.obs.attribution = true;
+  attribution_cfg.obs.slo.deadline = 0.5;
+
   std::size_t sink = 0;
   // Warmup pass so first-touch page faults and lazy init don't bill the
   // first variant measured.
@@ -106,17 +113,19 @@ int main(int argc, char** argv) {
 
   // Rounds stay interleaved (the whole point of the harness), so the
   // variants are timed by hand and adopted via add_case afterwards.
-  std::vector<double> disabled, noop_s, recording;
+  std::vector<double> disabled, noop_s, recording, attribution;
   for (int r = 0; r < rounds; ++r) {
     disabled.push_back(time_run(base, &sink));
     noop_s.push_back(time_run(noop_cfg, &sink));
     recording.push_back(time_run(recording_cfg, &sink));
+    attribution.push_back(time_run(attribution_cfg, &sink));
   }
 
   bench::Reporter reporter("obs_overhead", {1, rounds});
   const auto& c_disabled = reporter.add_case("disabled", disabled, 1);
   const auto& c_noop = reporter.add_case("noop_observer", noop_s);
   const auto& c_recording = reporter.add_case("recording", recording);
+  const auto& c_attribution = reporter.add_case("attribution", attribution);
   const double overhead =
       c_noop.wall.median / c_disabled.wall.median - 1.0;
 
@@ -131,6 +140,9 @@ int main(int argc, char** argv) {
   t.add_row({"recording", util::fmt(c_recording.wall.median, 4),
              util::fmt(c_recording.wall.cv, 3),
              pct(c_recording.wall.median)});
+  t.add_row({"attribution", util::fmt(c_attribution.wall.median, 4),
+             util::fmt(c_attribution.wall.cv, 3),
+             pct(c_attribution.wall.median)});
   t.print(std::cout);
   std::cout << "noop overhead (ratio of median rounds): "
             << util::fmt(100.0 * overhead, 2) << "% over " << rounds

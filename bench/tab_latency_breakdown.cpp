@@ -1,0 +1,220 @@
+// tab_latency_breakdown — "where did the millisecond go" on the flash
+// crowd (DESIGN.md §13). The same 8-camera SqueezeNet fleet as
+// tab_topology, measured through the attribution pillar: per-task
+// wait-vs-service waterfalls, per-AP-port hop spans, and the eq. 4-9
+// predicted-vs-actual calibration table.
+//
+// The interesting output is the attribution of tab_topology's emergent
+// congestion: behind one shared AP the extra p95 latency shows up almost
+// entirely as *uplink wait* (tasks queued behind other cameras' uploads),
+// not service — and the per-port totals pin it to the AP's backhaul port.
+//
+// Emits BENCH_tab_latency_breakdown.json (bench::Reporter schema) for the
+// regression gate in scripts/bench_compare.py: the waterfall/hop/
+// calibration counters are deterministic for the fixed seed, so they gate
+// strictly across hosts; wall-clock medians gate same-host only. The
+// conservation property (stages + stall == e2e to 1e-9 for every task) is
+// re-checked here on every run — a violation fails the bench, not just
+// the unit suite.
+//
+// Usage:
+//   tab_latency_breakdown [--repeats N] [--warmup N] [--out FILE]
+//                         [--no-json]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "models/zoo.h"
+#include "obs/attribution.h"
+#include "reporter.h"
+#include "sim/observer.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leime;
+
+/// The tab_topology flash crowd: 8 Raspberry-Pi-class cameras, ~0.7 MB
+/// SqueezeNet uploads, 20 Mbps APs. Result bytes are on so the duplex
+/// return legs contribute a result_return stage.
+sim::ScenarioConfig crowd_scenario() {
+  const auto profile = models::make_squeezenet();
+  sim::ScenarioConfig cfg;
+  cfg.partition = core::make_partition(profile, {4, 8, profile.num_units()});
+  for (int i = 0; i < 8; ++i) {
+    sim::DeviceSpec dev;
+    dev.flops = core::kRaspberryPiFlops;
+    dev.mean_rate = 1.0;
+    dev.device_class = i < 4 ? "gate" : "yard";
+    cfg.devices.push_back(dev);
+  }
+  cfg.policy = "LEIME";
+  cfg.duration = 20.0;
+  cfg.warmup = 2.0;
+  cfg.seed = 20260807;
+  cfg.result_bytes = 64000.0;
+  return cfg;
+}
+
+sim::ScenarioConfig with_aps(sim::ScenarioConfig cfg, int aps) {
+  cfg.topology.aps = aps;
+  cfg.topology.ap_bandwidth = util::mbps(20.0);
+  cfg.topology.ap_latency = util::ms(2.0);
+  return cfg;
+}
+
+struct Breakdown {
+  sim::SimResult result;
+  obs::AttributionSummary summary;
+  std::uint64_t hops = 0;
+  std::uint64_t conservation_violations = 0;
+  double uplink_wait = 0.0;  ///< fleet-total uplink queueing, seconds
+};
+
+Breakdown run_attributed(const sim::ScenarioConfig& base) {
+  auto cfg = base;
+  sim::ObsConfig obs_cfg;
+  obs_cfg.attribution = true;
+  obs_cfg.keep_waterfalls = true;
+  std::vector<std::string> classes;
+  for (const auto& d : cfg.devices) classes.push_back(d.device_class);
+  sim::RecordingObserver obs(obs_cfg, cfg.devices.size(), std::move(classes));
+  cfg.observer = &obs;
+  Breakdown b;
+  b.result = sim::run_scenario(cfg);
+  b.summary = obs.attribution_summary();
+  for (const auto& wf : obs.waterfalls()) {
+    double spans = 0.0;
+    for (const auto& s : wf.stages) spans += s.wait + s.service;
+    if (std::abs(spans + wf.stall - wf.e2e) > 1e-9)
+      ++b.conservation_violations;
+    b.hops += wf.hops.size();
+    b.uplink_wait +=
+        wf.stages[static_cast<std::size_t>(obs::AttrStage::kUplink)].wait;
+  }
+  return b;
+}
+
+std::string ms(double seconds) { return util::fmt(seconds * 1e3, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter::Options opts;
+  std::string out_path;
+  bool json = true;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--repeats" && a + 1 < argc)
+      opts.repeats = std::atoi(argv[++a]);
+    else if (arg == "--warmup" && a + 1 < argc)
+      opts.warmup = std::atoi(argv[++a]);
+    else if (arg == "--out" && a + 1 < argc)
+      out_path = argv[++a];
+    else if (arg == "--no-json")
+      json = false;
+    else {
+      std::cerr << "usage: tab_latency_breakdown [--repeats N] [--warmup N] "
+                   "[--out FILE] [--no-json]\n";
+      return 2;
+    }
+  }
+
+  const auto base = crowd_scenario();
+  struct Variant {
+    const char* name;
+    sim::ScenarioConfig cfg;
+  };
+  const std::vector<Variant> variants = {
+      {"flat", base},
+      {"one_ap", with_aps(base, 1)},
+      {"four_aps", with_aps(base, 4)},
+  };
+
+  bench::Reporter reporter("tab_latency_breakdown", opts);
+  util::TablePrinter stage_table({"scenario", "stage", "tasks", "wait_ms",
+                                  "service_ms"});
+  util::TablePrinter calib_table({"scenario", "component", "tasks",
+                                  "mean_err_ms", "max_abs_err_ms"});
+  std::vector<Breakdown> results;
+  for (const auto& v : variants) {
+    Breakdown b;
+    auto& c = reporter.run_case(std::string("crowd/") + v.name,
+                                [&] { b = run_attributed(v.cfg); });
+    c.counters["tasks"] = b.summary.tasks;
+    c.counters["incomplete"] = b.summary.incomplete;
+    c.counters["hops"] = b.hops;
+    c.counters["calibrated"] = b.summary.calibrated_tasks;
+    c.counters["conservation_violations"] = b.conservation_violations;
+    if (c.wall.median > 0.0)
+      c.rates["tasks_per_s"] =
+          static_cast<double>(b.summary.tasks) / c.wall.median;
+
+    // Fleet-total waterfall: one row per stage any task touched.
+    for (int i = 0; i < obs::kAttrStageCount; ++i) {
+      std::uint64_t count = 0;
+      double wait = 0.0, service = 0.0;
+      for (const auto& cls : b.summary.classes) {
+        const auto& s = cls.stages[static_cast<std::size_t>(i)];
+        count += s.count;
+        wait += s.wait;
+        service += s.service;
+      }
+      if (count == 0) continue;
+      stage_table.add_row(
+          {v.name, obs::attr_stage_name(static_cast<obs::AttrStage>(i)),
+           std::to_string(count), ms(wait), ms(service)});
+    }
+    for (int ci = 0; ci < obs::kCalibComponentCount; ++ci) {
+      const auto& ca = b.summary.calibration[static_cast<std::size_t>(ci)];
+      if (ca.count == 0) continue;
+      calib_table.add_row(
+          {v.name,
+           obs::calib_component_name(static_cast<obs::CalibComponent>(ci)),
+           std::to_string(ca.count),
+           ms(ca.err_sum / static_cast<double>(ca.count)),
+           ms(ca.max_abs_err)});
+    }
+    results.push_back(std::move(b));
+  }
+
+  std::cout << "latency attribution: 8 devices, SqueezeNet raw uploads, "
+               "20 Mbps APs, 20 s\n\n";
+  stage_table.print(std::cout);
+  std::cout << "\npredicted-vs-actual calibration (eq. 4-9, signed "
+               "actual - predicted):\n\n";
+  calib_table.print(std::cout);
+  std::cout << "\n";
+  reporter.print_table(std::cout);
+  if (json) {
+    const std::string path =
+        out_path.empty() ? reporter.default_path() : out_path;
+    reporter.write_json(path);
+    std::cout << "wrote " << path << "\n";
+  }
+
+  // Acceptance: conservation holds for every task in every variant, the
+  // fabric variants attribute hops, and the one-AP congestion shows up as
+  // uplink *wait* — more queueing than either the flat fleet or the same
+  // fleet spread across four APs.
+  const auto& flat = results[0];
+  const auto& one = results[1];
+  const auto& four = results[2];
+  bool ok = true;
+  for (const auto& b : results)
+    ok = ok && b.conservation_violations == 0 && b.summary.tasks > 0;
+  ok = ok && flat.hops == 0 && one.hops > 0 && four.hops > 0;
+  ok = ok && one.uplink_wait > flat.uplink_wait &&
+       one.uplink_wait > four.uplink_wait;
+  std::cout << (ok ? "OK: every waterfall conserves its end-to-end latency "
+                     "and the shared-AP congestion is attributed to uplink "
+                     "wait"
+                   : "WARNING: conservation or attribution ordering "
+                     "violated — inspect the ledger")
+            << "\n";
+  return ok ? 0 : 1;
+}

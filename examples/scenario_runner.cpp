@@ -100,6 +100,19 @@ metrics_out =            # Prometheus text file (implies metrics = true)
 metrics_jsonl =          # one JSON object per metric
 trace_out =              # sim-time chrome://tracing file (implies 1-in-1)
 timeseries_out =         # per-slot CSV
+attribution = false      # per-task latency waterfalls (DESIGN.md §13)
+attribution_out =        # waterfall JSONL (for trace_viewer --waterfall)
+calibration_out =        # eq. 4-9 predicted-vs-actual CSV
+
+# Optional: sim-time SLO burn-rate alerting (obs/slo.h); enabled by the
+# deadline. Alerts surface as metrics, trace marks and the JSONL below.
+[slo]
+deadline_ms = 0          # >0 arms the monitor
+window_s = 30
+target_miss_rate = 0.01
+burn_threshold = 1
+min_window_tasks = 20
+alerts_out =             # fire/clear transitions, one JSON object each
 )";
 
 void report_obs_outputs(const sim::ObsConfig& obs) {
@@ -111,6 +124,12 @@ void report_obs_outputs(const sim::ObsConfig& obs) {
     std::cout << "(sim trace: " << obs.trace_out << ")\n";
   if (!obs.timeseries_out.empty())
     std::cout << "(timeseries: " << obs.timeseries_out << ")\n";
+  if (!obs.attribution_out.empty())
+    std::cout << "(attribution waterfalls: " << obs.attribution_out << ")\n";
+  if (!obs.calibration_out.empty())
+    std::cout << "(calibration: " << obs.calibration_out << ")\n";
+  if (!obs.slo.alerts_out.empty())
+    std::cout << "(slo alerts: " << obs.slo.alerts_out << ")\n";
 }
 
 int run(const std::string& path, const std::string& metrics_out,
@@ -141,8 +160,9 @@ int run(const std::string& path, const std::string& metrics_out,
 
     // Per-cell output files would collide across replications, so the
     // runner aggregates instead: every cell keeps its pillars on but loses
-    // its file paths (metrics snapshots ride in the records and merge in
-    // plan order below); the sim-time trace and time-series go to the
+    // its file paths (metrics and attribution/SLO summaries ride in the
+    // records and merge in plan order below); the sim-time trace,
+    // time-series, waterfall/calibration files and alerts JSONL go to the
     // first replication only.
     const sim::ObsConfig obs = scenario.config.obs;
     auto cells = plan.expand();
@@ -150,14 +170,21 @@ int run(const std::string& path, const std::string& metrics_out,
       cell.config.obs.metrics = obs.metrics_enabled();
       cell.config.obs.trace_sample = obs.effective_trace_sample();
       cell.config.obs.timeseries = obs.timeseries_enabled();
+      cell.config.obs.attribution = obs.attribution_enabled();
       cell.config.obs.metrics_out.clear();
       cell.config.obs.metrics_jsonl.clear();
       cell.config.obs.trace_out.clear();
       cell.config.obs.timeseries_out.clear();
+      cell.config.obs.attribution_out.clear();
+      cell.config.obs.calibration_out.clear();
+      cell.config.obs.slo.alerts_out.clear();
     }
     if (!cells.empty()) {
       cells[0].config.obs.trace_out = obs.trace_out;
       cells[0].config.obs.timeseries_out = obs.timeseries_out;
+      cells[0].config.obs.attribution_out = obs.attribution_out;
+      cells[0].config.obs.calibration_out = obs.calibration_out;
+      cells[0].config.obs.slo.alerts_out = obs.slo.alerts_out;
     }
     const auto records = executor.run(std::move(cells));
 
@@ -202,6 +229,15 @@ int run(const std::string& path, const std::string& metrics_out,
                 << ")\n";
     if (!obs.timeseries_out.empty())
       std::cout << "(timeseries, first replication: " << obs.timeseries_out
+                << ")\n";
+    if (!obs.attribution_out.empty())
+      std::cout << "(attribution waterfalls, first replication: "
+                << obs.attribution_out << ")\n";
+    if (!obs.calibration_out.empty())
+      std::cout << "(calibration, first replication: " << obs.calibration_out
+                << ")\n";
+    if (!obs.slo.alerts_out.empty())
+      std::cout << "(slo alerts, first replication: " << obs.slo.alerts_out
                 << ")\n";
     return 0;
   }

@@ -9,11 +9,12 @@
 #      paths (memo cache, warm-started B&B, batched eq. 20) result-
 #      identical to the reference searches (DESIGN.md §12), run explicitly
 #      even though it also rides inside ctest.
-#   4. Bench: re-measure micro_sim, micro_exit_setting and tab_topology
-#      and gate them against bench/baselines/ with scripts/bench_compare.py
-#      (counters strict everywhere — including the warm-vs-cold B&B
-#      evaluation ratio — wall medians same-host only). Skipped when
-#      python3 is unavailable.
+#   4. Bench: re-measure micro_sim, micro_exit_setting, tab_topology and
+#      tab_latency_breakdown and gate them against bench/baselines/ with
+#      scripts/bench_compare.py (counters strict everywhere — including
+#      the warm-vs-cold B&B evaluation ratio and the attribution
+#      waterfall/hop/conservation counters — wall medians same-host only).
+#      Skipped when python3 is unavailable.
 #   5. TSan:   rebuild the parallel-runtime and shared-policy-engine tests
 #              with -DLEIME_SANITIZE=thread and re-run them, guarding the
 #              executor thread pool and policy::Engine locking against
@@ -42,7 +43,8 @@ echo "== policy: differential equivalence suite =="
 if [[ "${LEIME_SKIP_BENCH:-0}" == "1" ]]; then
   echo "== bench gate skipped (LEIME_SKIP_BENCH=1) =="
 elif command -v python3 >/dev/null 2>&1; then
-  echo "== bench gate: micro_sim + micro_exit_setting + tab_topology =="
+  echo "== bench gate: micro_sim + micro_exit_setting + tab_topology +"
+  echo "   tab_latency_breakdown =="
   (cd build && ./bench/micro_sim --out BENCH_micro_sim.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_micro_sim.json bench/baselines/
   (cd build && ./bench/micro_exit_setting \
@@ -51,6 +53,10 @@ elif command -v python3 >/dev/null 2>&1; then
     bench/baselines/
   (cd build && ./bench/tab_topology --out BENCH_tab_topology.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_tab_topology.json \
+    bench/baselines/
+  (cd build && ./bench/tab_latency_breakdown \
+    --out BENCH_tab_latency_breakdown.json >/dev/null)
+  python3 scripts/bench_compare.py build/BENCH_tab_latency_breakdown.json \
     bench/baselines/
 else
   echo "== bench gate skipped: python3 unavailable =="

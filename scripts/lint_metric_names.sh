@@ -122,6 +122,54 @@ if [[ "$policy_found" -eq 0 ]]; then
   echo "lint_metric_names: no leime_policy_* counters found — lint is broken" >&2
   exit 2
 fi
+
+# Fifth pass: the leime_attr_* / leime_slo_* namespaces (DESIGN.md §13).
+# Attribution composes per-stage and per-component histogram names at
+# runtime (prefix + attr_stage_name/calib_component_name + suffix), so —
+# like the net pass — the fragments are linted: every literal in either
+# namespace must stay inside the registry alphabet, every "_..." suffix
+# concatenated onto a prefix must too, and fully-literal names must be
+# unique across registration sites (two sites sharing one would silently
+# merge their instruments). The dynamic middle is attr_stage_name /
+# calib_component_name, pinned to [a-z0-9_] by tests/obs/attribution_test.
+obs13_pattern='^leime_(attr|slo)_[a-z0-9_]*$'
+obs13_suffix_pattern='^_[a-z0-9_]+$'
+obs13_found=0
+declare -A obs13_seen
+while IFS=: read -r file line name; do
+  obs13_found=$((obs13_found + 1))
+  if ! [[ "$name" =~ $obs13_pattern ]]; then
+    echo "BAD  $file:$line  '$name' does not match $obs13_pattern" >&2
+    fail=1
+  fi
+  # Complete metric names end in a unit/_total/_rate suffix; composition
+  # prefixes (leime_attr_, leime_attr_calib_) end in an underscore and are
+  # exempt from the duplicate check (both composed families share them).
+  if [[ "$name" != *_ ]]; then
+    if [[ -n "${obs13_seen[$name]:-}" ]]; then
+      echo "DUP  $file:$line  '$name' already used at ${obs13_seen[$name]}" >&2
+      fail=1
+    else
+      obs13_seen[$name]="$file:$line"
+    fi
+  fi
+done < <(grep -rnoE '"leime_(attr|slo)_[^"]*"' \
+           --include='*.cpp' --include='*.h' src bench examples \
+         | sed -E 's/"([^"]*)"$/\1/')
+while IFS=: read -r file line name; do
+  obs13_found=$((obs13_found + 1))
+  if ! [[ "$name" =~ $obs13_suffix_pattern ]]; then
+    echo "BAD  $file:$line  suffix '$name' does not match $obs13_suffix_pattern" >&2
+    fail=1
+  fi
+done < <(grep -rnoE 'prefix\s*\+\s*"_[^"]*"' \
+           --include='*.cpp' --include='*.h' src/sim \
+         | sed -E 's/prefix\s*\+\s*"([^"]*)"$/\1/')
+
+if [[ "$obs13_found" -eq 0 ]]; then
+  echo "lint_metric_names: no leime_attr_*/leime_slo_* names found — lint is broken" >&2
+  exit 2
+fi
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
@@ -129,3 +177,4 @@ echo "lint_metric_names: $found registered names all match $pattern"
 echo "lint_metric_names: $prof_found profiler names all match $prof_pattern, no duplicates"
 echo "lint_metric_names: $net_found leime_net_* fragments stay inside the registry alphabet"
 echo "lint_metric_names: $policy_found leime_policy_* counters all carry _total"
+echo "lint_metric_names: $obs13_found leime_attr_*/leime_slo_* fragments stay inside the registry alphabet, no duplicates"

@@ -125,11 +125,13 @@ void Fabric::release_flow(std::uint32_t id) {
   Flow& flow = flows_[id];
   flow.done.reset();
   flow.route = nullptr;
+  flow.tag = kNoTag;
   flow.next_free = free_head_;
   free_head_ = id;
 }
 
-void Fabric::transfer(NodeId src, NodeId dst, double bytes, Completion done) {
+void Fabric::transfer(NodeId src, NodeId dst, double bytes, std::uint64_t tag,
+                      Completion done) {
   if (bytes < 0.0) throw std::invalid_argument("net: negative bytes");
   ++stats_.transfers;
   stats_.bytes += bytes;
@@ -147,11 +149,19 @@ void Fabric::transfer(NodeId src, NodeId dst, double bytes, Completion done) {
   flow.done = std::move(done);
   flow.route = &route;
   flow.next_hop = 0;
+  flow.tag = tag;
   advance(id, queue_->now());
 }
 
 void Fabric::advance(std::uint32_t id, double t) {
   Flow& flow = flows_[id];
+  // The hop whose completion brought us here (if any) spans
+  // [hop_queued, t]; report it before moving the flow on.
+  if (hop_tap_ && flow.tag != kNoTag && flow.next_hop > 0) {
+    const Hop& prev =
+        flow.route->hops[static_cast<std::size_t>(flow.next_hop - 1)];
+    hop_tap_(flow.tag, prev.port->name, flow.hop_queued, flow.hop_exec, t);
+  }
   if (flow.next_hop == flow.route->count) {
     ++stats_.delivered;
     Completion done = std::move(flow.done);
@@ -163,6 +173,11 @@ void Fabric::advance(std::uint32_t id, double t) {
   const Hop& hop =
       flow.route->hops[static_cast<std::size_t>(flow.next_hop)];
   ++flow.next_hop;
+  flow.hop_queued = t;
+  // The link serializes after everything already queued on this port; the
+  // gap is the hop's wait (an outage hold after that still counts as
+  // service — the link resolves outage windows internally).
+  flow.hop_exec = std::max(t, hop.port->link->busy_until());
   const bool sent = hop.router->send(
       *hop.port, flow.bytes,
       [this, id](double when) { advance(id, when); });

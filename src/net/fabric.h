@@ -18,6 +18,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -58,10 +60,35 @@ class Fabric {
   /// retry at the flow level.
   static constexpr double kDropped = -1.0;
 
+  /// Tag for flows that carry no caller identity (hop spans not reported).
+  static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
+  /// Per-hop span reporter: called once per completed hop of a tagged flow
+  /// with the port's name, when the hop was queued, when the link actually
+  /// started serializing it (max of queue time and the port's busy
+  /// horizon), and when it was delivered to the next node. A pure tap — it
+  /// must not start transfers or otherwise feed back into the fabric.
+  using HopTap = std::function<void(std::uint64_t tag, std::string_view port,
+                                    double t_queued, double exec_start,
+                                    double t_end)>;
+
+  /// Installs (or clears, with nullptr) the hop tap. Untagged flows never
+  /// report, so installing a tap does not change behavior for callers of
+  /// the untagged transfer overload.
+  void set_hop_tap(HopTap tap) { hop_tap_ = std::move(tap); }
+
   /// Routes `bytes` from src to dst hop by hop; `done` fires with the
   /// delivery time at dst, or with kDropped. src == dst completes
   /// immediately at the current time.
-  void transfer(NodeId src, NodeId dst, double bytes, Completion done);
+  void transfer(NodeId src, NodeId dst, double bytes, Completion done) {
+    transfer(src, dst, bytes, kNoTag, std::move(done));
+  }
+
+  /// transfer with a caller tag (e.g. the task id): each completed hop is
+  /// reported to the hop tap, so observers can attribute queueing to the
+  /// specific congested port.
+  void transfer(NodeId src, NodeId dst, double bytes, std::uint64_t tag,
+                Completion done);
 
   /// The underlying link of the directed port src -> dst (one hop), e.g.
   /// to attach bandwidth traces or outage windows; nullptr when absent.
@@ -120,6 +147,11 @@ class Fabric {
     const CachedRoute* route = nullptr;
     int next_hop = 0;
     std::uint32_t next_free = 0;  ///< free-list link (kNoFlow = end)
+    // Hop-span state (lives in the pooled slot, not in the per-hop
+    // completion capture, which must stay within kCompletionCapacity).
+    std::uint64_t tag = kNoTag;
+    double hop_queued = 0.0;  ///< when the current hop entered its port
+    double hop_exec = 0.0;    ///< when the port's link starts serializing
   };
   static constexpr std::uint32_t kNoFlow = 0xffffffffu;
 
@@ -136,6 +168,7 @@ class Fabric {
   std::vector<Flow> flows_;
   std::uint32_t free_head_ = kNoFlow;
   Stats stats_;
+  HopTap hop_tap_;
 };
 
 }  // namespace leime::net

@@ -88,8 +88,9 @@ void TraceBuffer::write_chrome_trace(std::ostream& out) const {
     sep();
     out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tids.at(m.track)
         << ",\"name\":\"" << json_escape(m.name) << "\",\"cat\":\"fault\""
-        << ",\"s\":\"t\",\"ts\":" << num(m.t * kMicros)
-        << ",\"args\":{\"task\":" << m.task_id << "}}";
+        << ",\"s\":\"t\",\"ts\":" << num(m.t * kMicros) << ",\"args\":{";
+    if (m.has_task()) out << "\"task\":" << m.task_id;
+    out << "}}";
   }
   out << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

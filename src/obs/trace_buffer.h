@@ -50,10 +50,16 @@ struct SpanEvent {
 
 /// Instant (zero-duration) marker, e.g. "edge_crash", "task_timeout".
 struct MarkEvent {
+  /// Sentinel for marks that are not task-related. A literal 0 would
+  /// collide with the legitimate first task id, so "no task" is explicit.
+  static constexpr std::uint64_t kNoTask = ~std::uint64_t{0};
+
   std::string name;
   std::string track;
   double t = 0.0;
-  std::uint64_t task_id = 0;  ///< 0 when not task-related
+  std::uint64_t task_id = kNoTask;
+
+  bool has_task() const { return task_id != kNoTask; }
 };
 
 /// Collects spans/marks in memory and exports them once at the end of a

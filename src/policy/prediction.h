@@ -1,0 +1,59 @@
+// Decision-time latency prediction (DESIGN.md §13): the per-task component
+// latencies the eq. 4-9 cost model implies for one device's next task, given
+// the slot state the controller decided on and the chosen offload ratio x.
+//
+// This is the "predicted" half of the attribution layer's calibration join:
+// the simulator captures these components in SlotTelemetry at every
+// decision, the RecordingObserver attaches the latest one to each generated
+// task, and the realized LatencyLedger waterfall is compared against them at
+// completion. Pure function of its inputs — no RNG, no state — so capturing
+// it never perturbs a run.
+#pragma once
+
+#include <algorithm>
+
+#include "core/lyapunov.h"
+#include "obs/attribution.h"
+
+namespace leime::policy {
+
+/// Predicts the eq. 4-9 component latencies for the next task of a device
+/// in state `s` under offload ratio `x`.
+///
+///   local_wait     Q_i * mu1 / F_i^d   — drain the device backlog (eq. 5)
+///   local_service  mu1 / F_i^d         — one block-1 execution (eq. 4)
+///   uplink         d0/B + L + backlog/B — raw-input upload (eq. 7, with the
+///                  runtime's accepted-but-unsent backlog refinement)
+///   edge_wait      H_i * mu1 / F_{i,1}^e — drain the edge backlog (eq. 9)
+///   edge_service   mu1 / F_{i,1}^e     — one edge block-1 execution (eq. 8)
+///
+/// Edge components stay zero when x == 0 (nothing offloads, eq. 9's share
+/// is undefined) or the edge is unavailable.
+inline obs::PredictedComponents predict_components(
+    const core::DeviceSlotState& s, double x) {
+  obs::PredictedComponents p;
+  p.x = x;
+  p.valid = true;
+  const double mu1 = s.partition ? s.partition->mu1 : 0.0;
+  if (s.device_flops > 0.0 && mu1 > 0.0) {
+    const double per_task = mu1 / s.device_flops;
+    p.local_service = per_task;
+    p.local_wait = std::max(0.0, s.queue_device) * per_task;
+  }
+  if (s.bandwidth > 0.0 && s.partition) {
+    p.uplink = (s.partition->d0 + std::max(0.0, s.uplink_backlog_bytes)) /
+                   s.bandwidth +
+               std::max(0.0, s.latency);
+  }
+  if (s.edge_available && x > 0.0 && mu1 > 0.0) {
+    const double f_e1 = core::edge_first_block_flops(s, x);
+    if (f_e1 > 0.0) {
+      const double per_task = mu1 / f_e1;
+      p.edge_service = per_task;
+      p.edge_wait = std::max(0.0, s.queue_edge) * per_task;
+    }
+  }
+  return p;
+}
+
+}  // namespace leime::policy

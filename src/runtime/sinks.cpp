@@ -183,6 +183,16 @@ void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
       out << ",\"metrics\":";
       metrics_to_json(rec.result.metrics, out);
     }
+    // Attribution/SLO blocks only when those pillars ran, so runs with
+    // them disabled keep their exact prior bytes.
+    if (rec.result.attribution.active) {
+      out << ",\"attribution\":";
+      rec.result.attribution.to_json(out);
+    }
+    if (rec.result.slo.active) {
+      out << ",\"slo\":";
+      rec.result.slo.to_json(out);
+    }
     if (opts.include_timing)
       out << ",\"start_s\":" << num(rec.start_s)
           << ",\"end_s\":" << num(rec.end_s) << ",\"worker\":" << rec.worker;

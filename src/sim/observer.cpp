@@ -1,5 +1,6 @@
 #include "sim/observer.h"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -16,15 +17,48 @@ const obs::HistogramOptions kLatencyBuckets{1e-6, 1e3, 54};
 // Queue backlogs and per-slot drift/penalty magnitudes.
 const obs::HistogramOptions kQueueBuckets{1e-2, 1e4, 36};
 
+// Device-class names feed composed metric-safe strings and trace tracks;
+// anything outside the registry alphabet is replaced defensively (the INI
+// parser rejects bad names up front — this covers programmatic embedders).
+std::string sanitize_class(std::string name) {
+  if (name.empty()) return "default";
+  for (char& c : name) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
 }  // namespace
 
-RecordingObserver::RecordingObserver(ObsConfig config, std::size_t num_devices)
+RecordingObserver::RecordingObserver(ObsConfig config, std::size_t num_devices,
+                                     std::vector<std::string> device_classes)
     : cfg_(std::move(config)),
       metrics_on_(cfg_.metrics_enabled()),
       series_on_(cfg_.timeseries_enabled()),
+      attr_on_(cfg_.attribution_enabled()),
+      keep_rows_(cfg_.keep_waterfalls || !cfg_.attribution_out.empty() ||
+                 !cfg_.calibration_out.empty()),
       sampler_(cfg_.effective_trace_sample()),
       kept_since_slot_(num_devices, 0),
-      offloaded_since_slot_(num_devices, 0) {
+      offloaded_since_slot_(num_devices, 0),
+      last_pred_(num_devices) {
+  device_classes.resize(num_devices, std::string("default"));
+  for (auto& c : device_classes) c = sanitize_class(std::move(c));
+  class_names_ = device_classes;
+  std::sort(class_names_.begin(), class_names_.end());
+  class_names_.erase(std::unique(class_names_.begin(), class_names_.end()),
+                     class_names_.end());
+  if (class_names_.empty()) class_names_.push_back("default");
+  device_class_.reserve(num_devices);
+  for (const auto& c : device_classes)
+    device_class_.push_back(static_cast<std::size_t>(
+        std::lower_bound(class_names_.begin(), class_names_.end(), c) -
+        class_names_.begin()));
+  attr_summary_.active = attr_on_;
+  if (cfg_.slo.enabled())
+    slo_ = std::make_unique<obs::SloMonitor>(cfg_.slo, class_names_.size());
   if (metrics_on_) {
     // Register everything up front so exported snapshots always carry the
     // full schema (zero-valued metrics included) and hot-path updates are
@@ -76,14 +110,71 @@ RecordingObserver::RecordingObserver(ObsConfig config, std::size_t num_devices)
     g_sim_time_ =
         &registry_.gauge("leime_sim_time_seconds", "simulated clock at run end");
   }
+  if (metrics_on_ && attr_on_) {
+    // Registered only when attribution is on so the base metric schema
+    // (and its golden exports) stays byte-identical without it.
+    c_attr_tasks_ = &registry_.counter("leime_attr_tasks_total",
+                                       "waterfalls assembled at completion");
+    c_attr_incomplete_ = &registry_.counter(
+        "leime_attr_incomplete_total",
+        "ledger entries dropped (parked or open at run end)");
+    c_attr_calibrated_ = &registry_.counter(
+        "leime_attr_calibrated_total",
+        "completed tasks joined with a decision-time prediction");
+    h_attr_stall_ = &registry_.histogram(
+        "leime_attr_stall_seconds",
+        "end-to-end time not covered by any stage span", kLatencyBuckets);
+    for (int i = 0; i < obs::kAttrStageCount; ++i) {
+      const std::string prefix =
+          std::string("leime_attr_") +
+          obs::attr_stage_name(static_cast<obs::AttrStage>(i));
+      h_attr_wait_[static_cast<std::size_t>(i)] = &registry_.histogram(
+          prefix + "_wait_seconds", "per-task stage wait", kLatencyBuckets);
+      h_attr_service_[static_cast<std::size_t>(i)] =
+          &registry_.histogram(prefix + "_service_seconds",
+                               "per-task stage service", kLatencyBuckets);
+    }
+    for (int ci = 0; ci < obs::kCalibComponentCount; ++ci) {
+      const std::string prefix =
+          std::string("leime_attr_calib_") +
+          obs::calib_component_name(static_cast<obs::CalibComponent>(ci));
+      h_calib_over_[static_cast<std::size_t>(ci)] = &registry_.histogram(
+          prefix + "_over_seconds",
+          "signed prediction error when actual exceeds predicted",
+          kLatencyBuckets);
+      h_calib_under_[static_cast<std::size_t>(ci)] = &registry_.histogram(
+          prefix + "_under_seconds",
+          "signed prediction error when predicted exceeds actual",
+          kLatencyBuckets);
+    }
+  }
+  if (metrics_on_ && slo_) {
+    c_slo_completions_ = &registry_.counter(
+        "leime_slo_completions_total", "counted completions checked");
+    c_slo_misses_ = &registry_.counter("leime_slo_misses_total",
+                                       "completions over the deadline");
+    c_slo_fired_ = &registry_.counter("leime_slo_alerts_fired_total",
+                                      "burn-rate alerts fired");
+    c_slo_cleared_ = &registry_.counter("leime_slo_alerts_cleared_total",
+                                        "burn-rate alerts cleared");
+    g_slo_burn_ = &registry_.gauge(
+        "leime_slo_burn_rate", "window miss rate / target at last completion");
+    h_slo_overshoot_ = &registry_.histogram(
+        "leime_slo_overshoot_seconds", "tct minus deadline for missed tasks",
+        kLatencyBuckets);
+  }
 }
 
 void RecordingObserver::on_task_generated(std::uint64_t task, int device,
                                           double t, int block,
                                           bool offloaded) {
-  (void)task;
-  (void)t;
-  (void)block;
+  if (attr_on_) {
+    obs::PredictedComponents pred;
+    if (device >= 0 && static_cast<std::size_t>(device) < last_pred_.size())
+      pred = last_pred_[static_cast<std::size_t>(device)];
+    ledger_.on_generated(task, device, class_of(device), t, block, offloaded,
+                         pred);
+  }
   if (metrics_on_) {
     c_generated_->inc();
     if (offloaded) c_offloaded_->inc();
@@ -99,7 +190,7 @@ void RecordingObserver::on_phase_begin(std::uint64_t task, int device,
                                        std::string_view phase,
                                        std::string_view track, double t_queued,
                                        double exec_start, int attempt) {
-  (void)exec_start;
+  if (attr_on_) ledger_.on_phase_begin(task, phase, t_queued, exec_start);
   if (!sampler_.sampled(task)) return;
   // A task occupies one phase at a time; a begin while another span is
   // open means the previous phase's end was skipped — close it defensively
@@ -132,12 +223,16 @@ void RecordingObserver::close_span(std::uint64_t task, double t,
 }
 
 void RecordingObserver::on_phase_end(std::uint64_t task, double t) {
+  if (attr_on_) ledger_.on_phase_end(task, t);
   if (!sampler_.sampled(task)) return;
   close_span(task, t, "ok");
 }
 
 void RecordingObserver::on_phase_abort(std::uint64_t task, double t,
                                        std::string_view outcome) {
+  // Aborted attempts still accumulate in the ledger: the time was spent,
+  // it just ended in failover/retry instead of progress.
+  if (attr_on_) ledger_.on_phase_end(task, t);
   if (!sampler_.sampled(task)) return;
   close_span(task, t, outcome);
 }
@@ -146,18 +241,72 @@ void RecordingObserver::on_task_complete(std::uint64_t task, int device,
                                          double t_arrive, double t_complete,
                                          int block, int retries,
                                          bool counted) {
-  (void)device;
   (void)block;
-  (void)retries;
+  const double tct = t_complete - t_arrive;
   if (metrics_on_) {
     c_completed_->inc();
-    if (counted) h_tct_->observe(t_complete - t_arrive);
+    if (counted) h_tct_->observe(tct);
+  }
+  if (attr_on_) {
+    obs::TaskWaterfall wf;
+    if (ledger_.on_complete(task, t_complete, retries, counted, &wf)) {
+      if (metrics_on_) {
+        c_attr_tasks_->inc();
+        h_attr_stall_->observe(wf.stall);
+        for (int i = 0; i < obs::kAttrStageCount; ++i) {
+          const auto& s = wf.stages[static_cast<std::size_t>(i)];
+          if (s.wait == 0.0 && s.service == 0.0) continue;
+          h_attr_wait_[static_cast<std::size_t>(i)]->observe(s.wait);
+          h_attr_service_[static_cast<std::size_t>(i)]->observe(s.service);
+        }
+        bool calibrated = false;
+        for (int ci = 0; ci < obs::kCalibComponentCount; ++ci) {
+          double err = 0.0;
+          if (!wf.calibration_error(static_cast<obs::CalibComponent>(ci),
+                                    &err))
+            continue;
+          calibrated = true;
+          auto& hist = err >= 0.0 ? h_calib_over_ : h_calib_under_;
+          hist[static_cast<std::size_t>(ci)]->observe(err >= 0.0 ? err : -err);
+        }
+        if (calibrated) c_attr_calibrated_->inc();
+      }
+      attr_summary_.add(wf, class_names_[wf.cls]);
+      if (keep_rows_) waterfalls_.push_back(std::move(wf));
+    }
+  }
+  if (slo_ && counted) {
+    const std::size_t cls = class_of(device);
+    const obs::SloAlert* alert = slo_->on_completion(cls, t_complete, tct);
+    if (metrics_on_) {
+      c_slo_completions_->inc();
+      if (tct > cfg_.slo.deadline) {
+        c_slo_misses_->inc();
+        h_slo_overshoot_->observe(tct - cfg_.slo.deadline);
+      }
+      g_slo_burn_->set(slo_->burn_rate(cls));
+    }
+    if (alert) {
+      if (metrics_on_) (alert->fire ? c_slo_fired_ : c_slo_cleared_)->inc();
+      if (sampler_.every() > 0) {
+        obs::MarkEvent mark;
+        mark.name = alert->fire ? "slo_burn_fire" : "slo_burn_clear";
+        mark.track = "slo/" + class_names_[cls];
+        mark.t = t_complete;
+        trace_.add_mark(std::move(mark));
+      }
+    }
   }
   if (sampler_.sampled(task)) close_span(task, t_complete, "ok");
 }
 
 void RecordingObserver::on_task_parked(std::uint64_t task, int device,
                                        double t) {
+  if (attr_on_ && ledger_.on_parked(task)) {
+    // A parked task has no completion, so no waterfall: it only counts.
+    ++attr_summary_.incomplete;
+    if (metrics_on_) c_attr_incomplete_->inc();
+  }
   if (metrics_on_) c_parked_->inc();
   if (sampler_.sampled(task)) {
     close_span(task, t, "parked");
@@ -172,6 +321,9 @@ void RecordingObserver::on_task_parked(std::uint64_t task, int device,
 
 void RecordingObserver::on_slot_decision(int device, double t,
                                          const SlotTelemetry& s) {
+  if (attr_on_ && device >= 0 &&
+      static_cast<std::size_t>(device) < last_pred_.size())
+    last_pred_[static_cast<std::size_t>(device)] = s.pred;
   if (metrics_on_) {
     c_decisions_->inc();
     h_q_->observe(s.q);
@@ -226,6 +378,12 @@ void RecordingObserver::on_fault(std::string_view kind, int device, double t) {
   }
 }
 
+void RecordingObserver::on_net_hop(std::uint64_t task, std::string_view port,
+                                   double t_queued, double exec_start,
+                                   double t_end) {
+  if (attr_on_) ledger_.on_hop(task, port, t_queued, exec_start, t_end);
+}
+
 void RecordingObserver::on_net_fabric(const net::Fabric& fabric, double t) {
   if (metrics_on_) fabric.export_metrics(registry_, t);
 }
@@ -234,7 +392,27 @@ void RecordingObserver::on_run_end(double t) {
   // Close any spans still open at the end of the drain (never-healing
   // faults leave parked tasks mid-phase).
   while (!open_.empty()) close_span(open_.begin()->first, t, "unfinished");
+  if (attr_on_) {
+    // Entries still open never completed: count them, drop the partials.
+    const auto open = static_cast<std::uint64_t>(ledger_.open_tasks());
+    if (open > 0) {
+      attr_summary_.incomplete += open;
+      if (metrics_on_) c_attr_incomplete_->inc(open);
+      ledger_.clear();
+    }
+  }
   if (metrics_on_) g_sim_time_->set(t);
+}
+
+std::size_t RecordingObserver::class_of(int device) const {
+  if (device >= 0 && static_cast<std::size_t>(device) < device_class_.size())
+    return device_class_[static_cast<std::size_t>(device)];
+  return 0;
+}
+
+obs::SloSummary RecordingObserver::slo_summary() const {
+  if (!slo_) return {};
+  return slo_->summary(class_names_);
 }
 
 void RecordingObserver::export_outputs() const {
@@ -260,6 +438,30 @@ void RecordingObserver::export_outputs() const {
     for (const auto& sample : series_.samples()) sink.append(sample);
     sink.close();
   }
+  const auto write_text_file = [](const std::string& path, const char* what,
+                                  const auto& emit) {
+    std::ofstream out(path);
+    if (!out)
+      throw std::runtime_error(std::string(what) + ": cannot open " + path);
+    emit(out);
+    out.flush();
+    if (!out.good())
+      throw std::runtime_error(std::string(what) + ": write error on " + path);
+    out.close();
+    if (!util::fsync_path(path))
+      throw std::runtime_error(std::string(what) + ": fsync failed for " +
+                               path);
+  };
+  if (!cfg_.attribution_out.empty())
+    write_text_file(cfg_.attribution_out, "attribution", [&](std::ostream& o) {
+      obs::write_waterfalls_jsonl(o, waterfalls_, class_names_);
+    });
+  if (!cfg_.calibration_out.empty())
+    write_text_file(cfg_.calibration_out, "calibration", [&](std::ostream& o) {
+      obs::write_calibration_csv(o, waterfalls_, class_names_);
+    });
+  if (slo_ && !cfg_.slo.alerts_out.empty())
+    slo_->write_alerts_file(cfg_.slo.alerts_out, class_names_);
 }
 
 }  // namespace leime::sim

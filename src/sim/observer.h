@@ -14,13 +14,17 @@
 // can export each to a file at the end of the run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "obs/trace_buffer.h"
 
@@ -40,6 +44,11 @@ struct SlotTelemetry {
   bool edge_up = true;
   bool link_up = true;
   double edge_share_flops = 0.0;  ///< p_i·F^e currently allocated
+  /// Eq. 4-9 component latencies the decision implies for the device's next
+  /// task (policy/prediction.h); joined with the realized waterfall at
+  /// completion for calibration. Invalid when the simulator runs without an
+  /// observer (the capture is skipped on the zero-overhead path).
+  obs::PredictedComponents pred;
 };
 
 /// Hook interface. All methods have empty defaults so implementations
@@ -79,6 +88,13 @@ class Observer {
   /// "edge_refused". `device` is -1 for fleet-wide events.
   virtual void on_fault(std::string_view /*kind*/, int /*device*/,
                         double /*t*/) {}
+  /// Topology mode only: one fabric hop of a task's flow completed. The
+  /// span [t_queued, t_end] sat on router port `port` ("dev3_ap0",
+  /// "ap0_edge0", ...); exec_start splits it into wait and serialization.
+  /// Stale-attempt hops are filtered by the simulator before this fires.
+  virtual void on_net_hop(std::uint64_t /*task*/, std::string_view /*port*/,
+                          double /*t_queued*/, double /*exec_start*/,
+                          double /*t_end*/) {}
   /// Topology mode only: the fabric's final state, fired once right before
   /// on_run_end so implementations can export per-port counters.
   virtual void on_net_fabric(const net::Fabric& /*fabric*/, double /*t*/) {}
@@ -92,6 +108,11 @@ struct ObsConfig {
   bool metrics = false;           ///< collect the metrics registry
   std::uint64_t trace_sample = 0; ///< trace 1-in-N tasks (0 = off)
   bool timeseries = false;        ///< collect per-slot samples in memory
+  bool attribution = false;       ///< per-task latency waterfalls (§13)
+  /// Keep every assembled TaskWaterfall in memory (implied by
+  /// attribution_out / calibration_out; set directly by embedders such as
+  /// trace_viewer that read the rows through the accessor instead).
+  bool keep_waterfalls = false;
 
   /// Output files, written at the end of the run. A non-empty path
   /// implicitly enables the corresponding pillar (trace_out defaults the
@@ -100,6 +121,11 @@ struct ObsConfig {
   std::string metrics_jsonl;   ///< one JSON object per metric
   std::string trace_out;       ///< chrome://tracing JSON
   std::string timeseries_out;  ///< per-slot CSV
+  std::string attribution_out; ///< per-task waterfall JSONL
+  std::string calibration_out; ///< predicted-vs-actual CSV
+
+  /// Sim-time SLO monitoring ([slo] INI block); enabled by its deadline.
+  obs::SloConfig slo;
 
   bool metrics_enabled() const {
     return metrics || !metrics_out.empty() || !metrics_jsonl.empty();
@@ -111,9 +137,13 @@ struct ObsConfig {
   bool timeseries_enabled() const {
     return timeseries || !timeseries_out.empty();
   }
+  bool attribution_enabled() const {
+    return attribution || keep_waterfalls || !attribution_out.empty() ||
+           !calibration_out.empty();
+  }
   bool enabled() const {
     return metrics_enabled() || effective_trace_sample() > 0 ||
-           timeseries_enabled();
+           timeseries_enabled() || attribution_enabled() || slo.enabled();
   }
 };
 
@@ -124,7 +154,11 @@ struct ObsConfig {
 /// share it across parallel runtime cells (each cell builds its own).
 class RecordingObserver : public Observer {
  public:
-  RecordingObserver(ObsConfig config, std::size_t num_devices);
+  /// `device_classes` maps each device index to its class name (scenario
+  /// [device] `class=` keys); an empty vector puts the whole fleet in
+  /// "default". Classes partition the attribution and SLO aggregates.
+  RecordingObserver(ObsConfig config, std::size_t num_devices,
+                    std::vector<std::string> device_classes = {});
 
   void on_task_generated(std::uint64_t task, int device, double t, int block,
                          bool offloaded) override;
@@ -141,6 +175,8 @@ class RecordingObserver : public Observer {
   void on_slot_decision(int device, double t,
                         const SlotTelemetry& telemetry) override;
   void on_fault(std::string_view kind, int device, double t) override;
+  void on_net_hop(std::uint64_t task, std::string_view port, double t_queued,
+                  double exec_start, double t_end) override;
   void on_net_fabric(const net::Fabric& fabric, double t) override;
   void on_run_end(double t) override;
 
@@ -150,8 +186,24 @@ class RecordingObserver : public Observer {
   const obs::MemoryTimeseriesSink& timeseries() const { return series_; }
   const ObsConfig& config() const { return cfg_; }
 
+  /// Attribution aggregates (inactive struct when attribution is off).
+  const obs::AttributionSummary& attribution_summary() const {
+    return attr_summary_;
+  }
+  /// Per-task rows; populated only with keep_waterfalls / output paths.
+  const std::vector<obs::TaskWaterfall>& waterfalls() const {
+    return waterfalls_;
+  }
+  /// Sorted unique device-class names; TaskWaterfall::cls indexes this.
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  /// The live SLO monitor, or nullptr when the [slo] block is absent.
+  const obs::SloMonitor* slo_monitor() const { return slo_.get(); }
+  /// Frozen SLO stats + alert stream (inactive struct when SLO is off).
+  obs::SloSummary slo_summary() const;
+
   /// Writes the configured output files (metrics_out/metrics_jsonl/
-  /// trace_out/timeseries_out). Throws std::runtime_error on write failure.
+  /// trace_out/timeseries_out/attribution_out/calibration_out/alerts_out).
+  /// Throws std::runtime_error on write failure.
   void export_outputs() const;
 
  private:
@@ -164,10 +216,13 @@ class RecordingObserver : public Observer {
   };
 
   void close_span(std::uint64_t task, double t, std::string_view outcome);
+  std::size_t class_of(int device) const;
 
   ObsConfig cfg_;
   bool metrics_on_;
   bool series_on_;
+  bool attr_on_;
+  bool keep_rows_;
   obs::TaskSampler sampler_;
   obs::MetricsRegistry registry_;
 
@@ -192,6 +247,23 @@ class RecordingObserver : public Observer {
   obs::Gauge* g_edge_up_ = nullptr;
   obs::Gauge* g_absent_ = nullptr;
   obs::Gauge* g_sim_time_ = nullptr;
+  // Attribution instruments (registered only when attribution + metrics
+  // are both on, so the disabled metric schema stays byte-identical).
+  obs::Counter* c_attr_tasks_ = nullptr;
+  obs::Counter* c_attr_incomplete_ = nullptr;
+  obs::Counter* c_attr_calibrated_ = nullptr;
+  obs::Histogram* h_attr_stall_ = nullptr;
+  std::array<obs::Histogram*, obs::kAttrStageCount> h_attr_wait_{};
+  std::array<obs::Histogram*, obs::kAttrStageCount> h_attr_service_{};
+  std::array<obs::Histogram*, obs::kCalibComponentCount> h_calib_over_{};
+  std::array<obs::Histogram*, obs::kCalibComponentCount> h_calib_under_{};
+  // SLO instruments (registered only when the [slo] block + metrics are on).
+  obs::Counter* c_slo_completions_ = nullptr;
+  obs::Counter* c_slo_misses_ = nullptr;
+  obs::Counter* c_slo_fired_ = nullptr;
+  obs::Counter* c_slo_cleared_ = nullptr;
+  obs::Gauge* g_slo_burn_ = nullptr;
+  obs::Histogram* h_slo_overshoot_ = nullptr;
   obs::TraceBuffer trace_;
   obs::MemoryTimeseriesSink series_;
   std::map<std::uint64_t, OpenSpan> open_;
@@ -200,6 +272,15 @@ class RecordingObserver : public Observer {
   /// the kept/offloaded split drives the queue recursions).
   std::vector<std::uint64_t> kept_since_slot_;
   std::vector<std::uint64_t> offloaded_since_slot_;
+
+  // Attribution state.
+  std::vector<std::string> class_names_;   ///< sorted unique
+  std::vector<std::size_t> device_class_;  ///< device -> class index
+  std::vector<obs::PredictedComponents> last_pred_;  ///< per device
+  obs::LatencyLedger ledger_;
+  obs::AttributionSummary attr_summary_;
+  std::vector<obs::TaskWaterfall> waterfalls_;
+  std::unique_ptr<obs::SloMonitor> slo_;
 };
 
 }  // namespace leime::sim

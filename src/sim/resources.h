@@ -125,6 +125,11 @@ class Link {
   double total_bytes() const { return total_bytes_; }
   const std::string& name() const { return name_; }
 
+  /// When the serializer frees up for a transfer enqueued now (== the
+  /// exec_start of such a transfer, outage holds aside). Feeds the
+  /// wait-vs-service split of observer phase spans and fabric hop spans.
+  double busy_until() const { return busy_until_; }
+
  private:
   EventQueue* queue_;
   std::string name_;

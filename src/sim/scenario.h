@@ -42,6 +42,11 @@ struct DeviceSpec {
   /// Optional COMCAST-style uplink shaping.
   std::optional<util::PiecewiseConstant> uplink_bw_trace;
   std::optional<util::PiecewiseConstant> uplink_lat_trace;
+
+  /// Device class label for observability grouping (attribution waterfalls
+  /// and SLO windows aggregate per class). Lowercase [a-z0-9_]+; scenarios
+  /// that never set it share the "default" class.
+  std::string device_class = "default";
 };
 
 /// A full experiment: fleet + edge + cloud + deployed ME-DNN + policy.
@@ -197,6 +202,15 @@ struct SimResult {
   /// golden-output bytes of disabled runs) and merges deterministically
   /// across cells.
   obs::Snapshot metrics;
+
+  /// Latency-attribution summary of the run's owned RecordingObserver;
+  /// `active` is false (and the JSONL sink omits the block) unless
+  /// ObsConfig::attribution_enabled(). Merges in plan order across cells.
+  obs::AttributionSummary attribution;
+
+  /// SLO monitor summary (deadline miss-rate / burn-rate alerting);
+  /// `active` is false unless ObsConfig::slo.enabled().
+  obs::SloSummary slo;
 
   /// Per-device breakdown (index-aligned with ScenarioConfig::devices).
   struct DeviceResult {

@@ -12,10 +12,11 @@
 namespace leime::sim {
 
 ObsConfig parse_observability_section(const util::IniSection& section) {
-  static const char* kKnown[] = {"metrics",      "trace_sample",
-                                 "timeseries",   "metrics_out",
-                                 "metrics_jsonl", "trace_out",
-                                 "timeseries_out"};
+  static const char* kKnown[] = {"metrics",        "trace_sample",
+                                 "timeseries",     "metrics_out",
+                                 "metrics_jsonl",  "trace_out",
+                                 "timeseries_out", "attribution",
+                                 "attribution_out", "calibration_out"};
   for (const auto& [key, value] : section.values) {
     (void)value;
     if (std::find_if(std::begin(kKnown), std::end(kKnown),
@@ -39,7 +40,49 @@ ObsConfig parse_observability_section(const util::IniSection& section) {
   obs.metrics_jsonl = section.get("metrics_jsonl", "");
   obs.trace_out = section.get("trace_out", "");
   obs.timeseries_out = section.get("timeseries_out", "");
+  obs.attribution = section.get_bool("attribution", false);
+  obs.attribution_out = section.get("attribution_out", "");
+  obs.calibration_out = section.get("calibration_out", "");
   return obs;
+}
+
+obs::SloConfig parse_slo_section(const util::IniSection& section) {
+  static const char* kKnown[] = {"deadline_ms",     "window_s",
+                                 "target_miss_rate", "burn_threshold",
+                                 "min_window_tasks", "alerts_out"};
+  for (const auto& [key, value] : section.values) {
+    (void)value;
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return key == k; }) ==
+        std::end(kKnown)) {
+      std::string valid;
+      for (const char* k : kKnown) valid += std::string(" ") + k;
+      throw std::invalid_argument("[slo] unknown key '" + key +
+                                  "' (valid keys:" + valid + ")");
+    }
+  }
+
+  obs::SloConfig slo;
+  slo.deadline = util::ms(section.get_double("deadline_ms", 0.0));
+  // deadline_ms = 0 (or unset) disables the monitor; the remaining keys
+  // are still parsed so a disabled section fails fast on typos.
+  slo.window = section.get_double("window_s", slo.window);
+  slo.target_miss_rate =
+      section.get_double("target_miss_rate", slo.target_miss_rate);
+  slo.burn_threshold =
+      section.get_double("burn_threshold", slo.burn_threshold);
+  const long long min_tasks = section.get_int(
+      "min_window_tasks", static_cast<long long>(slo.min_window_tasks));
+  if (min_tasks < 1)
+    throw std::invalid_argument("[slo] min_window_tasks must be >= 1");
+  slo.min_window_tasks = static_cast<std::size_t>(min_tasks);
+  slo.alerts_out = section.get("alerts_out", "");
+  try {
+    slo.validate();
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("[slo] ") + e.what());
+  }
+  return slo;
 }
 
 net::TopologyConfig parse_topology_section(const util::IniSection& section) {
@@ -170,6 +213,13 @@ IniScenario load_scenario(const util::IniFile& ini) {
     dev.uplink_bw = util::mbps(d->get_double("uplink_mbps", 10.0));
     dev.uplink_lat = util::ms(d->get_double("uplink_latency_ms", 20.0));
     dev.difficulty = d->get_double("difficulty", 1.0);
+    dev.device_class = d->get("class", "default");
+    if (dev.device_class.empty())
+      throw std::invalid_argument("[device] class must not be empty");
+    for (char c : dev.device_class)
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_'))
+        throw std::invalid_argument("[device] class '" + dev.device_class +
+                                    "' must match [a-z0-9_]+");
     cfg.devices.push_back(dev);
     flops_sum += dev.flops;
     bw_sum += dev.uplink_bw;
@@ -196,6 +246,8 @@ IniScenario load_scenario(const util::IniFile& ini) {
 
   if (const auto* obs = ini.find("observability"))
     cfg.obs = parse_observability_section(*obs);
+
+  if (const auto* slo = ini.find("slo")) cfg.obs.slo = parse_slo_section(*slo);
 
   if (const auto* pol = ini.find("policy"))
     cfg.policy_core = parse_policy_section(*pol);

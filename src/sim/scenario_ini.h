@@ -6,7 +6,8 @@
 //               reallocation_period / shared_uplink_mbps / result_bytes
 //   [edge]      gflops / cloud_tflops / cloud_mbps / cloud_latency_ms
 //   [device]    (repeatable) gflops / rate / uplink_mbps /
-//               uplink_latency_ms / difficulty
+//               uplink_latency_ms / difficulty / class (observability
+//               grouping label, lowercase [a-z0-9_]+)
 //   [runtime]   (optional) threads / seed_mode (split | legacy) / jsonl /
 //               trace / progress — how the runtime executor runs the
 //               replications and where structured telemetry goes
@@ -15,9 +16,14 @@
 //               detection_timeout_s / task_timeout_s / max_retries / ... —
 //               fault injection + graceful degradation (sim/faults.h)
 //   [observability]  (optional) metrics / trace_sample / timeseries /
-//               metrics_out / metrics_jsonl / trace_out / timeseries_out —
+//               metrics_out / metrics_jsonl / trace_out / timeseries_out /
+//               attribution / attribution_out / calibration_out —
 //               the in-simulation observability layer (sim/observer.h).
 //               Omitting the section keeps the zero-overhead path.
+//   [slo]       (optional) deadline_ms / window_s / target_miss_rate /
+//               burn_threshold / min_window_tasks / alerts_out — the
+//               deterministic sim-time SLO monitor (obs/slo.h). Omitting
+//               the section (or deadline_ms = 0) disables it.
 //   [topology]  (optional) aps / ap_mbps / ap_latency_ms / device_map /
 //               queue_limit_kb — the routed multi-hop network fabric
 //               (net/topology.h). Omitting the section (or aps = 0) keeps
@@ -64,6 +70,10 @@ IniScenario load_scenario(const util::IniFile& ini);
 
 /// Parses an [observability] section (throws on unknown keys).
 ObsConfig parse_observability_section(const util::IniSection& section);
+
+/// Parses an [slo] section (throws on unknown keys or out-of-range values
+/// via obs::SloConfig::validate).
+obs::SloConfig parse_slo_section(const util::IniSection& section);
 
 /// Parses a [topology] section (throws on unknown keys; range validation
 /// against the device count happens later via TopologyConfig::validate).

@@ -12,6 +12,7 @@
 #include "core/resource_alloc.h"
 #include "net/fabric.h"
 #include "policy/engine.h"
+#include "policy/prediction.h"
 #include "prof/profiler.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
@@ -103,9 +104,26 @@ class Simulation {
     if (cfg_.observer) {
       obs_ = cfg_.observer;
     } else if (cfg_.obs.enabled()) {
-      owned_obs_ =
-          std::make_unique<RecordingObserver>(cfg_.obs, devices_.size());
+      std::vector<std::string> device_classes;
+      device_classes.reserve(cfg_.devices.size());
+      for (const auto& spec : cfg_.devices)
+        device_classes.push_back(spec.device_class);
+      owned_obs_ = std::make_unique<RecordingObserver>(
+          cfg_.obs, devices_.size(), std::move(device_classes));
       obs_ = owned_obs_.get();
+    }
+    if (obs_ && fabric_) {
+      // Per-hop spans feed the attribution ledger. The tag packs
+      // (attempt, task id); spans of paths the task has since abandoned
+      // (failover/retry bumped the attempt) are filtered here, mirroring
+      // the staleness guards on the flow completions themselves.
+      fabric_->set_hop_tap([this](std::uint64_t tag, std::string_view port,
+                                  double t_queued, double exec_start,
+                                  double t_end) {
+        const std::size_t id = flow_task(tag);
+        if (!alive(id, flow_attempt(tag))) return;
+        obs_->on_net_hop(id, port, t_queued, exec_start, t_end);
+      });
     }
   }
 
@@ -149,6 +167,8 @@ class Simulation {
       // register, keeping policy-off output byte-identical.
       if (policy_engine_) policy_engine_->publish_metrics(owned_obs_->registry());
       out.metrics = owned_obs_->registry().snapshot();
+      out.attribution = owned_obs_->attribution_summary();
+      out.slo = owned_obs_->slo_summary();
       owned_obs_->export_outputs();
     }
     return out;
@@ -295,6 +315,21 @@ class Simulation {
     return net::NodeId::ap(fabric_->topology().ap_of(static_cast<int>(i)));
   }
   static net::NodeId edge_node() { return net::NodeId::edge(0); }
+
+  /// Fabric flow tags pack (attempt, task id) so the hop tap can filter
+  /// spans of abandoned paths: attempts stay small (bounded retries), task
+  /// ids stay far below 2^48 for any feasible run length.
+  static std::uint64_t flow_tag(std::size_t id, int att) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(att))
+            << 48) |
+           static_cast<std::uint64_t>(id);
+  }
+  static std::size_t flow_task(std::uint64_t tag) {
+    return static_cast<std::size_t>(tag & ((std::uint64_t{1} << 48) - 1));
+  }
+  static int flow_attempt(std::uint64_t tag) {
+    return static_cast<int>(tag >> 48);
+  }
 
   /// Which network leg a fabric flow was carrying — a dropped flow is
   /// retried on the same leg (bounded by max_retries, like timeouts).
@@ -670,6 +705,9 @@ class Simulation {
       tel.edge_up = !faults_on_ || edge_up_now_;
       tel.link_up = link_up_now(i);
       tel.edge_share_flops = dev.edge_share->flops();
+      // Eq. 4-9 component predictions at decision time; the attribution
+      // layer joins them against the realized ledger at task completion.
+      tel.pred = policy::predict_components(state, dev.x);
       obs_->on_slot_decision(static_cast<int>(i), queue_.now(), tel);
     }
   }
@@ -767,12 +805,15 @@ class Simulation {
     if (offload) {
       rec.stage = Stage::kUplink;
       if (obs_)
-        obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
-                             fabric_ ? "fabric" : dev.tx->name(),
-                             queue_.now(), queue_.now(), att);
+        obs_->on_phase_begin(
+            id, static_cast<int>(i), "uplink",
+            fabric_ ? "fabric" : dev.tx->name(), queue_.now(),
+            fabric_ ? queue_.now()
+                    : std::max(queue_.now(), dev.tx->busy_until()),
+            att);
       // Raw input crosses the uplink, then block 1 runs on the edge share.
       if (fabric_) {
-        fabric_->transfer(dev_node(i), edge_node(), p.d0,
+        fabric_->transfer(dev_node(i), edge_node(), p.d0, flow_tag(id, att),
                           [this, i, id, att](double t) {
           if (!alive(id, att)) return;
           if (t < 0.0) return handle_net_drop(i, id, NetLeg::kRaw);
@@ -891,12 +932,15 @@ class Simulation {
     rec.stage = Stage::kUplink;
     const int att = rec.attempt;
     if (obs_)
-      obs_->on_phase_begin(id, static_cast<int>(i), "uplink",
-                           fabric_ ? "fabric" : devices_[i]->tx->name(),
-                           queue_.now(), queue_.now(), att);
+      obs_->on_phase_begin(
+          id, static_cast<int>(i), "uplink",
+          fabric_ ? "fabric" : devices_[i]->tx->name(), queue_.now(),
+          fabric_ ? queue_.now()
+                  : std::max(queue_.now(), devices_[i]->tx->busy_until()),
+          att);
     if (fabric_) {
       fabric_->transfer(dev_node(i), edge_node(), cfg_.partition.d1,
-                        [this, i, id, att](double t2) {
+                        flow_tag(id, att), [this, i, id, att](double t2) {
         if (!alive(id, att)) return;
         if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kTensor);
         if (obs_) obs_->on_phase_end(id, t2);
@@ -928,12 +972,16 @@ class Simulation {
     rec.stage = Stage::kCloud;
     const int att = rec.attempt;
     if (obs_)
-      obs_->on_phase_begin(id, static_cast<int>(i), "edge_cloud_link",
-                           fabric_ ? "fabric" : edge_cloud_link_->name(),
-                           queue_.now(), queue_.now(), att);
+      obs_->on_phase_begin(
+          id, static_cast<int>(i), "edge_cloud_link",
+          fabric_ ? "fabric" : edge_cloud_link_->name(), queue_.now(),
+          fabric_
+              ? queue_.now()
+              : std::max(queue_.now(), edge_cloud_link_->busy_until()),
+          att);
     if (fabric_) {
       fabric_->transfer(edge_node(), net::NodeId::cloud(), cfg_.partition.d2,
-                        [this, i, id, att](double t2) {
+                        flow_tag(id, att), [this, i, id, att](double t2) {
         if (!alive(id, att)) return;
         if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kEdgeCloud);
         if (obs_) obs_->on_phase_end(id, t2);
@@ -992,10 +1040,13 @@ class Simulation {
       obs_->on_phase_begin(
           id, static_cast<int>(i), "return_link",
           fabric_ ? "fabric" : devices_[i]->downlink->name(), queue_.now(),
-          queue_.now(), att);
+          fabric_
+              ? queue_.now()
+              : std::max(queue_.now(), devices_[i]->downlink->busy_until()),
+          att);
     if (fabric_) {
       fabric_->transfer(edge_node(), dev_node(i), cfg_.result_bytes,
-                        [this, i, id, att](double t2) {
+                        flow_tag(id, att), [this, i, id, att](double t2) {
         if (!alive(id, att)) return;
         if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kEdgeReturn);
         if (obs_) obs_->on_phase_end(id, t2);
@@ -1027,7 +1078,7 @@ class Simulation {
         obs_->on_phase_begin(id, static_cast<int>(i), "cloud_return_link",
                              "fabric", queue_.now(), queue_.now(), att);
       fabric_->transfer(net::NodeId::cloud(), dev_node(i), cfg_.result_bytes,
-                        [this, i, id, att](double t2) {
+                        flow_tag(id, att), [this, i, id, att](double t2) {
         if (!alive(id, att)) return;
         if (t2 < 0.0) return handle_net_drop(i, id, NetLeg::kCloudReturn);
         if (obs_) obs_->on_phase_end(id, t2);
@@ -1037,17 +1088,19 @@ class Simulation {
       return;
     }
     if (obs_)
-      obs_->on_phase_begin(id, static_cast<int>(i), "cloud_return_link",
-                           cloud_return_link_->name(), queue_.now(),
-                           queue_.now(), att);
+      obs_->on_phase_begin(
+          id, static_cast<int>(i), "cloud_return_link",
+          cloud_return_link_->name(), queue_.now(),
+          std::max(queue_.now(), cloud_return_link_->busy_until()), att);
     cloud_return_link_->transfer(cfg_.result_bytes, [this, i, id,
                                                      att](double t2) {
       if (!alive(id, att)) return;
       if (obs_) {
         obs_->on_phase_end(id, t2);
-        obs_->on_phase_begin(id, static_cast<int>(tasks_[id].device),
-                             "return_link", devices_[i]->downlink->name(),
-                             t2, t2, att);
+        obs_->on_phase_begin(
+            id, static_cast<int>(tasks_[id].device), "return_link",
+            devices_[i]->downlink->name(), t2,
+            std::max(t2, devices_[i]->downlink->busy_until()), att);
       }
       devices_[i]->downlink->transfer(
           cfg_.result_bytes, [this, id, att](double t2b) {

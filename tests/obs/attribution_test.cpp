@@ -1,0 +1,324 @@
+#include "obs/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace leime::obs {
+namespace {
+
+TEST(AttrStage, PhaseMappingCoversSimulatorPhases) {
+  EXPECT_EQ(attr_stage_for_phase("local_block1"), AttrStage::kLocalCompute);
+  EXPECT_EQ(attr_stage_for_phase("uplink"), AttrStage::kUplink);
+  EXPECT_EQ(attr_stage_for_phase("edge_block1"), AttrStage::kEdgeCompute);
+  EXPECT_EQ(attr_stage_for_phase("edge_block2"), AttrStage::kEdgeCompute);
+  EXPECT_EQ(attr_stage_for_phase("edge_cloud_link"), AttrStage::kCloudLink);
+  EXPECT_EQ(attr_stage_for_phase("cloud_block3"), AttrStage::kCloudCompute);
+  EXPECT_EQ(attr_stage_for_phase("return_link"), AttrStage::kResultReturn);
+  EXPECT_EQ(attr_stage_for_phase("cloud_return_link"),
+            AttrStage::kResultReturn);
+  EXPECT_EQ(attr_stage_for_phase("some_future_phase"), AttrStage::kOther);
+
+  EXPECT_TRUE(attr_stage_is_link(AttrStage::kUplink));
+  EXPECT_TRUE(attr_stage_is_link(AttrStage::kCloudLink));
+  EXPECT_TRUE(attr_stage_is_link(AttrStage::kResultReturn));
+  EXPECT_FALSE(attr_stage_is_link(AttrStage::kLocalCompute));
+  EXPECT_FALSE(attr_stage_is_link(AttrStage::kEdgeCompute));
+
+  // Names feed composed metric names: the registry alphabet is [a-z0-9_].
+  for (int i = 0; i < kAttrStageCount; ++i) {
+    const std::string name = attr_stage_name(static_cast<AttrStage>(i));
+    ASSERT_FALSE(name.empty());
+    for (char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << name;
+  }
+  for (int i = 0; i < kCalibComponentCount; ++i) {
+    const std::string name =
+        calib_component_name(static_cast<CalibComponent>(i));
+    for (char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << name;
+  }
+}
+
+TEST(LatencyLedger, AssemblesWaitServiceWaterfallAndConserves) {
+  LatencyLedger ledger;
+  PredictedComponents pred;
+  ledger.on_generated(7, 0, 0, 10.0, 1, true, pred);
+  EXPECT_EQ(ledger.open_tasks(), 1u);
+
+  // Uplink: queued at 10.0, serialization starts at 10.4, done at 10.9.
+  ledger.on_phase_begin(7, "uplink", 10.0, 10.4);
+  ledger.on_phase_end(7, 10.9);
+  // Edge block 1: queued at 10.9, starts at 11.2, done at 11.5.
+  ledger.on_phase_begin(7, "edge_block1", 10.9, 11.2);
+  ledger.on_phase_end(7, 11.5);
+  // A gap [11.5, 11.7] with no span — becomes stall.
+  ledger.on_phase_begin(7, "return_link", 11.7, 11.7);
+  ledger.on_phase_end(7, 12.0);
+
+  TaskWaterfall wf;
+  ASSERT_TRUE(ledger.on_complete(7, 12.0, 0, true, &wf));
+  EXPECT_EQ(ledger.open_tasks(), 0u);
+  EXPECT_EQ(wf.task, 7u);
+  EXPECT_TRUE(wf.offloaded);
+  EXPECT_DOUBLE_EQ(wf.e2e, 2.0);
+
+  const auto& up = wf.stages[static_cast<std::size_t>(AttrStage::kUplink)];
+  EXPECT_NEAR(up.wait, 0.4, 1e-12);
+  EXPECT_NEAR(up.service, 0.5, 1e-12);
+  const auto& edge =
+      wf.stages[static_cast<std::size_t>(AttrStage::kEdgeCompute)];
+  EXPECT_NEAR(edge.wait, 0.3, 1e-12);
+  EXPECT_NEAR(edge.service, 0.3, 1e-12);
+  const auto& ret =
+      wf.stages[static_cast<std::size_t>(AttrStage::kResultReturn)];
+  EXPECT_NEAR(ret.wait, 0.0, 1e-12);
+  EXPECT_NEAR(ret.service, 0.3, 1e-12);
+
+  // Conservation: stages + stall == e2e, and the stall is the uncovered gap.
+  double spans = 0.0;
+  for (const auto& s : wf.stages) spans += s.wait + s.service;
+  EXPECT_NEAR(spans + wf.stall, wf.e2e, 1e-12);
+  EXPECT_NEAR(wf.stall, 0.2, 1e-12);
+}
+
+TEST(LatencyLedger, HopSpansRefineLinkStageWait) {
+  LatencyLedger ledger;
+  ledger.on_generated(1, 0, 0, 0.0, 1, true, {});
+
+  // Span-level exec_start only knows the first hop; two fabric hops each
+  // contribute their own wait. Hops partition [0.0, 1.0] exactly.
+  ledger.on_phase_begin(1, "uplink", 0.0, 0.0);
+  ledger.on_hop(1, "dev0_ap0", 0.0, 0.1, 0.5);   // wait 0.1, service 0.4
+  ledger.on_hop(1, "ap0_edge0", 0.5, 0.8, 1.0);  // wait 0.3, service 0.2
+  ledger.on_phase_end(1, 1.0);
+
+  TaskWaterfall wf;
+  ASSERT_TRUE(ledger.on_complete(1, 1.0, 0, true, &wf));
+  const auto& up = wf.stages[static_cast<std::size_t>(AttrStage::kUplink)];
+  EXPECT_NEAR(up.wait, 0.4, 1e-12);     // hop waits summed
+  EXPECT_NEAR(up.service, 0.6, 1e-12);  // remainder of the span
+  ASSERT_EQ(wf.hops.size(), 2u);
+  EXPECT_EQ(wf.hops[0].port, "dev0_ap0");
+  EXPECT_NEAR(wf.hops[0].wait, 0.1, 1e-12);
+  EXPECT_NEAR(wf.hops[0].service, 0.4, 1e-12);
+  EXPECT_EQ(wf.hops[1].port, "ap0_edge0");
+  EXPECT_NEAR(wf.hops[1].wait, 0.3, 1e-12);
+  EXPECT_NEAR(wf.hops[1].service, 0.2, 1e-12);
+
+  // Hops against a compute stage (or no open span) are ignored.
+  ledger.on_generated(2, 0, 0, 0.0, 1, false, {});
+  ledger.on_hop(2, "dev0_ap0", 0.0, 0.0, 1.0);  // no open span
+  ledger.on_phase_begin(2, "local_block1", 0.0, 0.2);
+  ledger.on_hop(2, "dev0_ap0", 0.0, 0.0, 1.0);  // not a link stage
+  ledger.on_phase_end(2, 1.0);
+  ASSERT_TRUE(ledger.on_complete(2, 1.0, 0, true, &wf));
+  EXPECT_TRUE(wf.hops.empty());
+  const auto& local =
+      wf.stages[static_cast<std::size_t>(AttrStage::kLocalCompute)];
+  EXPECT_NEAR(local.wait, 0.2, 1e-12);
+  EXPECT_NEAR(local.service, 0.8, 1e-12);
+}
+
+TEST(LatencyLedger, DefensiveCloseAndCompletionCloseOpenSpans) {
+  LatencyLedger ledger;
+  ledger.on_generated(3, 1, 0, 0.0, 2, true, {});
+
+  // A begin while another span is open closes the previous one at the new
+  // span's queue time (the nested cloud_return_link -> return_link case).
+  ledger.on_phase_begin(3, "cloud_return_link", 0.0, 0.0);
+  ledger.on_phase_begin(3, "return_link", 0.6, 0.6);
+  // Completion with the last span still open closes it at t_complete.
+  TaskWaterfall wf;
+  ASSERT_TRUE(ledger.on_complete(3, 1.0, 0, true, &wf));
+  const auto& ret =
+      wf.stages[static_cast<std::size_t>(AttrStage::kResultReturn)];
+  EXPECT_NEAR(ret.wait + ret.service, 1.0, 1e-12);
+  EXPECT_NEAR(wf.stall, 0.0, 1e-12);
+}
+
+TEST(LatencyLedger, ParkedAndUnknownTasks) {
+  LatencyLedger ledger;
+  ledger.on_generated(5, 0, 0, 0.0, 1, false, {});
+  ledger.on_phase_begin(5, "local_block1", 0.0, 0.0);
+  EXPECT_TRUE(ledger.on_parked(5));
+  EXPECT_FALSE(ledger.on_parked(5));  // already gone
+  EXPECT_EQ(ledger.open_tasks(), 0u);
+
+  TaskWaterfall wf;
+  EXPECT_FALSE(ledger.on_complete(5, 1.0, 0, true, &wf));
+  // Hooks for never-registered tasks are no-ops, not crashes.
+  ledger.on_phase_begin(99, "uplink", 0.0, 0.0);
+  ledger.on_phase_end(99, 1.0);
+  ledger.on_hop(99, "p", 0.0, 0.0, 1.0);
+  EXPECT_EQ(ledger.open_tasks(), 0u);
+}
+
+TaskWaterfall make_calibrated_waterfall(bool offloaded) {
+  TaskWaterfall wf;
+  wf.task = 1;
+  wf.block = 1;
+  wf.retries = 0;
+  wf.offloaded = offloaded;
+  wf.pred.valid = true;
+  wf.pred.local_wait = 0.1;
+  wf.pred.local_service = 0.2;
+  wf.pred.uplink = 0.3;
+  wf.pred.edge_wait = 0.05;
+  wf.pred.edge_service = 0.15;
+  auto& local = wf.stages[static_cast<std::size_t>(AttrStage::kLocalCompute)];
+  local = {0.12, 0.2};
+  auto& up = wf.stages[static_cast<std::size_t>(AttrStage::kUplink)];
+  up = {0.1, 0.25};
+  auto& edge = wf.stages[static_cast<std::size_t>(AttrStage::kEdgeCompute)];
+  edge = {0.06, 0.14};
+  return wf;
+}
+
+TEST(TaskWaterfall, CalibrationErrorApplicabilityRules) {
+  double err = 0.0;
+
+  // Local task: local components calibrate, offload components do not.
+  auto local = make_calibrated_waterfall(false);
+  ASSERT_TRUE(local.calibration_error(CalibComponent::kLocalWait, &err));
+  EXPECT_NEAR(err, 0.02, 1e-12);  // actual 0.12 - predicted 0.1
+  ASSERT_TRUE(local.calibration_error(CalibComponent::kLocalService, &err));
+  EXPECT_NEAR(err, 0.0, 1e-12);
+  EXPECT_FALSE(local.calibration_error(CalibComponent::kUplink, &err));
+  EXPECT_FALSE(local.calibration_error(CalibComponent::kEdgeWait, &err));
+
+  // Offloaded task: the mirror-image split; uplink joins wait + service.
+  auto off = make_calibrated_waterfall(true);
+  EXPECT_FALSE(off.calibration_error(CalibComponent::kLocalWait, &err));
+  ASSERT_TRUE(off.calibration_error(CalibComponent::kUplink, &err));
+  EXPECT_NEAR(err, 0.05, 1e-12);  // (0.1 + 0.25) - 0.3
+  ASSERT_TRUE(off.calibration_error(CalibComponent::kEdgeWait, &err));
+  EXPECT_NEAR(err, 0.01, 1e-12);
+  ASSERT_TRUE(off.calibration_error(CalibComponent::kEdgeService, &err));
+  EXPECT_NEAR(err, -0.01, 1e-12);
+
+  // Retried, deep-exit or prediction-less tasks never calibrate.
+  auto retried = make_calibrated_waterfall(true);
+  retried.retries = 1;
+  EXPECT_FALSE(retried.calibration_error(CalibComponent::kUplink, &err));
+  auto deep = make_calibrated_waterfall(true);
+  deep.block = 2;
+  EXPECT_FALSE(deep.calibration_error(CalibComponent::kUplink, &err));
+  auto unpredicted = make_calibrated_waterfall(true);
+  unpredicted.pred.valid = false;
+  EXPECT_FALSE(unpredicted.calibration_error(CalibComponent::kUplink, &err));
+}
+
+TaskWaterfall simple_waterfall(std::uint64_t task, double wait,
+                               double service) {
+  TaskWaterfall wf;
+  wf.task = task;
+  wf.block = 1;
+  auto& up = wf.stages[static_cast<std::size_t>(AttrStage::kUplink)];
+  up = {wait, service};
+  wf.e2e = wait + service;
+  wf.hops.push_back({"ap0_edge0", wait, service});
+  return wf;
+}
+
+TEST(AttributionSummary, AddAndMergeAreConsistent) {
+  // Two shards fold disjoint task sets; merging them must equal one summary
+  // that saw everything (the plan-order merge contract).
+  AttributionSummary a, b, all;
+  const auto w1 = simple_waterfall(1, 0.1, 0.4);
+  const auto w2 = simple_waterfall(2, 0.3, 0.2);
+  auto w3 = make_calibrated_waterfall(true);
+  a.add(w1, "sensor");
+  b.add(w2, "sensor");
+  b.add(w3, "camera");
+  all.add(w1, "sensor");
+  all.add(w2, "sensor");
+  all.add(w3, "camera");
+
+  AttributionSummary merged = a;
+  merged.merge(b);
+  EXPECT_TRUE(merged.active);
+  EXPECT_EQ(merged.tasks, all.tasks);
+  EXPECT_EQ(merged.calibrated_tasks, all.calibrated_tasks);
+  ASSERT_EQ(merged.classes.size(), 2u);
+  EXPECT_EQ(merged.classes[0].name, "camera");  // sorted by name
+  EXPECT_EQ(merged.classes[1].name, "sensor");
+  EXPECT_EQ(merged.classes[1].tasks, 2u);
+  const auto up_idx = static_cast<std::size_t>(AttrStage::kUplink);
+  EXPECT_NEAR(merged.classes[1].stages[up_idx].wait, 0.4, 1e-12);
+  EXPECT_NEAR(merged.classes[1].stages[up_idx].service, 0.6, 1e-12);
+  ASSERT_EQ(merged.ports.size(), 1u);
+  EXPECT_EQ(merged.ports[0].first, "ap0_edge0");
+  EXPECT_EQ(merged.ports[0].second.spans, 2u);
+  EXPECT_NEAR(merged.ports[0].second.wait, 0.4, 1e-12);
+
+  // The JSON rendering of merged and all-at-once summaries is identical.
+  std::ostringstream merged_json, all_json;
+  merged.to_json(merged_json);
+  all.to_json(all_json);
+  EXPECT_EQ(merged_json.str(), all_json.str());
+
+  // Merging an inactive summary is a no-op.
+  AttributionSummary inactive;
+  merged.merge(inactive);
+  EXPECT_EQ(merged.tasks, all.tasks);
+}
+
+TEST(AttributionSummary, JsonShape) {
+  AttributionSummary s;
+  s.active = true;
+  s.add(make_calibrated_waterfall(true), "camera");
+  std::ostringstream out;
+  s.to_json(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  EXPECT_NE(text.find("\"tasks\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"classes\":[{\"name\":\"camera\""), std::string::npos);
+  EXPECT_NE(text.find("\"stage\":\"uplink\""), std::string::npos);
+  EXPECT_NE(text.find("\"calibration\":[{\"component\":\"uplink\""),
+            std::string::npos);
+  EXPECT_EQ(text.find('\n'), std::string::npos);  // single line for JSONL
+}
+
+TEST(AttributionFiles, WaterfallJsonlAndCalibrationCsv) {
+  std::vector<TaskWaterfall> rows;
+  rows.push_back(simple_waterfall(4, 0.1, 0.2));
+  rows.push_back(make_calibrated_waterfall(true));
+  const std::vector<std::string> names = {"default"};
+
+  std::ostringstream jsonl;
+  write_waterfalls_jsonl(jsonl, rows, names);
+  const std::string text = jsonl.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"task\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"hops\":[{\"port\":\"ap0_edge0\""), std::string::npos);
+  // Row without a prediction omits the pred block; the calibrated row has it.
+  EXPECT_NE(text.find("\"pred\":{\"local_wait\":"), std::string::npos);
+
+  std::ostringstream csv;
+  write_calibration_csv(csv, rows, names);
+  std::istringstream lines(csv.str());
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.substr(0, 44), "task,class,device,block,retries,offloaded,x,");
+  EXPECT_NE(header.find("pred_uplink,actual_uplink,err_uplink"),
+            std::string::npos);
+  // Only the predicted task gets a row; inapplicable components stay empty.
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(row.substr(0, 2), "1,");
+  EXPECT_FALSE(std::getline(lines, extra));
+  EXPECT_NE(row.find(",,"), std::string::npos);  // empty local_wait err cell
+}
+
+}  // namespace
+}  // namespace leime::obs

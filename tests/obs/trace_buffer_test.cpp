@@ -96,6 +96,42 @@ TEST(TraceBuffer, TidsIndependentOfEmissionOrder) {
             std::string::npos);
 }
 
+// Regression: the "no task" sentinel used to be a literal 0, which made a
+// mark for legitimate task 0 indistinguishable from a task-free one. The
+// sentinel is now explicit (kNoTask) and task 0 serializes its id.
+TEST(TraceBuffer, MarkTaskZeroDistinctFromNoTask) {
+  MarkEvent no_task;
+  EXPECT_FALSE(no_task.has_task());
+  EXPECT_EQ(no_task.task_id, MarkEvent::kNoTask);
+
+  MarkEvent task_zero;
+  task_zero.task_id = 0;
+  EXPECT_TRUE(task_zero.has_task());
+
+  TraceBuffer buf;
+  no_task.name = "edge_crash";
+  no_task.track = "edge";
+  no_task.t = 1.0;
+  buf.add_mark(no_task);
+  task_zero.name = "parked";
+  task_zero.track = "device0";
+  task_zero.t = 2.0;
+  buf.add_mark(task_zero);
+
+  std::ostringstream out;
+  buf.write_chrome_trace(out);
+  const std::string text = out.str();
+  // Task 0's mark carries its id; the task-free mark carries none (and
+  // never a bogus kNoTask value).
+  EXPECT_NE(text.find("\"name\":\"parked\",\"cat\":\"fault\",\"s\":\"t\","
+                      "\"ts\":2000000,\"args\":{\"task\":0}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"edge_crash\",\"cat\":\"fault\","
+                      "\"s\":\"t\",\"ts\":1000000,\"args\":{}"),
+            std::string::npos);
+  EXPECT_EQ(text.find(std::to_string(MarkEvent::kNoTask)), std::string::npos);
+}
+
 TEST(TraceBuffer, EscapesJsonSpecials) {
   TraceBuffer buf;
   buf.add_span(make_span(0, "phase\"q\"", "tr\\ack", 0.0, 1.0));

@@ -121,6 +121,26 @@ TEST(Golden, PolicyFastPathsAreObservationallyInvisible) {
       << "policy-on rendering depends on the executor thread count";
 }
 
+// Attribution + SLO ride the same plan-order merge as the metrics
+// snapshot, so their JSONL blocks must be byte-identical at any executor
+// thread count — and absent entirely when the pillars are off (the golden
+// snapshot above pins the disabled bytes).
+TEST(Golden, AttributionAndSloBlocksAreThreadCountInvariant) {
+  sim::ScenarioConfig obs_on = golden_base();
+  obs_on.obs.attribution = true;
+  obs_on.obs.slo.deadline = 0.5;
+  obs_on.obs.slo.min_window_tasks = 5;
+  const auto serial = render(1, obs_on);
+  EXPECT_NE(serial.find("\"attribution\":{\"tasks\":"), std::string::npos);
+  EXPECT_NE(serial.find("\"slo\":{\"deadline\":"), std::string::npos);
+  EXPECT_EQ(serial, render(3, obs_on))
+      << "attribution/SLO JSONL depends on the executor thread count";
+  // And the pillars never leak into a disabled run's bytes.
+  const auto off = render(1);
+  EXPECT_EQ(off.find("\"attribution\""), std::string::npos);
+  EXPECT_EQ(off.find("\"slo\""), std::string::npos);
+}
+
 TEST(Golden, SnapshotCoversFaultsOnAndOff) {
   const auto text = render(1);
   // 2 axis values x 2 replications.

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -296,6 +297,227 @@ TEST(Observer, OwnedObserverExportsConfiguredFiles) {
   std::remove(cfg.obs.metrics_out.c_str());
   std::remove(cfg.obs.trace_out.c_str());
   std::remove(cfg.obs.timeseries_out.c_str());
+}
+
+// The acceptance contract of the attribution pillar: replaying the routed
+// wild-topology scenario (shared APs, an AP outage, retries, duplex result
+// legs), every completed task's waterfall conserves its end-to-end latency
+// to 1e-9 — stage waits + services + stall == t_complete - t_arrive — and
+// the fabric's hop spans never exceed the link stages they refine.
+TEST(Attribution, ConservesEndToEndLatencyInTheWild) {
+  auto scenario =
+      load_scenario_file(std::string(LEIME_CONFIG_DIR) + "/wild_topology.ini");
+  auto cfg = scenario.config;
+  cfg.result_bytes = 64000.0;  // exercise the duplex result-return legs
+  ObsConfig obs_cfg;
+  obs_cfg.attribution = true;
+  obs_cfg.keep_waterfalls = true;
+  const std::vector<std::string> classes = {"gate", "gate", "gate",
+                                            "yard", "yard", "yard"};
+  ASSERT_EQ(cfg.devices.size(), classes.size());
+  GroundTruthObserver obs(obs_cfg, cfg.devices.size(), classes);
+  cfg.observer = &obs;
+  const auto r = run_scenario(cfg);
+  ASSERT_GT(r.generated, 100u);
+
+  const auto& rows = obs.waterfalls();
+  ASSERT_FALSE(rows.empty());
+  std::size_t with_hops = 0, with_pred = 0;
+  for (const auto& wf : rows) {
+    double spans = 0.0, links = 0.0;
+    for (int i = 0; i < obs::kAttrStageCount; ++i) {
+      const auto& s = wf.stages[static_cast<std::size_t>(i)];
+      EXPECT_GE(s.wait, 0.0);
+      EXPECT_GE(s.service, 0.0);
+      spans += s.wait + s.service;
+      if (obs::attr_stage_is_link(static_cast<obs::AttrStage>(i)))
+        links += s.wait + s.service;
+    }
+    EXPECT_GE(wf.stall, -1e-9);  // spans are sequential, gaps only
+    EXPECT_NEAR(spans + wf.stall, wf.e2e, 1e-9) << "task " << wf.task;
+    const auto it = obs.truth().find(wf.task);
+    ASSERT_NE(it, obs.truth().end());
+    EXPECT_NEAR(wf.e2e, it->second.t_complete - it->second.t_arrive, 1e-9);
+    if (!wf.hops.empty()) {
+      ++with_hops;
+      double hop_total = 0.0;
+      for (const auto& h : wf.hops) {
+        EXPECT_GE(h.wait, 0.0);
+        EXPECT_GE(h.service, 0.0);
+        hop_total += h.wait + h.service;
+      }
+      // Hops partition link spans; aborted flows may under-report but can
+      // never attribute more time than the spans themselves.
+      EXPECT_LE(hop_total, links + 1e-9) << "task " << wf.task;
+    }
+    if (wf.pred.valid) ++with_pred;
+  }
+  EXPECT_GT(with_hops, 0u);
+  EXPECT_GT(with_pred, 0u);
+
+  const auto& sum = obs.attribution_summary();
+  EXPECT_TRUE(sum.active);
+  EXPECT_EQ(sum.tasks, rows.size());
+  // Every generated task either assembled a waterfall or is incomplete
+  // (parked, or still in flight when the drain ended).
+  EXPECT_EQ(sum.tasks + sum.incomplete, r.generated);
+  ASSERT_FALSE(sum.ports.empty());
+  std::uint64_t class_tasks = 0;
+  for (const auto& c : sum.classes) class_tasks += c.tasks;
+  EXPECT_EQ(class_tasks, sum.tasks);
+  ASSERT_EQ(sum.classes.size(), 2u);
+  EXPECT_EQ(sum.classes[0].name, "gate");
+  EXPECT_EQ(sum.classes[1].name, "yard");
+}
+
+// Hook-level edge cases: an abort with no open phase is a no-op, parked
+// tasks drop their ledger entry (no waterfall, counted incomplete), and
+// tasks still open at run end are incomplete too.
+TEST(Attribution, LedgerToleratesAbortsAndParksViaHooks) {
+  ObsConfig cfg;
+  cfg.attribution = true;
+  cfg.keep_waterfalls = true;
+  RecordingObserver obs(cfg, 1);
+  obs.on_phase_abort(99, 1.0, "timeout");  // unknown task, nothing open
+
+  obs.on_task_generated(1, 0, 0.5, 1, true);
+  obs.on_phase_begin(1, 0, "uplink", "device0/tx", 0.5, 0.5, 0);
+  obs.on_phase_abort(1, 1.0, "edge_crash");
+  obs.on_phase_abort(1, 1.0, "edge_crash");  // second abort: nothing open
+  obs.on_task_parked(1, 0, 1.0);
+
+  obs.on_task_generated(2, 0, 1.5, 1, false);
+  obs.on_phase_begin(2, 0, "local_block1", "device0/cpu", 1.5, 1.5, 0);
+  // ... run ends with task 2 still computing.
+
+  obs.on_task_generated(3, 0, 2.0, 1, false);
+  obs.on_phase_begin(3, 0, "local_block1", "device0/cpu", 2.0, 2.2, 0);
+  obs.on_phase_end(3, 2.5);
+  obs.on_task_complete(3, 0, 2.0, 2.5, 1, 0, true);
+  obs.on_run_end(3.0);
+
+  const auto& sum = obs.attribution_summary();
+  EXPECT_EQ(sum.tasks, 1u);
+  EXPECT_EQ(sum.incomplete, 2u);  // parked task 1 + still-open task 2
+  ASSERT_EQ(obs.waterfalls().size(), 1u);
+  const auto& wf = obs.waterfalls()[0];
+  EXPECT_EQ(wf.task, 3u);
+  const auto& local =
+      wf.stages[static_cast<std::size_t>(obs::AttrStage::kLocalCompute)];
+  EXPECT_NEAR(local.wait, 0.2, 1e-12);
+  EXPECT_NEAR(local.service, 0.3, 1e-12);
+  EXPECT_NEAR(wf.stall, 0.0, 1e-12);
+}
+
+// Attribution and SLO must not perturb the run (same null-object contract
+// as the other pillars), ride SimResult, and export their files.
+TEST(Attribution, DoesNotPerturbTheRunAndExportsFiles) {
+  auto cfg = base_scenario();
+  const auto off = run_scenario(cfg);
+  const std::string dir = ::testing::TempDir();
+  cfg.obs.attribution = true;
+  cfg.obs.attribution_out = dir + "attr_waterfalls.jsonl";
+  cfg.obs.calibration_out = dir + "attr_calibration.csv";
+  cfg.obs.slo.deadline = 0.5;
+  cfg.obs.slo.alerts_out = dir + "slo_alerts.jsonl";
+  const auto on = run_scenario(cfg);
+
+  EXPECT_EQ(on.generated, off.generated);
+  EXPECT_EQ(on.total_completed, off.total_completed);
+  EXPECT_DOUBLE_EQ(on.tct.mean, off.tct.mean);
+  EXPECT_DOUBLE_EQ(on.tct.p95, off.tct.p95);
+  EXPECT_DOUBLE_EQ(on.mean_offload_ratio, off.mean_offload_ratio);
+
+  EXPECT_FALSE(off.attribution.active);
+  EXPECT_FALSE(off.slo.active);
+  EXPECT_TRUE(on.attribution.active);
+  EXPECT_TRUE(on.slo.active);
+  EXPECT_EQ(on.attribution.tasks, on.total_completed);
+  EXPECT_EQ(on.attribution.tasks + on.attribution.incomplete, on.generated);
+
+  std::ifstream jsonl(cfg.obs.attribution_out);
+  ASSERT_TRUE(jsonl.good());
+  std::string first_line;
+  ASSERT_TRUE(std::getline(jsonl, first_line));
+  EXPECT_EQ(first_line.rfind("{\"task\":", 0), 0u);
+  std::ifstream csv(cfg.obs.calibration_out);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_EQ(header.rfind("task,class,device,", 0), 0u);
+  EXPECT_TRUE(std::ifstream(cfg.obs.slo.alerts_out).good());
+  std::remove(cfg.obs.attribution_out.c_str());
+  std::remove(cfg.obs.calibration_out.c_str());
+  std::remove(cfg.obs.slo.alerts_out.c_str());
+}
+
+// End-to-end SLO: an impossible deadline makes every counted completion a
+// miss, the monitor fires exactly once (burn never recovers), and the
+// alert shows up in all three places — summary, metrics, trace marks.
+TEST(Slo, DeadlineMissesFireAlertsEndToEnd) {
+  auto cfg = base_scenario(2);
+  ObsConfig obs_cfg;
+  obs_cfg.metrics = true;
+  obs_cfg.trace_sample = 1;
+  obs_cfg.slo.deadline = 1e-4;
+  obs_cfg.slo.window = 10.0;
+  obs_cfg.slo.target_miss_rate = 0.01;
+  obs_cfg.slo.burn_threshold = 1.0;
+  obs_cfg.slo.min_window_tasks = 5;
+  RecordingObserver obs(obs_cfg, cfg.devices.size(), {"cam", "cam"});
+  cfg.observer = &obs;
+  const auto r = run_scenario(cfg);
+  ASSERT_GT(r.completed, 20u);
+
+  const auto s = obs.slo_summary();
+  ASSERT_TRUE(s.active);
+  EXPECT_DOUBLE_EQ(s.deadline, 1e-4);
+  ASSERT_EQ(s.classes.size(), 1u);
+  EXPECT_EQ(s.classes[0].name, "cam");
+  EXPECT_EQ(s.classes[0].completions, r.completed);
+  EXPECT_EQ(s.classes[0].misses, s.classes[0].completions);
+  EXPECT_EQ(s.classes[0].alerts_fired, 1u);
+  EXPECT_EQ(s.classes[0].alerts_cleared, 0u);
+  ASSERT_EQ(s.alerts.size(), 1u);
+  EXPECT_TRUE(s.alerts[0].fire);
+  EXPECT_EQ(s.alerts[0].cls, "cam");
+  EXPECT_EQ(s.alerts[0].window_tasks, 5u);
+
+  const auto snap = obs.registry().snapshot();
+  EXPECT_EQ(find_counter(snap, "leime_slo_completions_total").value,
+            s.classes[0].completions);
+  EXPECT_EQ(find_counter(snap, "leime_slo_misses_total").value,
+            s.classes[0].misses);
+  EXPECT_EQ(find_counter(snap, "leime_slo_alerts_fired_total").value, 1u);
+  EXPECT_EQ(find_counter(snap, "leime_slo_alerts_cleared_total").value, 0u);
+  EXPECT_EQ(find_histogram(snap, "leime_slo_overshoot_seconds").stats.count(),
+            s.classes[0].misses);
+  EXPECT_GT(find_gauge(snap, "leime_slo_burn_rate").value, 1.0);
+
+  std::size_t fire_marks = 0;
+  for (const auto& m : obs.trace().marks()) {
+    if (m.name != "slo_burn_fire") continue;
+    ++fire_marks;
+    EXPECT_FALSE(m.has_task());  // burn alerts are not about one task
+    EXPECT_EQ(m.track, "slo/cam");
+  }
+  EXPECT_EQ(fire_marks, 1u);
+}
+
+// The SLO summary (and so its JSONL rendering) is deterministic: two
+// identical runs produce byte-identical alert streams.
+TEST(Slo, SummaryRidesSimResultDeterministically) {
+  auto cfg = base_scenario(2);
+  cfg.obs.slo.deadline = 1e-4;
+  cfg.obs.slo.min_window_tasks = 5;
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  ASSERT_TRUE(a.slo.active);
+  EXPECT_FALSE(a.slo.alerts.empty());
+  std::ostringstream ja, jb;
+  a.slo.to_json(ja);
+  b.slo.to_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
 }
 
 TEST(ObsConfig, EnablementRules) {
