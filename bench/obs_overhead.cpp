@@ -15,6 +15,11 @@
 //   attribution — recording plus per-task latency waterfalls and the SLO
 //               monitor (DESIGN.md §13), so the ledger's cost is visible
 //               next to the pillar it extends (also allowed to cost).
+//   provenance — attribution plus 1-in-1 decision provenance with a
+//               1-in-4 exhaustive oracle (DESIGN.md §14), the most
+//               expensive configuration the repo ships (allowed to cost;
+//               shown so regret accounting's price is measured, not
+//               guessed).
 //
 // Usage:
 //   obs_overhead [--check] [--rounds N] [--duration S] [--out FILE]
@@ -106,6 +111,10 @@ int main(int argc, char** argv) {
   attribution_cfg.obs.attribution = true;
   attribution_cfg.obs.slo.deadline = 0.5;
 
+  auto provenance_cfg = attribution_cfg;
+  provenance_cfg.obs.provenance.sample_n = 1;
+  provenance_cfg.obs.provenance.oracle_sample_n = 4;
+
   std::size_t sink = 0;
   // Warmup pass so first-touch page faults and lazy init don't bill the
   // first variant measured.
@@ -113,12 +122,13 @@ int main(int argc, char** argv) {
 
   // Rounds stay interleaved (the whole point of the harness), so the
   // variants are timed by hand and adopted via add_case afterwards.
-  std::vector<double> disabled, noop_s, recording, attribution;
+  std::vector<double> disabled, noop_s, recording, attribution, provenance;
   for (int r = 0; r < rounds; ++r) {
     disabled.push_back(time_run(base, &sink));
     noop_s.push_back(time_run(noop_cfg, &sink));
     recording.push_back(time_run(recording_cfg, &sink));
     attribution.push_back(time_run(attribution_cfg, &sink));
+    provenance.push_back(time_run(provenance_cfg, &sink));
   }
 
   bench::Reporter reporter("obs_overhead", {1, rounds});
@@ -126,6 +136,7 @@ int main(int argc, char** argv) {
   const auto& c_noop = reporter.add_case("noop_observer", noop_s);
   const auto& c_recording = reporter.add_case("recording", recording);
   const auto& c_attribution = reporter.add_case("attribution", attribution);
+  const auto& c_provenance = reporter.add_case("provenance", provenance);
   const double overhead =
       c_noop.wall.median / c_disabled.wall.median - 1.0;
 
@@ -143,6 +154,9 @@ int main(int argc, char** argv) {
   t.add_row({"attribution", util::fmt(c_attribution.wall.median, 4),
              util::fmt(c_attribution.wall.cv, 3),
              pct(c_attribution.wall.median)});
+  t.add_row({"provenance", util::fmt(c_provenance.wall.median, 4),
+             util::fmt(c_provenance.wall.cv, 3),
+             pct(c_provenance.wall.median)});
   t.print(std::cout);
   std::cout << "noop overhead (ratio of median rounds): "
             << util::fmt(100.0 * overhead, 2) << "% over " << rounds

@@ -113,6 +113,16 @@ target_miss_rate = 0.01
 burn_threshold = 1
 min_window_tasks = 20
 alerts_out =             # fire/clear transitions, one JSON object each
+
+# Optional: decision provenance + oracle regret (obs/provenance.h,
+# DESIGN.md §14). Enabled by sample_n (an output path or oracle_sample_n
+# implies 1-in-1).
+[provenance]
+sample_n = 0             # record 1-in-N policy decisions (0 = off)
+ring_capacity = 256      # flight-recorder depth (last-N records)
+oracle_sample_n = 0      # re-run the exhaustive oracle 1-in-N (regret)
+decisions_out =          # run-end window JSONL (trace_viewer --decisions)
+dump_out =               # SLO-fire postmortem JSONL
 )";
 
 void report_obs_outputs(const sim::ObsConfig& obs) {
@@ -130,13 +140,25 @@ void report_obs_outputs(const sim::ObsConfig& obs) {
     std::cout << "(calibration: " << obs.calibration_out << ")\n";
   if (!obs.slo.alerts_out.empty())
     std::cout << "(slo alerts: " << obs.slo.alerts_out << ")\n";
+  if (!obs.provenance.decisions_out.empty())
+    std::cout << "(decision provenance: " << obs.provenance.decisions_out
+              << ")\n";
+  if (!obs.provenance.dump_out.empty())
+    std::cout << "(flight-recorder dumps: " << obs.provenance.dump_out
+              << ")\n";
 }
 
 int run(const std::string& path, const std::string& metrics_out,
-        const std::string& trace_out) {
+        const std::string& trace_out, const std::string& decisions_out,
+        const std::string& dump_out) {
   auto scenario = sim::load_scenario_file(path);
   // CLI flags override the [observability] keys (CLI > INI).
   sim::apply_obs_overrides(scenario.config.obs, metrics_out, trace_out);
+  // Same precedence for the [provenance] paths: a flag replaces the INI
+  // value and implicitly enables the pillar (effective_sample_n).
+  if (!decisions_out.empty())
+    scenario.config.obs.provenance.decisions_out = decisions_out;
+  if (!dump_out.empty()) scenario.config.obs.provenance.dump_out = dump_out;
   std::cout << "designed exits for " << scenario.profile.name() << ": ("
             << scenario.designed_exits.e1 << ", " << scenario.designed_exits.e2
             << ", " << scenario.designed_exits.e3
@@ -178,6 +200,12 @@ int run(const std::string& path, const std::string& metrics_out,
       cell.config.obs.attribution_out.clear();
       cell.config.obs.calibration_out.clear();
       cell.config.obs.slo.alerts_out.clear();
+      // An output-path-only [provenance] must stay enabled in every cell
+      // (the summaries merge in plan order), so pin the resolved rate
+      // before dropping the file paths.
+      cell.config.obs.provenance.sample_n = obs.provenance.effective_sample_n();
+      cell.config.obs.provenance.decisions_out.clear();
+      cell.config.obs.provenance.dump_out.clear();
     }
     if (!cells.empty()) {
       cells[0].config.obs.trace_out = obs.trace_out;
@@ -185,6 +213,9 @@ int run(const std::string& path, const std::string& metrics_out,
       cells[0].config.obs.attribution_out = obs.attribution_out;
       cells[0].config.obs.calibration_out = obs.calibration_out;
       cells[0].config.obs.slo.alerts_out = obs.slo.alerts_out;
+      cells[0].config.obs.provenance.decisions_out =
+          obs.provenance.decisions_out;
+      cells[0].config.obs.provenance.dump_out = obs.provenance.dump_out;
     }
     const auto records = executor.run(std::move(cells));
 
@@ -239,6 +270,12 @@ int run(const std::string& path, const std::string& metrics_out,
     if (!obs.slo.alerts_out.empty())
       std::cout << "(slo alerts, first replication: " << obs.slo.alerts_out
                 << ")\n";
+    if (!obs.provenance.decisions_out.empty())
+      std::cout << "(decision provenance, first replication: "
+                << obs.provenance.decisions_out << ")\n";
+    if (!obs.provenance.dump_out.empty())
+      std::cout << "(flight-recorder dumps, first replication: "
+                << obs.provenance.dump_out << ")\n";
     return 0;
   }
 
@@ -270,7 +307,7 @@ int run(const std::string& path, const std::string& metrics_out,
 
 int main(int argc, char** argv) {
   try {
-    std::string ini_path, metrics_out, trace_out;
+    std::string ini_path, metrics_out, trace_out, decisions_out, dump_out;
     for (int a = 1; a < argc; ++a) {
       const std::string arg = argv[a];
       if (arg == "--template") {
@@ -293,6 +330,8 @@ int main(int argc, char** argv) {
       };
       if (flag_value("--metrics-out", &metrics_out)) continue;
       if (flag_value("--trace-out", &trace_out)) continue;
+      if (flag_value("--decisions-out", &decisions_out)) continue;
+      if (flag_value("--dump-out", &dump_out)) continue;
       if (!arg.empty() && arg[0] == '-')
         throw std::invalid_argument("unknown flag " + arg);
       if (!ini_path.empty())
@@ -301,11 +340,12 @@ int main(int argc, char** argv) {
     }
     if (ini_path.empty()) {
       std::cerr << "usage: scenario_runner <scenario.ini> "
-                   "[--metrics-out <file>] [--trace-out <file>] | "
+                   "[--metrics-out <file>] [--trace-out <file>] "
+                   "[--decisions-out <file>] [--dump-out <file>] | "
                    "--template\n";
       return 2;
     }
-    return run(ini_path, metrics_out, trace_out);
+    return run(ini_path, metrics_out, trace_out, decisions_out, dump_out);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

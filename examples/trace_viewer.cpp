@@ -32,6 +32,19 @@
 // stage, fabric hops indented under their link stage, and the eq. 4-9
 // prediction the policy acted on (when captured) printed alongside for
 // an eyeball calibration check. EXPERIMENTS.md walks through a reading.
+//
+// Decision mode ("why did the policy pick that exit", DESIGN.md §14):
+//
+//   trace_viewer --decisions <decisions.jsonl>
+//
+// reads decision-provenance JSONL — either a [provenance] decisions_out
+// window or an SLO-fire flight-recorder dump (dump_out) — and prints one
+// row per recorded decision: the chosen exit combo (e1,e2,e3) or offload
+// ratio x, which fast path produced it (cold / memo_hit / warm_start /
+// direct / batch), candidates explored vs pruned, the runner-up margin,
+// and the oracle regret column when the record was oracle-sampled.
+// Flight-recorder dumps render each SLO fire as its own banner with the
+// open spans that were in flight at the alert.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -307,11 +320,157 @@ int view_waterfalls(const std::string& jsonl_path, std::size_t top) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --decisions: render decision-provenance JSONL (obs::write_decisions_jsonl
+// windows or obs::write_flight_dump postmortems). Same scanning-extractor
+// stance as --waterfall: our own writer's fixed key order, unknown lines
+// skipped so truncated dumps still render.
+
+struct DecisionRow {
+  std::uint64_t seq = 0;
+  double t = -1.0;
+  int device = -1;
+  std::string cls;
+  std::string kind;
+  std::string path;
+  std::string choice;  ///< "(e1,e2,e3)" or "x=0.42"
+  double cost = 0.0;
+  std::uint64_t explored = 0;
+  std::uint64_t pruned = 0;
+  bool has_margin = false;
+  double margin = 0.0;
+  bool has_regret = false;
+  double regret = 0.0;
+};
+
+/// True when `key` holds a number (not the literal null) in `line`.
+bool json_opt_num(const std::string& line, const std::string& key,
+                  double* value) {
+  const auto text = json_field(line, key);
+  if (text.empty() || text == "null") return false;
+  *value = std::strtod(text.c_str(), nullptr);
+  return true;
+}
+
+/// Costs print in the decision's own objective units: expected TCT seconds
+/// for exit_setting rows, the eq. 19 drift-plus-penalty value for offload
+/// rows. Margin and regret share the row's units.
+void print_decision_table(const std::vector<DecisionRow>& rows) {
+  util::TablePrinter t({"seq", "t(s)", "kind", "path", "who", "choice",
+                        "cost", "explored", "pruned", "margin", "regret"});
+  for (const auto& r : rows) {
+    std::string who = r.cls;
+    if (r.device >= 0) who += "/dev" + std::to_string(r.device);
+    t.add_row({std::to_string(r.seq),
+               r.t < 0.0 ? std::string("-") : util::fmt(r.t, 2), r.kind,
+               r.path, who, r.choice, util::fmt(r.cost, 3),
+               std::to_string(r.explored), std::to_string(r.pruned),
+               r.has_margin ? util::fmt(r.margin, 3) : std::string("-"),
+               r.has_regret ? util::fmt(r.regret, 4) : std::string("-")});
+  }
+  t.print(std::cout);
+}
+
+int view_decisions(const std::string& jsonl_path) {
+  std::ifstream in(jsonl_path);
+  if (!in) {
+    std::cerr << "error: cannot open " << jsonl_path << "\n";
+    return 1;
+  }
+  std::vector<DecisionRow> rows;
+  std::size_t alerts = 0, spans = 0, oracle_rows = 0;
+  double regret_sum = 0.0, regret_max = 0.0;
+  std::map<std::string, std::size_t> per_path;
+  std::string line;
+  const auto flush_rows = [&] {
+    if (rows.empty()) return;
+    print_decision_table(rows);
+    rows.clear();
+  };
+  while (std::getline(in, line)) {
+    const auto type = json_field(line, "type");
+    if (type == "decision") {
+      DecisionRow r;
+      r.seq = static_cast<std::uint64_t>(json_num(line, "seq"));
+      r.t = json_num(line, "t");
+      r.device = static_cast<int>(json_num(line, "device"));
+      r.cls = json_field(line, "class");
+      r.kind = json_field(line, "kind");
+      r.path = json_field(line, "path");
+      if (r.kind == "offload") {
+        r.choice = "x=" + util::fmt(json_num(line, "x"), 2);
+      } else {
+        r.choice = "(" + json_field(line, "e1") + "," + json_field(line, "e2") +
+                   "," + json_field(line, "e3") + ")";
+      }
+      r.cost = json_num(line, "cost");
+      r.explored = static_cast<std::uint64_t>(json_num(line, "explored"));
+      r.pruned = static_cast<std::uint64_t>(json_num(line, "pruned"));
+      r.has_margin = json_opt_num(line, "margin", &r.margin);
+      r.has_regret = json_opt_num(line, "regret", &r.regret);
+      if (r.has_regret) {
+        ++oracle_rows;
+        regret_sum += r.regret;
+        regret_max = std::max(regret_max, r.regret);
+      }
+      ++per_path[r.path];
+      rows.push_back(std::move(r));
+    } else if (type == "alert") {
+      // A flight-recorder dump: banner, then its window renders below.
+      flush_rows();
+      ++alerts;
+      if (alerts > 1) std::cout << "\n";
+      std::cout << "=== SLO fire #" << alerts << " at t="
+                << util::fmt(json_num(line, "t"), 2) << " s  class "
+                << json_field(line, "class") << "  miss_rate "
+                << util::fmt(json_num(line, "miss_rate"), 3) << "  burn "
+                << util::fmt(json_num(line, "burn"), 2) << "  window "
+                << static_cast<std::uint64_t>(json_num(line, "window_tasks"))
+                << " tasks ===\n";
+    } else if (type == "open_span") {
+      flush_rows();
+      ++spans;
+      std::cout << "  in flight: task "
+                << static_cast<std::uint64_t>(json_num(line, "task"))
+                << "  dev" << static_cast<int>(json_num(line, "device"))
+                << "  " << json_field(line, "phase") << " on "
+                << json_field(line, "track") << " since t="
+                << util::fmt(json_num(line, "t_begin"), 2) << " s\n";
+    }
+  }
+  flush_rows();
+  const std::size_t total =
+      oracle_rows + per_path.size();  // guard: anything parsed at all?
+  if (total == 0 && alerts == 0 && spans == 0) {
+    std::cerr << "error: no decision records in " << jsonl_path
+              << " (expected [provenance] decisions_out or dump_out JSONL)\n";
+    return 1;
+  }
+  std::cout << "\n";
+  bool first = true;
+  std::size_t decisions = 0;
+  for (const auto& [path, n] : per_path) {
+    decisions += n;
+    std::cout << (first ? "paths: " : ", ") << path << " " << n;
+    first = false;
+  }
+  if (!first) std::cout << "\n";
+  std::cout << decisions << " decisions";
+  if (alerts > 0) std::cout << ", " << alerts << " SLO fire(s)";
+  if (spans > 0) std::cout << ", " << spans << " open span(s)";
+  if (oracle_rows > 0)
+    std::cout << "; oracle on " << oracle_rows << ": mean regret "
+              << util::fmt(regret_sum / static_cast<double>(oracle_rows), 4)
+              << ", max " << util::fmt(regret_max, 4);
+  std::cout << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    std::string ini_path, out_path, waterfall_path;
+    std::string ini_path, out_path, waterfall_path, decisions_path;
     std::uint64_t sample = 1;
     std::size_t top = 10;
     for (int a = 1; a < argc; ++a) {
@@ -320,6 +479,10 @@ int main(int argc, char** argv) {
         if (a + 1 >= argc)
           throw std::invalid_argument("--waterfall needs a JSONL path");
         waterfall_path = argv[++a];
+      } else if (arg == "--decisions") {
+        if (a + 1 >= argc)
+          throw std::invalid_argument("--decisions needs a JSONL path");
+        decisions_path = argv[++a];
       } else if (arg == "--top") {
         if (a + 1 >= argc) throw std::invalid_argument("--top needs a number");
         const long long n = std::stoll(argv[++a]);
@@ -342,11 +505,13 @@ int main(int argc, char** argv) {
       }
     }
     if (!waterfall_path.empty()) return view_waterfalls(waterfall_path, top);
+    if (!decisions_path.empty()) return view_decisions(decisions_path);
     if (ini_path.empty()) {
       std::cerr << "usage: trace_viewer <scenario.ini> [out.json] "
                    "[--sample N]\n"
                    "       trace_viewer --waterfall <attribution.jsonl> "
-                   "[--top N]\n";
+                   "[--top N]\n"
+                   "       trace_viewer --decisions <decisions.jsonl>\n";
       return 2;
     }
     if (out_path.empty()) out_path = "trace.json";

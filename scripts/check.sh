@@ -9,17 +9,18 @@
 #      paths (memo cache, warm-started B&B, batched eq. 20) result-
 #      identical to the reference searches (DESIGN.md §12), run explicitly
 #      even though it also rides inside ctest.
-#   4. Bench: re-measure micro_sim, micro_exit_setting, tab_topology and
-#      tab_latency_breakdown and gate them against bench/baselines/ with
-#      scripts/bench_compare.py (counters strict everywhere — including
-#      the warm-vs-cold B&B evaluation ratio and the attribution
-#      waterfall/hop/conservation counters — wall medians same-host only).
-#      Skipped when python3 is unavailable.
-#   5. TSan:   rebuild the parallel-runtime and shared-policy-engine tests
-#              with -DLEIME_SANITIZE=thread and re-run them, guarding the
-#              executor thread pool and policy::Engine locking against
-#              data races. Skipped (with a notice) when the toolchain
-#              lacks libtsan.
+#   4. Bench: re-measure micro_sim, micro_exit_setting, tab_topology,
+#      tab_latency_breakdown and tab_regret and gate them against
+#      bench/baselines/ with scripts/bench_compare.py (counters strict
+#      everywhere — including the warm-vs-cold B&B evaluation ratio, the
+#      attribution waterfall/hop/conservation counters and the fast-path
+#      regret counters — wall medians same-host only). Skipped when
+#      python3 is unavailable.
+#   5. TSan:   rebuild the parallel-runtime, shared-policy-engine and obs
+#              tests with -DLEIME_SANITIZE=thread and re-run them,
+#              guarding the executor thread pool, policy::Engine locking
+#              and the provenance recorder against data races. Skipped
+#              (with a notice) when the toolchain lacks libtsan.
 #
 # Env knobs: JOBS (parallel build jobs, default nproc),
 #            LEIME_SKIP_TSAN=1 to run only the earlier passes,
@@ -44,7 +45,7 @@ if [[ "${LEIME_SKIP_BENCH:-0}" == "1" ]]; then
   echo "== bench gate skipped (LEIME_SKIP_BENCH=1) =="
 elif command -v python3 >/dev/null 2>&1; then
   echo "== bench gate: micro_sim + micro_exit_setting + tab_topology +"
-  echo "   tab_latency_breakdown =="
+  echo "   tab_latency_breakdown + tab_regret =="
   (cd build && ./bench/micro_sim --out BENCH_micro_sim.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_micro_sim.json bench/baselines/
   (cd build && ./bench/micro_exit_setting \
@@ -57,6 +58,9 @@ elif command -v python3 >/dev/null 2>&1; then
   (cd build && ./bench/tab_latency_breakdown \
     --out BENCH_tab_latency_breakdown.json >/dev/null)
   python3 scripts/bench_compare.py build/BENCH_tab_latency_breakdown.json \
+    bench/baselines/
+  (cd build && ./bench/tab_regret --out BENCH_tab_regret.json >/dev/null)
+  python3 scripts/bench_compare.py build/BENCH_tab_regret.json \
     bench/baselines/
 else
   echo "== bench gate skipped: python3 unavailable =="
@@ -71,11 +75,12 @@ probe="$(mktemp)"
 if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - -o "$probe" \
     2>/dev/null; then
   rm -f "$probe"
-  echo "== tsan: runtime + sim + policy tests under -fsanitize=thread =="
+  echo "== tsan: runtime + sim + policy + obs tests under -fsanitize=thread =="
   cmake -B build-tsan -S . -DLEIME_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target runtime_test sim_test policy_test
+  cmake --build build-tsan -j "$JOBS" \
+    --target runtime_test sim_test policy_test obs_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(runtime_test|sim_test|policy_test)$'
+    -R '^(runtime_test|sim_test|policy_test|obs_test)$'
 else
   rm -f "$probe"
   echo "== tsan pass skipped: ThreadSanitizer unavailable on this toolchain =="

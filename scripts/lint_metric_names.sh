@@ -170,6 +170,42 @@ if [[ "$obs13_found" -eq 0 ]]; then
   echo "lint_metric_names: no leime_attr_*/leime_slo_* names found — lint is broken" >&2
   exit 2
 fi
+
+# Sixth pass: the leime_prov_* / leime_regret_* namespaces (DESIGN.md §14).
+# Provenance counters are monotone tallies (must carry _total) and the
+# regret histograms carry a unit suffix; all names are plain literals in
+# sim/observer.cpp, so beyond the alphabet this pass pins uniqueness —
+# a copy-pasted registration would silently merge two instruments — and
+# fails loudly if the block disappears in a refactor.
+prov_pattern='^leime_(prov|regret)_[a-z0-9_]+$'
+prov_name_found=0
+declare -A prov_seen
+while IFS=: read -r file line name; do
+  prov_name_found=$((prov_name_found + 1))
+  if ! [[ "$name" =~ $prov_pattern ]]; then
+    echo "BAD  $file:$line  '$name' does not match $prov_pattern" >&2
+    fail=1
+  fi
+  if [[ "$name" == leime_prov_* && "$name" != *_total ]]; then
+    echo "BAD  $file:$line  '$name' is a leime_prov_* counter without _total" >&2
+    fail=1
+  fi
+  if [[ "$name" != *_ ]]; then
+    if [[ -n "${prov_seen[$name]:-}" ]]; then
+      echo "DUP  $file:$line  '$name' already used at ${prov_seen[$name]}" >&2
+      fail=1
+    else
+      prov_seen[$name]="$file:$line"
+    fi
+  fi
+done < <(grep -rnoE '"leime_(prov|regret)_[^"]*"' \
+           --include='*.cpp' --include='*.h' src bench examples \
+         | sed -E 's/"([^"]*)"$/\1/')
+
+if [[ "$prov_name_found" -eq 0 ]]; then
+  echo "lint_metric_names: no leime_prov_*/leime_regret_* names found — lint is broken" >&2
+  exit 2
+fi
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
@@ -178,3 +214,4 @@ echo "lint_metric_names: $prof_found profiler names all match $prof_pattern, no 
 echo "lint_metric_names: $net_found leime_net_* fragments stay inside the registry alphabet"
 echo "lint_metric_names: $policy_found leime_policy_* counters all carry _total"
 echo "lint_metric_names: $obs13_found leime_attr_*/leime_slo_* fragments stay inside the registry alphabet, no duplicates"
+echo "lint_metric_names: $prov_name_found leime_prov_*/leime_regret_* names well-formed, no duplicates"

@@ -27,6 +27,7 @@
 #include "core/cost_model.h"
 #include "core/exit_setting.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "policy/batch.h"
 #include "policy/exit_cache.h"
 
@@ -56,7 +57,10 @@ struct Incumbent {
   bool valid = false;
 };
 
-/// Monotone counters, snapshot via Engine::stats().
+/// Monotone counters, snapshot via Engine::stats(). The counters span the
+/// Engine's whole lifetime; per-run views subtract a baseline snapshot via
+/// since() so an engine shared across plan rows does not leak one row's
+/// work into the next row's metrics.
 struct Stats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -66,6 +70,11 @@ struct Stats {
   std::uint64_t cold_starts = 0;        ///< reference B&B invocations
   std::uint64_t batch_groups = 0;       ///< distinct states solved
   std::uint64_t batch_reused = 0;       ///< devices served by a dedup
+
+  /// Field-wise difference (this − baseline): the delta accumulated since
+  /// `baseline` was snapshot. Requires baseline <= *this field-wise (both
+  /// from the same engine, baseline taken earlier).
+  Stats since(const Stats& baseline) const;
 };
 
 class Engine {
@@ -101,8 +110,31 @@ class Engine {
   /// counters are atomics and may be read any time via stats()).
   void publish_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Per-run variant: registers the counters with the delta accumulated
+  /// since `baseline` (a stats() snapshot taken at run start), so shared
+  /// engines publish each run's own work rather than the process lifetime.
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const Stats& baseline) const;
+
+  /// Attaches a decision-provenance recorder: every subsequent
+  /// exit_setting call counts a decision and, when sampled, emits one
+  /// DecisionRecord (fast path, explored/pruned work, chosen combo and
+  /// cost; on oracle samples, the exhaustive two-best scan's regret and
+  /// runner-up margin). Pass nullptr to detach. Not synchronized against
+  /// in-flight exit_setting calls — attach before concurrent use; the
+  /// recorder itself is thread-safe.
+  void attach_provenance(obs::ProvenanceRecorder* recorder) {
+    prov_ = recorder;
+  }
+
  private:
+  void emit_exit_setting_record(const core::CostModel& model,
+                                const core::ExitSettingResult& result,
+                                obs::DecisionPath path, std::uint64_t explored,
+                                std::uint64_t pruned);
+
   Config config_;
+  obs::ProvenanceRecorder* prov_ = nullptr;
 
   mutable std::mutex mu_;      ///< guards cache_
   ExitSettingCache cache_;

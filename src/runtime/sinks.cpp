@@ -193,6 +193,10 @@ void write_jsonl(std::ostream& out, const std::vector<std::string>& axis_names,
       out << ",\"slo\":";
       rec.result.slo.to_json(out);
     }
+    if (rec.result.provenance.active) {
+      out << ",\"provenance\":";
+      rec.result.provenance.to_json(out);
+    }
     if (opts.include_timing)
       out << ",\"start_s\":" << num(rec.start_s)
           << ",\"end_s\":" << num(rec.end_s) << ",\"worker\":" << rec.worker;

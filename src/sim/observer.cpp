@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
+#include "core/lyapunov.h"
 #include "net/fabric.h"
 #include "util/csv.h"
 
@@ -59,6 +61,8 @@ RecordingObserver::RecordingObserver(ObsConfig config, std::size_t num_devices,
   attr_summary_.active = attr_on_;
   if (cfg_.slo.enabled())
     slo_ = std::make_unique<obs::SloMonitor>(cfg_.slo, class_names_.size());
+  if (cfg_.provenance.enabled())
+    prov_ = std::make_unique<obs::ProvenanceRecorder>(cfg_.provenance);
   if (metrics_on_) {
     // Register everything up front so exported snapshots always carry the
     // full schema (zero-valued metrics included) and hot-path updates are
@@ -162,6 +166,29 @@ RecordingObserver::RecordingObserver(ObsConfig config, std::size_t num_devices,
     h_slo_overshoot_ = &registry_.histogram(
         "leime_slo_overshoot_seconds", "tct minus deadline for missed tasks",
         kLatencyBuckets);
+  }
+  if (metrics_on_ && prov_) {
+    c_prov_decisions_ = &registry_.counter(
+        "leime_prov_decisions_total", "policy decisions seen (incl. unsampled)");
+    c_prov_sampled_ = &registry_.counter("leime_prov_sampled_total",
+                                         "decision records captured");
+    c_prov_oracle_ = &registry_.counter(
+        "leime_prov_oracle_runs_total",
+        "sampled decisions re-run through the exhaustive oracle");
+    c_prov_evictions_ = &registry_.counter(
+        "leime_prov_ring_evictions_total",
+        "records aged out of the flight-recorder window");
+    c_prov_dumps_ = &registry_.counter("leime_prov_dumps_total",
+                                       "SLO-fire flight-recorder dumps");
+    h_regret_[static_cast<std::size_t>(obs::DecisionKind::kExitSetting)] =
+        &registry_.histogram("leime_regret_exit_setting_seconds",
+                             "chosen minus oracle expected TCT (eq. 4)",
+                             obs::regret_buckets());
+    h_regret_[static_cast<std::size_t>(obs::DecisionKind::kOffload)] =
+        &registry_.histogram(
+            "leime_regret_offload_seconds",
+            "chosen minus oracle drift-plus-penalty (eq. 19)",
+            obs::regret_buckets());
   }
 }
 
@@ -295,6 +322,38 @@ void RecordingObserver::on_task_complete(std::uint64_t task, int device,
         mark.t = t_complete;
         trace_.add_mark(std::move(mark));
       }
+      // Flight-recorder postmortem: every fire dumps the decision window
+      // that led into it plus whatever work was mid-flight. Clears do not
+      // dump (the interesting state is what *caused* the burn).
+      if (alert->fire && prov_ && !cfg_.provenance.dump_out.empty()) {
+        if (!dump_opened_) {
+          dump_stream_.open(cfg_.provenance.dump_out,
+                            std::ios::out | std::ios::trunc);
+          if (!dump_stream_)
+            throw std::runtime_error("provenance: cannot open " +
+                                     cfg_.provenance.dump_out);
+          dump_opened_ = true;
+        }
+        std::vector<obs::OpenSpanNote> spans;
+        spans.reserve(open_.size());
+        for (const auto& [task_id, span] : open_) {
+          obs::OpenSpanNote note;
+          note.task = task_id;
+          note.device = span.device;
+          note.phase = span.phase;
+          note.track = span.track;
+          note.t_begin = span.t_begin;
+          spans.push_back(std::move(note));
+        }
+        obs::write_flight_dump(dump_stream_, alert->t, class_names_[cls],
+                               alert->miss_rate, alert->burn,
+                               alert->window_tasks, prov_->window(), spans);
+        dump_stream_.flush();
+        if (!dump_stream_.good())
+          throw std::runtime_error("provenance: write error on " +
+                                   cfg_.provenance.dump_out);
+        prov_->note_dump();
+      }
     }
   }
   if (sampler_.sampled(task)) close_span(task, t_complete, "ok");
@@ -354,6 +413,65 @@ void RecordingObserver::on_slot_decision(int device, double t,
     }
     series_.append(sample);
   }
+  if (prov_ && s.state) {
+    std::uint64_t seq = 0;
+    bool oracle = false;
+    if (prov_->begin_decision(&seq, &oracle)) {
+      // All the heavy work (grid margin scan, oracle minimisation) happens
+      // only on sampled ordinals; nothing here consumes RNG or schedules
+      // events, so the run itself is unperturbed.
+      const core::DeviceSlotState& st = *s.state;
+      obs::DecisionRecord r;
+      r.seq = seq;
+      r.t = t;
+      r.device = device;
+      r.cls = class_names_[class_of(device)];
+      r.kind = obs::DecisionKind::kOffload;
+      r.path = s.batched ? obs::DecisionPath::kBatch
+                         : obs::DecisionPath::kDirect;
+      r.bandwidth = st.bandwidth;
+      r.edge_flops = st.edge_share_flops;
+      r.queue_device = st.queue_device;
+      r.queue_edge = st.queue_edge;
+      r.x = s.x;
+      r.cost = core::drift_plus_penalty(st, s.x);
+      // Runner-up margin on a fixed grid over the feasible interval: the
+      // gap between the best and second-best eq. 19 values the controller
+      // could have picked. Deterministic (no RNG, fixed grid), so the
+      // record stream is thread-count-invariant.
+      constexpr int kMarginGrid = 33;
+      const core::Interval iv = core::feasible_offload_interval(st);
+      double best = std::numeric_limits<double>::infinity();
+      double second = best;
+      for (int k = 0; k < kMarginGrid; ++k) {
+        const double x =
+            iv.lo + (iv.hi - iv.lo) * static_cast<double>(k) /
+                        static_cast<double>(kMarginGrid - 1);
+        const double c = core::drift_plus_penalty(st, x);
+        if (c < best) {
+          second = best;
+          best = c;
+        } else if (c < second) {
+          second = c;
+        }
+      }
+      r.explored = kMarginGrid;
+      if (second < std::numeric_limits<double>::infinity()) {
+        r.margin_valid = true;
+        r.margin = second - best;
+      }
+      if (oracle) {
+        // The exact per-slot oracle (coarse grid + golden section). The
+        // min() clamp guarantees regret >= 0 even though the chosen x may
+        // sit between grid points the solvers disagree on by an ULP.
+        const double ox = core::minimize_drift_plus_penalty(st);
+        r.oracle = true;
+        r.oracle_cost = std::min(core::drift_plus_penalty(st, ox), r.cost);
+        r.regret = r.cost - r.oracle_cost;
+      }
+      prov_->record(std::move(r));
+    }
+  }
 }
 
 void RecordingObserver::on_fault(std::string_view kind, int device, double t) {
@@ -401,6 +519,27 @@ void RecordingObserver::on_run_end(double t) {
       ledger_.clear();
     }
   }
+  if (prov_) {
+    if (metrics_on_) {
+      // The recorder accumulates under its own mutex; the registry is not
+      // thread-safe, so the totals land here, after the drain.
+      const obs::ProvenanceSummary sum = prov_->summary();
+      c_prov_decisions_->inc(sum.decisions);
+      c_prov_sampled_->inc(sum.sampled);
+      c_prov_oracle_->inc(sum.oracle_runs);
+      c_prov_evictions_->inc(sum.ring_evictions);
+      c_prov_dumps_->inc(sum.dumps);
+      for (int k = 0; k < obs::kDecisionKindCount; ++k)
+        h_regret_[static_cast<std::size_t>(k)]->merge(
+            sum.kind_regret[static_cast<std::size_t>(k)]);
+    }
+    if (dump_opened_) {
+      dump_stream_.close();
+      if (!util::fsync_path(cfg_.provenance.dump_out))
+        throw std::runtime_error("provenance: fsync failed for " +
+                                 cfg_.provenance.dump_out);
+    }
+  }
   if (metrics_on_) g_sim_time_->set(t);
 }
 
@@ -413,6 +552,11 @@ std::size_t RecordingObserver::class_of(int device) const {
 obs::SloSummary RecordingObserver::slo_summary() const {
   if (!slo_) return {};
   return slo_->summary(class_names_);
+}
+
+obs::ProvenanceSummary RecordingObserver::provenance_summary() const {
+  if (!prov_) return {};
+  return prov_->summary();
 }
 
 void RecordingObserver::export_outputs() const {
@@ -462,6 +606,8 @@ void RecordingObserver::export_outputs() const {
     });
   if (slo_ && !cfg_.slo.alerts_out.empty())
     slo_->write_alerts_file(cfg_.slo.alerts_out, class_names_);
+  if (prov_ && !cfg_.provenance.decisions_out.empty())
+    obs::write_decisions_file(cfg_.provenance.decisions_out, prov_->window());
 }
 
 }  // namespace leime::sim

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,12 +25,17 @@
 
 #include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "obs/trace_buffer.h"
 
 namespace leime::net {
 class Fabric;
+}
+
+namespace leime::core {
+struct DeviceSlotState;
 }
 
 namespace leime::sim {
@@ -49,6 +55,15 @@ struct SlotTelemetry {
   /// completion for calibration. Invalid when the simulator runs without an
   /// observer (the capture is skipped on the zero-overhead path).
   obs::PredictedComponents pred;
+  /// The full decision input, valid only for the duration of the
+  /// on_slot_decision call (it points at the simulator's scratch state).
+  /// Lets provenance re-evaluate the eq. 19 objective at other x values
+  /// without the simulator paying for it when provenance is off. Null when
+  /// the caller has no state to share.
+  const core::DeviceSlotState* state = nullptr;
+  /// The decision came out of a batched eq. 20 fleet update (the ratio may
+  /// have been reused from a bit-identical peer state).
+  bool batched = false;
 };
 
 /// Hook interface. All methods have empty defaults so implementations
@@ -127,6 +142,10 @@ struct ObsConfig {
   /// Sim-time SLO monitoring ([slo] INI block); enabled by its deadline.
   obs::SloConfig slo;
 
+  /// Decision provenance + oracle regret ([provenance] INI block); enabled
+  /// by its sample_n (or implicitly by an output path).
+  obs::ProvenanceConfig provenance;
+
   bool metrics_enabled() const {
     return metrics || !metrics_out.empty() || !metrics_jsonl.empty();
   }
@@ -141,9 +160,11 @@ struct ObsConfig {
     return attribution || keep_waterfalls || !attribution_out.empty() ||
            !calibration_out.empty();
   }
+  bool provenance_enabled() const { return provenance.enabled(); }
   bool enabled() const {
     return metrics_enabled() || effective_trace_sample() > 0 ||
-           timeseries_enabled() || attribution_enabled() || slo.enabled();
+           timeseries_enabled() || attribution_enabled() || slo.enabled() ||
+           provenance_enabled();
   }
 };
 
@@ -200,6 +221,13 @@ class RecordingObserver : public Observer {
   const obs::SloMonitor* slo_monitor() const { return slo_.get(); }
   /// Frozen SLO stats + alert stream (inactive struct when SLO is off).
   obs::SloSummary slo_summary() const;
+  /// The flight recorder, or nullptr when [provenance] is off. Attach it
+  /// to a policy::Engine (attach_provenance) to capture exit-setting
+  /// decisions alongside the offload decisions this observer records.
+  obs::ProvenanceRecorder* provenance() { return prov_.get(); }
+  const obs::ProvenanceRecorder* provenance() const { return prov_.get(); }
+  /// Frozen provenance stats (inactive struct when [provenance] is off).
+  obs::ProvenanceSummary provenance_summary() const;
 
   /// Writes the configured output files (metrics_out/metrics_jsonl/
   /// trace_out/timeseries_out/attribution_out/calibration_out/alerts_out).
@@ -264,6 +292,14 @@ class RecordingObserver : public Observer {
   obs::Counter* c_slo_cleared_ = nullptr;
   obs::Gauge* g_slo_burn_ = nullptr;
   obs::Histogram* h_slo_overshoot_ = nullptr;
+  // Provenance instruments (registered only when [provenance] + metrics
+  // are on); filled from the recorder totals at run end.
+  obs::Counter* c_prov_decisions_ = nullptr;
+  obs::Counter* c_prov_sampled_ = nullptr;
+  obs::Counter* c_prov_oracle_ = nullptr;
+  obs::Counter* c_prov_evictions_ = nullptr;
+  obs::Counter* c_prov_dumps_ = nullptr;
+  std::array<obs::Histogram*, obs::kDecisionKindCount> h_regret_{};
   obs::TraceBuffer trace_;
   obs::MemoryTimeseriesSink series_;
   std::map<std::uint64_t, OpenSpan> open_;
@@ -281,6 +317,12 @@ class RecordingObserver : public Observer {
   obs::AttributionSummary attr_summary_;
   std::vector<obs::TaskWaterfall> waterfalls_;
   std::unique_ptr<obs::SloMonitor> slo_;
+  // Decision provenance (DESIGN.md §14). The dump stream opens lazily on
+  // the first SLO fire (so a clean run leaves no file) and is closed +
+  // fsynced in on_run_end.
+  std::unique_ptr<obs::ProvenanceRecorder> prov_;
+  std::ofstream dump_stream_;
+  bool dump_opened_ = false;
 };
 
 }  // namespace leime::sim

@@ -212,6 +212,10 @@ struct SimResult {
   /// `active` is false unless ObsConfig::slo.enabled().
   obs::SloSummary slo;
 
+  /// Decision-provenance + oracle-regret summary (DESIGN.md §14);
+  /// `active` is false unless ObsConfig::provenance is enabled.
+  obs::ProvenanceSummary provenance;
+
   /// Per-device breakdown (index-aligned with ScenarioConfig::devices).
   struct DeviceResult {
     util::Summary tct;

@@ -85,6 +85,49 @@ obs::SloConfig parse_slo_section(const util::IniSection& section) {
   return slo;
 }
 
+obs::ProvenanceConfig parse_provenance_section(
+    const util::IniSection& section) {
+  static const char* kKnown[] = {"sample_n", "ring_capacity",
+                                 "oracle_sample_n", "decisions_out",
+                                 "dump_out"};
+  for (const auto& [key, value] : section.values) {
+    (void)value;
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return key == k; }) ==
+        std::end(kKnown)) {
+      std::string valid;
+      for (const char* k : kKnown) valid += std::string(" ") + k;
+      throw std::invalid_argument("[provenance] unknown key '" + key +
+                                  "' (valid keys:" + valid + ")");
+    }
+  }
+
+  obs::ProvenanceConfig prov;
+  const long long sample = section.get_int("sample_n", 0);
+  if (sample < 0)
+    throw std::invalid_argument("[provenance] sample_n must be >= 0");
+  prov.sample_n = static_cast<std::uint64_t>(sample);
+  // sample_n = 0 still parses the rest (fail fast on typos); an output
+  // path or oracle request implies 1-in-1 sampling (effective_sample_n).
+  const long long ring = section.get_int(
+      "ring_capacity", static_cast<long long>(prov.ring_capacity));
+  if (ring < 1)
+    throw std::invalid_argument("[provenance] ring_capacity must be >= 1");
+  prov.ring_capacity = static_cast<std::size_t>(ring);
+  const long long oracle = section.get_int("oracle_sample_n", 0);
+  if (oracle < 0)
+    throw std::invalid_argument("[provenance] oracle_sample_n must be >= 0");
+  prov.oracle_sample_n = static_cast<std::uint64_t>(oracle);
+  prov.decisions_out = section.get("decisions_out", "");
+  prov.dump_out = section.get("dump_out", "");
+  try {
+    prov.validate();
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("[provenance] ") + e.what());
+  }
+  return prov;
+}
+
 net::TopologyConfig parse_topology_section(const util::IniSection& section) {
   static const char* kKnown[] = {"aps", "ap_mbps", "ap_latency_ms",
                                  "device_map", "queue_limit_kb"};
@@ -248,6 +291,9 @@ IniScenario load_scenario(const util::IniFile& ini) {
     cfg.obs = parse_observability_section(*obs);
 
   if (const auto* slo = ini.find("slo")) cfg.obs.slo = parse_slo_section(*slo);
+
+  if (const auto* prov = ini.find("provenance"))
+    cfg.obs.provenance = parse_provenance_section(*prov);
 
   if (const auto* pol = ini.find("policy"))
     cfg.policy_core = parse_policy_section(*pol);

@@ -24,6 +24,11 @@
 //               burn_threshold / min_window_tasks / alerts_out — the
 //               deterministic sim-time SLO monitor (obs/slo.h). Omitting
 //               the section (or deadline_ms = 0) disables it.
+//   [provenance] (optional) sample_n / ring_capacity / oracle_sample_n /
+//               decisions_out / dump_out — decision provenance, oracle
+//               regret and the SLO-triggered flight recorder
+//               (obs/provenance.h). Omitting the section keeps the
+//               zero-overhead path.
 //   [topology]  (optional) aps / ap_mbps / ap_latency_ms / device_map /
 //               queue_limit_kb — the routed multi-hop network fabric
 //               (net/topology.h). Omitting the section (or aps = 0) keeps
@@ -74,6 +79,10 @@ ObsConfig parse_observability_section(const util::IniSection& section);
 /// Parses an [slo] section (throws on unknown keys or out-of-range values
 /// via obs::SloConfig::validate).
 obs::SloConfig parse_slo_section(const util::IniSection& section);
+
+/// Parses a [provenance] section (throws on unknown keys or out-of-range
+/// values via obs::ProvenanceConfig::validate).
+obs::ProvenanceConfig parse_provenance_section(const util::IniSection& section);
 
 /// Parses a [topology] section (throws on unknown keys; range validation
 /// against the device count happens later via TopologyConfig::validate).

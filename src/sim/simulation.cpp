@@ -112,6 +112,15 @@ class Simulation {
           cfg_.obs, devices_.size(), std::move(device_classes));
       obs_ = owned_obs_.get();
     }
+    if (obs_ && policy_engine_) {
+      // Exit-setting decisions the engine takes while this run's observer
+      // is live land in the same flight recorder as the offload decisions.
+      if (auto* rec = dynamic_cast<RecordingObserver*>(obs_))
+        policy_engine_->attach_provenance(rec->provenance());
+    }
+    // Per-run counter baseline: a future embedder sharing one engine
+    // across runs publishes each run's own delta, not the accumulation.
+    if (policy_engine_) policy_stats_baseline_ = policy_engine_->stats();
     if (obs_ && fabric_) {
       // Per-hop spans feed the attribution ledger. The tag packs
       // (attempt, task id); spans of paths the task has since abandoned
@@ -165,10 +174,13 @@ class Simulation {
       // Policy-core telemetry rides the metrics snapshot only when both
       // layers are opted in; with the engine off no leime_policy_* names
       // register, keeping policy-off output byte-identical.
-      if (policy_engine_) policy_engine_->publish_metrics(owned_obs_->registry());
+      if (policy_engine_)
+        policy_engine_->publish_metrics(owned_obs_->registry(),
+                                        policy_stats_baseline_);
       out.metrics = owned_obs_->registry().snapshot();
       out.attribution = owned_obs_->attribution_summary();
       out.slo = owned_obs_->slo_summary();
+      out.provenance = owned_obs_->provenance_summary();
       owned_obs_->export_outputs();
     }
     return out;
@@ -708,6 +720,10 @@ class Simulation {
       // Eq. 4-9 component predictions at decision time; the attribution
       // layer joins them against the realized ledger at task completion.
       tel.pred = policy::predict_components(state, dev.x);
+      // Borrowed for the duration of the hook: provenance re-evaluates the
+      // eq. 19 objective at unchosen x values without touching the run.
+      tel.state = &state;
+      tel.batched = policy_engine_ != nullptr;
       obs_->on_slot_decision(static_cast<int>(i), queue_.now(), tel);
     }
   }
@@ -1222,6 +1238,7 @@ class Simulation {
   /// Set iff cfg_.policy_core.batch_eq20; scratch vectors reused across
   /// slots so the batched path allocates nothing in steady state.
   std::unique_ptr<policy::Engine> policy_engine_;
+  policy::Stats policy_stats_baseline_;
   std::vector<core::DeviceSlotState> scratch_states_;
   std::vector<double> scratch_x_;
   std::vector<TaskRecord> tasks_;

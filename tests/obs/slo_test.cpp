@@ -210,5 +210,95 @@ TEST(SloMonitor, AlertJsonlFormatIsExactAndDeterministic) {
   EXPECT_EQ(sum.str().find('\n'), std::string::npos);
 }
 
+TEST(SloMonitor, FireAndClearHysteresisExactlyAtBoundaries) {
+  // burn == threshold must fire (>=) while burn == threshold must NOT
+  // clear (strict <): the hysteresis comparisons are asymmetric on
+  // purpose so a class sitting exactly on the threshold latches.
+  SloConfig cfg = tight_config();  // target 0.1, threshold 2 -> 20% fires
+  cfg.min_window_tasks = 5;
+  SloMonitor mon(cfg, 1);
+  // 1 miss + 3 hits: n = 4 < floor, no alert even though burn = 2.5.
+  mon.on_completion(0, 1.0, 5.0);
+  mon.on_completion(0, 1.1, 0.5);
+  mon.on_completion(0, 1.2, 0.5);
+  EXPECT_EQ(mon.on_completion(0, 1.3, 0.5), nullptr);
+  EXPECT_FALSE(mon.alerting(0));
+  // 5th completion: miss_rate = 1/5 = 0.2, burn = exactly 2.0 -> fires.
+  const SloAlert* fired = mon.on_completion(0, 1.4, 0.5);
+  ASSERT_NE(fired, nullptr);
+  EXPECT_TRUE(fired->fire);
+  EXPECT_EQ(fired->window_tasks, 5u);
+  EXPECT_DOUBLE_EQ(fired->burn, 2.0);
+  // Another hit leaves burn = 2/6*10... no: 1 miss / 6 = 0.1667, burn
+  // 1.667 < 2 -> clears. First pin the latch at exactly 2.0: a second
+  // monitor fed misses so burn stays exactly on the threshold.
+  SloMonitor latch(cfg, 1);
+  for (int i = 0; i < 4; ++i) latch.on_completion(0, 1.0 + 0.1 * i, 0.5);
+  latch.on_completion(0, 1.4, 5.0);  // 1/5 missed: burn = 2.0, fire
+  ASSERT_TRUE(latch.alerting(0));
+  // 1 more miss + 3 hits inside the window: 2/9 -> burn 2.22; then a hit
+  // makes 2/10 -> burn exactly 2.0 again. Strict < means NO clear.
+  latch.on_completion(0, 1.5, 5.0);
+  for (int i = 0; i < 3; ++i) latch.on_completion(0, 1.6 + 0.1 * i, 0.5);
+  EXPECT_EQ(latch.on_completion(0, 1.9, 0.5), nullptr);
+  EXPECT_TRUE(latch.alerting(0));
+  EXPECT_DOUBLE_EQ(latch.burn_rate(0), 2.0);
+}
+
+TEST(SloMonitor, EvictionAtWindowBoundaryDrivesClear) {
+  // The fire was caused by misses that age out: the clear transition must
+  // happen on the first completion after they cross the strict horizon,
+  // not one event earlier (inclusive boundary) or later. All timestamps
+  // are binary-exact (multiples of 1/16) so `t - window` lands exactly on
+  // an event time and the strict-< eviction is what the test exercises.
+  SloMonitor mon(tight_config(), 1);  // window 10 s, floor 4
+  for (const double t : {1.0, 1.25, 1.5, 1.75}) mon.on_completion(0, t, 5.0);
+  ASSERT_TRUE(mon.alerting(0));
+  // At t = 11.75 the horizon is exactly 1.75: the 1.0/1.25/1.5 misses
+  // leave, the t = 1.75 miss sits ON the horizon and must still count —
+  // window = {miss, hit} -> miss_rate 0.5, burn 5 >= 2, no clear.
+  EXPECT_EQ(mon.on_completion(0, 11.75, 0.5), nullptr);
+  EXPECT_TRUE(mon.alerting(0));
+  EXPECT_DOUBLE_EQ(mon.miss_rate(0), 0.5);
+  // One tick past the horizon the last miss leaves: burn 0 < 2 -> clear.
+  const SloAlert* cleared = mon.on_completion(0, 11.8125, 0.5);
+  ASSERT_NE(cleared, nullptr);
+  EXPECT_FALSE(cleared->fire);
+  EXPECT_DOUBLE_EQ(cleared->miss_rate, 0.0);
+  EXPECT_FALSE(mon.alerting(0));
+}
+
+TEST(SloSummary, MergePreservesPlanOrderAlertSequence) {
+  // Replication summaries merge in plan order; the merged alert list must
+  // be segment-concatenation (a's alerts, then b's, then c's) with each
+  // segment's internal fire/clear order intact — that is what makes the
+  // runtime JSONL byte-stable across thread counts.
+  const auto burst = [](double t0) {
+    SloMonitor mon(tight_config(), 1);
+    for (int i = 0; i < 4; ++i)
+      mon.on_completion(0, t0 + 0.25 * static_cast<double>(i), 5.0);  // fire
+    for (int i = 0; i < 30 && mon.alerting(0); ++i)
+      mon.on_completion(0, t0 + 1.0 + 0.25 * static_cast<double>(i), 0.5);
+    return mon.summary({"sensor"});
+  };
+  // Deliberately non-monotone t0 across segments: order comes from the
+  // merge call sequence, never from re-sorting by time.
+  SloSummary merged = burst(100.0);
+  merged.merge(burst(1.0));
+  merged.merge(burst(50.0));
+  ASSERT_EQ(merged.alerts.size(), 6u);
+  const double expected_t0[] = {100.0, 1.0, 50.0};
+  for (int seg = 0; seg < 3; ++seg) {
+    const auto& fire = merged.alerts[static_cast<std::size_t>(2 * seg)];
+    const auto& clear = merged.alerts[static_cast<std::size_t>(2 * seg + 1)];
+    EXPECT_TRUE(fire.fire);
+    EXPECT_FALSE(clear.fire);
+    EXPECT_DOUBLE_EQ(fire.t, expected_t0[seg] + 0.75);
+    EXPECT_GT(clear.t, fire.t);
+  }
+  ASSERT_EQ(merged.classes.size(), 1u);
+  EXPECT_EQ(merged.classes[0].alerts_fired, 3u);
+}
+
 }  // namespace
 }  // namespace leime::obs

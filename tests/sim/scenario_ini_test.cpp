@@ -238,6 +238,58 @@ TEST(ScenarioIni, ObservabilityValidation) {
       std::invalid_argument);
 }
 
+TEST(ScenarioIni, ProvenanceSectionParses) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[provenance]\n"
+      "sample_n = 4\n"
+      "ring_capacity = 32\n"
+      "oracle_sample_n = 8\n"
+      "decisions_out = out/decisions.jsonl\n"
+      "dump_out = out/flight.jsonl\n"));
+  const auto& prov = s.config.obs.provenance;
+  EXPECT_EQ(prov.sample_n, 4u);
+  EXPECT_EQ(prov.ring_capacity, 32u);
+  EXPECT_EQ(prov.oracle_sample_n, 8u);
+  EXPECT_EQ(prov.decisions_out, "out/decisions.jsonl");
+  EXPECT_EQ(prov.dump_out, "out/flight.jsonl");
+  EXPECT_TRUE(prov.enabled());
+  EXPECT_TRUE(s.config.obs.enabled());  // provenance alone turns obs on
+
+  // A bare output path implies 1-in-1 sampling, like trace_out.
+  const auto implied = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) + "[provenance]\ndump_out = flight.jsonl\n"));
+  EXPECT_EQ(implied.config.obs.provenance.effective_sample_n(), 1u);
+}
+
+TEST(ScenarioIni, ProvenanceOmittedOrEmptyStaysDisabled) {
+  const auto bare = load_scenario(util::IniFile::parse_string(kFleet));
+  EXPECT_FALSE(bare.config.obs.provenance.enabled());
+  // sample_n = 0 with no outputs: section parses but pillar stays off,
+  // and the remaining keys are still typo-checked.
+  const auto off = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) + "[provenance]\nsample_n = 0\ndecisions_out =\n"));
+  EXPECT_FALSE(off.config.obs.provenance.enabled());
+  EXPECT_FALSE(off.config.obs.enabled());
+}
+
+TEST(ScenarioIni, ProvenanceValidation) {
+  EXPECT_THROW(load_scenario(util::IniFile::parse_string(
+                   std::string(kFleet) + "[provenance]\ntypo_key = 1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(load_scenario(util::IniFile::parse_string(
+                   std::string(kFleet) + "[provenance]\nsample_n = -1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      load_scenario(util::IniFile::parse_string(
+          std::string(kFleet) + "[provenance]\nring_capacity = 0\n")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      load_scenario(util::IniFile::parse_string(
+          std::string(kFleet) + "[provenance]\noracle_sample_n = -2\n")),
+      std::invalid_argument);
+}
+
 TEST(ScenarioIni, CliObsOverridesBeatIniValues) {
   auto s = load_scenario(util::IniFile::parse_string(
       std::string(kFleet) +
