@@ -16,11 +16,14 @@
 #      attribution waterfall/hop/conservation counters and the fast-path
 #      regret counters — wall medians same-host only). Skipped when
 #      python3 is unavailable.
-#   5. TSan:   rebuild the parallel-runtime, shared-policy-engine and obs
-#              tests with -DLEIME_SANITIZE=thread and re-run them,
-#              guarding the executor thread pool, policy::Engine locking
-#              and the provenance recorder against data races. Skipped
-#              (with a notice) when the toolchain lacks libtsan.
+#   5. TSan:   rebuild the parallel-runtime, shared-policy-engine, obs and
+#              sim tests with -DLEIME_SANITIZE=thread and re-run them,
+#              guarding the executor thread pool, policy::Engine locking,
+#              the provenance recorder and the shard barrier protocol
+#              (ShardPool + the sharded window loop, via sim_test's
+#              Sharded*/ShardPool* suites and runtime_test's sharded
+#              golden) against data races. Skipped (with a notice) when
+#              the toolchain lacks libtsan.
 #
 # Env knobs: JOBS (parallel build jobs, default nproc),
 #            LEIME_SKIP_TSAN=1 to run only the earlier passes,

@@ -25,6 +25,15 @@ std::vector<double> kkt_edge_allocation(
     const std::vector<double>& device_flops, double edge_flops,
     double p_min = 1e-4);
 
+/// Fleet-scaled share floor for kkt_edge_allocation: the 1e-4 default up
+/// to 5000 devices (bit-identical to every pre-existing scenario), then
+/// 0.5/n beyond so p_min * n < 1 keeps holding — without this, fleets of
+/// 10^4+ devices reject at validation before a single event runs.
+inline double fleet_p_min(std::size_t n) {
+  const double scaled = 0.5 / static_cast<double>(n == 0 ? 1 : n);
+  return scaled < 1e-4 ? scaled : 1e-4;
+}
+
 /// The unclamped interior closed form of eq. (27) (may return negative
 /// entries). Exposed for tests and documentation.
 std::vector<double> kkt_interior_solution(

@@ -62,6 +62,15 @@ std::vector<RunRecord> Executor::run(std::vector<Cell> cells) const {
       rec.seed = cell.config.seed;
       rec.worker = worker_id;
       rec.start_s = seconds_since(t0);
+      // Nested thread budgeting: a sharded cell in auto mode (threads ==
+      // 0) would resolve to hardware_concurrency on its own, so N
+      // executor workers each spawning that many shard threads
+      // oversubscribes the host N-fold. Split the budget instead —
+      // explicit [shards] thread counts are honored as-is, and the
+      // resolved count can never change results, only wall time.
+      if (cell.config.shards.enabled() && cell.config.shards.threads == 0)
+        cell.config.shards.threads =
+            std::max(1, resolve_threads(0) / max_workers);
       try {
         LEIME_PROF_SCOPE("leime.runtime.cell");
         rec.result = sim::run_scenario(cell.config);

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/inline_fn.h"
@@ -83,6 +84,16 @@ class EventQueue {
   void run_all();
 
   double now() const { return now_; }
+
+  /// Timestamp of the earliest queued event without popping it, or
+  /// +infinity when the queue is empty. Drives the sharded runner's
+  /// lookahead-horizon computation (how far a shard may safely advance
+  /// before the next barrier) and lets idle windows be skipped outright.
+  double peek_time() const {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.front().when;
+  }
+
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }

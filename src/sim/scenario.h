@@ -14,6 +14,7 @@
 #include "policy/engine.h"
 #include "sim/faults.h"
 #include "sim/observer.h"
+#include "sim/shard.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
@@ -143,6 +144,15 @@ struct ScenarioConfig {
   /// exporting; SimResult::metrics stays empty. One observer per run —
   /// never share an instance across parallel runtime cells.
   Observer* observer = nullptr;
+
+  /// Sharded parallel execution (the `[shards]` INI section, DESIGN.md
+  /// §15): the fleet is partitioned into ShardOptions::shards event
+  /// queues advanced in conservative time windows by a thread pool.
+  /// Off (shards = 1, the default) keeps the single-queue golden path;
+  /// on, results are byte-identical for any shards/threads combination
+  /// but the feature set is restricted (flat links, no cloud FIFO /
+  /// result downlink / external observer; obs limited to metrics).
+  ShardOptions shards;
 };
 
 /// Aggregated outcome of a run.
@@ -215,6 +225,12 @@ struct SimResult {
   /// Decision-provenance + oracle-regret summary (DESIGN.md §14);
   /// `active` is false unless ObsConfig::provenance is enabled.
   obs::ProvenanceSummary provenance;
+
+  /// Total discrete events the run executed, summed across shard queues
+  /// in sharded mode. A strict counter: host-independent and (unlike wall
+  /// medians) byte-comparable across machines — what bench_compare.py
+  /// gates the micro_sim DES cases on. Not serialized by the JSONL sink.
+  std::uint64_t events_executed = 0;
 
   /// Per-device breakdown (index-aligned with ScenarioConfig::devices).
   struct DeviceResult {

@@ -177,6 +177,35 @@ net::TopologyConfig parse_topology_section(const util::IniSection& section) {
   return topo;
 }
 
+ShardOptions parse_shards_section(const util::IniSection& section) {
+  static const char* kKnown[] = {"shards", "threads", "window_ms"};
+  for (const auto& [key, value] : section.values) {
+    (void)value;
+    if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                     [&](const char* k) { return key == k; }) ==
+        std::end(kKnown)) {
+      std::string valid;
+      for (const char* k : kKnown) valid += std::string(" ") + k;
+      throw std::invalid_argument("[shards] unknown key '" + key +
+                                  "' (valid keys:" + valid + ")");
+    }
+  }
+
+  ShardOptions shards;
+  const long long count = section.get_int("shards", 1);
+  if (count < 1)
+    throw std::invalid_argument("[shards] shards must be >= 1");
+  shards.shards = static_cast<std::size_t>(count);
+  shards.threads = static_cast<int>(section.get_int("threads", 0));
+  shards.window_s = util::ms(section.get_double("window_ms", 0.0));
+  try {
+    shards.validate();
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("[shards] ") + e.what());
+  }
+  return shards;
+}
+
 policy::Config parse_policy_section(const util::IniSection& section) {
   static const char* kKnown[] = {"memo_cache", "warm_start", "batch_eq20",
                                  "cache_capacity", "quant_per_octave"};
@@ -297,6 +326,9 @@ IniScenario load_scenario(const util::IniFile& ini) {
 
   if (const auto* pol = ini.find("policy"))
     cfg.policy_core = parse_policy_section(*pol);
+
+  if (const auto* sh = ini.find("shards"))
+    cfg.shards = parse_shards_section(*sh);
 
   if (const auto* rt = ini.find("runtime")) {
     out.threads = static_cast<int>(rt->get_int("threads", 1));

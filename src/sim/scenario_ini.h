@@ -37,6 +37,11 @@
 //               cache_capacity / quant_per_octave — the policy core's
 //               opt-in fast paths (policy/engine.h). Omitting the section
 //               keeps the reference algorithms and byte-identical output.
+//   [shards]    (optional) shards / threads / window_ms — conservative-
+//               time-window sharded execution of one simulation
+//               (sim/shard.h, DESIGN.md §15). Omitting the section (or
+//               shards = 1) keeps the single-queue path; results are
+//               byte-identical either way.
 #pragma once
 
 #include <string>
@@ -91,6 +96,10 @@ net::TopologyConfig parse_topology_section(const util::IniSection& section);
 /// Parses a [policy] section (throws on unknown keys or out-of-range
 /// values via policy::Config::validate).
 policy::Config parse_policy_section(const util::IniSection& section);
+
+/// Parses a [shards] section (throws on unknown keys or out-of-range
+/// values via ShardOptions::validate).
+ShardOptions parse_shards_section(const util::IniSection& section);
 
 /// Applies command-line output-path overrides on top of an INI-derived
 /// ObsConfig: a non-empty `metrics_out` / `trace_out` replaces the INI

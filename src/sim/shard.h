@@ -1,0 +1,160 @@
+// Conservative-time-window sharding for the discrete-event simulator
+// (DESIGN.md §15).
+//
+// One simulation's device fleet is partitioned into S shards. Each shard
+// owns a contiguous device range and its own zero-alloc EventQueue, and
+// advances independently up to a lookahead horizon derived from the
+// edge-cloud propagation delay: every cross-shard interaction rides the
+// edge->cloud hub link, whose deliveries always land at least `lat` after
+// admission, so windows no wider than `lat` can be executed in parallel
+// and reconciled at barriers without ever delivering an event into a
+// shard's past. The pieces here are the shard-agnostic building blocks:
+//
+//   ShardOptions — the `[shards]` INI section (opt-in; shards = 1 keeps
+//                  the single-queue golden-compatible path);
+//   HubRequest   — one edge->cloud admission recorded in a shard outbox;
+//   HubLink      — the coordinator's replay of Link's FIFO serialization
+//                  arithmetic, bit-identical to the single-queue link;
+//   ShardPool    — a persistent barrier-synchronised worker pool;
+//   shard_range / shard_window — the partitioning and lookahead helpers.
+//
+// The sharded simulation loop itself lives in simulation.cpp.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace leime::sim {
+
+/// The `[shards]` INI section. Defaults keep sharding off — the
+/// single-queue byte-identical golden configuration. Turning it on is an
+/// execution-strategy choice only: results are byte-identical for any
+/// shards/threads combination (the determinism contract proven by the
+/// golden shards=1 ≡ shards=N tests).
+struct ShardOptions {
+  std::size_t shards = 1;  ///< event-queue partitions; 1 = single queue
+  /// Worker threads pumping shard windows; 0 resolves to
+  /// min(shards, hardware_concurrency). Thread count never affects
+  /// results, only wall time.
+  int threads = 0;
+  /// Barrier window width in seconds; 0 derives the widest safe window
+  /// (the edge-cloud propagation delay). Values above the safe bound are
+  /// clamped to it — wider windows would deliver hub events into a
+  /// shard's past.
+  double window_s = 0.0;
+
+  bool enabled() const { return shards > 1; }
+
+  /// Throws std::invalid_argument on shards == 0, threads < 0, or a
+  /// negative / non-finite window.
+  void validate() const;
+};
+
+/// One edge->cloud admission a shard recorded during a window: task
+/// `task` of device `device` finished block 2 at time `t` and wants the
+/// d2 tensor shipped to the cloud. Collected per shard in admission
+/// (event-sequence) order; the coordinator merges outboxes in global
+/// admission order and replays the hub link.
+struct HubRequest {
+  double t = 0.0;          ///< admission time (the after_block2 event time)
+  std::size_t device = 0;  ///< global device index
+  std::size_t task = 0;    ///< shard-local task id
+  int attempt = 0;         ///< staleness guard captured at admission
+};
+
+/// The coordinator's model of the shared edge->cloud link: replays
+/// exactly the floating-point sequence of Link::transfer on the flat
+/// no-trace no-outage path (the only configuration sharded runs accept),
+/// so delivery timestamps are bit-identical to the single-queue link's.
+class HubLink {
+ public:
+  /// Bandwidth in bytes/s (> 0), propagation latency in seconds (>= 0).
+  HubLink(double bandwidth_bytes_per_s, double latency_s)
+      : bandwidth_(bandwidth_bytes_per_s), latency_(latency_s) {}
+
+  /// Admits a transfer of `bytes` at time `t` (admissions must be fed in
+  /// global admission order) and returns its delivery time:
+  /// FIFO serialization at the link bandwidth plus propagation.
+  double admit(double t, double bytes) {
+    // Mirrors Link::transfer: start = max(now, busy); busy = start +
+    // bytes/bw; delivery = busy + latency. Same operations in the same
+    // order => the same bits.
+    const double start = t > busy_until_ ? t : busy_until_;
+    const double remaining = bytes / bandwidth_;
+    busy_until_ = start + remaining;
+    return busy_until_ + latency_;
+  }
+
+  double busy_until() const { return busy_until_; }
+  double latency() const { return latency_; }
+
+ private:
+  double bandwidth_;
+  double latency_;
+  double busy_until_ = 0.0;
+};
+
+/// Contiguous balanced device range [lo, hi) of shard `s` out of
+/// `shards` over `n` devices: the first n % shards shards get one extra
+/// device. Requires s < shards.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                std::size_t shards,
+                                                std::size_t s);
+
+/// The conservative lookahead horizon: the requested window clamped to
+/// the edge-cloud propagation delay (the widest width for which every
+/// hub delivery provably lands beyond the next barrier). Requires
+/// edge_cloud_lat > 0 (validated by the sharded simulation).
+double shard_window(const ShardOptions& opts, double edge_cloud_lat);
+
+/// Worker threads for a sharded run: opts.threads, or
+/// hardware_concurrency() when 0 (auto), clamped to the shard count —
+/// more threads than shards can never help. Always >= 1; the resolved
+/// count moves wall time only, never results.
+int resolve_shard_threads(const ShardOptions& opts, std::size_t shards);
+
+/// A persistent pool of worker threads executing one parallel region per
+/// run() call: run(jobs, fn) invokes fn(0) .. fn(jobs-1) across the pool
+/// and returns when all jobs finished. With threads <= 1 no threads are
+/// spawned and run() executes inline — the deterministic reference path
+/// (results never depend on which path executes; the pool only moves
+/// wall time). The first exception a job throws is rethrown from run().
+class ShardPool {
+ public:
+  explicit ShardPool(int threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+  /// Worker threads actually spawned (0 = inline execution).
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+  void run_job(std::size_t i);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  ///< guarded by mu_
+  std::size_t jobs_ = 0;                                  ///< guarded by mu_
+  std::atomic<std::size_t> next_{0};  ///< job claim counter
+  std::size_t busy_ = 0;              ///< workers in the current region
+  std::uint64_t generation_ = 0;      ///< bumped per run()
+  bool stop_ = false;
+  std::exception_ptr error_;  ///< first job failure, guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace leime::sim

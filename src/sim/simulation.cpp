@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/lyapunov.h"
@@ -18,6 +20,7 @@
 #include "sim/faults.h"
 #include "sim/observer.h"
 #include "sim/resources.h"
+#include "sim/shard.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -67,9 +70,27 @@ struct DeviceRuntime {
   int arrived_this_window = 0; ///< arrivals since the last reallocation
 };
 
+/// A shard's identity inside one sharded run (DESIGN.md §15): its
+/// contiguous device range [lo, hi), the outbox it records edge->cloud
+/// admissions into, and the policy engine shared across shard threads.
+/// The default-constructed role is the classic single-queue simulation
+/// over the whole fleet — every code path below treats that as lo = 0,
+/// hi = N, so the two modes share one implementation.
+struct ShardRole {
+  std::size_t index = 0;       ///< shard number (0 = the primary shard)
+  std::size_t num_shards = 1;  ///< 1 = single-queue mode
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::vector<HubRequest>* outbox = nullptr;  ///< coordinator-owned
+  policy::Engine* engine = nullptr;  ///< shared, batch_eq20 only
+
+  bool active() const { return num_shards > 1; }
+};
+
 class Simulation {
  public:
-  explicit Simulation(const ScenarioConfig& config) : cfg_(config) {
+  explicit Simulation(const ScenarioConfig& config, ShardRole role = {})
+      : cfg_(config), role_(role) {
     if (cfg_.devices.empty())
       throw std::invalid_argument("ScenarioConfig: no devices");
     if (cfg_.duration <= 0.0 || cfg_.warmup < 0.0 ||
@@ -97,6 +118,8 @@ class Simulation {
               std::to_string(cfg_.topology.aps) + " APs");
     }
     faults_on_ = cfg_.faults.enabled();
+    lo_ = role_.active() ? role_.lo : 0;
+    hi_ = role_.active() ? role_.hi : cfg_.devices.size();
     build();
     // Observer hooks are pure taps: they consume no RNG, schedule no events
     // and never alter control flow, so a run with obs_ == nullptr and a run
@@ -136,15 +159,25 @@ class Simulation {
     }
   }
 
-  SimResult run() {
-    LEIME_PROF_SCOPE("leime.sim.run");
+  /// Seeds the run and schedules the initial events: decisions, arrival
+  /// streams, slot ticks and the reallocation timer. Shared by run() and
+  /// the sharded coordinator (which then pumps windows via advance_to).
+  void init_run() {
     util::Rng master(cfg_.seed);
-    for (auto& dev : devices_) dev->rng = master.fork();
+    // Every shard forks the full fleet's substreams in device order and
+    // keeps only its own range, so device i's task stream is bit-identical
+    // for any shard count.
+    for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
+      util::Rng stream = master.fork();
+      if (devices_[i]) devices_[i]->rng = std::move(stream);
+    }
     if (faults_on_) {
       // Faults draw from their own substream, forked after every device's,
       // so the task streams are identical with and without fault sources.
+      // Sharded runs materialize the same timeline in every shard (same
+      // substream): fleet-wide state like edge_up_now_ is replicated.
       util::Rng fault_rng = master.fork();
-      timeline_ = materialize_faults(cfg_.faults, devices_.size(),
+      timeline_ = materialize_faults(cfg_.faults, cfg_.devices.size(),
                                      cfg_.duration, fault_rng);
       apply_fault_timeline();
     }
@@ -154,13 +187,17 @@ class Simulation {
     // scheduling keeps the event sequence identical to the interleaved
     // per-device order.
     decide_all();
-    for (std::size_t i = 0; i < devices_.size(); ++i)
-      schedule_next_arrival(i);
+    for (std::size_t i = lo_; i < hi_; ++i) schedule_next_arrival(i);
     queue_.schedule(cfg_.lyapunov.tau, EventKind::kSlotTick,
                     [this] { slot_tick(); });
     if (cfg_.reallocation_period > 0.0)
       queue_.schedule(cfg_.reallocation_period, EventKind::kReallocate,
                       [this] { reallocate(); });
+  }
+
+  SimResult run() {
+    LEIME_PROF_SCOPE("leime.sim.run");
+    init_run();
 
     // Generation stops at duration; in-flight tasks drain afterwards.
     {
@@ -170,6 +207,7 @@ class Simulation {
     if (obs_ && fabric_) obs_->on_net_fabric(*fabric_, queue_.now());
     if (obs_) obs_->on_run_end(queue_.now());
     SimResult out = finalize();
+    out.events_executed = queue_.executed();
     if (owned_obs_) {
       // Policy-core telemetry rides the metrics snapshot only when both
       // layers are opted in; with the engine off no leime_policy_* names
@@ -186,7 +224,6 @@ class Simulation {
     return out;
   }
 
- private:
   /// Where a task currently is (fault bookkeeping; kLocal/kUplink/kEdge*
   /// mirror the hop it occupies, kWait covers detection/backoff/probe gaps,
   /// kParked is terminal-pending).
@@ -216,6 +253,118 @@ class Simulation {
     std::size_t fallback_slots = 0;
   };
 
+  /// Everything finalize_impl needs beside the task list: the scalar and
+  /// per-device accumulators a single run keeps in members and a sharded
+  /// run reassembles across shards (exact integer sums plus the replayed
+  /// x stream, so the merged values are bit-identical to a single run's).
+  struct Aggregates {
+    double x_sum = 0.0;
+    std::size_t x_count = 0;
+    double q_sum = 0.0;
+    double h_sum = 0.0;
+    std::size_t queue_samples = 0;
+    std::size_t link_outages = 0;
+    std::size_t edge_crashes = 0;
+    std::size_t churn_events = 0;
+    std::size_t local_fallbacks = 0;
+    FaultCounters fleet;
+    std::vector<double> x_sum_dev;
+    std::vector<std::size_t> x_count_dev;
+    std::vector<FaultCounters> dev_faults;
+
+    void resize(std::size_t n) {
+      x_sum_dev.assign(n, 0.0);
+      x_count_dev.assign(n, 0);
+      dev_faults.assign(n, {});
+    }
+  };
+
+  // ------------------------------------------- sharded-run coordination
+  // Called by run_scenario_sharded's coordinator thread, strictly between
+  // parallel regions (never while shard threads are inside advance_to).
+
+  /// Runs every event up to and including `t`, then parks now() at `t`
+  /// (the conservative window barrier).
+  void advance_to(double t) { queue_.run_until(t); }
+
+  /// Earliest pending event, +infinity when drained — the coordinator's
+  /// lookahead-horizon input (barrier = min over shards + window).
+  double next_event_time() const { return queue_.peek_time(); }
+
+  std::uint64_t executed_events() const { return queue_.executed(); }
+
+  /// Delivers a hub (edge->cloud) transfer the coordinator admitted on the
+  /// shared link: block 3 starts at t2, exactly as the single-queue
+  /// Link::transfer callback would have. t2 >= now() is guaranteed by the
+  /// conservative window (t2 >= admission + latency >= barrier).
+  void inject_hub_delivery(std::size_t device, std::size_t task, int att,
+                           double t2) {
+    queue_.schedule(t2, EventKind::kTransferDone,
+                    [this, device, task, att, t2] {
+      if (!alive(task, att)) return;
+      cloud_service(device, task, t2);
+    });
+  }
+
+  /// Reads this shard's own devices' arrival counts into the fleet-wide
+  /// vector (the coordinator's pre-reallocation gather).
+  void gather_realloc_counts(std::vector<int>& counts) const {
+    for (std::size_t i = lo_; i < hi_; ++i)
+      counts[i] = devices_[i]->arrived_this_window;
+  }
+
+  /// Installs the gathered fleet-wide counts the next kReallocate event
+  /// will allocate from (every shard computes the same eq. 27 shares).
+  void set_realloc_counts(std::vector<int> counts) {
+    realloc_counts_ = std::move(counts);
+  }
+
+  void end_run() {
+    if (obs_) obs_->on_run_end(queue_.now());
+  }
+
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+
+  /// Per-epoch offload decisions in device order (sharded runs only): the
+  /// coordinator replays epochs in (epoch, shard) order to rebuild the
+  /// fleet-order x_sum accumulation bit for bit.
+  const std::vector<std::vector<double>>& x_log() const { return x_log_; }
+
+  /// Adds this shard's accumulators into the merged aggregate. Scalar sums
+  /// are integer-valued (order-free in double); per-device entries are
+  /// owned by exactly one shard. Replicated fleet-wide counters (faults
+  /// materialize identically in every shard) come from the primary only.
+  void accumulate(Aggregates& agg, bool primary) const {
+    agg.q_sum += q_sum_;
+    agg.h_sum += h_sum_;
+    agg.queue_samples += queue_samples_;
+    agg.local_fallbacks += local_fallbacks_;
+    agg.fleet.failed_over += fleet_faults_.failed_over;
+    agg.fleet.retries += fleet_faults_.retries;
+    agg.fleet.fallback_slots += fleet_faults_.fallback_slots;
+    for (std::size_t i = lo_; i < hi_; ++i) {
+      agg.x_sum_dev[i] = x_sum_dev_[i];
+      agg.x_count_dev[i] = x_count_dev_[i];
+      agg.dev_faults[i] = dev_faults_[i];
+    }
+    if (primary) {
+      agg.link_outages = timeline_.link_outage_count();
+      agg.edge_crashes = edge_crashes_;
+      agg.churn_events = churn_events_;
+    }
+  }
+
+  /// This shard's metrics-registry snapshot (empty when obs is off); the
+  /// coordinator absorbs the snapshots in shard order into one registry.
+  obs::Snapshot obs_snapshot() const {
+    return owned_obs_ ? owned_obs_->registry().snapshot() : obs::Snapshot{};
+  }
+
+  static SimResult finalize_impl(const ScenarioConfig& cfg,
+                                 const std::vector<TaskRecord>& tasks,
+                                 const Aggregates& agg);
+
+ private:
   void build() {
     LEIME_PROF_SCOPE("leime.sim.build");
     const auto& p = cfg_.partition;
@@ -243,11 +392,16 @@ class Simulation {
       k.push_back(std::max(1e-6, spec.mean_rate * cfg_.lyapunov.tau));
       fd.push_back(spec.flops);
     }
-    const auto shares = core::kkt_edge_allocation(k, fd, cfg_.edge_flops);
+    const auto shares = core::kkt_edge_allocation(
+        k, fd, cfg_.edge_flops, core::fleet_p_min(k.size()));
 
     if (!fabric_) {
-      edge_cloud_link_ = std::make_unique<Link>(
-          queue_, "edge-cloud", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
+      // In a sharded run the edge->cloud link is the one shared resource:
+      // the coordinator owns it (as a HubLink replay) and shards record
+      // admissions into their outbox instead of transferring directly.
+      if (!role_.active())
+        edge_cloud_link_ = std::make_unique<Link>(
+            queue_, "edge-cloud", cfg_.edge_cloud_bw, cfg_.edge_cloud_lat);
       if (cfg_.shared_uplink_bw > 0.0)
         shared_ap_ = std::make_unique<Link>(queue_, "shared-ap",
                                             cfg_.shared_uplink_bw, 0.0);
@@ -260,6 +414,12 @@ class Simulation {
                                                cfg_.cloud_flops);
 
     for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
+      if (role_.active() && (i < lo_ || i >= hi_)) {
+        // Another shard owns this device; keep the slot so global indices
+        // stay valid (fleet-wide loops guard on the null).
+        devices_.push_back(nullptr);
+        continue;
+      }
       const auto& spec = cfg_.devices[i];
       auto dev = std::make_unique<DeviceRuntime>();
       dev->spec = &spec;
@@ -309,8 +469,12 @@ class Simulation {
     // The engine is only instantiated for the batched fleet path; the
     // exit-setting fast paths act at design time (scenario_ini, adaptive,
     // multi_edge), before a Simulation exists.
-    if (cfg_.policy_core.batch_eq20)
+    if (cfg_.policy_core.batch_eq20 && !role_.active())
       policy_engine_ = std::make_unique<policy::Engine>(cfg_.policy_core);
+    // Shards share one thread-safe coordinator-owned engine (its batched
+    // eq. 20 path is 0-ULP batch-invariant, so partitioning the fleet
+    // across shards leaves every decision bit-identical).
+    engine_ = role_.active() ? role_.engine : policy_engine_.get();
 
     x_sum_dev_.assign(devices_.size(), 0.0);
     x_count_dev_.assign(devices_.size(), 0);
@@ -408,7 +572,7 @@ class Simulation {
       shared_windows_ = merge_windows(std::move(all));
       shared_ap_->set_outage_windows(to_pairs(shared_windows_));
     } else {
-      for (std::size_t i = 0; i < devices_.size(); ++i)
+      for (std::size_t i = lo_; i < hi_; ++i)
         devices_[i]->uplink->set_outage_windows(
             to_pairs(timeline_.link_down[i]));
     }
@@ -445,7 +609,9 @@ class Simulation {
     edge_up_now_ = false;
     ++edge_crashes_;
     const double now = queue_.now();
-    if (obs_) obs_->on_fault("edge_crash", -1, now);
+    // Fleet-wide faults replay in every shard; only the primary reports
+    // them so merged counters match the single-queue run.
+    if (obs_ && role_.index == 0) obs_->on_fault("edge_crash", -1, now);
     // Every task resident on an edge share loses its work; the owning
     // device notices after the detection timeout and reclaims it.
     for (std::size_t id = 0; id < tasks_.size(); ++id) {
@@ -468,31 +634,38 @@ class Simulation {
   void on_edge_restart() {
     LEIME_PROF_SCOPE("leime.sim.ev.edge_restart");
     edge_up_now_ = true;
-    if (obs_) obs_->on_fault("edge_restart", -1, queue_.now());
-    for (auto& dev : devices_) dev->edge_share->restart(queue_.now());
+    if (obs_ && role_.index == 0)
+      obs_->on_fault("edge_restart", -1, queue_.now());
+    for (auto& dev : devices_)
+      if (dev) dev->edge_share->restart(queue_.now());
   }
 
   void on_churn(std::size_t device, bool joined) {
     LEIME_PROF_SCOPE("leime.sim.ev.churn");
     present_[device] = joined ? 1 : 0;
     ++churn_events_;
-    if (obs_)
+    // Per-device fault: the owning shard reports it (lo_ = 0, hi_ = N in
+    // single-queue mode, so the guard is a no-op there).
+    if (obs_ && device >= lo_ && device < hi_)
       obs_->on_fault(joined ? "churn_join" : "churn_leave",
                      static_cast<int>(device), queue_.now());
     // Re-run the eq. 27 allocation over the devices actually present
     // (absentees keep a floor share so a rejoin cannot divide by zero).
+    // Inputs come from the specs, so every shard computes the full fleet's
+    // shares identically and applies its own devices' slice.
     scratch_k_.clear();
     scratch_fd_.clear();
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
+    for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
       scratch_k_.push_back(present_[i]
-                               ? std::max(1e-6, devices_[i]->spec->mean_rate *
+                               ? std::max(1e-6, cfg_.devices[i].mean_rate *
                                                     cfg_.lyapunov.tau)
                                : 1e-6);
-      scratch_fd_.push_back(devices_[i]->spec->flops);
+      scratch_fd_.push_back(cfg_.devices[i].flops);
     }
     const auto shares =
-        core::kkt_edge_allocation(scratch_k_, scratch_fd_, cfg_.edge_flops);
-    for (std::size_t i = 0; i < devices_.size(); ++i)
+        core::kkt_edge_allocation(scratch_k_, scratch_fd_, cfg_.edge_flops,
+                                  core::fleet_p_min(scratch_k_.size()));
+    for (std::size_t i = lo_; i < hi_; ++i)
       devices_[i]->edge_share->set_flops(shares[i] * cfg_.edge_flops);
   }
 
@@ -682,16 +855,20 @@ class Simulation {
   /// result-identical within 0 ULP (src/policy/batch.h), proven by the
   /// golden invariance test.
   void decide_all() {
-    if (!policy_engine_) {
-      for (std::size_t i = 0; i < devices_.size(); ++i) decide(i);
+    // Each decision epoch opens a fresh x-log slice; the coordinator
+    // replays slices in (epoch, shard) order to rebuild the fleet-order
+    // x_sum accumulation of the single-queue loop.
+    if (role_.active()) x_log_.emplace_back();
+    if (!engine_) {
+      for (std::size_t i = lo_; i < hi_; ++i) decide(i);
       return;
     }
     scratch_states_.clear();
-    for (std::size_t i = 0; i < devices_.size(); ++i)
+    for (std::size_t i = lo_; i < hi_; ++i)
       scratch_states_.push_back(observe(i));
-    policy_engine_->decide_fleet(*policy_, scratch_states_, scratch_x_);
-    for (std::size_t i = 0; i < devices_.size(); ++i)
-      apply_decision(i, scratch_states_[i], scratch_x_[i]);
+    engine_->decide_fleet(*policy_, scratch_states_, scratch_x_);
+    for (std::size_t i = lo_; i < hi_; ++i)
+      apply_decision(i, scratch_states_[i - lo_], scratch_x_[i - lo_]);
   }
 
   /// Decision bookkeeping shared by the sequential and batched paths.
@@ -707,6 +884,7 @@ class Simulation {
     ++x_count_;
     x_sum_dev_[i] += dev.x;
     ++x_count_dev_[i];
+    if (role_.active()) x_log_.back().push_back(dev.x);
     if (obs_) {
       SlotTelemetry tel;
       tel.x = dev.x;
@@ -723,7 +901,7 @@ class Simulation {
       // Borrowed for the duration of the hook: provenance re-evaluates the
       // eq. 19 objective at unchosen x values without touching the run.
       tel.state = &state;
-      tel.batched = policy_engine_ != nullptr;
+      tel.batched = engine_ != nullptr;
       obs_->on_slot_decision(static_cast<int>(i), queue_.now(), tel);
     }
   }
@@ -734,7 +912,7 @@ class Simulation {
     // (decisions touch no queues, consume no RNG and schedule no events),
     // so splitting the single loop into phases — required for the batched
     // decision path — leaves every value and the event sequence unchanged.
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
+    for (std::size_t i = lo_; i < hi_; ++i) {
       auto& dev = *devices_[i];
       // Blend observation with the process's nominal rate: reacts to bursts
       // while staying stable at low rates.
@@ -745,7 +923,7 @@ class Simulation {
       dev.arrived_this_slot = 0;
     }
     decide_all();
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
+    for (std::size_t i = lo_; i < hi_; ++i) {
       auto& dev = *devices_[i];
       q_sum_ += dev.cpu->pending(JobClass::kBlock1);
       h_sum_ += dev.edge_share->pending(JobClass::kBlock1);
@@ -773,16 +951,34 @@ class Simulation {
     // keeps idle devices from being starved out entirely.
     scratch_k_.clear();
     scratch_fd_.clear();
-    for (auto& dev : devices_) {
-      scratch_k_.push_back(
-          std::max(0.25, static_cast<double>(dev->arrived_this_window) *
-                             cfg_.lyapunov.tau / cfg_.reallocation_period));
-      scratch_fd_.push_back(dev->spec->flops);
-      dev->arrived_this_window = 0;
+    if (role_.active()) {
+      // Sharded: the fleet-wide counts were gathered by the coordinator at
+      // a barrier just below this event's time (the same arrivals the
+      // single-queue loop would read here), so every shard allocates from
+      // identical inputs. Subtracting the gathered count instead of
+      // zeroing keeps any arrival landing between the gather barrier and
+      // this event counted toward the next window.
+      for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
+        scratch_k_.push_back(
+            std::max(0.25, static_cast<double>(realloc_counts_[i]) *
+                               cfg_.lyapunov.tau / cfg_.reallocation_period));
+        scratch_fd_.push_back(cfg_.devices[i].flops);
+      }
+      for (std::size_t i = lo_; i < hi_; ++i)
+        devices_[i]->arrived_this_window -= realloc_counts_[i];
+    } else {
+      for (auto& dev : devices_) {
+        scratch_k_.push_back(
+            std::max(0.25, static_cast<double>(dev->arrived_this_window) *
+                               cfg_.lyapunov.tau / cfg_.reallocation_period));
+        scratch_fd_.push_back(dev->spec->flops);
+        dev->arrived_this_window = 0;
+      }
     }
     const auto shares =
-        core::kkt_edge_allocation(scratch_k_, scratch_fd_, cfg_.edge_flops);
-    for (std::size_t i = 0; i < devices_.size(); ++i)
+        core::kkt_edge_allocation(scratch_k_, scratch_fd_, cfg_.edge_flops,
+                                  core::fleet_p_min(scratch_k_.size()));
+    for (std::size_t i = lo_; i < hi_; ++i)
       devices_[i]->edge_share->set_flops(shares[i] * cfg_.edge_flops);
     if (queue_.now() + cfg_.reallocation_period <= cfg_.duration)
       queue_.schedule_in(cfg_.reallocation_period, EventKind::kReallocate,
@@ -987,6 +1183,15 @@ class Simulation {
     auto& rec = tasks_[id];
     rec.stage = Stage::kCloud;
     const int att = rec.attempt;
+    if (role_.active()) {
+      // Cross-shard leg: record the admission; the coordinator replays the
+      // shared hub link in global admission order at the next barrier and
+      // injects the delivery back into this shard. (Sharded obs is
+      // metrics-only, where the phase hooks are no-ops, so skipping them
+      // on this leg changes nothing observable.)
+      role_.outbox->push_back({queue_.now(), i, id, att});
+      return;
+    }
     if (obs_)
       obs_->on_phase_begin(
           id, static_cast<int>(i), "edge_cloud_link",
@@ -1140,46 +1345,21 @@ class Simulation {
 
   SimResult finalize() const {
     LEIME_PROF_SCOPE("leime.sim.finalize");
-    SimResult out;
-    std::vector<double> tcts;
-    std::map<long long, std::pair<double, std::size_t>> windows;
-    std::size_t exits[3] = {0, 0, 0};
-    std::vector<std::vector<double>> device_tcts(devices_.size());
-    for (const auto& rec : tasks_) {
-      ++out.generated;
-      if (rec.t_complete >= 0.0)
-        ++out.total_completed;
-      else
-        ++out.in_flight;
-      if (rec.parked) ++out.faults.parked;
-      if (!rec.counted) continue;
-      if (rec.t_complete < 0.0) continue;  // still in flight at drain end
-      ++out.completed;
-      const double tct = rec.t_complete - rec.t_arrive;
-      tcts.push_back(tct);
-      device_tcts[rec.device].push_back(tct);
-      ++exits[rec.block - 1];
-      const auto w =
-          static_cast<long long>(rec.t_complete / cfg_.timeline_window);
-      auto& slot = windows[w];
-      slot.first += tct;
-      ++slot.second;
-    }
-    out.tct = util::summarize(tcts);
-    const double total = std::max<std::size_t>(1, out.completed);
-    out.exit1_fraction = exits[0] / total;
-    out.exit2_fraction = exits[1] / total;
-    out.exit3_fraction = exits[2] / total;
-    out.mean_offload_ratio = x_count_ ? x_sum_ / x_count_ : 0.0;
-    out.mean_device_queue = queue_samples_ ? q_sum_ / queue_samples_ : 0.0;
-    out.mean_edge_queue = queue_samples_ ? h_sum_ / queue_samples_ : 0.0;
-    out.faults.link_outages = timeline_.link_outage_count();
-    out.faults.edge_crashes = edge_crashes_;
-    out.faults.churn_events = churn_events_;
-    out.faults.failed_over = fleet_faults_.failed_over;
-    out.faults.retries = fleet_faults_.retries;
-    out.faults.local_fallbacks = local_fallbacks_;
-    out.faults.fallback_slots = fleet_faults_.fallback_slots;
+    Aggregates agg;
+    agg.x_sum = x_sum_;
+    agg.x_count = x_count_;
+    agg.q_sum = q_sum_;
+    agg.h_sum = h_sum_;
+    agg.queue_samples = queue_samples_;
+    agg.link_outages = timeline_.link_outage_count();
+    agg.edge_crashes = edge_crashes_;
+    agg.churn_events = churn_events_;
+    agg.local_fallbacks = local_fallbacks_;
+    agg.fleet = fleet_faults_;
+    agg.x_sum_dev = x_sum_dev_;
+    agg.x_count_dev = x_count_dev_;
+    agg.dev_faults = dev_faults_;
+    SimResult out = finalize_impl(cfg_, tasks_, agg);
     if (fabric_) {
       out.net.active = true;
       const auto& ns = fabric_->stats();
@@ -1190,31 +1370,16 @@ class Simulation {
       out.net.bytes = ns.bytes;
       out.net.max_backlog_bytes = fabric_->max_backlog_bytes();
     }
-    for (const auto& [w, agg] : windows)
-      out.timeline.push_back({(w + 0.5) * cfg_.timeline_window,
-                              agg.first / agg.second, agg.second});
-    if (!cfg_.task_trace_path.empty()) write_task_trace();
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
-      SimResult::DeviceResult dr;
-      dr.tct = util::summarize(device_tcts[i]);
-      dr.completed = device_tcts[i].size();
-      dr.mean_offload_ratio =
-          x_count_dev_[i] ? x_sum_dev_[i] / static_cast<double>(x_count_dev_[i])
-                          : 0.0;
-      dr.failed_over = dev_faults_[i].failed_over;
-      dr.retries = dev_faults_[i].retries;
-      dr.fallback_slots = dev_faults_[i].fallback_slots;
-      out.per_device.push_back(dr);
-    }
     return out;
   }
 
-  void write_task_trace() const {
-    util::CsvWriter trace(cfg_.task_trace_path,
+  static void write_task_trace(const ScenarioConfig& cfg,
+                               const std::vector<TaskRecord>& tasks) {
+    util::CsvWriter trace(cfg.task_trace_path,
                           {"task", "device", "t_arrive", "t_complete",
                            "tct", "exit_block", "offloaded", "counted"});
-    for (std::size_t id = 0; id < tasks_.size(); ++id) {
-      const auto& rec = tasks_[id];
+    for (std::size_t id = 0; id < tasks.size(); ++id) {
+      const auto& rec = tasks[id];
       const bool done = rec.t_complete >= 0.0;
       trace.add_row({std::to_string(id), std::to_string(rec.device),
                      std::to_string(rec.t_arrive),
@@ -1226,8 +1391,14 @@ class Simulation {
     }
   }
 
-  ScenarioConfig cfg_;
+  const ScenarioConfig& cfg_;
+  ShardRole role_;
+  /// Owned device range [lo_, hi_): the whole fleet in single-queue mode.
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 0;
   EventQueue queue_;
+  /// Index-aligned with cfg_.devices; entries outside [lo_, hi_) are null
+  /// in sharded mode (another shard owns them).
   std::vector<std::unique_ptr<DeviceRuntime>> devices_;
   std::unique_ptr<Link> edge_cloud_link_;
   std::unique_ptr<Link> cloud_return_link_;
@@ -1238,9 +1409,18 @@ class Simulation {
   /// Set iff cfg_.policy_core.batch_eq20; scratch vectors reused across
   /// slots so the batched path allocates nothing in steady state.
   std::unique_ptr<policy::Engine> policy_engine_;
+  /// The engine decisions actually go through: the shared coordinator
+  /// engine in sharded mode, policy_engine_.get() otherwise (null = the
+  /// sequential per-device path).
+  policy::Engine* engine_ = nullptr;
   policy::Stats policy_stats_baseline_;
   std::vector<core::DeviceSlotState> scratch_states_;
   std::vector<double> scratch_x_;
+  /// Sharded mode only: per-epoch offload decisions in device order (the
+  /// coordinator's x_sum replay) and the gathered fleet-wide arrival
+  /// counts the next kReallocate event allocates from.
+  std::vector<std::vector<double>> x_log_;
+  std::vector<int> realloc_counts_;
   std::vector<TaskRecord> tasks_;
   Observer* obs_ = nullptr;  ///< external (cfg_.observer) or owned_obs_
   std::unique_ptr<RecordingObserver> owned_obs_;
@@ -1270,9 +1450,264 @@ class Simulation {
   std::size_t local_fallbacks_ = 0;
 };
 
+SimResult Simulation::finalize_impl(const ScenarioConfig& cfg,
+                                    const std::vector<TaskRecord>& tasks,
+                                    const Aggregates& agg) {
+  const std::size_t num_devices = agg.x_sum_dev.size();
+  SimResult out;
+  std::vector<double> tcts;
+  std::map<long long, std::pair<double, std::size_t>> windows;
+  std::size_t exits[3] = {0, 0, 0};
+  std::vector<std::vector<double>> device_tcts(num_devices);
+  for (const auto& rec : tasks) {
+    ++out.generated;
+    if (rec.t_complete >= 0.0)
+      ++out.total_completed;
+    else
+      ++out.in_flight;
+    if (rec.parked) ++out.faults.parked;
+    if (!rec.counted) continue;
+    if (rec.t_complete < 0.0) continue;  // still in flight at drain end
+    ++out.completed;
+    const double tct = rec.t_complete - rec.t_arrive;
+    tcts.push_back(tct);
+    device_tcts[rec.device].push_back(tct);
+    ++exits[rec.block - 1];
+    const auto w =
+        static_cast<long long>(rec.t_complete / cfg.timeline_window);
+    auto& slot = windows[w];
+    slot.first += tct;
+    ++slot.second;
+  }
+  out.tct = util::summarize(tcts);
+  const double total = std::max<std::size_t>(1, out.completed);
+  out.exit1_fraction = exits[0] / total;
+  out.exit2_fraction = exits[1] / total;
+  out.exit3_fraction = exits[2] / total;
+  out.mean_offload_ratio = agg.x_count ? agg.x_sum / agg.x_count : 0.0;
+  out.mean_device_queue =
+      agg.queue_samples ? agg.q_sum / agg.queue_samples : 0.0;
+  out.mean_edge_queue =
+      agg.queue_samples ? agg.h_sum / agg.queue_samples : 0.0;
+  out.faults.link_outages = agg.link_outages;
+  out.faults.edge_crashes = agg.edge_crashes;
+  out.faults.churn_events = agg.churn_events;
+  out.faults.failed_over = agg.fleet.failed_over;
+  out.faults.retries = agg.fleet.retries;
+  out.faults.local_fallbacks = agg.local_fallbacks;
+  out.faults.fallback_slots = agg.fleet.fallback_slots;
+  for (const auto& [w, slot] : windows)
+    out.timeline.push_back({(w + 0.5) * cfg.timeline_window,
+                            slot.first / slot.second, slot.second});
+  if (!cfg.task_trace_path.empty()) write_task_trace(cfg, tasks);
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    SimResult::DeviceResult dr;
+    dr.tct = util::summarize(device_tcts[i]);
+    dr.completed = device_tcts[i].size();
+    dr.mean_offload_ratio =
+        agg.x_count_dev[i]
+            ? agg.x_sum_dev[i] / static_cast<double>(agg.x_count_dev[i])
+            : 0.0;
+    dr.failed_over = agg.dev_faults[i].failed_over;
+    dr.retries = agg.dev_faults[i].retries;
+    dr.fallback_slots = agg.dev_faults[i].fallback_slots;
+    out.per_device.push_back(dr);
+  }
+  return out;
+}
+
+// --------------------------------------------------- sharded coordinator
+
+/// Sharded v1 holds determinism above generality: it accepts exactly the
+/// configurations where the only fleet-shared mutable resource is the
+/// edge->cloud link (which the coordinator replays bit-identically), and
+/// rejects everything else loudly rather than drifting from the
+/// single-queue results.
+void validate_sharded(const ScenarioConfig& cfg) {
+  auto reject = [](const std::string& what) {
+    throw std::invalid_argument(
+        "[shards] sharded execution does not support " + what +
+        " (run with shards = 1)");
+  };
+  if (cfg.topology.enabled()) reject("[topology] routed fabric mode");
+  if (cfg.shared_uplink_bw > 0.0) reject("shared_uplink_bw");
+  if (cfg.cloud_fifo) reject("cloud_fifo (a fleet-shared FIFO server)");
+  if (cfg.result_bytes > 0.0)
+    reject("result_bytes (the shared cloud-return link)");
+  if (cfg.observer) reject("an external observer");
+  if (cfg.obs.effective_trace_sample() > 0 || cfg.obs.timeseries_enabled() ||
+      cfg.obs.attribution_enabled() || cfg.obs.slo.enabled() ||
+      cfg.obs.provenance_enabled())
+    reject("observability beyond the metrics pillar");
+  if (cfg.edge_cloud_lat <= 0.0)
+    throw std::invalid_argument(
+        "[shards] sharded execution needs edge_cloud_lat > 0: the "
+        "propagation delay is the conservative lookahead window");
+}
+
+/// One simulation, S event queues (DESIGN.md §15). Shards advance in
+/// conservative windows no wider than the edge-cloud propagation delay —
+/// every cross-shard event (a hub admission's delivery) provably lands at
+/// or beyond the next barrier, so no shard ever receives an event in its
+/// past. Between windows the coordinator merges shard outboxes in global
+/// admission order, replays the shared hub link, injects deliveries, and
+/// (just below each reallocation tick) gathers fleet-wide arrival counts.
+/// The merge discipline makes the result byte-identical to shards = 1 for
+/// any shard/thread count.
+SimResult run_scenario_sharded(const ScenarioConfig& cfg) {
+  LEIME_PROF_SCOPE("leime.sim.run_sharded");
+  validate_sharded(cfg);
+  const std::size_t n = cfg.devices.size();
+  const std::size_t S = std::min(cfg.shards.shards, n);
+  const double window = shard_window(cfg.shards, cfg.edge_cloud_lat);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // One thread-safe engine shared by every shard thread (batch_eq20 only).
+  std::unique_ptr<policy::Engine> engine;
+  policy::Stats engine_baseline;
+  if (cfg.policy_core.batch_eq20) {
+    engine = std::make_unique<policy::Engine>(cfg.policy_core);
+    engine_baseline = engine->stats();
+  }
+
+  std::vector<std::vector<HubRequest>> outboxes(S);
+  std::vector<std::unique_ptr<Simulation>> shards;
+  shards.reserve(S);
+  std::vector<std::size_t> owner(n);
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto range = shard_range(n, S, s);
+    ShardRole role;
+    role.index = s;
+    role.num_shards = S;
+    role.lo = range.first;
+    role.hi = range.second;
+    role.outbox = &outboxes[s];
+    role.engine = engine.get();
+    for (std::size_t i = range.first; i < range.second; ++i) owner[i] = s;
+    shards.push_back(std::make_unique<Simulation>(cfg, role));
+  }
+
+  ShardPool pool(resolve_shard_threads(cfg.shards, S));
+  pool.run(S, [&](std::size_t s) { shards[s]->init_run(); });
+
+  HubLink hub(cfg.edge_cloud_bw, cfg.edge_cloud_lat);
+  // Mirrors the single-queue kReallocate schedule: first tick at P
+  // unconditionally, then T + P while it lands within the generation
+  // window (reallocate()'s own rescheduling rule).
+  double next_realloc =
+      cfg.reallocation_period > 0.0 ? cfg.reallocation_period : inf;
+  std::vector<HubRequest> admissions;
+  std::vector<int> counts(n, 0);
+
+  {
+    LEIME_PROF_SCOPE("leime.sim.event_loop");
+    for (;;) {
+      // Adaptive barrier: the earliest pending event anywhere plus the
+      // lookahead. Idle stretches (e.g. the post-generation drain) are
+      // skipped outright instead of stepped through window by window.
+      double min_peek = inf;
+      for (const auto& sh : shards)
+        min_peek = std::min(min_peek, sh->next_event_time());
+      if (!std::isfinite(min_peek)) break;  // all queues drained
+      double barrier = min_peek + window;
+      bool gather = false;
+      if (std::isfinite(next_realloc)) {
+        // Stop one ulp below the reallocation tick so the fleet-wide
+        // arrival counts can be gathered before any shard executes it.
+        const double t_minus = std::nextafter(next_realloc, -inf);
+        if (barrier >= t_minus) {
+          barrier = t_minus;
+          gather = true;
+        }
+      }
+      pool.run(S, [&](std::size_t s) { shards[s]->advance_to(barrier); });
+
+      // Merge the windows' hub admissions in global admission order:
+      // within a shard the outbox is already event-ordered, across shards
+      // (t, device) reproduces the single queue's (time, seq) order.
+      admissions.clear();
+      for (auto& box : outboxes) {
+        admissions.insert(admissions.end(), box.begin(), box.end());
+        box.clear();
+      }
+      std::stable_sort(admissions.begin(), admissions.end(),
+                       [](const HubRequest& a, const HubRequest& b) {
+                         if (a.t != b.t) return a.t < b.t;
+                         return a.device < b.device;
+                       });
+      for (const auto& req : admissions) {
+        const double t2 = hub.admit(req.t, cfg.partition.d2);
+        shards[owner[req.device]]->inject_hub_delivery(req.device, req.task,
+                                                       req.attempt, t2);
+      }
+
+      if (gather) {
+        for (const auto& sh : shards) sh->gather_realloc_counts(counts);
+        for (const auto& sh : shards) sh->set_realloc_counts(counts);
+        next_realloc =
+            next_realloc + cfg.reallocation_period <= cfg.duration
+                ? next_realloc + cfg.reallocation_period
+                : inf;
+      }
+    }
+  }
+
+  for (const auto& sh : shards) sh->end_run();
+
+  // Harvest. Tasks merge into the single queue's id order: t_arrive is
+  // nondecreasing within a shard, and same-instant arrivals across
+  // devices (periodic fleets) executed in device order there too.
+  std::vector<Simulation::TaskRecord> tasks;
+  for (const auto& sh : shards) {
+    const auto& t = sh->tasks();
+    tasks.insert(tasks.end(), t.begin(), t.end());
+  }
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const Simulation::TaskRecord& a,
+                      const Simulation::TaskRecord& b) {
+                     if (a.t_arrive != b.t_arrive)
+                       return a.t_arrive < b.t_arrive;
+                     return a.device < b.device;
+                   });
+
+  Simulation::Aggregates agg;
+  agg.resize(n);
+  for (std::size_t s = 0; s < S; ++s) shards[s]->accumulate(agg, s == 0);
+  // Replay the slot-decision stream in (epoch, device) order so the FP
+  // accumulation of x_sum matches the single-queue loop bit for bit.
+  const std::size_t epochs = shards.front()->x_log().size();
+  for (std::size_t e = 0; e < epochs; ++e)
+    for (const auto& sh : shards)
+      for (const double x : sh->x_log()[e]) {
+        agg.x_sum += x;
+        ++agg.x_count;
+      }
+
+  SimResult out = Simulation::finalize_impl(cfg, tasks, agg);
+  for (const auto& sh : shards) out.events_executed += sh->executed_events();
+
+  if (cfg.obs.enabled()) {
+    // Counters sum exactly across shards; the coordinator's observer
+    // absorbs the per-shard snapshots in shard order and exports once.
+    std::vector<std::string> device_classes;
+    device_classes.reserve(n);
+    for (const auto& spec : cfg.devices)
+      device_classes.push_back(spec.device_class);
+    RecordingObserver merged(cfg.obs, n, std::move(device_classes));
+    for (const auto& sh : shards)
+      merged.registry().absorb(sh->obs_snapshot());
+    if (engine) engine->publish_metrics(merged.registry(), engine_baseline);
+    out.metrics = merged.registry().snapshot();
+    merged.export_outputs();
+  }
+  return out;
+}
+
 }  // namespace
 
 SimResult run_scenario(const ScenarioConfig& config) {
+  if (config.shards.enabled() && config.devices.size() > 1)
+    return run_scenario_sharded(config);
   Simulation sim(config);
   return sim.run();
 }

@@ -29,7 +29,8 @@ SlottedFleetResult run_slotted_fleet(const SlottedFleetConfig& cfg,
     k.push_back(std::max(1e-6, d.mean_tasks));
     fd.push_back(d.flops);
   }
-  const auto shares = core::kkt_edge_allocation(k, fd, cfg.edge_flops);
+  const auto shares = core::kkt_edge_allocation(
+      k, fd, cfg.edge_flops, core::fleet_p_min(k.size()));
 
   util::Rng rng(cfg.seed);
   std::vector<core::DeviceSlotState> states(n);

@@ -107,5 +107,27 @@ TEST(ResourceAlloc, Validation) {
                std::invalid_argument);
 }
 
+TEST(ResourceAlloc, FleetPMinScalesPastTheDefaultCeiling) {
+  // Exactly 1e-4 through 5000 devices — the bits every committed scenario
+  // allocated with — then 0.5/n so p_min * n < 1 at any fleet size.
+  EXPECT_EQ(fleet_p_min(1), 1e-4);
+  EXPECT_EQ(fleet_p_min(2), 1e-4);
+  EXPECT_EQ(fleet_p_min(5000), 1e-4);
+  EXPECT_EQ(fleet_p_min(10000), 0.5 / 10000.0);
+  EXPECT_EQ(fleet_p_min(1000000), 0.5 / 1000000.0);
+  EXPECT_LT(fleet_p_min(1000000) * 1e6, 1.0);
+
+  // The allocation that motivated it: a fleet the default p_min rejects.
+  const std::size_t n = 100000;
+  std::vector<double> k(n, 1.0), fd(n, 1e9);
+  k[7] = 4.0;  // a heavy device still draws a larger share
+  const auto p = kkt_edge_allocation(k, fd, 1e12, fleet_p_min(n));
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(p[7], p[8]);
+  for (const double v : p) EXPECT_GE(v, fleet_p_min(n));
+}
+
 }  // namespace
 }  // namespace leime::core

@@ -121,6 +121,32 @@ TEST(Golden, PolicyFastPathsAreObservationallyInvisible) {
       << "policy-on rendering depends on the executor thread count";
 }
 
+// Sharded execution (DESIGN.md §15) is an execution-strategy choice, not
+// a model change: partitioning the fleet across event queues must render
+// the exact single-queue bytes through the full plan/executor/sink path —
+// fault axis included — for every shard x thread combination. This is the
+// golden half of the determinism contract (tests/sim/sharded_test.cpp
+// pins the SimResult fields; this pins the serialized output).
+TEST(Golden, ShardedExecutionRendersIdenticalBytes) {
+  const auto serial = render(1);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    for (const int threads : {1, 4}) {
+      sim::ScenarioConfig cfg = golden_base();
+      cfg.shards.shards = shards;
+      cfg.shards.threads = threads;
+      EXPECT_EQ(serial, render(1, cfg))
+          << "shards=" << shards << " threads=" << threads
+          << " drifted from the single-queue bytes";
+    }
+  }
+  // Shard workers nested inside executor workers: same bytes again.
+  sim::ScenarioConfig nested = golden_base();
+  nested.shards.shards = 2;
+  nested.shards.threads = 2;
+  EXPECT_EQ(serial, render(3, nested))
+      << "sharding nested under executor threads changed the bytes";
+}
+
 // Attribution + SLO ride the same plan-order merge as the metrics
 // snapshot, so their JSONL blocks must be byte-identical at any executor
 // thread count — and absent entirely when the pillars are off (the golden

@@ -160,6 +160,43 @@ TEST(EventQueue, ScheduleDuringDispatchInterleavesDeterministically) {
   EXPECT_EQ(q.executed(), 5u);
 }
 
+// peek_time() exposes the earliest pending timestamp without disturbing
+// the queue: infinity when empty, updated as events run or arrive, and
+// consistent with tie-breaking (ties share the front timestamp).
+TEST(EventQueue, PeekTimeTracksEarliestPendingEvent) {
+  EventQueue q;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(q.peek_time(), inf);
+  q.schedule(3.0, [] {});
+  q.schedule(1.5, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.peek_time(), 1.5);
+  EXPECT_EQ(q.pending(), 3u);  // peeking pops nothing
+  EXPECT_TRUE(q.run_one());
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+  q.run_all();
+  EXPECT_EQ(q.peek_time(), inf);
+  // Events scheduled during dispatch are visible to the next peek.
+  q.schedule(5.0, [&] { q.schedule_in(0.25, [] {}); });
+  EXPECT_DOUBLE_EQ(q.peek_time(), 5.0);
+  EXPECT_TRUE(q.run_one());
+  EXPECT_DOUBLE_EQ(q.peek_time(), 5.25);
+}
+
+// The lookahead use case: run_until a barrier, peek to find the next
+// shard-local event, and jump an empty window without executing anything.
+TEST(EventQueue, PeekTimeAfterRunUntilSupportsWindowSkipping) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(10.0, [&] { ++ran; });
+  q.run_until(2.0);
+  EXPECT_EQ(ran, 0);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 10.0);
+  q.run_until(q.peek_time());  // inclusive boundary: the event runs
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.peek_time(), std::numeric_limits<double>::infinity());
+}
+
 TEST(EventQueue, PerKindExecutedCounters) {
   EventQueue q;
   q.schedule(1.0, EventKind::kSlotTick, [] {});

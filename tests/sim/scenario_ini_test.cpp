@@ -477,5 +477,78 @@ TEST(ScenarioIni, PolicyFastPathsLeaveDesignAndRunIdentical) {
   EXPECT_DOUBLE_EQ(a.mean_offload_ratio, b.mean_offload_ratio);
 }
 
+TEST(ScenarioIni, ShardsSectionParses) {
+  const auto s = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) +
+      "[shards]\n"
+      "shards = 4\n"
+      "threads = 2\n"
+      "window_ms = 10\n"));
+  const auto& sh = s.config.shards;
+  EXPECT_EQ(sh.shards, 4u);
+  EXPECT_EQ(sh.threads, 2);
+  EXPECT_DOUBLE_EQ(sh.window_s, util::ms(10.0));
+  EXPECT_TRUE(sh.enabled());
+}
+
+TEST(ScenarioIni, ShardsOmittedOrEmptyStaysSingleQueue) {
+  const auto bare = load_scenario(util::IniFile::parse_string(kFleet));
+  EXPECT_FALSE(bare.config.shards.enabled());
+  const auto empty = load_scenario(
+      util::IniFile::parse_string(std::string(kFleet) + "[shards]\n"));
+  EXPECT_FALSE(empty.config.shards.enabled());
+  EXPECT_EQ(empty.config.shards.shards, 1u);
+  EXPECT_EQ(empty.config.shards.threads, 0);
+  EXPECT_DOUBLE_EQ(empty.config.shards.window_s, 0.0);
+}
+
+TEST(ScenarioIni, ShardsSectionValidation) {
+  auto load = [](const std::string& extra) {
+    return load_scenario(
+        util::IniFile::parse_string(std::string(kFleet) + extra));
+  };
+  try {
+    load("[shards]\nshard = 4\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key 'shard'"), std::string::npos) << what;
+    EXPECT_NE(what.find("window_ms"), std::string::npos) << what;
+  }
+  EXPECT_THROW(load("[shards]\nshards = 0\n"), std::invalid_argument);
+  EXPECT_THROW(load("[shards]\nshards = -2\n"), std::invalid_argument);
+  EXPECT_THROW(load("[shards]\nthreads = -1\n"), std::invalid_argument);
+  EXPECT_THROW(load("[shards]\nwindow_ms = -5\n"), std::invalid_argument);
+  // Sharded execution rejects configurations outside its contract at run
+  // time (validate_sharded in simulation.cpp), with an error naming the
+  // escape hatch.
+  auto unsupported = load("[shards]\nshards = 2\n");
+  unsupported.config.cloud_fifo = true;
+  try {
+    run_scenario(unsupported.config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[shards]"), std::string::npos) << what;
+    EXPECT_NE(what.find("shards = 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIni, ShardsLoadedScenarioMatchesSingleQueue) {
+  // The INI-level face of the sharding determinism contract: a fleet
+  // loaded with [shards] on runs to the same results as the same fleet
+  // without the section.
+  const auto off = load_scenario(util::IniFile::parse_string(kFleet));
+  const auto on = load_scenario(util::IniFile::parse_string(
+      std::string(kFleet) + "[shards]\nshards = 2\nthreads = 2\n"));
+  const auto a = run_scenario(off.config);
+  const auto b = run_scenario(on.config);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_DOUBLE_EQ(a.tct.mean, b.tct.mean);
+  EXPECT_DOUBLE_EQ(a.tct.p95, b.tct.p95);
+  EXPECT_DOUBLE_EQ(a.mean_offload_ratio, b.mean_offload_ratio);
+}
+
 }  // namespace
 }  // namespace leime::sim
